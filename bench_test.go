@@ -1,0 +1,216 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per
+// table/figure plus the DESIGN.md ablations. Metrics that matter are
+// reported via b.ReportMetric (virtual-time latencies, broadcast
+// counts) — wall-clock ns/op measures simulator throughput, not the
+// system under study. Run:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkFigure2_E2E_vs_Controller regenerates Figure 2 at three
+// sweep points and reports the headline metrics.
+func BenchmarkFigure2_E2E_vs_Controller(b *testing.B) {
+	var rows []experiments.Fig2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure2(experiments.Fig2Config{
+			Seed:             int64(i + 1),
+			AccessesPerPoint: 400,
+			Points:           []int{0, 50, 90},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].E2EMeanUS, "e2e-0%new-µs")
+	b.ReportMetric(rows[2].E2EMeanUS, "e2e-90%new-µs")
+	b.ReportMetric(rows[2].ControllerMeanUS, "ctrl-90%new-µs")
+	b.ReportMetric(rows[2].BroadcastsPer100, "bcast/100acc@90%")
+}
+
+// BenchmarkFigure3_StaleCache regenerates Figure 3 at three points.
+func BenchmarkFigure3_StaleCache(b *testing.B) {
+	var rows []experiments.Fig3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure3(experiments.Fig3Config{
+			Seed:             int64(i + 1),
+			AccessesPerPoint: 400,
+			Points:           []int{0, 50, 90},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MeanUS, "access-0%moved-µs")
+	b.ReportMetric(rows[1].StddevUS, "sd-50%moved-µs")
+	b.ReportMetric(rows[2].MeanUS, "access-90%moved-µs")
+}
+
+// BenchmarkCapacity_TableDensity regenerates the §3.2 switch numbers.
+func BenchmarkCapacity_TableDensity(b *testing.B) {
+	var rows []experiments.CapacityRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Capacity()
+	}
+	b.ReportMetric(float64(rows[0].ModelCapacity), "entries-64bit")
+	b.ReportMetric(float64(rows[1].ModelCapacity), "entries-128bit")
+}
+
+// BenchmarkRendezvous_Figure1 regenerates the strategy comparison.
+func BenchmarkRendezvous_Figure1(b *testing.B) {
+	var rows []experiments.RendezvousRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Rendezvous(experiments.RendezvousConfig{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Strategy {
+		case "manual-copy":
+			b.ReportMetric(r.CompletionUS, "manual-µs")
+		case "manual-copy-optimized":
+			b.ReportMetric(r.CompletionUS, "optimized-µs")
+		case "automatic-copy":
+			b.ReportMetric(r.CompletionUS, "automatic-µs")
+		case "dave-local":
+			b.ReportMetric(r.CompletionUS, "dave-local-µs")
+		}
+	}
+}
+
+// BenchmarkSerialization_LoadPaths regenerates the §2/§3.1 comparison
+// for one model size.
+func BenchmarkSerialization_LoadPaths(b *testing.B) {
+	var rows []experiments.SerializationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Serialization(experiments.SerializationConfig{
+			Sizes:   []experiments.ModelShape{{Buckets: 2000, Dim: 32}},
+			Repeats: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].DeserializeUS, "deserialize-µs")
+	b.ReportMetric(rows[0].ByteCopyUS, "bytecopy-µs")
+	b.ReportMetric(100*rows[0].LoadFractionBaseline, "loadfrac-baseline-%")
+}
+
+// BenchmarkAblationPrefetch_Traversal measures the A1 ablation.
+func BenchmarkAblationPrefetch_Traversal(b *testing.B) {
+	var rows []experiments.PrefetchRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationPrefetch(experiments.PrefetchConfig{
+			Seed:     int64(i + 1),
+			ChainLen: 24,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TotalUS, "walk-nopf-µs")
+	b.ReportMetric(rows[1].TotalUS, "walk-pf-µs")
+}
+
+// BenchmarkAblationLoss_Transport measures the A2 ablation.
+func BenchmarkAblationLoss_Transport(b *testing.B) {
+	var rows []experiments.LossRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationLoss(int64(i+1), 128<<10, []float64{0, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].CompletionUS, "xfer-0%loss-µs")
+	b.ReportMetric(rows[1].CompletionUS, "xfer-20%loss-µs")
+	b.ReportMetric(float64(rows[1].Retransmits), "retransmits@20%")
+}
+
+// BenchmarkAblationHybrid_TableSaturation measures the A3 ablation.
+func BenchmarkAblationHybrid_TableSaturation(b *testing.B) {
+	var rows []experiments.HybridRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationHybrid(int64(i+1), 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Failures), "ctrl-failures")
+	b.ReportMetric(float64(rows[1].Failures), "hybrid-failures")
+	b.ReportMetric(rows[1].MeanUS, "hybrid-mean-µs")
+}
+
+// BenchmarkAblationNetSeq_Offload measures the A5 ablation.
+func BenchmarkAblationNetSeq_Offload(b *testing.B) {
+	var rows []experiments.SeqRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationNetSeq(int64(i+1), 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MeanUS, "host-seq-µs")
+	b.ReportMetric(rows[1].MeanUS, "switch-seq-µs")
+}
+
+// BenchmarkAblationOverlay_PrefixRouting measures the A6 ablation.
+func BenchmarkAblationOverlay_PrefixRouting(b *testing.B) {
+	var rows []experiments.OverlayRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationOverlay(int64(i+1), 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].RulesPerSw, "exact-rules/sw")
+	b.ReportMetric(rows[1].RulesPerSw, "overlay-rules/sw")
+	b.ReportMetric(float64(rows[1].Successes), "overlay-successes")
+}
+
+// BenchmarkScaleTradeoff measures the E7 state-vs-traffic sweep.
+func BenchmarkScaleTradeoff(b *testing.B) {
+	var rows []experiments.ScaleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ScaleTradeoff(experiments.ScaleConfig{
+			Seed:       int64(i + 1),
+			NodeCounts: []int{3, 27},
+			Accesses:   100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].FabricFramesPerAccess, "e2e-frames/acc@3")
+	b.ReportMetric(rows[2].FabricFramesPerAccess, "e2e-frames/acc@27")
+	b.ReportMetric(float64(rows[3].ObjectRules), "ctrl-rules@27")
+}
+
+// BenchmarkAblationCRDT_Merge measures the A4 ablation.
+func BenchmarkAblationCRDT_Merge(b *testing.B) {
+	var rows []experiments.CRDTRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationCRDT(int64(i+1), 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Lost), "naive-lost")
+	b.ReportMetric(float64(rows[1].Lost), "merge-lost")
+}

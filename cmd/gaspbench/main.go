@@ -1,0 +1,262 @@
+// Command gaspbench regenerates every table and figure in the paper's
+// evaluation. Each subcommand prints one experiment's rows; `all` runs
+// the full suite (what EXPERIMENTS.md records).
+//
+// Usage:
+//
+//	gaspbench fig2          Figure 2: discovery RTT vs % new objects
+//	gaspbench fig3          Figure 3: E2E access time vs % moved objects
+//	gaspbench capacity      §3.2: switch exact-match table density
+//	gaspbench rendezvous    Figure 1: manual/optimized/automatic/local
+//	gaspbench serialization §2+§3.1: deserialize vs byte-copy load
+//	gaspbench ablations     A1 prefetch, A2 loss, A3 hybrid, A4 CRDT,
+//	                        A5 in-network sequencer, A6 overlay routing
+//	gaspbench all           everything above
+//
+// Flags:
+//
+//	-seed N       random seed (default 42)
+//	-accesses N   accesses per sweep point for fig2/fig3 (default 2000)
+//	-quick        reduced workloads (CI-speed)
+//	-csv          machine-readable output for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+var (
+	seed     = flag.Int64("seed", 42, "random seed")
+	accesses = flag.Int("accesses", 2000, "accesses per sweep point")
+	quick    = flag.Bool("quick", false, "reduced workloads")
+	csvOut   = flag.Bool("csv", false, "CSV output for plotting")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *quick {
+		*accesses = 300
+	}
+	cmd := flag.Arg(0)
+	var err error
+	switch cmd {
+	case "fig2":
+		err = runFig2()
+	case "fig3":
+		err = runFig3()
+	case "capacity":
+		err = runCapacity()
+	case "rendezvous":
+		err = runRendezvous()
+	case "serialization":
+		err = runSerialization()
+	case "ablations":
+		err = runAblations()
+	case "scale":
+		err = runScale()
+	case "all":
+		for _, f := range []func() error{
+			runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
+			runAblations, runScale,
+		} {
+			if err = f(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func runFig2() error {
+	rows, err := experiments.Figure2(experiments.Fig2Config{
+		Seed:             *seed,
+		AccessesPerPoint: *accesses,
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("Figure 2: RTT vs % accesses to new objects (E2E vs Controller)",
+		"pct_new", "ctrl_mean_us", "ctrl_p99_us", "e2e_mean_us", "e2e_p99_us", "bcast_per_100acc")
+	for _, r := range rows {
+		t.row(r.PctNew, r.ControllerMeanUS, r.ControllerP99US,
+			r.E2EMeanUS, r.E2EP99US, r.BroadcastsPer100)
+	}
+	t.print(*csvOut)
+	return nil
+}
+
+func runFig3() error {
+	rows, err := experiments.Figure3(experiments.Fig3Config{
+		Seed:             *seed,
+		AccessesPerPoint: *accesses,
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("Figure 3: E2E access time vs % accesses to moved objects",
+		"pct_moved", "mean_us", "p50_us", "p90_us", "p99_us", "sd_us",
+		"stale_per_acc", "bcast_per_100acc")
+	for _, r := range rows {
+		t.row(r.PctMoved, r.MeanUS, r.P50US, r.P90US, r.P99US, r.StddevUS,
+			fmt.Sprintf("%.2f", r.StaleRetriesPerAccess), r.BroadcastsPer100)
+	}
+	t.print(*csvOut)
+	return nil
+}
+
+func runCapacity() error {
+	rows := experiments.Capacity()
+	t := newTable("§3.2: exact-match table capacity (paper: ~1.8M @64b, ~850K @128b)",
+		"key_bits", "entry_bytes", "mem_mib", "model_entries", "achieved_at_scaled", "scaled_mib")
+	for _, r := range rows {
+		t.row(r.KeyBits, r.EntryBytes, r.MemoryMiB, r.ModelCapacity,
+			r.AchievedEntries, r.ScaledMemoryMiB)
+	}
+	t.print(*csvOut)
+	return nil
+}
+
+func runRendezvous() error {
+	rows, err := experiments.Rendezvous(experiments.RendezvousConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	t := newTable("Figure 1: rendezvous of data and compute (inference task)",
+		"strategy", "completion_us", "kb_moved", "frames", "executor", "result_ok")
+	for _, r := range rows {
+		t.row(r.Strategy, r.CompletionUS, r.KBMoved, r.Frames, r.Executor.String(), r.ResultOK)
+	}
+	t.print(*csvOut)
+	if !*csvOut {
+		for _, r := range rows {
+			fmt.Printf("   %-22s %s\n", r.Strategy+":", r.Description)
+		}
+	}
+	return nil
+}
+
+func runSerialization() error {
+	rows, err := experiments.Serialization(experiments.SerializationConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	t := newTable("§2/§3.1: model loading — deserialize vs byte copy (wall clock)",
+		"model", "ser_kb", "obj_kb", "deser_us", "adopt_us", "infer_us",
+		"loadfrac_baseline", "loadfrac_ours", "speedup")
+	for _, r := range rows {
+		t.row(fmt.Sprintf("%dx%d", r.Buckets, r.Dim),
+			r.SerializedKB, r.ObjectKB, r.DeserializeUS,
+			fmt.Sprintf("%.2f", r.ByteCopyUS), r.InferUS,
+			fmt.Sprintf("%.2f", r.LoadFractionBaseline),
+			fmt.Sprintf("%.2f", r.LoadFractionOurs), r.Speedup)
+	}
+	t.print(*csvOut)
+	return nil
+}
+
+func runScale() error {
+	rows, err := experiments.ScaleTradeoff(experiments.ScaleConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	t := newTable("E7: discovery state-vs-traffic tradeoff as the cluster grows (§4)",
+		"scheme", "nodes", "object_rules", "fabric_frames_per_acc", "mean_us")
+	for _, r := range rows {
+		t.row(r.Scheme, r.Nodes, r.ObjectRules, r.FabricFramesPerAccess, r.MeanUS)
+	}
+	t.print(*csvOut)
+	return nil
+}
+
+func runAblations() error {
+	pf, err := experiments.AblationPrefetch(experiments.PrefetchConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	t1 := newTable("A1: reachability prefetch during remote traversal",
+		"prefetch", "chain", "total_us", "remote_acquires", "local_hits")
+	for _, r := range pf {
+		t1.row(r.Prefetch, r.ChainLen, r.TotalUS, r.RemoteAcquires, r.LocalHits)
+	}
+	t1.print(*csvOut)
+	fmt.Println()
+
+	loss, err := experiments.AblationLoss(*seed, 0, nil)
+	if err != nil {
+		return err
+	}
+	t2 := newTable("A2: lightweight reliable transport under loss",
+		"loss_pct", "completion_us", "retransmits", "delivered")
+	for _, r := range loss {
+		t2.row(r.LossPct, r.CompletionUS, r.Retransmits, r.Delivered)
+	}
+	t2.print(*csvOut)
+	fmt.Println()
+
+	hy, err := experiments.AblationHybrid(*seed, 0)
+	if err != nil {
+		return err
+	}
+	t3 := newTable("A3: discovery under switch-table saturation",
+		"scheme", "objects", "table_cap", "successes", "failures", "mean_us", "fallbacks")
+	for _, r := range hy {
+		t3.row(r.Scheme, r.Objects, r.TableCapacity, r.Successes, r.Failures, r.MeanUS, r.Fallbacks)
+	}
+	t3.print(*csvOut)
+	fmt.Println()
+
+	cr, err := experiments.AblationCRDT(*seed, 0)
+	if err != nil {
+		return err
+	}
+	t4 := newTable("A4: CRDT auto-merge during movement",
+		"mode", "expected", "final", "lost")
+	for _, r := range cr {
+		t4.row(r.Mode, r.Expected, r.Final, r.Lost)
+	}
+	t4.print(*csvOut)
+	fmt.Println()
+
+	sq, err := experiments.AblationNetSeq(*seed, 0)
+	if err != nil {
+		return err
+	}
+	t5 := newTable("A5: sequencer offload to the programmable network (§5)",
+		"mode", "ops", "mean_us", "p99_us", "unique_dense")
+	for _, r := range sq {
+		t5.row(r.Mode, r.Ops, r.MeanUS, r.P99US, r.UniqueDense)
+	}
+	t5.print(*csvOut)
+	fmt.Println()
+
+	ov, err := experiments.AblationOverlay(*seed, 0)
+	if err != nil {
+		return err
+	}
+	t6 := newTable("A6: hierarchical identifier overlay vs exact rules (§3.2)",
+		"mode", "objects", "rules_per_sw", "install_failed", "successes", "failures", "mean_us")
+	for _, r := range ov {
+		t6.row(r.Mode, r.Objects, r.RulesPerSw, r.InstallFailed, r.Successes, r.Failures, r.MeanUS)
+	}
+	t6.print(*csvOut)
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table renders rows either aligned for terminals or as CSV (-csv),
+// so every figure regenerates in a plottable form.
+type table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+func newTable(title string, headers ...string) *table {
+	return &table{title: title, headers: headers}
+}
+
+func (t *table) row(cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.1f", v)
+		case string:
+			out[i] = v
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, out)
+}
+
+func (t *table) print(asCSV bool) {
+	if asCSV {
+		fmt.Printf("# %s\n", t.title)
+		fmt.Println(strings.Join(t.headers, ","))
+		for _, r := range t.rows {
+			fmt.Println(strings.Join(r, ","))
+		}
+		return
+	}
+	fmt.Printf("== %s ==\n", t.title)
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for i, h := range t.headers {
+		fmt.Printf("%-*s  ", widths[i], h)
+	}
+	fmt.Println()
+	for _, r := range t.rows {
+		for i, c := range r {
+			fmt.Printf("%-*s  ", widths[i], c)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,316 @@
+// Command gaspsh is an interactive shell over a simulated global
+// object space: create objects, write and read through references,
+// migrate homes, resolve names, and watch the fabric's counters — a
+// playground for the programming model. Commands come from stdin, so
+// it scripts cleanly:
+//
+//	echo 'create n0 128
+//	      write 0 hello-world
+//	      read 1 0
+//	      move 0 n2
+//	      read 1 0
+//	      stats' | go run ./cmd/gaspsh
+//
+// Commands:
+//
+//	create NODE SIZE      create an object homed at NODE (n0, n1, ...)
+//	write IDX TEXT        write TEXT into object #IDX (through any node)
+//	read NODE IDX         read object #IDX from NODE
+//	move IDX NODE         migrate object #IDX's home to NODE
+//	bind PATH IDX         name object #IDX in the namespace
+//	resolve NODE PATH     resolve PATH from NODE and read the target
+//	objects               list created objects
+//	stats                 network and switch counters
+//	help                  this list
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/namespace"
+	"repro/internal/object"
+)
+
+type shell struct {
+	cluster *core.Cluster
+	ns      *namespace.Namespace
+	objects []shObject
+	out     *bufio.Writer
+}
+
+type shObject struct {
+	ref  object.Global
+	slot uint64 // payload slot (length-prefixed bytes)
+	home int
+}
+
+func main() {
+	c, err := core.NewCluster(core.Config{Seed: 1, Scheme: core.SchemeE2E})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaspsh:", err)
+		os.Exit(1)
+	}
+	ns, err := namespace.Create(c.Node(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaspsh:", err)
+		os.Exit(1)
+	}
+	sh := &shell{cluster: c, ns: ns, out: bufio.NewWriter(os.Stdout)}
+	defer sh.out.Flush()
+
+	fmt.Fprintf(sh.out, "gaspsh: %d nodes, %d switches, scheme %s — 'help' for commands\n",
+		len(c.Nodes), len(c.Switches), core.SchemeE2E)
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		sh.exec(strings.Fields(line))
+		sh.out.Flush()
+	}
+}
+
+// node parses "n0".."nK" or a bare index.
+func (sh *shell) node(s string) (*core.Node, int, error) {
+	s = strings.TrimPrefix(s, "n")
+	i, err := strconv.Atoi(s)
+	if err != nil || i < 0 || i >= len(sh.cluster.Nodes) {
+		return nil, 0, fmt.Errorf("no such node %q (have n0..n%d)", s, len(sh.cluster.Nodes)-1)
+	}
+	return sh.cluster.Node(i), i, nil
+}
+
+func (sh *shell) object(s string) (*shObject, int, error) {
+	i, err := strconv.Atoi(s)
+	if err != nil || i < 0 || i >= len(sh.objects) {
+		return nil, 0, fmt.Errorf("no such object #%s (have %d)", s, len(sh.objects))
+	}
+	return &sh.objects[i], i, nil
+}
+
+func (sh *shell) errf(format string, args ...interface{}) {
+	fmt.Fprintf(sh.out, "error: "+format+"\n", args...)
+}
+
+func (sh *shell) exec(args []string) {
+	if len(args) == 0 {
+		return
+	}
+	switch args[0] {
+	case "help":
+		fmt.Fprint(sh.out, `commands:
+  create NODE SIZE   |  write IDX TEXT  |  read NODE IDX
+  move IDX NODE      |  bind PATH IDX   |  resolve NODE PATH
+  objects            |  stats           |  quit
+`)
+	case "create":
+		if len(args) != 3 {
+			sh.errf("usage: create NODE SIZE")
+			return
+		}
+		n, ni, err := sh.node(args[1])
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		size, err := strconv.Atoi(args[2])
+		if err != nil {
+			sh.errf("bad size %q", args[2])
+			return
+		}
+		if size < 2048 {
+			size = 2048 // header + FOT minimum plus payload room
+		}
+		o, err := n.CreateObject(size)
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		slot, err := o.AllocBytes(make([]byte, 0))
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		// Reserve payload room after the empty prefix.
+		if _, err := o.Alloc(256, 8); err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		sh.cluster.Run()
+		sh.objects = append(sh.objects, shObject{
+			ref: object.Global{Obj: o.ID()}, slot: slot, home: ni,
+		})
+		fmt.Fprintf(sh.out, "#%d = %s @ n%d (%dB)\n", len(sh.objects)-1, o.ID().Short(), ni, size)
+	case "write":
+		if len(args) < 3 {
+			sh.errf("usage: write IDX TEXT")
+			return
+		}
+		obj, idx, err := sh.object(args[1])
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		text := strings.Join(args[2:], " ")
+		if len(text) > 248 {
+			sh.errf("text too long (max 248)")
+			return
+		}
+		// Length prefix + bytes through the coherent write path.
+		payload := make([]byte, 8+len(text))
+		payload[0] = byte(len(text))
+		copy(payload[8:], text)
+		done := false
+		sh.cluster.Node(0).WriteRef(object.Global{Obj: obj.ref.Obj, Off: obj.slot}, payload,
+			func(err error) {
+				if err != nil {
+					sh.errf("write: %v", err)
+				} else {
+					fmt.Fprintf(sh.out, "wrote %dB to #%d\n", len(text), idx)
+				}
+				done = true
+			})
+		sh.cluster.Run()
+		if !done {
+			sh.errf("write stalled")
+		}
+	case "read":
+		if len(args) != 3 {
+			sh.errf("usage: read NODE IDX")
+			return
+		}
+		n, ni, err := sh.node(args[1])
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		obj, idx, err := sh.object(args[2])
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		start := sh.cluster.Sim.Now()
+		done := false
+		n.ReadRef(object.Global{Obj: obj.ref.Obj, Off: obj.slot}, 256, func(b []byte, err error) {
+			if err != nil {
+				sh.errf("read: %v", err)
+			} else {
+				ln := int(b[0])
+				fmt.Fprintf(sh.out, "n%d read #%d: %q (%v)\n",
+					ni, idx, string(b[8:8+ln]), sh.cluster.Sim.Now().Sub(start))
+			}
+			done = true
+		})
+		sh.cluster.Run()
+		if !done {
+			sh.errf("read stalled")
+		}
+	case "move":
+		if len(args) != 3 {
+			sh.errf("usage: move IDX NODE")
+			return
+		}
+		obj, idx, err := sh.object(args[1])
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		dst, di, err := sh.node(args[2])
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		if di == obj.home {
+			fmt.Fprintf(sh.out, "#%d already at n%d\n", idx, di)
+			return
+		}
+		if err := sh.cluster.MoveObject(obj.ref.Obj, sh.cluster.Node(obj.home), dst); err != nil {
+			sh.errf("move: %v", err)
+			return
+		}
+		obj.home = di
+		sh.cluster.Run()
+		fmt.Fprintf(sh.out, "#%d moved to n%d (byte copy; references unchanged)\n", idx, di)
+	case "bind":
+		if len(args) != 3 {
+			sh.errf("usage: bind PATH IDX")
+			return
+		}
+		obj, idx, err := sh.object(args[2])
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		done := false
+		sh.ns.Bind(args[1], object.Global{Obj: obj.ref.Obj, Off: obj.slot}, func(err error) {
+			if err != nil {
+				sh.errf("bind: %v", err)
+			} else {
+				fmt.Fprintf(sh.out, "bound /%s -> #%d\n", strings.Trim(args[1], "/"), idx)
+			}
+			done = true
+		})
+		sh.cluster.Run()
+		if !done {
+			sh.errf("bind stalled")
+		}
+	case "resolve":
+		if len(args) != 3 {
+			sh.errf("usage: resolve NODE PATH")
+			return
+		}
+		n, ni, err := sh.node(args[1])
+		if err != nil {
+			sh.errf("%v", err)
+			return
+		}
+		ns := namespace.Attach(n, sh.ns)
+		done := false
+		ns.Resolve(args[2], func(ref object.Global, _ byte, err error) {
+			if err != nil {
+				sh.errf("resolve: %v", err)
+				done = true
+				return
+			}
+			n.ReadRef(ref, 256, func(b []byte, rerr error) {
+				if rerr != nil {
+					sh.errf("read target: %v", rerr)
+				} else {
+					ln := int(b[0])
+					fmt.Fprintf(sh.out, "n%d resolved /%s -> %s: %q\n",
+						ni, strings.Trim(args[2], "/"), ref.Obj.Short(), string(b[8:8+ln]))
+				}
+				done = true
+			})
+		})
+		sh.cluster.Run()
+		if !done {
+			sh.errf("resolve stalled")
+		}
+	case "objects":
+		for i, o := range sh.objects {
+			fmt.Fprintf(sh.out, "#%d %s @ n%d\n", i, o.ref.Obj.Short(), o.home)
+		}
+	case "stats":
+		st := sh.cluster.Stats()
+		fmt.Fprintf(sh.out, "network: sent=%d delivered=%d dropped=%d bytes=%d\n",
+			st.Network.FramesSent, st.Network.FramesDelivered,
+			st.Network.FramesDropped, st.Network.BytesDelivered)
+		for i, sw := range st.Switches {
+			fmt.Fprintf(sh.out, "switch %d: in=%d out=%d flood=%d objhit=%d stationhit=%d\n",
+				i, sw.FramesIn, sw.FramesOut, sw.Flooded, sw.ObjectHits, sw.StationHits)
+		}
+		fmt.Fprintf(sh.out, "virtual time: %v\n", sh.cluster.Sim.Now().Sub(0))
+	default:
+		sh.errf("unknown command %q ('help' lists commands)", args[0])
+	}
+}

@@ -1,0 +1,139 @@
+// Naming: a name service that is just objects.
+//
+// Decoupled components need a way to find each other. Under RPC that
+// is a discovery service or registry — more middleware (§1). In the
+// global object space a name service needs no servers at all:
+// directories are objects, entries hold first-class references, any
+// node resolves by reading through references, and mutations are code
+// invocations the system runs where the directory lives.
+//
+// Here a "publisher" node builds a model and binds it under
+// /services/ml/scorer; a consumer on another node resolves the name
+// and invokes inference on whatever the name points at — then the
+// publisher hot-swaps the model behind the name and the consumer picks
+// up the new version with no coordination.
+//
+//	go run ./examples/naming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/namespace"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/serde"
+)
+
+func main() {
+	cluster, err := core.NewCluster(core.Config{Seed: 5, Scheme: core.SchemeE2E})
+	if err != nil {
+		log.Fatal(err)
+	}
+	publisher, consumer := cluster.Node(1), cluster.Node(2)
+
+	// The namespace root lives on node 0 — a neutral party.
+	ns0, err := namespace.Create(cluster.Node(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nsPub := namespace.Attach(publisher, ns0)
+	nsCon := namespace.Attach(consumer, ns0)
+
+	// Everyone can score a model object by reference.
+	cluster.RegisterAll("score", func(ctx *core.ExecCtx) {
+		ctx.Deref(ctx.Args[0], func(o *object.Object, err error) {
+			if err != nil {
+				ctx.Fail(err)
+				return
+			}
+			v, err := model.LoadView(o)
+			if err != nil {
+				ctx.Fail(err)
+				return
+			}
+			feats := v.Features()[:8]
+			out := serde.NewEncoder(8)
+			out.PutFloat64(v.Infer(feats))
+			ctx.Return(out.Bytes())
+		})
+	})
+	scoreCode, err := publisher.CreateCodeObject("score")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Publisher: build model v1, bind it under a path.
+	mustRun(cluster, func(done func()) {
+		nsPub.Mkdir("services", func(_ object.Global, err error) {
+			check(err)
+			nsPub.Mkdir("services/ml", func(_ object.Global, err error) {
+				check(err)
+				v1 := buildModel(cluster, publisher, 1)
+				nsPub.Bind("services/ml/scorer", object.Global{Obj: v1}, func(err error) {
+					check(err)
+					done()
+				})
+			})
+		})
+	})
+	fmt.Println("published: /services/ml/scorer (model v1 on publisher)")
+
+	// Consumer: resolve the name, invoke over whatever it references.
+	score := func(tag string) {
+		mustRun(cluster, func(done func()) {
+			nsCon.Resolve("services/ml/scorer", func(target object.Global, _ byte, err error) {
+				check(err)
+				consumer.Invoke(object.Global{Obj: scoreCode.ID()}, []object.Global{target},
+					core.InvokeOptions{ComputeWork: 0.0005, ResultSize: 16},
+					func(res core.InvokeResult, err error) {
+						check(err)
+						fmt.Printf("%s: score=%.4f (model object %s, executed at %v)\n",
+							tag, serde.NewDecoder(res.Result).Float64(),
+							target.Obj.Short(), res.Executor)
+						done()
+					})
+			})
+		})
+	}
+	score("consumer, v1")
+
+	// Hot swap: the publisher rebinds the name to model v2. The
+	// consumer re-resolves and transparently scores the new model.
+	mustRun(cluster, func(done func()) {
+		v2 := buildModel(cluster, publisher, 2)
+		nsPub.Bind("services/ml/scorer", object.Global{Obj: v2}, func(err error) {
+			check(err)
+			done()
+		})
+	})
+	fmt.Println("rebound:   /services/ml/scorer → model v2")
+	score("consumer, v2")
+}
+
+func buildModel(cluster *core.Cluster, owner *core.Node, seed int64) oid.ID {
+	m := model.NewRandom(seed, 256, 8)
+	o, err := model.BuildObject(cluster.NewID(), m)
+	check(err)
+	check(owner.AdoptObject(o))
+	return o.ID()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// mustRun drives fn to completion on the virtual clock.
+func mustRun(cluster *core.Cluster, fn func(done func())) {
+	finished := false
+	fn(func() { finished = true })
+	cluster.Run()
+	if !finished {
+		log.Fatal("workload stalled")
+	}
+}

@@ -1,0 +1,603 @@
+// Package coherence implements object-granularity cache coherence over
+// the memory protocol: each object's home node keeps a directory of
+// copy holders; readers acquire shared copies, writers invalidate
+// sharers, and every access carries a version so stale data is fenced.
+//
+// This is the "additional message types" layer of §3.2 (acquire,
+// probe/invalidate, release — TileLink-style) and the infrastructure
+// that absorbs the caching/invalidation logic applications otherwise
+// reimplement (§3, §5).
+//
+// It also implements the stale-location retry the E2E discovery scheme
+// needs (Figure 3): an access that reaches a node which no longer
+// holds the object gets StatusNotFound, invalidates the requester's
+// destination cache, re-resolves (broadcast), and retries.
+package coherence
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/discovery"
+	"repro/internal/memproto"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Errors surfaced by coherence operations.
+var (
+	ErrNotFound   = errors.New("coherence: object not found anywhere")
+	ErrMaxRetries = errors.New("coherence: access retries exhausted")
+)
+
+// maxAccessAttempts bounds stale-location retries: initial attempt,
+// one rediscovery, one final retry.
+const maxAccessAttempts = 3
+
+// Counters aggregates coherence statistics.
+type Counters struct {
+	LocalHits       uint64
+	RemoteAcquires  uint64
+	RemoteReads     uint64
+	RemoteWrites    uint64
+	GrantsServed    uint64
+	ReadsServed     uint64
+	WritesServed    uint64
+	InvalidatesSent uint64
+	InvalidatesRecv uint64
+	StaleRetries    uint64
+	NotFoundServed  uint64
+	DeniedServed    uint64
+	Releases        uint64
+}
+
+type dirEntry struct {
+	sharers map[wire.StationID]bool
+}
+
+type fetchState struct {
+	re  memproto.Reassembler
+	cbs []func(*object.Object, error)
+}
+
+// Node is one host's coherence engine.
+type Node struct {
+	ep       *transport.Endpoint
+	store    *store.Store
+	resolver discovery.Resolver
+	sim      *netsim.Sim
+
+	directory map[oid.ID]*dirEntry
+	fetches   map[oid.ID]*fetchState
+	releases  map[releaseKey]*memproto.Reassembler
+
+	counters Counters
+}
+
+type releaseKey struct {
+	src wire.StationID
+	obj oid.ID
+}
+
+// NewNode creates a coherence engine over an endpoint, a local store,
+// and a resolver.
+func NewNode(ep *transport.Endpoint, st *store.Store, res discovery.Resolver) *Node {
+	return &Node{
+		ep:        ep,
+		store:     st,
+		resolver:  res,
+		sim:       ep.Sim(),
+		directory: make(map[oid.ID]*dirEntry),
+		fetches:   make(map[oid.ID]*fetchState),
+		releases:  make(map[releaseKey]*memproto.Reassembler),
+	}
+}
+
+// Counters returns a copy of the statistics.
+func (n *Node) Counters() Counters { return n.counters }
+
+// ResetCounters zeroes the statistics.
+func (n *Node) ResetCounters() { n.counters = Counters{} }
+
+// Store returns the node's object store.
+func (n *Node) Store() *store.Store { return n.store }
+
+// dir returns (creating) the directory entry for a home object.
+func (n *Node) dir(obj oid.ID) *dirEntry {
+	d, ok := n.directory[obj]
+	if !ok {
+		d = &dirEntry{sharers: make(map[wire.StationID]bool)}
+		n.directory[obj] = d
+	}
+	return d
+}
+
+// Sharers reports the directory's copy holders for a home object.
+func (n *Node) Sharers(obj oid.ID) int {
+	if d, ok := n.directory[obj]; ok {
+		return len(d.sharers)
+	}
+	return 0
+}
+
+// send transmits a memory-protocol message unreliably.
+func (n *Node) send(dst wire.StationID, obj oid.ID, m *memproto.Msg) {
+	n.ep.Send(wire.Header{Type: wire.MsgMem, Dst: dst, Object: obj}, m.Marshal(nil))
+}
+
+// sendReliable transmits a memory-protocol message with ack/retry.
+func (n *Node) sendReliable(dst wire.StationID, obj oid.ID, m *memproto.Msg) {
+	n.ep.SendReliable(wire.Header{Type: wire.MsgMem, Dst: dst, Object: obj}, m.Marshal(nil), nil)
+}
+
+// request performs a reliable memory-protocol request and decodes the
+// response.
+func (n *Node) request(h wire.Header, m *memproto.Msg, cb func(*wire.Header, *memproto.Msg, error)) {
+	n.ep.Request(h, m.Marshal(nil), 0, func(resp *wire.Header, payload []byte, err error) {
+		if err != nil {
+			cb(nil, nil, err)
+			return
+		}
+		var rm memproto.Msg
+		if err := rm.Unmarshal(payload); err != nil {
+			cb(nil, nil, err)
+			return
+		}
+		cb(resp, &rm, nil)
+	})
+}
+
+// respond answers a memory-protocol request.
+func (n *Node) respond(req *wire.Header, m *memproto.Msg) {
+	n.ep.Respond(req, wire.Header{Type: wire.MsgMem, Object: req.Object}, m.Marshal(nil))
+}
+
+// --- access paths (requester side) ---
+
+// AcquireShared obtains a (possibly cached) copy of obj, fetching and
+// caching it from its holder if needed.
+func (n *Node) AcquireShared(obj oid.ID, cb func(*object.Object, error)) {
+	if o, err := n.store.Get(obj); err == nil {
+		n.counters.LocalHits++
+		cb(o, nil)
+		return
+	}
+	if f, pending := n.fetches[obj]; pending {
+		f.cbs = append(f.cbs, cb)
+		return
+	}
+	n.fetches[obj] = &fetchState{cbs: []func(*object.Object, error){cb}}
+	n.counters.RemoteAcquires++
+	n.acquireAttempt(obj, memproto.PermShared, 1)
+}
+
+func (n *Node) acquireAttempt(obj oid.ID, perm memproto.Perm, attempt int) {
+	n.resolver.Resolve(obj, func(r discovery.Result, err error) {
+		if err != nil {
+			n.finishFetch(obj, nil, fmt.Errorf("%w: %v", ErrNotFound, err))
+			return
+		}
+		h := wire.Header{Type: wire.MsgMem, Object: obj}
+		if r.RouteOnObject {
+			h.Flags |= wire.FlagRouteOnObject
+			h.Dst = wire.StationID(0)
+		} else {
+			h.Dst = r.Station
+		}
+		m := &memproto.Msg{Op: memproto.OpAcquire, Perm: perm}
+		n.request(h, m, func(resp *wire.Header, rm *memproto.Msg, err error) {
+			if err == nil && rm.Status == memproto.StatusOK {
+				n.grantFragment(obj, rm)
+				return
+			}
+			// Access denial is authoritative — rediscovery will not
+			// change the answer.
+			if err == nil && rm.Status == memproto.StatusDenied {
+				n.finishFetch(obj, nil, rm.Status.Err())
+				return
+			}
+			// Stale location or transient failure: invalidate and
+			// retry through rediscovery.
+			if attempt >= maxAccessAttempts {
+				if err == nil {
+					err = rm.Status.Err()
+				}
+				n.finishFetch(obj, nil, fmt.Errorf("%w: %v", ErrMaxRetries, err))
+				return
+			}
+			n.counters.StaleRetries++
+			n.resolver.Invalidate(obj)
+			n.acquireAttempt(obj, perm, attempt+1)
+		})
+	})
+}
+
+// grantFragment ingests a grant (first fragment arrives as the request
+// response; the rest arrive as unsolicited OpObjectPush frames).
+func (n *Node) grantFragment(obj oid.ID, m *memproto.Msg) {
+	f, ok := n.fetches[obj]
+	if !ok {
+		return
+	}
+	push := *m
+	push.Op = memproto.OpObjectPush
+	done, err := f.re.Add(&push)
+	if err != nil {
+		n.finishFetch(obj, nil, err)
+		return
+	}
+	if !done {
+		return
+	}
+	o, err := object.FromBytes(obj, f.re.Bytes())
+	if err != nil {
+		n.finishFetch(obj, nil, err)
+		return
+	}
+	if err := n.store.Put(o, f.re.Version(), false); err != nil {
+		n.finishFetch(obj, nil, err)
+		return
+	}
+	n.finishFetch(obj, o, nil)
+}
+
+func (n *Node) finishFetch(obj oid.ID, o *object.Object, err error) {
+	f, ok := n.fetches[obj]
+	if !ok {
+		return
+	}
+	delete(n.fetches, obj)
+	for _, cb := range f.cbs {
+		cb(o, err)
+	}
+}
+
+// AcquireExclusive obtains a copy with exclusive permission: the home
+// invalidates every other cached copy before granting, so the caller
+// may mutate its copy and push it back with Release. If this node is
+// the home, sharers are invalidated and the authoritative copy is
+// returned directly.
+func (n *Node) AcquireExclusive(obj oid.ID, cb func(*object.Object, error)) {
+	if e, err := n.store.GetEntry(obj); err == nil && e.Home {
+		n.counters.LocalHits++
+		n.invalidateSharers(obj, 0)
+		cb(e.Obj, nil)
+		return
+	}
+	// A shared copy is not enough — refetch with exclusive
+	// permission so the home demotes other sharers.
+	n.store.Invalidate(obj)
+	if f, pending := n.fetches[obj]; pending {
+		// A shared fetch is in flight; piggyback (the grant permission
+		// races, but single-threaded simulation keeps this ordered —
+		// callers needing strict exclusivity serialize their acquires).
+		f.cbs = append(f.cbs, cb)
+		return
+	}
+	n.fetches[obj] = &fetchState{cbs: []func(*object.Object, error){cb}}
+	n.counters.RemoteAcquires++
+	n.acquireAttempt(obj, memproto.PermExclusive, 1)
+}
+
+// ReadAt reads [off, off+length) of obj from wherever it lives,
+// without caching the object (a bus-style load, §3.2).
+func (n *Node) ReadAt(obj oid.ID, off uint64, length int, cb func([]byte, error)) {
+	if o, err := n.store.Get(obj); err == nil {
+		n.counters.LocalHits++
+		b, err := o.ReadAt(off, length)
+		cb(b, err)
+		return
+	}
+	n.counters.RemoteReads++
+	n.accessAttempt(obj, 1, cb,
+		&memproto.Msg{Op: memproto.OpReadReq, Offset: off, Length: uint32(length)},
+		func(rm *memproto.Msg) { cb(rm.Data, nil) })
+}
+
+// WriteAt writes data at off in obj at its home; the home invalidates
+// cached copies and bumps the version.
+func (n *Node) WriteAt(obj oid.ID, off uint64, data []byte, cb func(error)) {
+	if e, err := n.store.GetEntry(obj); err == nil && e.Home {
+		n.counters.LocalHits++
+		if err := e.Obj.WriteAt(off, data); err != nil {
+			cb(err)
+			return
+		}
+		n.store.BumpVersion(obj)
+		n.invalidateSharers(obj, 0)
+		cb(nil)
+		return
+	}
+	n.counters.RemoteWrites++
+	n.accessAttempt(obj, 1, func(_ []byte, err error) { cb(err) },
+		&memproto.Msg{Op: memproto.OpWriteReq, Offset: off, Data: data},
+		func(rm *memproto.Msg) {
+			// Our own cached copy (if any) is now stale.
+			n.store.Invalidate(obj)
+			cb(nil)
+		})
+}
+
+// accessAttempt is the shared resolve→request→stale-retry loop for
+// bus-style reads and writes. fail receives terminal errors; ok
+// receives the successful response.
+func (n *Node) accessAttempt(obj oid.ID, attempt int, fail func([]byte, error),
+	m *memproto.Msg, ok func(*memproto.Msg)) {
+
+	n.resolver.Resolve(obj, func(r discovery.Result, err error) {
+		if err != nil {
+			fail(nil, fmt.Errorf("%w: %v", ErrNotFound, err))
+			return
+		}
+		h := wire.Header{Type: wire.MsgMem, Object: obj}
+		if r.RouteOnObject {
+			h.Flags |= wire.FlagRouteOnObject
+		} else {
+			h.Dst = r.Station
+		}
+		n.request(h, m, func(resp *wire.Header, rm *memproto.Msg, err error) {
+			if err == nil && rm.Status == memproto.StatusOK {
+				ok(rm)
+				return
+			}
+			if err == nil && rm.Status == memproto.StatusDenied {
+				fail(nil, rm.Status.Err())
+				return
+			}
+			if attempt >= maxAccessAttempts {
+				if err == nil {
+					err = rm.Status.Err()
+				}
+				fail(nil, fmt.Errorf("%w: %v", ErrMaxRetries, err))
+				return
+			}
+			n.counters.StaleRetries++
+			n.resolver.Invalidate(obj)
+			n.accessAttempt(obj, attempt+1, fail, m, ok)
+		})
+	})
+}
+
+// Release pushes a locally modified cached copy back to the object's
+// home (OpRelease), which applies it and bumps the version.
+func (n *Node) Release(obj oid.ID, cb func(error)) {
+	e, err := n.store.GetEntry(obj)
+	if err != nil {
+		cb(err)
+		return
+	}
+	if e.Home {
+		cb(nil) // already authoritative
+		return
+	}
+	n.counters.Releases++
+	raw := e.Obj.CloneBytes()
+	frags := memproto.Fragment(raw, e.Version, 0)
+	n.resolver.Resolve(obj, func(r discovery.Result, err error) {
+		if err != nil {
+			cb(fmt.Errorf("%w: %v", ErrNotFound, err))
+			return
+		}
+		h := wire.Header{Type: wire.MsgMem, Object: obj}
+		if r.RouteOnObject {
+			h.Flags |= wire.FlagRouteOnObject
+		} else {
+			h.Dst = r.Station
+		}
+		// All fragments but the last are unsolicited pushes; the last
+		// is a request so we learn the outcome.
+		for i := 0; i < len(frags)-1; i++ {
+			fm := frags[i]
+			fm.Op = memproto.OpRelease
+			if r.RouteOnObject {
+				n.ep.Send(h, fm.Marshal(nil))
+			} else {
+				n.ep.SendReliable(h, fm.Marshal(nil), nil)
+			}
+		}
+		last := frags[len(frags)-1]
+		last.Op = memproto.OpRelease
+		n.request(h, &last, func(_ *wire.Header, rm *memproto.Msg, err error) {
+			if err != nil {
+				cb(err)
+				return
+			}
+			cb(rm.Status.Err())
+		})
+	})
+}
+
+// InvalidateSharers drops every remote cached copy of a home object —
+// for callers that mutate home objects directly (e.g. code invoked at
+// the object's home) rather than through WriteAt.
+func (n *Node) InvalidateSharers(obj oid.ID) {
+	n.invalidateSharers(obj, 0)
+}
+
+// invalidateSharers sends OpInvalidate to every directory sharer
+// except skip.
+func (n *Node) invalidateSharers(obj oid.ID, skip wire.StationID) {
+	d, ok := n.directory[obj]
+	if !ok {
+		return
+	}
+	for st := range d.sharers {
+		if st == skip {
+			continue
+		}
+		n.counters.InvalidatesSent++
+		st := st
+		n.request(wire.Header{Type: wire.MsgMem, Dst: st, Object: obj},
+			&memproto.Msg{Op: memproto.OpInvalidate},
+			func(*wire.Header, *memproto.Msg, error) {})
+	}
+	d.sharers = make(map[wire.StationID]bool)
+	if skip != 0 {
+		d.sharers[skip] = true
+	}
+}
+
+// --- responder side ---
+
+// HandleFrame consumes MsgMem frames; it returns true when consumed.
+func (n *Node) HandleFrame(h *wire.Header, payload []byte) bool {
+	if h.Type != wire.MsgMem {
+		return false
+	}
+	var m memproto.Msg
+	if err := m.Unmarshal(payload); err != nil {
+		return true
+	}
+	switch m.Op {
+	case memproto.OpReadReq:
+		n.serveRead(h, &m)
+	case memproto.OpWriteReq:
+		n.serveWrite(h, &m)
+	case memproto.OpAcquire:
+		n.serveAcquire(h, &m)
+	case memproto.OpObjectPush:
+		n.grantFragment(h.Object, &m)
+	case memproto.OpRelease:
+		n.serveRelease(h, &m)
+	case memproto.OpInvalidate:
+		n.counters.InvalidatesRecv++
+		n.store.Invalidate(h.Object)
+		n.respond(h, &memproto.Msg{Op: memproto.OpInvalidateAck, Status: memproto.StatusOK})
+	}
+	return true
+}
+
+// silentMiss reports whether a miss should be dropped without a NACK:
+// frames routed on object identity (StationAny) may flood to stations
+// that do not hold the object; only the holder should speak. Frames
+// explicitly addressed to us get a NACK — that is how stale
+// destination caches are detected (Figure 3).
+func (n *Node) silentMiss(h *wire.Header) bool {
+	return h.Dst == wire.StationAny
+}
+
+func (n *Node) serveRead(h *wire.Header, m *memproto.Msg) {
+	e, err := n.store.GetEntry(h.Object)
+	if err != nil {
+		if n.silentMiss(h) {
+			return
+		}
+		n.counters.NotFoundServed++
+		n.respond(h, &memproto.Msg{Op: memproto.OpReadResp, Status: memproto.StatusNotFound})
+		return
+	}
+	if !e.CanRead(uint64(h.Src)) {
+		n.counters.DeniedServed++
+		n.respond(h, &memproto.Msg{Op: memproto.OpReadResp, Status: memproto.StatusDenied})
+		return
+	}
+	b, err := e.Obj.ReadAt(m.Offset, int(m.Length))
+	if err != nil {
+		n.respond(h, &memproto.Msg{Op: memproto.OpReadResp, Status: memproto.StatusRange})
+		return
+	}
+	n.counters.ReadsServed++
+	n.respond(h, &memproto.Msg{
+		Op: memproto.OpReadResp, Status: memproto.StatusOK,
+		Offset: m.Offset, Version: e.Version, Data: b,
+	})
+}
+
+func (n *Node) serveWrite(h *wire.Header, m *memproto.Msg) {
+	e, err := n.store.GetEntry(h.Object)
+	if err != nil || !e.Home {
+		if n.silentMiss(h) {
+			return
+		}
+		n.counters.NotFoundServed++
+		n.respond(h, &memproto.Msg{Op: memproto.OpWriteResp, Status: memproto.StatusNotFound})
+		return
+	}
+	if err := e.Obj.WriteAt(m.Offset, m.Data); err != nil {
+		n.respond(h, &memproto.Msg{Op: memproto.OpWriteResp, Status: memproto.StatusRange})
+		return
+	}
+	v, _ := n.store.BumpVersion(h.Object)
+	n.counters.WritesServed++
+	n.invalidateSharers(h.Object, h.Src)
+	n.respond(h, &memproto.Msg{Op: memproto.OpWriteResp, Status: memproto.StatusOK, Version: v})
+}
+
+func (n *Node) serveAcquire(h *wire.Header, m *memproto.Msg) {
+	e, err := n.store.GetEntry(h.Object)
+	if err != nil {
+		if n.silentMiss(h) {
+			return
+		}
+		n.counters.NotFoundServed++
+		n.respond(h, &memproto.Msg{Op: memproto.OpGrant, Status: memproto.StatusNotFound})
+		return
+	}
+	if !e.CanRead(uint64(h.Src)) {
+		n.counters.DeniedServed++
+		n.respond(h, &memproto.Msg{Op: memproto.OpGrant, Status: memproto.StatusDenied})
+		return
+	}
+	if e.Home {
+		d := n.dir(h.Object)
+		if m.Perm == memproto.PermExclusive {
+			n.invalidateSharers(h.Object, h.Src)
+		}
+		d.sharers[h.Src] = true
+	}
+	n.counters.GrantsServed++
+	raw := e.Obj.CloneBytes()
+	frags := memproto.Fragment(raw, e.Version, 0)
+	// First fragment answers the request; the rest stream after it.
+	first := frags[0]
+	first.Op = memproto.OpGrant
+	first.Status = memproto.StatusOK
+	first.Perm = m.Perm
+	n.respond(h, &first)
+	for i := range frags[1:] {
+		f := frags[1+i]
+		n.sendReliable(h.Src, h.Object, &f)
+	}
+}
+
+func (n *Node) serveRelease(h *wire.Header, m *memproto.Msg) {
+	key := releaseKey{src: h.Src, obj: h.Object}
+	re, ok := n.releases[key]
+	if !ok {
+		re = &memproto.Reassembler{}
+		n.releases[key] = re
+	}
+	done, err := re.Add(&memproto.Msg{
+		Op: memproto.OpObjectPush, Version: m.Version,
+		FragOffset: m.FragOffset, TotalLen: m.TotalLen, Data: m.Data,
+	})
+	if err != nil {
+		delete(n.releases, key)
+		if h.Flags&wire.FlagReliable != 0 {
+			n.respond(h, &memproto.Msg{Op: memproto.OpReleaseAck, Status: memproto.StatusConflict})
+		}
+		return
+	}
+	if !done {
+		return
+	}
+	delete(n.releases, key)
+	e, gerr := n.store.GetEntry(h.Object)
+	if gerr != nil || !e.Home {
+		n.counters.NotFoundServed++
+		n.respond(h, &memproto.Msg{Op: memproto.OpReleaseAck, Status: memproto.StatusNotFound})
+		return
+	}
+	o, oerr := object.FromBytes(h.Object, re.Bytes())
+	if oerr != nil {
+		n.respond(h, &memproto.Msg{Op: memproto.OpReleaseAck, Status: memproto.StatusConflict})
+		return
+	}
+	n.store.Put(o, e.Version+1, true)
+	n.invalidateSharers(h.Object, h.Src)
+	n.respond(h, &memproto.Msg{Op: memproto.OpReleaseAck, Status: memproto.StatusOK, Version: e.Version + 1})
+}

@@ -1,0 +1,387 @@
+// Package core is the paper's primary contribution assembled into a
+// runtime: a global object space spanning a cluster, in which both
+// data and code are objects named by 128-bit IDs, references cross
+// machine boundaries as first-class values, the network routes on data
+// identity, and computation is expressed as "run this code reference
+// on these data references" with the system — not the programmer —
+// choosing where code and data rendezvous (§3).
+//
+// A Cluster builds the §4 evaluation topology (hosts attached to a
+// fabric of interconnected P4 switches, with an optional SDN
+// controller) on the deterministic network simulator. Each Node owns a
+// store, a transport endpoint, a discovery resolver (E2E, Controller,
+// or Hybrid), a coherence engine, an optional reachability prefetcher,
+// a function registry, and a baseline RPC stack for comparisons.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/p4sim"
+	"repro/internal/placement"
+	"repro/internal/prefetch"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Scheme selects the discovery scheme (§4).
+type Scheme int
+
+// Discovery schemes.
+const (
+	// SchemeE2E uses host destination caches populated by broadcast.
+	SchemeE2E Scheme = iota
+	// SchemeController uses an SDN controller installing object
+	// routes in switch tables.
+	SchemeController
+	// SchemeHybrid uses controller fast path with E2E fallback.
+	SchemeHybrid
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeE2E:
+		return "e2e"
+	case SchemeController:
+		return "controller"
+	case SchemeHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Seed drives every random source (fully deterministic runs).
+	Seed int64
+	// NumNodes is the host count (default 3, like §4).
+	NumNodes int
+	// NumLeaves is the leaf-switch count; with the core switch this
+	// gives the "four interconnected switches" of §4 (default 3).
+	NumLeaves int
+	// Scheme selects discovery.
+	Scheme Scheme
+	// LinkLatency is per-hop propagation delay (default 5µs).
+	LinkLatency netsim.Duration
+	// LinkBitsPerSec is link bandwidth (default 10 Gb/s).
+	LinkBitsPerSec int64
+	// PipelineDelay is per-switch processing (default 1µs).
+	PipelineDelay netsim.Duration
+	// ObjectTableMemory overrides switch object-table SRAM
+	// (0 = default model, negative = unlimited).
+	ObjectTableMemory int
+	// StoreBudget bounds each node's store (0 = unlimited).
+	StoreBudget int
+	// EnablePrefetch turns on the reachability prefetcher.
+	EnablePrefetch bool
+	// Prefetch tunes the prefetcher when enabled.
+	Prefetch prefetch.Config
+	// Transport tunes endpoints.
+	Transport transport.Config
+	// DiscoveryTimeout bounds E2E broadcasts (default 2ms).
+	DiscoveryTimeout netsim.Duration
+	// DiscoveryRetries is the E2E rebroadcast count (0 = resolver
+	// default).
+	DiscoveryRetries int
+	// ControllerInstallDelay models rule programming (default 20µs).
+	ControllerInstallDelay netsim.Duration
+	// DropRate injects loss on every link.
+	DropRate float64
+}
+
+func (c *Config) fill() {
+	if c.NumNodes == 0 {
+		c.NumNodes = 3
+	}
+	if c.NumLeaves == 0 {
+		c.NumLeaves = 3
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 5 * netsim.Microsecond
+	}
+	if c.LinkBitsPerSec == 0 {
+		c.LinkBitsPerSec = 10_000_000_000
+	}
+	if c.PipelineDelay == 0 {
+		c.PipelineDelay = netsim.Microsecond
+	}
+	if c.ControllerInstallDelay == 0 {
+		c.ControllerInstallDelay = 20 * netsim.Microsecond
+	}
+}
+
+// objMeta is the cluster metadata service's view of one object: the
+// "whole-system view of object identity" (§5) that placement consults.
+type objMeta struct {
+	size int
+	home wire.StationID
+}
+
+// Cluster is a simulated deployment.
+type Cluster struct {
+	cfg Config
+
+	Sim      *netsim.Sim
+	Net      *netsim.Network
+	Switches []*p4sim.Switch
+	Nodes    []*Node
+
+	// Controller is non-nil under SchemeController/SchemeHybrid.
+	Controller     *discovery.Controller
+	controllerNode *netsim.Host
+
+	// Placement is the shared rendezvous engine.
+	Placement *placement.Engine
+
+	gen  *oid.Generator
+	meta map[oid.ID]*objMeta
+}
+
+// controllerStation is the controller's well-known station ID.
+const controllerStation wire.StationID = 1000
+
+// NewCluster builds the topology: one core switch, NumLeaves leaf
+// switches, nodes attached round-robin to leaves, and (for controller
+// schemes) a controller host on the core switch.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	c := &Cluster{
+		cfg:       cfg,
+		Sim:       netsim.NewSim(cfg.Seed),
+		gen:       oid.NewSeededGenerator(cfg.Seed + 1),
+		meta:      make(map[oid.ID]*objMeta),
+		Placement: placement.NewEngine(),
+	}
+	c.Net = netsim.NewNetwork(c.Sim)
+	link := netsim.LinkConfig{
+		Latency:    cfg.LinkLatency,
+		BitsPerSec: cfg.LinkBitsPerSec,
+		DropRate:   cfg.DropRate,
+	}
+
+	swCfg := p4sim.SwitchConfig{
+		PipelineDelay:     cfg.PipelineDelay,
+		ObjectTableMemory: cfg.ObjectTableMemory,
+		LearnStations:     cfg.Scheme != SchemeController,
+	}
+
+	// Core switch: NumLeaves downlinks + 1 controller port.
+	coreSw, err := p4sim.NewSwitch(c.Net, "core", cfg.NumLeaves+1, swCfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Switches = append(c.Switches, coreSw)
+
+	// Leaf switches: 1 uplink + enough host ports.
+	hostsPerLeaf := (cfg.NumNodes + cfg.NumLeaves - 1) / cfg.NumLeaves
+	for i := 0; i < cfg.NumLeaves; i++ {
+		leaf, err := p4sim.NewSwitch(c.Net, fmt.Sprintf("leaf%d", i), hostsPerLeaf+1, swCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Net.Connect(coreSw, i, leaf, 0, link); err != nil {
+			return nil, err
+		}
+		c.Switches = append(c.Switches, leaf)
+	}
+
+	// Nodes.
+	stations := make(map[wire.StationID]netsim.Device)
+	for i := 0; i < cfg.NumNodes; i++ {
+		leaf := c.Switches[1+i%cfg.NumLeaves]
+		port := 1 + i/cfg.NumLeaves
+		host, err := netsim.NewHost(c.Net, fmt.Sprintf("node%d", i))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Net.Connect(host, 0, leaf, port, link); err != nil {
+			return nil, err
+		}
+		st := wire.StationID(i + 1)
+		stations[st] = host
+		n, err := newNode(c, host, st)
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	// Controller.
+	if cfg.Scheme == SchemeController || cfg.Scheme == SchemeHybrid {
+		ch, err := netsim.NewHost(c.Net, "controller")
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Net.Connect(ch, 0, coreSw, cfg.NumLeaves, link); err != nil {
+			return nil, err
+		}
+		c.controllerNode = ch
+		ep := transport.NewEndpoint(ch, controllerStation, cfg.Transport)
+		ctrl := discovery.NewController(ep, cfg.ControllerInstallDelay)
+		for _, sw := range c.Switches {
+			ctrl.AddSwitch(sw)
+		}
+		stations[controllerStation] = ch
+		if err := ctrl.ComputeRoutes(c.Net, stations); err != nil {
+			return nil, err
+		}
+		if err := ctrl.ProgramStationTables(); err != nil {
+			return nil, err
+		}
+		ep.SetHandler(func(h *wire.Header, p []byte) { ctrl.HandleFrame(h, p) })
+		c.Controller = ctrl
+	}
+
+	// Wire resolvers now that the controller exists.
+	for _, n := range c.Nodes {
+		n.initResolver(cfg)
+	}
+	return c, nil
+}
+
+// RegisterAll installs fn under symbol in every node's registry —
+// the common case for code that should be runnable wherever the
+// system places it.
+func (c *Cluster) RegisterAll(symbol string, fn Func) {
+	for _, n := range c.Nodes {
+		n.Registry.Register(symbol, fn)
+	}
+}
+
+// Run drains the event loop.
+func (c *Cluster) Run() { c.Sim.Run() }
+
+// RunFor advances virtual time by d.
+func (c *Cluster) RunFor(d netsim.Duration) { c.Sim.RunFor(d) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// NewID allocates a fresh object ID.
+func (c *Cluster) NewID() oid.ID { return c.gen.New() }
+
+// Generator exposes the cluster's ID generator (for builders that
+// allocate many objects, e.g. model partitioning).
+func (c *Cluster) Generator() *oid.Generator { return c.gen }
+
+// registerMeta records an object with the metadata service.
+func (c *Cluster) registerMeta(obj oid.ID, size int, home wire.StationID) {
+	c.meta[obj] = &objMeta{size: size, home: home}
+}
+
+// Locate answers the metadata service's view of an object.
+func (c *Cluster) Locate(obj oid.ID) (home wire.StationID, size int, ok bool) {
+	m, found := c.meta[obj]
+	if !found {
+		return 0, 0, false
+	}
+	return m.home, m.size, true
+}
+
+// MoveObject migrates an object's home between nodes with a byte-level
+// copy: the mechanism behind Figure 3's "moved objects" and the §3.1
+// serialization claim. The movement itself is performed out-of-band
+// (as by an operator or rebalancer); discovery state updates
+// accordingly: the new home announces, the old home withdraws —
+// requesters with stale destination caches discover the move on their
+// next access.
+func (c *Cluster) MoveObject(obj oid.ID, from, to *Node) error {
+	e, err := from.Store.GetEntry(obj)
+	if err != nil {
+		return fmt.Errorf("core: move source: %w", err)
+	}
+	raw := e.Obj.CloneBytes()
+	version := e.Version
+	if err := from.Store.Delete(obj); err != nil {
+		return err
+	}
+	from.Resolver.Withdraw(obj)
+	moved, err := object.FromBytes(obj, raw)
+	if err != nil {
+		return err
+	}
+	if err := to.Store.Put(moved, version, true); err != nil {
+		return err
+	}
+	to.Resolver.Announce(obj)
+	if m, ok := c.meta[obj]; ok {
+		m.home = to.Station
+	} else {
+		c.registerMeta(obj, len(raw), to.Station)
+	}
+	return nil
+}
+
+// ReplicateObject seeds a cached copy of a home object at node (the
+// replication §5 discusses for masking failures). The copy registers
+// with the home's coherence directory like any fetched copy, so
+// writes still invalidate it.
+func (c *Cluster) ReplicateObject(obj oid.ID, at *Node, cb func(error)) {
+	at.Coherence.AcquireShared(obj, func(_ *object.Object, err error) { cb(err) })
+}
+
+// PromoteReplica makes node's cached copy of obj the authoritative
+// home — the recovery step after the original home fails. The caller
+// is responsible for ensuring the old home is really gone (promoting
+// while it lives creates two homes).
+func (c *Cluster) PromoteReplica(obj oid.ID, node *Node) error {
+	e, err := node.Store.GetEntry(obj)
+	if err != nil {
+		return fmt.Errorf("core: no replica at %v: %w", node.Station, err)
+	}
+	if e.Home {
+		return nil
+	}
+	// Re-put as home: pins the entry and keeps the freshest version.
+	if err := node.Store.Put(e.Obj, e.Version+1, true); err != nil {
+		return err
+	}
+	node.Resolver.Announce(obj)
+	if m, ok := c.meta[obj]; ok {
+		m.home = node.Station
+	} else {
+		c.registerMeta(obj, e.Obj.Size(), node.Station)
+	}
+	return nil
+}
+
+// Stats is a cluster-wide counter snapshot.
+type Stats struct {
+	Network  netsim.Stats
+	Switches []p4sim.Counters
+}
+
+// Stats snapshots cluster-wide counters.
+func (c *Cluster) Stats() Stats {
+	s := Stats{Network: c.Net.Stats()}
+	for _, sw := range c.Switches {
+		s.Switches = append(s.Switches, sw.Counters())
+	}
+	return s
+}
+
+// ResetStats zeroes network and switch counters.
+func (c *Cluster) ResetStats() {
+	c.Net.ResetStats()
+	for _, sw := range c.Switches {
+		sw.ResetCounters()
+	}
+}
+
+// BroadcastsObserved sums switch flood events — the quantity on
+// Figure 2's right axis.
+func (c *Cluster) BroadcastsObserved() uint64 {
+	var n uint64
+	for _, sw := range c.Switches {
+		n += sw.Counters().Flooded
+	}
+	return n
+}
+
+// storeBudget is the per-node store budget from the config.
+func (c *Cluster) storeBudget() int { return c.cfg.StoreBudget }

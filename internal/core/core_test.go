@@ -1,0 +1,814 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/prefetch"
+	"repro/internal/serde"
+)
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterTopology(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeE2E, SchemeController, SchemeHybrid} {
+		c := newTestCluster(t, Config{Scheme: scheme})
+		if len(c.Nodes) != 3 {
+			t.Fatalf("%v: nodes = %d", scheme, len(c.Nodes))
+		}
+		if len(c.Switches) != 4 {
+			t.Fatalf("%v: switches = %d (paper: four interconnected)", scheme, len(c.Switches))
+		}
+		hasCtrl := c.Controller != nil
+		if (scheme != SchemeE2E) != hasCtrl {
+			t.Fatalf("%v: controller = %v", scheme, hasCtrl)
+		}
+		if scheme.String() == "" {
+			t.Fatal("scheme name")
+		}
+	}
+}
+
+func TestCreateAndDerefLocal(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	n := c.Node(0)
+	o, err := n.CreateObject(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := o.AllocString("hello")
+	var got *object.Object
+	n.Deref(object.Global{Obj: o.ID()}, func(obj *object.Object, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = obj
+	})
+	c.Run()
+	s, _ := got.LoadString(off)
+	if s != "hello" {
+		t.Fatalf("got %q", s)
+	}
+	// Metadata service knows it.
+	home, size, ok := c.Locate(o.ID())
+	if !ok || home != n.Station || size != 4096 {
+		t.Fatalf("Locate = %v %d %v", home, size, ok)
+	}
+}
+
+func TestDerefRemoteE2E(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	owner, reader := c.Node(1), c.Node(0)
+	o, err := owner.CreateObject(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := o.AllocString("remote data")
+	var got *object.Object
+	reader.Deref(object.Global{Obj: o.ID()}, func(obj *object.Object, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = obj
+	})
+	c.Run()
+	if got == nil {
+		t.Fatal("deref incomplete")
+	}
+	s, _ := got.LoadString(off)
+	if s != "remote data" {
+		t.Fatalf("got %q", s)
+	}
+	if !reader.Store.Contains(o.ID()) {
+		t.Fatal("not cached after deref")
+	}
+}
+
+func TestDerefRemoteController(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeController})
+	owner, reader := c.Node(2), c.Node(0)
+	o, err := owner.CreateObject(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run() // let the announcement install rules
+	if c.Controller.RulesInstalled() == 0 {
+		t.Fatal("no rules installed after create")
+	}
+	ok := false
+	reader.Deref(object.Global{Obj: o.ID()}, func(obj *object.Object, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok = true
+	})
+	c.Run()
+	if !ok {
+		t.Fatal("controller-routed deref failed")
+	}
+	// No broadcasts were needed.
+	if c.BroadcastsObserved() != 0 {
+		t.Fatalf("broadcasts = %d under controller scheme", c.BroadcastsObserved())
+	}
+}
+
+func TestBroadcastsObservedE2E(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	owner, reader := c.Node(1), c.Node(0)
+	o, _ := owner.CreateObject(4096)
+	c.ResetStats()
+	reader.Deref(object.Global{Obj: o.ID()}, func(*object.Object, error) {})
+	c.Run()
+	if c.BroadcastsObserved() == 0 {
+		t.Fatal("E2E first access should broadcast")
+	}
+}
+
+func TestInvokeLocalPlacement(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	n := c.Node(0)
+	for _, nd := range c.Nodes {
+		nd.Registry.Register("double", func(ctx *ExecCtx) {
+			d := serde.NewDecoder(ctx.Param)
+			v := d.Uint64()
+			e := serde.NewEncoder(8)
+			e.PutUint64(v * 2)
+			ctx.Return(e.Bytes())
+		})
+	}
+	code, err := n.CreateCodeObject("double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := serde.NewEncoder(8)
+	enc.PutUint64(21)
+	var res InvokeResult
+	var gotErr error
+	n.Invoke(object.Global{Obj: code.ID()}, nil,
+		InvokeOptions{Param: enc.Bytes(), ComputeWork: 0.001},
+		func(r InvokeResult, err error) { res, gotErr = r, err })
+	c.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	d := serde.NewDecoder(res.Result)
+	if d.Uint64() != 42 {
+		t.Fatalf("result = %v", res.Result)
+	}
+}
+
+func TestInvokeRemoteForced(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	caller, exec := c.Node(0), c.Node(2)
+	for _, nd := range c.Nodes {
+		nd := nd
+		nd.Registry.Register("whoami", func(ctx *ExecCtx) {
+			ctx.Return([]byte(fmt.Sprintf("station-%d", nd.Station)))
+		})
+	}
+	code, _ := caller.CreateCodeObject("whoami")
+	var res InvokeResult
+	var gotErr error
+	caller.Invoke(object.Global{Obj: code.ID()}, nil,
+		InvokeOptions{ForceExecutor: exec.Station},
+		func(r InvokeResult, err error) { res, gotErr = r, err })
+	c.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if string(res.Result) != "station-3" {
+		t.Fatalf("result = %q", res.Result)
+	}
+	if res.Executor != exec.Station {
+		t.Fatalf("executor = %v", res.Executor)
+	}
+	// Code mobility: the code object was pulled to the executor.
+	if !exec.Store.Contains(code.ID()) {
+		t.Fatal("code object not moved to executor")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+}
+
+func TestInvokeSystemPlacementPicksIdleDataHolder(t *testing.T) {
+	// Alice (node 0) invokes over a big object on Bob (node 1). Bob is
+	// idle, so the system runs the code at Bob — data never moves.
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	alice, bob := c.Node(0), c.Node(1)
+	alice.SetLoadProfile(1, 0)
+	bob.SetLoadProfile(10, 0)
+	c.Node(2).SetLoadProfile(10, 0.5)
+
+	big, err := bob.CreateObject(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := big.AllocString("payload@bob")
+	for _, nd := range c.Nodes {
+		nd := nd
+		nd.Registry.Register("peek", func(ctx *ExecCtx) {
+			ctx.Deref(ctx.Args[0], func(o *object.Object, err error) {
+				if err != nil {
+					ctx.Fail(err)
+					return
+				}
+				s, _ := o.LoadString(off)
+				ctx.Return([]byte(fmt.Sprintf("%d:%s", nd.Station, s)))
+			})
+		})
+	}
+	code, _ := alice.CreateCodeObject("peek")
+	var res InvokeResult
+	var gotErr error
+	alice.Invoke(object.Global{Obj: code.ID()}, []object.Global{{Obj: big.ID()}},
+		InvokeOptions{ComputeWork: 0.0001, ResultSize: 64},
+		func(r InvokeResult, err error) { res, gotErr = r, err })
+	c.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if res.Executor != bob.Station {
+		t.Fatalf("executor = %v, want Bob; decision %+v", res.Executor, res.Decision.Candidates)
+	}
+	if string(res.Result) != "2:payload@bob" {
+		t.Fatalf("result = %q", res.Result)
+	}
+	// Data gravity: the big object stayed home.
+	if c.Node(0).Store.Contains(big.ID()) || c.Node(2).Store.Contains(big.ID()) {
+		t.Fatal("big object moved unnecessarily")
+	}
+}
+
+func TestInvokeSystemPlacementAvoidsOverloadedHolder(t *testing.T) {
+	// Bob overloaded, Carol idle: with heavy compute the system moves
+	// the computation (and pulls the data) to Carol — Figure 1 (3).
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	alice, bob, carol := c.Node(0), c.Node(1), c.Node(2)
+	alice.SetLoadProfile(0.5, 0)
+	bob.SetLoadProfile(10, 0.99)
+	carol.SetLoadProfile(10, 0)
+
+	shard, err := bob.CreateObject(256 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range c.Nodes {
+		nd := nd
+		nd.Registry.Register("infer", func(ctx *ExecCtx) {
+			ctx.Deref(ctx.Args[0], func(o *object.Object, err error) {
+				if err != nil {
+					ctx.Fail(err)
+					return
+				}
+				ctx.Return([]byte(fmt.Sprintf("ran@%d", nd.Station)))
+			})
+		})
+	}
+	code, _ := alice.CreateCodeObject("infer")
+	var res InvokeResult
+	var gotErr error
+	alice.Invoke(object.Global{Obj: code.ID()}, []object.Global{{Obj: shard.ID()}},
+		InvokeOptions{ComputeWork: 50, ResultSize: 64},
+		func(r InvokeResult, err error) { res, gotErr = r, err })
+	c.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if res.Executor != carol.Station {
+		t.Fatalf("executor = %v, want Carol; candidates %+v", res.Executor, res.Decision.Candidates)
+	}
+	if string(res.Result) != "ran@3" {
+		t.Fatalf("result = %q", res.Result)
+	}
+	// Data was pulled on demand to Carol.
+	if !carol.Store.Contains(shard.ID()) {
+		t.Fatal("shard not pulled to Carol")
+	}
+}
+
+func TestExecCtxSurface(t *testing.T) {
+	// Exercise the full ExecCtx API from inside a function: Node,
+	// ReadRef, DerefAll, Fail, and double-completion safety.
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	driver, owner := c.Node(0), c.Node(1)
+	a, _ := owner.CreateObject(4096)
+	offA, _ := a.AllocString("alpha")
+	b, _ := owner.CreateObject(4096)
+	offB, _ := b.AllocString("beta")
+
+	c.RegisterAll("surface", func(ctx *ExecCtx) {
+		if ctx.Node() == nil {
+			ctx.Fail(errors.New("no node"))
+			return
+		}
+		ctx.ReadRef(object.Global{Obj: a.ID(), Off: offA + 8}, 5, func(first []byte, err error) {
+			if err != nil {
+				ctx.Fail(err)
+				return
+			}
+			ctx.DerefAll([]object.Global{{Obj: b.ID()}}, func(objs []*object.Object, err error) {
+				if err != nil {
+					ctx.Fail(err)
+					return
+				}
+				second, _ := objs[0].LoadString(offB)
+				ctx.Return([]byte(string(first) + "+" + second))
+				ctx.Return([]byte("SECOND")) // must be ignored
+				ctx.Fail(errors.New("too late"))
+			})
+		})
+	})
+	code, _ := driver.CreateCodeObject("surface")
+	var res InvokeResult
+	var gotErr error
+	calls := 0
+	driver.Invoke(object.Global{Obj: code.ID()}, nil,
+		InvokeOptions{ForceExecutor: c.Node(2).Station},
+		func(r InvokeResult, err error) { res, gotErr = r, err; calls++ })
+	c.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+	if string(res.Result) != "alpha+beta" {
+		t.Fatalf("result = %q", res.Result)
+	}
+}
+
+func TestExecCtxFail(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	driver := c.Node(0)
+	c.RegisterAll("fails", func(ctx *ExecCtx) {
+		ctx.Fail(errors.New("deliberate"))
+	})
+	code, _ := driver.CreateCodeObject("fails")
+	var gotErr error
+	driver.Invoke(object.Global{Obj: code.ID()}, nil,
+		InvokeOptions{ForceExecutor: c.Node(1).Station},
+		func(_ InvokeResult, err error) { gotErr = err })
+	c.Run()
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "deliberate") {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestClusterAccessorsAndRunFor(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	if c.Node(0).Cluster() != c {
+		t.Fatal("Cluster accessor")
+	}
+	if c.Generator() == nil {
+		t.Fatal("Generator accessor")
+	}
+	fired := false
+	c.Sim.Schedule(10*netsim.Microsecond, func() { fired = true })
+	c.RunFor(5 * netsim.Microsecond)
+	if fired {
+		t.Fatal("RunFor overran")
+	}
+	c.RunFor(10 * netsim.Microsecond)
+	if !fired {
+		t.Fatal("RunFor did not reach event")
+	}
+}
+
+func TestInvokeUnknownSymbol(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	n := c.Node(0)
+	code, _ := n.CreateCodeObject("nowhere")
+	var gotErr error
+	n.Invoke(object.Global{Obj: code.ID()}, nil, InvokeOptions{ForceExecutor: n.Station},
+		func(_ InvokeResult, err error) { gotErr = err })
+	c.Run()
+	if !errors.Is(gotErr, ErrNoFunction) {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestInvokeNotCodeObject(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	n := c.Node(0)
+	data, _ := n.CreateObject(4096)
+	var gotErr error
+	n.Invoke(object.Global{Obj: data.ID()}, nil, InvokeOptions{ForceExecutor: n.Station},
+		func(_ InvokeResult, err error) { gotErr = err })
+	c.Run()
+	if !errors.Is(gotErr, ErrNotCode) {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestCodeObjectRoundTrip(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	n := c.Node(0)
+	dep, _ := n.CreateObject(4096)
+	code, err := n.CreateCodeObject("sym.test", dep.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := CodeSymbol(code)
+	if err != nil || sym != "sym.test" {
+		t.Fatalf("symbol = %q, %v", sym, err)
+	}
+	// Dependency is reachable (prefetchable).
+	reach := code.Reachable()
+	if len(reach) != 1 || reach[0] != dep.ID() {
+		t.Fatalf("reachable = %v", reach)
+	}
+}
+
+func TestMoveObjectAndStaleAccess(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	reader, from, to := c.Node(0), c.Node(1), c.Node(2)
+	o, _ := from.CreateObject(4096)
+	off, _ := o.AllocString("wanderer")
+	// Warm reader's cache.
+	var warmErr error
+	reader.ReadRef(object.Global{Obj: o.ID(), Off: off + 8}, 8, func(_ []byte, err error) { warmErr = err })
+	c.Run()
+	if warmErr != nil {
+		t.Fatal(warmErr)
+	}
+	if err := c.MoveObject(o.ID(), from, to); err != nil {
+		t.Fatal(err)
+	}
+	if home, _, _ := c.Locate(o.ID()); home != to.Station {
+		t.Fatal("metadata not updated")
+	}
+	var got []byte
+	var gotErr error
+	reader.ReadRef(object.Global{Obj: o.ID(), Off: off + 8}, 8, func(b []byte, err error) {
+		got, gotErr = append([]byte(nil), b...), err
+	})
+	c.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if !bytes.Equal(got, []byte("wanderer")) {
+		t.Fatalf("got %q", got)
+	}
+	if reader.Coherence.Counters().StaleRetries == 0 {
+		t.Fatal("stale retry path not exercised")
+	}
+}
+
+func TestWriteRefCoherent(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	owner, writer := c.Node(0), c.Node(1)
+	o, _ := owner.CreateObject(4096)
+	off, _ := o.Alloc(8, 8)
+	var werr error
+	writer.WriteRef(object.Global{Obj: o.ID(), Off: off}, []byte("ABCDEFGH"), func(err error) { werr = err })
+	c.Run()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	b, _ := o.ReadAt(off, 8)
+	if string(b) != "ABCDEFGH" {
+		t.Fatalf("home = %q", b)
+	}
+}
+
+func TestPrefetchIntegration(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Scheme:         SchemeE2E,
+		EnablePrefetch: true,
+		Prefetch:       prefetch.Config{MaxDepth: 1, MaxObjects: 16},
+	})
+	owner, reader := c.Node(1), c.Node(0)
+	childA, _ := owner.CreateObject(4096)
+	childB, _ := owner.CreateObject(4096)
+	root, _ := owner.CreateObject(8192)
+	slot, _ := root.Alloc(16, 8)
+	root.StoreRef(slot, childA.ID(), 0, object.FlagRead)
+	root.StoreRef(slot+8, childB.ID(), 0, object.FlagRead)
+
+	reader.Deref(object.Global{Obj: root.ID()}, func(*object.Object, error) {})
+	c.Run()
+	if !reader.Store.Contains(childA.ID()) || !reader.Store.Contains(childB.ID()) {
+		t.Fatal("children not prefetched")
+	}
+	if reader.Prefetch.Counters().Issued != 2 {
+		t.Fatalf("prefetch counters = %+v", reader.Prefetch.Counters())
+	}
+}
+
+func TestDerefAll(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	owner, reader := c.Node(1), c.Node(0)
+	var refs []object.Global
+	for i := 0; i < 4; i++ {
+		o, _ := owner.CreateObject(4096)
+		refs = append(refs, object.Global{Obj: o.ID()})
+	}
+	var got []*object.Object
+	reader.DerefAll(refs, func(objs []*object.Object, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = objs
+	})
+	c.Run()
+	if len(got) != 4 {
+		t.Fatal("DerefAll incomplete")
+	}
+	for i, o := range got {
+		if o == nil || o.ID() != refs[i].Obj {
+			t.Fatalf("slot %d wrong", i)
+		}
+	}
+	// Empty case runs synchronously.
+	ran := false
+	reader.DerefAll(nil, func(objs []*object.Object, err error) { ran = err == nil && len(objs) == 0 })
+	if !ran {
+		t.Fatal("empty DerefAll")
+	}
+}
+
+func TestDerefNilRef(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	var gotErr error
+	c.Node(0).Deref(object.Global{}, func(_ *object.Object, err error) { gotErr = err })
+	if gotErr == nil {
+		t.Fatal("nil ref accepted")
+	}
+}
+
+func TestHybridSchemeEndToEnd(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeHybrid})
+	owner, reader := c.Node(1), c.Node(0)
+	o, _ := owner.CreateObject(4096)
+	c.Run() // announcements
+	okRead := false
+	reader.Deref(object.Global{Obj: o.ID()}, func(_ *object.Object, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		okRead = true
+	})
+	c.Run()
+	if !okRead {
+		t.Fatal("hybrid deref failed")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() netsim.Time {
+		c := newTestCluster(t, Config{Scheme: SchemeE2E, Seed: 33})
+		owner, reader := c.Node(1), c.Node(0)
+		o, _ := owner.CreateObject(64 << 10)
+		reader.Deref(object.Global{Obj: o.ID()}, func(*object.Object, error) {})
+		c.Run()
+		return c.Sim.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	owner, reader := c.Node(1), c.Node(0)
+	o, _ := owner.CreateObject(4096)
+	reader.Deref(object.Global{Obj: o.ID()}, func(*object.Object, error) {})
+	c.Run()
+	st := c.Stats()
+	if st.Network.FramesDelivered == 0 || len(st.Switches) != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.ResetStats()
+	if c.Stats().Network.FramesDelivered != 0 {
+		t.Fatal("ResetStats")
+	}
+}
+
+func TestInvokeChainStagesFollowData(t *testing.T) {
+	// A two-stage pipeline: stage 1's data lives on node 1, stage 2's
+	// on node 2. Each stage should run where its data is, with only
+	// the small intermediate result traveling.
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	driver := c.Node(0)
+	driver.SetLoadProfile(0.5, 0)
+	c.Node(1).SetLoadProfile(10, 0)
+	c.Node(2).SetLoadProfile(10, 0)
+
+	objA, _ := c.Node(1).CreateObject(512 << 10)
+	offA, _ := objA.Alloc(8, 8)
+	objA.PutUint64(offA, 40)
+	objB, _ := c.Node(2).CreateObject(512 << 10)
+	offB, _ := objB.Alloc(8, 8)
+	objB.PutUint64(offB, 2)
+
+	for _, nd := range c.Nodes {
+		nd := nd
+		nd.Registry.Register("stage", func(ctx *ExecCtx) {
+			ctx.Deref(ctx.Args[0], func(o *object.Object, err error) {
+				if err != nil {
+					ctx.Fail(err)
+					return
+				}
+				v, _ := o.Uint64(object.HeaderSize + object.FOTEntrySize*object.DefaultFOTCap)
+				carry := uint64(0)
+				if len(ctx.Param) >= 8 {
+					carry = serde.NewDecoder(ctx.Param).Uint64()
+				}
+				e := serde.NewEncoder(16)
+				e.PutUint64(carry + v)
+				e.PutUint64(uint64(nd.Station)) // breadcrumb
+				ctx.Return(e.Bytes())
+			})
+		})
+	}
+	code, _ := driver.CreateCodeObject("stage")
+	codeRef := object.Global{Obj: code.ID()}
+	steps := []ChainStep{
+		{Code: codeRef, Args: []object.Global{{Obj: objA.ID()}},
+			Opts: InvokeOptions{ComputeWork: 0.001, ResultSize: 16}},
+		{Code: codeRef, Args: []object.Global{{Obj: objB.ID()}},
+			Opts: InvokeOptions{ComputeWork: 0.001, ResultSize: 16}},
+	}
+	var results []InvokeResult
+	var gotErr error
+	driver.InvokeChain(steps, func(rs []InvokeResult, err error) { results, gotErr = rs, err })
+	c.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Executor != 2 || results[1].Executor != 3 {
+		t.Fatalf("executors = %v, %v — stages should follow their data",
+			results[0].Executor, results[1].Executor)
+	}
+	d := serde.NewDecoder(results[1].Result)
+	if sum := d.Uint64(); sum != 42 {
+		t.Fatalf("chain sum = %d", sum)
+	}
+	// Neither big object moved.
+	if driver.Store.Contains(objA.ID()) || driver.Store.Contains(objB.ID()) {
+		t.Fatal("bulk data moved to the driver")
+	}
+}
+
+func TestInvokeChainStepError(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeE2E})
+	driver := c.Node(0)
+	code, _ := driver.CreateCodeObject("missing-symbol")
+	var gotErr error
+	driver.InvokeChain([]ChainStep{
+		{Code: object.Global{Obj: code.ID()}, Opts: InvokeOptions{ForceExecutor: driver.Station}},
+	}, func(_ []InvokeResult, err error) { gotErr = err })
+	c.Run()
+	if !errors.Is(gotErr, ErrNoFunction) {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestReplicaPromotionMasksFailure(t *testing.T) {
+	// §5: masking failures via replication. A replica at node 2 is
+	// promoted after node 1 (the home) dies; readers recover.
+	c := newTestCluster(t, Config{
+		Scheme:           SchemeE2E,
+		DiscoveryTimeout: 300 * netsim.Microsecond,
+	})
+	home, replica, reader := c.Node(1), c.Node(2), c.Node(0)
+	o, _ := home.CreateObject(4096)
+	off, _ := o.AllocString("replicated")
+
+	okRep := false
+	c.ReplicateObject(o.ID(), replica, func(err error) { okRep = err == nil })
+	c.Run()
+	if !okRep || !replica.Store.Contains(o.ID()) {
+		t.Fatal("replication failed")
+	}
+
+	// Home dies.
+	c.Net.SetLinkDown(home.Host, 0, true)
+	// Promote the replica and let readers rediscover.
+	if err := c.PromoteReplica(o.ID(), replica); err != nil {
+		t.Fatal(err)
+	}
+	if h, _, _ := c.Locate(o.ID()); h != replica.Station {
+		t.Fatal("metadata not updated after promotion")
+	}
+	reader.Resolver.Invalidate(o.ID()) // drop the stale cached location
+	var got []byte
+	var gotErr error
+	reader.ReadRef(object.Global{Obj: o.ID(), Off: off + 8}, 10, func(b []byte, err error) {
+		got, gotErr = append([]byte(nil), b...), err
+	})
+	c.Run()
+	if gotErr != nil {
+		t.Fatalf("read after promotion: %v", gotErr)
+	}
+	if string(got) != "replicated" {
+		t.Fatalf("read = %q", got)
+	}
+	// Promotion is idempotent.
+	if err := c.PromoteReplica(o.ID(), replica); err != nil {
+		t.Fatal(err)
+	}
+	// Promoting where no replica exists fails.
+	var unrelated oid.ID = c.NewID()
+	if err := c.PromoteReplica(unrelated, reader); err == nil {
+		t.Fatal("promotion without replica accepted")
+	}
+}
+
+func TestNodeFailureAndRecovery(t *testing.T) {
+	// §5: partial failure is inevitable. A dead owner makes accesses
+	// fail cleanly (timeouts, not hangs); restoring the link restores
+	// service without any reconfiguration.
+	c := newTestCluster(t, Config{
+		Scheme:           SchemeE2E,
+		DiscoveryTimeout: 300 * netsim.Microsecond,
+	})
+	owner, reader := c.Node(1), c.Node(0)
+	o, _ := owner.CreateObject(4096)
+	off, _ := o.AllocString("survivor")
+
+	// Warm: reader can reach it.
+	okWarm := false
+	reader.ReadRef(object.Global{Obj: o.ID(), Off: off + 8}, 8, func(_ []byte, err error) {
+		okWarm = err == nil
+	})
+	c.Run()
+	if !okWarm {
+		t.Fatal("warm read failed")
+	}
+
+	// Owner's uplink dies.
+	if !c.Net.SetLinkDown(owner.Host, 0, true) {
+		t.Fatal("SetLinkDown failed")
+	}
+	var deadErr error
+	got := false
+	reader.ReadRef(object.Global{Obj: o.ID(), Off: off + 8}, 8, func(_ []byte, err error) {
+		deadErr, got = err, true
+	})
+	c.Run()
+	if !got {
+		t.Fatal("access to dead node hung")
+	}
+	if deadErr == nil {
+		t.Fatal("access to dead node succeeded")
+	}
+
+	// Link restored: the next access rediscovers and succeeds.
+	c.Net.SetLinkDown(owner.Host, 0, false)
+	var back []byte
+	var backErr error
+	reader.ReadRef(object.Global{Obj: o.ID(), Off: off + 8}, 8, func(b []byte, err error) {
+		back, backErr = append([]byte(nil), b...), err
+	})
+	c.Run()
+	if backErr != nil {
+		t.Fatalf("post-recovery read: %v", backErr)
+	}
+	if string(back) != "survivor" {
+		t.Fatalf("post-recovery read = %q", back)
+	}
+}
+
+func TestLossResilientDeref(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Scheme:           SchemeE2E,
+		Seed:             11,
+		DropRate:         0.15,
+		DiscoveryRetries: 10,
+		DiscoveryTimeout: 500 * netsim.Microsecond,
+	})
+	owner, reader := c.Node(1), c.Node(0)
+	o, _ := owner.CreateObject(32 << 10)
+	done, failed := false, error(nil)
+	reader.Deref(object.Global{Obj: o.ID()}, func(_ *object.Object, err error) {
+		done, failed = true, err
+	})
+	c.Run()
+	if !done {
+		t.Fatal("deref never completed under loss")
+	}
+	if failed != nil {
+		t.Fatalf("deref failed under 15%% loss: %v", failed)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/placement"
+	"repro/internal/prefetch"
+	"repro/internal/rpc"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Node is one host in the global object space.
+type Node struct {
+	cluster *Cluster
+	Station wire.StationID
+	Host    *netsim.Host
+	EP      *transport.Endpoint
+
+	Store     *store.Store
+	Resolver  discovery.Resolver
+	Coherence *coherence.Node
+	Prefetch  *prefetch.Prefetcher
+	Registry  *Registry
+
+	// Baseline RPC stack on the same station for comparisons.
+	RPCServer *rpc.Server
+	RPCClient *rpc.Client
+
+	// e2e is the discovery responder (nil under pure controller).
+	e2e *discovery.E2E
+	cc  *discovery.ControllerClient
+
+	// ComputeRate and Load feed the placement engine.
+	ComputeRate float64
+	Load        float64
+
+	// pendingInvokes tracks remote invocations awaiting completion.
+	nextInvoke uint64
+}
+
+// newNode wires a node's endpoint and store; resolver wiring happens
+// in initResolver after the controller exists.
+func newNode(c *Cluster, host *netsim.Host, st wire.StationID) (*Node, error) {
+	n := &Node{
+		cluster:     c,
+		Station:     st,
+		Host:        host,
+		EP:          transport.NewEndpoint(host, st, c.cfg.Transport),
+		Store:       store.New(c.storeBudget()),
+		Registry:    NewRegistry(),
+		ComputeRate: 1,
+	}
+	n.RPCServer = rpc.NewServer(n.EP)
+	n.RPCClient = rpc.NewClient(n.EP)
+	return n, nil
+}
+
+// initResolver builds the node's resolver per the cluster scheme and
+// installs the frame dispatch chain.
+func (n *Node) initResolver(cfg Config) {
+	switch cfg.Scheme {
+	case SchemeE2E:
+		e2e := discovery.NewE2E(n.EP, n.Store.Contains)
+		if cfg.DiscoveryTimeout != 0 {
+			e2e.SetTimeout(cfg.DiscoveryTimeout)
+		}
+		if cfg.DiscoveryRetries != 0 {
+			e2e.SetRetries(cfg.DiscoveryRetries)
+		}
+		n.e2e = e2e
+		n.Resolver = e2e
+	case SchemeController:
+		n.cc = discovery.NewControllerClient(n.EP, controllerStation)
+		n.Resolver = n.cc
+	case SchemeHybrid:
+		e2e := discovery.NewE2E(n.EP, n.Store.Contains)
+		if cfg.DiscoveryTimeout != 0 {
+			e2e.SetTimeout(cfg.DiscoveryTimeout)
+		}
+		if cfg.DiscoveryRetries != 0 {
+			e2e.SetRetries(cfg.DiscoveryRetries)
+		}
+		n.e2e = e2e
+		n.cc = discovery.NewControllerClient(n.EP, controllerStation)
+		n.Resolver = discovery.NewHybrid(n.cc, e2e)
+	}
+	n.Coherence = coherence.NewNode(n.EP, n.Store, n.Resolver)
+	if cfg.EnablePrefetch {
+		n.Prefetch = prefetch.New(n.Coherence, n.Store.Contains, cfg.Prefetch)
+	}
+	n.Registry.registerInvoke(n)
+	n.EP.SetHandler(func(h *wire.Header, payload []byte) {
+		if n.e2e != nil && n.e2e.HandleFrame(h, payload) {
+			return
+		}
+		if n.Coherence.HandleFrame(h, payload) {
+			return
+		}
+		if n.RPCServer.HandleFrame(h, payload) {
+			return
+		}
+		n.RPCClient.HandleFrame(h, payload)
+	})
+	n.cluster.Placement.SetNode(n.placementInfo())
+}
+
+// placementInfo snapshots the node for the rendezvous engine.
+func (n *Node) placementInfo() placement.NodeInfo {
+	return placement.NodeInfo{
+		Station:        n.Station,
+		ComputeRate:    n.ComputeRate,
+		Load:           n.Load,
+		LinkBitsPerSec: n.cluster.cfg.LinkBitsPerSec,
+	}
+}
+
+// SetLoadProfile updates the node's compute rate and load and
+// republishes them to the placement engine.
+func (n *Node) SetLoadProfile(rate, load float64) {
+	n.ComputeRate, n.Load = rate, load
+	n.cluster.Placement.SetNode(n.placementInfo())
+}
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Sim returns the virtual clock.
+func (n *Node) Sim() *netsim.Sim { return n.cluster.Sim }
+
+// CreateObject allocates a fresh object homed at this node, announces
+// it, and registers it with the metadata service.
+func (n *Node) CreateObject(size int) (*object.Object, error) {
+	o, err := object.New(n.cluster.NewID(), size, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.AdoptObject(o); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// AdoptObject homes a pre-built object (e.g. a model object) at this
+// node.
+func (n *Node) AdoptObject(o *object.Object) error {
+	if err := n.Store.Put(o, 1, true); err != nil {
+		return err
+	}
+	n.Resolver.Announce(o.ID())
+	n.cluster.registerMeta(o.ID(), o.Size(), n.Station)
+	return nil
+}
+
+// RestrictReaders limits who may read a home object to the given
+// stations (nil restores world-readability). References to the object
+// remain passable by anyone; only dereferencing is gated — §1's "the
+// invoker may wish to refer to data that they lack privileges to
+// read".
+func (n *Node) RestrictReaders(obj oid.ID, stations ...wire.StationID) error {
+	e, err := n.Store.GetEntry(obj)
+	if err != nil {
+		return err
+	}
+	if !e.Home {
+		return fmt.Errorf("core: ACLs are set at the object's home")
+	}
+	if stations == nil {
+		return n.Store.SetReaders(obj, nil)
+	}
+	raw := make([]uint64, 0, len(stations)+1)
+	raw = append(raw, uint64(n.Station)) // the home always reads
+	for _, st := range stations {
+		raw = append(raw, uint64(st))
+	}
+	return n.Store.SetReaders(obj, raw)
+}
+
+// Deref resolves a global reference to a locally usable object,
+// fetching (and caching) it if remote, and triggering the prefetcher.
+func (n *Node) Deref(g object.Global, cb func(*object.Object, error)) {
+	if g.IsNil() {
+		cb(nil, fmt.Errorf("core: nil reference"))
+		return
+	}
+	wasLocal := n.Store.Contains(g.Obj)
+	n.Coherence.AcquireShared(g.Obj, func(o *object.Object, err error) {
+		if err == nil && !wasLocal && n.Prefetch != nil {
+			n.Prefetch.OnFetch(o)
+		}
+		cb(o, err)
+	})
+}
+
+// DerefAll fetches several references, completing when all arrive.
+func (n *Node) DerefAll(gs []object.Global, cb func([]*object.Object, error)) {
+	out := make([]*object.Object, len(gs))
+	remaining := len(gs)
+	if remaining == 0 {
+		cb(out, nil)
+		return
+	}
+	var failed error
+	done := false
+	for i, g := range gs {
+		i := i
+		n.Deref(g, func(o *object.Object, err error) {
+			if done {
+				return
+			}
+			if err != nil {
+				failed = err
+				done = true
+				cb(nil, failed)
+				return
+			}
+			out[i] = o
+			remaining--
+			if remaining == 0 {
+				done = true
+				cb(out, nil)
+			}
+		})
+	}
+}
+
+// ReadRef reads bytes through a global reference without caching the
+// whole object (bus-style load).
+func (n *Node) ReadRef(g object.Global, length int, cb func([]byte, error)) {
+	n.Coherence.ReadAt(g.Obj, g.Off, length, cb)
+}
+
+// WriteRef writes bytes through a global reference (coherent store).
+func (n *Node) WriteRef(g object.Global, data []byte, cb func(error)) {
+	n.Coherence.WriteAt(g.Obj, g.Off, data, cb)
+}

@@ -1,0 +1,242 @@
+package crdt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCounterBasics(t *testing.T) {
+	c := NewGCounter()
+	c.Inc(1, 5)
+	c.Inc(2, 3)
+	c.Inc(1, 2)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestGCounterMergeConverges(t *testing.T) {
+	a, b := NewGCounter(), NewGCounter()
+	a.Inc(1, 5)
+	b.Inc(2, 7)
+	b.Inc(1, 3) // b saw an older view of station 1
+	a.Merge(b)
+	b.Merge(a)
+	if a.Value() != b.Value() {
+		t.Fatalf("diverged: %d vs %d", a.Value(), b.Value())
+	}
+	if a.Value() != 12 { // max(5,3) + 7
+		t.Fatalf("Value = %d, want 12", a.Value())
+	}
+}
+
+func TestGCounterMergeIdempotentCommutative(t *testing.T) {
+	a, b := NewGCounter(), NewGCounter()
+	a.Inc(1, 4)
+	b.Inc(2, 6)
+	a.Merge(b)
+	v := a.Value()
+	a.Merge(b) // idempotent
+	if a.Value() != v {
+		t.Fatal("merge not idempotent")
+	}
+	// Commutative.
+	x, y := NewGCounter(), NewGCounter()
+	x.Inc(1, 4)
+	y.Inc(2, 6)
+	y.Merge(x)
+	if y.Value() != v {
+		t.Fatal("merge not commutative")
+	}
+}
+
+func TestGCounterMarshalRoundTrip(t *testing.T) {
+	c := NewGCounter()
+	c.Inc(1, 5)
+	c.Inc(9, 100)
+	got, err := UnmarshalGCounter(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value() != c.Value() {
+		t.Fatalf("Value = %d", got.Value())
+	}
+	if _, err := UnmarshalGCounter([]byte{0xFF}); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestLWWRegister(t *testing.T) {
+	var r LWWRegister
+	r.Set([]byte("first"), 10, 1)
+	r.Set([]byte("older"), 5, 2) // loses: older stamp
+	if string(r.Value) != "first" {
+		t.Fatalf("Value = %q", r.Value)
+	}
+	r.Set([]byte("newer"), 20, 1)
+	if string(r.Value) != "newer" {
+		t.Fatalf("Value = %q", r.Value)
+	}
+	// Concurrent (same stamp): higher station wins.
+	var a, b LWWRegister
+	a.Set([]byte("from-1"), 30, 1)
+	b.Set([]byte("from-2"), 30, 2)
+	a.Merge(&b)
+	b.Merge(&a)
+	if string(a.Value) != "from-2" || string(b.Value) != "from-2" {
+		t.Fatalf("tie-break: a=%q b=%q", a.Value, b.Value)
+	}
+}
+
+func TestLWWMarshalRoundTrip(t *testing.T) {
+	var r LWWRegister
+	r.Set([]byte("payload"), 42, 7)
+	got, err := UnmarshalLWW(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Value, r.Value) || got.Stamp != 42 || got.Station != 7 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestORSetAddRemove(t *testing.T) {
+	s := NewORSet(1)
+	s.Add("x")
+	s.Add("y")
+	if !s.Contains("x") || !s.Contains("y") {
+		t.Fatal("add")
+	}
+	s.Remove("x")
+	if s.Contains("x") {
+		t.Fatal("remove")
+	}
+	// Remove of absent element is a no-op.
+	s.Remove("z")
+	got := s.Elems()
+	if len(got) != 1 || got[0] != "y" {
+		t.Fatalf("Elems = %v", got)
+	}
+}
+
+func TestORSetAddWins(t *testing.T) {
+	// Replica A removes "x" while replica B concurrently re-adds it:
+	// after merge, the add wins (B's tag was not observed by A).
+	a := NewORSet(1)
+	a.Add("x")
+	b := NewORSet(2)
+	b.Merge(a) // b sees a's add
+	a.Remove("x")
+	b.Add("x") // concurrent re-add with a fresh tag
+	a.Merge(b)
+	b.Merge(a)
+	if !a.Contains("x") || !b.Contains("x") {
+		t.Fatal("add-wins violated")
+	}
+}
+
+func TestORSetRemoveWinsOverObservedAdd(t *testing.T) {
+	a := NewORSet(1)
+	a.Add("x")
+	b := NewORSet(2)
+	b.Merge(a)
+	b.Remove("x") // removes the observed tag
+	a.Merge(b)
+	if a.Contains("x") {
+		t.Fatal("observed remove did not propagate")
+	}
+}
+
+func TestORSetMergeConverges(t *testing.T) {
+	a, b := NewORSet(1), NewORSet(2)
+	a.Add("p")
+	a.Add("q")
+	b.Add("q")
+	b.Add("r")
+	a.Remove("p")
+	a.Merge(b)
+	b.Merge(a)
+	ae, be := a.Elems(), b.Elems()
+	if len(ae) != len(be) {
+		t.Fatalf("diverged: %v vs %v", ae, be)
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("diverged: %v vs %v", ae, be)
+		}
+	}
+}
+
+func TestORSetMarshalRoundTrip(t *testing.T) {
+	s := NewORSet(3)
+	s.Add("alpha")
+	s.Add("beta")
+	s.Remove("alpha")
+	got, err := UnmarshalORSet(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Contains("alpha") || !got.Contains("beta") {
+		t.Fatalf("round trip: %v", got.Elems())
+	}
+	// Tombstones survive: re-merging the original does not resurrect.
+	got.Merge(s)
+	if got.Contains("alpha") {
+		t.Fatal("tombstone lost in marshal")
+	}
+	if _, err := UnmarshalORSet([]byte{1, 2}); err == nil {
+		t.Fatal("accepted garbage")
+	}
+}
+
+func TestPropertyGCounterMergeIsMax(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		a, b := NewGCounter(), NewGCounter()
+		for i, v := range av {
+			a.Inc(1, uint64(v))
+			_ = i
+		}
+		for _, v := range bv {
+			b.Inc(2, uint64(v))
+		}
+		av1, bv1 := a.Value(), b.Value()
+		a.Merge(b)
+		// Merge never loses counts.
+		return a.Value() >= av1 && a.Value() >= bv1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyORSetMergeCommutes(t *testing.T) {
+	f := func(adds1, adds2 []byte) bool {
+		a, b := NewORSet(1), NewORSet(2)
+		for _, e := range adds1 {
+			a.Add(string(rune('a' + e%16)))
+		}
+		for _, e := range adds2 {
+			b.Add(string(rune('a' + e%16)))
+		}
+		ab := NewORSet(3)
+		ab.Merge(a)
+		ab.Merge(b)
+		ba := NewORSet(4)
+		ba.Merge(b)
+		ba.Merge(a)
+		x, y := ab.Elems(), ba.Elems()
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,463 @@
+// Package discovery implements how the network learns the location of
+// objects — the two schemes measured in §4:
+//
+//   - E2E: a decentralized, ARP-analogous scheme. Each host keeps a
+//     destination cache mapping object IDs to stations, populated by
+//     broadcasting a DISCOVER on first access. Worst-case 2 RTTs when
+//     the cache is cold or stale; broadcasts load the fabric.
+//
+//   - Controller: an SDN scheme. Hosts ANNOUNCE objects to a
+//     controller, which installs object→port rules in every switch so
+//     accesses route directly on the object ID: uniform 1 RTT and
+//     unicast, at the cost of switch table occupancy.
+//
+//   - Hybrid: route-on-object fast path with E2E broadcast fallback
+//     for objects squeezed out of switch tables (the "combinations of
+//     approaches in case of limited hardware capabilities" of §4).
+package discovery
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/oid"
+	"repro/internal/p4sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrNotFound reports that no host answered for an object.
+var ErrNotFound = errors.New("discovery: object not found")
+
+// Result is the outcome of a resolution.
+type Result struct {
+	// Station is the object holder's station (E2E). Unset when
+	// RouteOnObject is true.
+	Station wire.StationID
+	// RouteOnObject means the fabric will forward on the object ID;
+	// no station is needed.
+	RouteOnObject bool
+	// CacheHit reports whether the resolution was answered locally.
+	CacheHit bool
+	// Broadcasts is the number of broadcast frames this resolution
+	// originated (Figure 2's right axis counts these).
+	Broadcasts int
+}
+
+// Resolver locates objects.
+type Resolver interface {
+	// Resolve finds obj, calling cb exactly once.
+	Resolve(obj oid.ID, cb func(Result, error))
+	// Invalidate drops any cached location for obj (stale-entry
+	// feedback from a failed access).
+	Invalidate(obj oid.ID)
+	// Announce advertises that this host now holds obj.
+	Announce(obj oid.ID)
+	// Withdraw retracts an announcement (obj moved away).
+	Withdraw(obj oid.ID)
+}
+
+// Counters aggregates resolver statistics.
+type Counters struct {
+	Resolves      uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	Broadcasts    uint64
+	Invalidations uint64
+	Announces     uint64
+	Failures      uint64
+}
+
+// --- E2E scheme ---
+
+// E2E is the decentralized destination-cache resolver.
+type E2E struct {
+	ep  *transport.Endpoint
+	has func(oid.ID) bool
+
+	cache    map[oid.ID]wire.StationID
+	timeout  netsim.Duration
+	retries  int
+	counters Counters
+}
+
+// NewE2E creates an E2E resolver over ep. has answers whether this
+// host currently holds an object (so it can respond to DISCOVERs).
+func NewE2E(ep *transport.Endpoint, has func(oid.ID) bool) *E2E {
+	return &E2E{
+		ep:      ep,
+		has:     has,
+		cache:   make(map[oid.ID]wire.StationID),
+		timeout: 2 * netsim.Millisecond,
+		retries: 2,
+	}
+}
+
+// SetTimeout overrides the per-broadcast discovery timeout.
+func (e *E2E) SetTimeout(d netsim.Duration) { e.timeout = d }
+
+// SetRetries overrides the rebroadcast count after a lost discovery
+// (broadcasts are unacknowledged, so loss is recovered ARP-style by
+// asking again).
+func (e *E2E) SetRetries(n int) { e.retries = n }
+
+// Counters returns a copy of the statistics.
+func (e *E2E) Counters() Counters { return e.counters }
+
+// ResetCounters zeroes the statistics.
+func (e *E2E) ResetCounters() { e.counters = Counters{} }
+
+// CacheLen returns the destination cache size.
+func (e *E2E) CacheLen() int { return len(e.cache) }
+
+// HandleFrame consumes DISCOVER queries addressed to objects this host
+// holds. It returns true if the frame was consumed.
+func (e *E2E) HandleFrame(h *wire.Header, payload []byte) bool {
+	if h.Type != wire.MsgDiscover {
+		return false
+	}
+	if e.has != nil && e.has(h.Object) {
+		e.ep.Respond(h, wire.Header{Type: wire.MsgDiscoverReply, Object: h.Object}, nil)
+	}
+	return true
+}
+
+// Resolve implements Resolver: cache hit answers immediately; a miss
+// broadcasts a DISCOVER and caches the replying station.
+func (e *E2E) Resolve(obj oid.ID, cb func(Result, error)) {
+	e.counters.Resolves++
+	if st, ok := e.cache[obj]; ok {
+		e.counters.CacheHits++
+		cb(Result{Station: st, CacheHit: true}, nil)
+		return
+	}
+	e.counters.CacheMisses++
+	e.broadcast(obj, 0, cb)
+}
+
+// broadcast issues one DISCOVER and retries on timeout.
+func (e *E2E) broadcast(obj oid.ID, attempt int, cb func(Result, error)) {
+	e.counters.Broadcasts++
+	_, err := e.ep.Request(
+		wire.Header{Type: wire.MsgDiscover, Dst: wire.StationBroadcast, Object: obj},
+		nil, e.timeout,
+		func(resp *wire.Header, _ []byte, err error) {
+			if err != nil {
+				if attempt < e.retries {
+					e.broadcast(obj, attempt+1, cb)
+					return
+				}
+				e.counters.Failures++
+				cb(Result{Broadcasts: attempt + 1},
+					fmt.Errorf("%w: %s (%v)", ErrNotFound, obj.Short(), err))
+				return
+			}
+			e.cache[obj] = resp.Src
+			cb(Result{Station: resp.Src, Broadcasts: attempt + 1}, nil)
+		})
+	if err != nil {
+		e.counters.Failures++
+		cb(Result{}, err)
+	}
+}
+
+// Invalidate implements Resolver.
+func (e *E2E) Invalidate(obj oid.ID) {
+	if _, ok := e.cache[obj]; ok {
+		delete(e.cache, obj)
+		e.counters.Invalidations++
+	}
+}
+
+// Announce implements Resolver: a local object is its own cache entry.
+func (e *E2E) Announce(obj oid.ID) {
+	e.counters.Announces++
+	e.cache[obj] = e.ep.Station()
+}
+
+// Withdraw implements Resolver.
+func (e *E2E) Withdraw(obj oid.ID) { delete(e.cache, obj) }
+
+// --- Controller scheme ---
+
+// Controller is the SDN control plane: it learns object locations from
+// ANNOUNCE messages and programs object→port rules into every switch.
+type Controller struct {
+	ep       *transport.Endpoint
+	switches []*p4sim.Switch
+	// routes[sw][station] is the egress port on sw toward station.
+	routes map[*p4sim.Switch]map[wire.StationID]int
+	// installDelay models rule-compilation and switch-programming
+	// latency on the (out-of-band) control channel.
+	installDelay netsim.Duration
+	sim          *netsim.Sim
+
+	objects  map[oid.ID]wire.StationID
+	counters struct {
+		Announces       uint64
+		RulesInstalled  uint64
+		InstallFailures uint64
+	}
+}
+
+// NewController creates a controller bound to ep. installDelay is the
+// time from receiving an announcement to rules being active.
+func NewController(ep *transport.Endpoint, installDelay netsim.Duration) *Controller {
+	return &Controller{
+		ep:           ep,
+		routes:       make(map[*p4sim.Switch]map[wire.StationID]int),
+		installDelay: installDelay,
+		sim:          ep.Sim(),
+		objects:      make(map[oid.ID]wire.StationID),
+	}
+}
+
+// AddSwitch registers a switch the controller programs.
+func (c *Controller) AddSwitch(sw *p4sim.Switch) {
+	c.switches = append(c.switches, sw)
+	if c.routes[sw] == nil {
+		c.routes[sw] = make(map[wire.StationID]int)
+	}
+}
+
+// Announces returns the number of announcements processed.
+func (c *Controller) Announces() uint64 { return c.counters.Announces }
+
+// RulesInstalled returns the number of switch rules programmed.
+func (c *Controller) RulesInstalled() uint64 { return c.counters.RulesInstalled }
+
+// InstallFailures returns the number of rule installs rejected (table
+// full).
+func (c *Controller) InstallFailures() uint64 { return c.counters.InstallFailures }
+
+// Objects returns how many objects the controller tracks.
+func (c *Controller) Objects() int { return len(c.objects) }
+
+// ComputeRoutes BFSes the topology from every station's host to fill
+// each switch's station routing (used both for rule installation and
+// to pre-program station tables so replies unicast).
+func (c *Controller) ComputeRoutes(net *netsim.Network, stations map[wire.StationID]netsim.Device) error {
+	for _, sw := range c.switches {
+		if c.routes[sw] == nil {
+			c.routes[sw] = make(map[wire.StationID]int)
+		}
+	}
+	swSet := make(map[netsim.Device]*p4sim.Switch, len(c.switches))
+	for _, sw := range c.switches {
+		swSet[sw] = sw
+	}
+	for st, hostDev := range stations {
+		// BFS outward from the host; the first port by which a switch
+		// is reached points back toward the host.
+		type hop struct {
+			dev netsim.Device
+		}
+		visited := map[netsim.Device]bool{hostDev: true}
+		queue := []hop{{hostDev}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			n := net.NumPorts(cur.dev)
+			for p := 0; p < n; p++ {
+				peer, peerPort, ok := net.Peer(cur.dev, p)
+				if !ok || visited[peer] {
+					continue
+				}
+				visited[peer] = true
+				if sw, isSw := swSet[peer]; isSw {
+					// peerPort on sw leads back toward the host.
+					c.routes[sw][st] = peerPort
+				}
+				queue = append(queue, hop{peer})
+			}
+		}
+		// Sanity: every switch must have a route to every station.
+		for _, sw := range c.switches {
+			if _, ok := c.routes[sw][st]; !ok {
+				return fmt.Errorf("discovery: switch %s has no route to %s", sw.DevName(), st)
+			}
+		}
+	}
+	return nil
+}
+
+// ProgramStationTables installs station→port rules on every switch so
+// unicast replies forward without flooding or learning.
+func (c *Controller) ProgramStationTables() error {
+	for _, sw := range c.switches {
+		for st, port := range c.routes[sw] {
+			if err := sw.InstallStationRoute(st, port); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HandleFrame consumes MsgAnnounce: record ownership, program object
+// routes on all switches (after installDelay), and acknowledge.
+func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
+	if h.Type != wire.MsgAnnounce {
+		return false
+	}
+	c.counters.Announces++
+	obj, owner := h.Object, h.Src
+	c.objects[obj] = owner
+	req := *h
+	c.sim.Schedule(c.installDelay, func() {
+		status := byte(0)
+		for _, sw := range c.switches {
+			port, haveRoute := c.routes[sw][owner]
+			if !haveRoute {
+				c.counters.InstallFailures++
+				status = 1
+				continue
+			}
+			if err := sw.InstallObjectRoute(wire.ValueOfID(obj), port); err != nil {
+				c.counters.InstallFailures++
+				status = 1
+				continue
+			}
+			c.counters.RulesInstalled++
+		}
+		// The ack carries whether rules are fully installed, so hosts
+		// can fall back for objects the tables could not hold.
+		c.ep.Respond(&req, wire.Header{Type: wire.MsgAnnounceAck, Object: obj}, []byte{status})
+	})
+	return true
+}
+
+// --- Controller client (host side) ---
+
+// ControllerClient is a host's resolver under the controller scheme.
+type ControllerClient struct {
+	ep         *transport.Endpoint
+	controller wire.StationID
+	counters   Counters
+	// acked tracks objects whose announcement completed; failed
+	// tracks objects the switch tables could not fully hold.
+	acked  map[oid.ID]bool
+	failed map[oid.ID]bool
+}
+
+// NewControllerClient creates a client that announces to the
+// controller station.
+func NewControllerClient(ep *transport.Endpoint, controller wire.StationID) *ControllerClient {
+	return &ControllerClient{
+		ep:         ep,
+		controller: controller,
+		acked:      make(map[oid.ID]bool),
+		failed:     make(map[oid.ID]bool),
+	}
+}
+
+// Counters returns a copy of the statistics.
+func (cc *ControllerClient) Counters() Counters { return cc.counters }
+
+// ResetCounters zeroes the statistics.
+func (cc *ControllerClient) ResetCounters() { cc.counters = Counters{} }
+
+// Announce implements Resolver: notify the controller (reliable
+// request; the ack confirms rules are active).
+func (cc *ControllerClient) Announce(obj oid.ID) {
+	cc.counters.Announces++
+	cc.ep.Request(
+		wire.Header{Type: wire.MsgAnnounce, Dst: cc.controller, Object: obj},
+		nil, 0,
+		func(resp *wire.Header, payload []byte, err error) {
+			if err == nil {
+				cc.acked[obj] = true
+				if len(payload) > 0 && payload[0] != 0 {
+					cc.failed[obj] = true
+				}
+			}
+		})
+}
+
+// Announced reports whether obj's announcement has been acknowledged.
+func (cc *ControllerClient) Announced(obj oid.ID) bool { return cc.acked[obj] }
+
+// InstallFailed reports whether the fabric could not fully hold obj's
+// rules (table overflow) — the signal the hybrid scheme keys on.
+func (cc *ControllerClient) InstallFailed(obj oid.ID) bool { return cc.failed[obj] }
+
+// Resolve implements Resolver: under the controller scheme the fabric
+// itself routes on the object ID — resolution is immediate and local.
+func (cc *ControllerClient) Resolve(obj oid.ID, cb func(Result, error)) {
+	cc.counters.Resolves++
+	cc.counters.CacheHits++
+	cb(Result{RouteOnObject: true, CacheHit: true}, nil)
+}
+
+// Invalidate implements Resolver (nothing cached host-side).
+func (cc *ControllerClient) Invalidate(oid.ID) {}
+
+// Withdraw implements Resolver. The rules age out at the controller;
+// movement re-announces from the new owner, overwriting routes.
+func (cc *ControllerClient) Withdraw(oid.ID) {}
+
+// --- Hybrid scheme ---
+
+// Hybrid prefers fabric object-routing and falls back to E2E broadcast
+// discovery for objects the switch tables could not hold.
+type Hybrid struct {
+	e2e *E2E
+	cc  *ControllerClient
+	// fallback records objects that failed the route-on-object path.
+	fallback map[oid.ID]bool
+	counters Counters
+}
+
+// NewHybrid combines a controller client (fast path) with an E2E
+// resolver (fallback).
+func NewHybrid(cc *ControllerClient, e2e *E2E) *Hybrid {
+	return &Hybrid{e2e: e2e, cc: cc, fallback: make(map[oid.ID]bool)}
+}
+
+// Counters returns a copy of the statistics.
+func (h *Hybrid) Counters() Counters { return h.counters }
+
+// HandleFrame delegates discovery queries to the E2E side.
+func (h *Hybrid) HandleFrame(hd *wire.Header, payload []byte) bool {
+	return h.e2e.HandleFrame(hd, payload)
+}
+
+// Resolve implements Resolver: objects whose fabric rules failed to
+// install (or whose route-on-object access previously failed) use the
+// E2E path.
+func (h *Hybrid) Resolve(obj oid.ID, cb func(Result, error)) {
+	h.counters.Resolves++
+	if h.fallback[obj] || h.cc.InstallFailed(obj) {
+		h.e2e.Resolve(obj, cb)
+		return
+	}
+	h.cc.Resolve(obj, cb)
+}
+
+// Invalidate implements Resolver: a failed route-on-object access
+// demotes the object to the E2E path.
+func (h *Hybrid) Invalidate(obj oid.ID) {
+	if !h.fallback[obj] {
+		h.fallback[obj] = true
+		h.counters.Invalidations++
+	}
+	h.e2e.Invalidate(obj)
+}
+
+// Announce implements Resolver: announce on both planes.
+func (h *Hybrid) Announce(obj oid.ID) {
+	h.counters.Announces++
+	h.cc.Announce(obj)
+	h.e2e.Announce(obj)
+}
+
+// Withdraw implements Resolver.
+func (h *Hybrid) Withdraw(obj oid.ID) {
+	h.cc.Withdraw(obj)
+	h.e2e.Withdraw(obj)
+	delete(h.fallback, obj)
+}
+
+// FallbackCount reports how many objects use the E2E fallback path.
+func (h *Hybrid) FallbackCount() int { return len(h.fallback) }

@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crdt"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/prefetch"
+	"repro/internal/transport"
+)
+
+// transportConfigShortTimeout keeps route-on-object timeouts small so
+// table-saturation retries settle quickly.
+func transportConfigShortTimeout() transport.Config {
+	return transport.Config{RequestTimeout: 500 * netsim.Microsecond}
+}
+
+// hybridAlias lets the ablation inspect the hybrid resolver's state.
+type hybridAlias = discovery.Hybrid
+
+// --- A1: reachability prefetch during remote traversal (§3.1) ---
+
+// PrefetchRow compares a remote data-structure traversal with and
+// without FOT-driven prefetching.
+type PrefetchRow struct {
+	Prefetch       bool
+	ChainLen       int
+	TotalUS        float64
+	RemoteAcquires uint64
+	LocalHits      uint64
+}
+
+// PrefetchConfig parameterizes the traversal.
+type PrefetchConfig struct {
+	Seed int64
+	// ChainLen is the linked-structure depth.
+	ChainLen int
+	// ObjectSize is per-node object size.
+	ObjectSize int
+	// ThinkTime is per-hop application processing (gives the
+	// prefetcher a window to run ahead).
+	ThinkTime netsim.Duration
+}
+
+func (c *PrefetchConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = 46
+	}
+	if c.ChainLen == 0 {
+		c.ChainLen = 32
+	}
+	if c.ObjectSize == 0 {
+		c.ObjectSize = 8192
+	}
+	if c.ThinkTime == 0 {
+		// An 8 KiB object takes ~120µs of store-and-forward across
+		// the four-hop fabric; think time above that lets the
+		// prefetcher run fully ahead of the traversal.
+		c.ThinkTime = 250 * netsim.Microsecond
+	}
+}
+
+// AblationPrefetch traverses a chain of objects living on a remote
+// node, following one cross-object reference per hop, with the
+// prefetcher off and on.
+func AblationPrefetch(cfg PrefetchConfig) ([]PrefetchRow, error) {
+	cfg.fill()
+	rows := make([]PrefetchRow, 0, 2)
+	for _, enable := range []bool{false, true} {
+		row, err := prefetchRun(cfg, enable)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// refSlot is where each chain object stores its next pointer.
+func buildChain(owner *core.Node, n, size int) (head object.Global, slot uint64, err error) {
+	objs := make([]*object.Object, n)
+	for i := range objs {
+		o, cerr := owner.CreateObject(size)
+		if cerr != nil {
+			return object.Global{}, 0, cerr
+		}
+		objs[i] = o
+	}
+	for i, o := range objs {
+		s, aerr := o.Alloc(8, 8)
+		if aerr != nil {
+			return object.Global{}, 0, aerr
+		}
+		if i == 0 {
+			slot = s
+		}
+		if i+1 < n {
+			if rerr := o.StoreRef(s, objs[i+1].ID(), 0, object.FlagRead); rerr != nil {
+				return object.Global{}, 0, rerr
+			}
+		} else {
+			if rerr := o.PutPtr(s, 0); rerr != nil {
+				return object.Global{}, 0, rerr
+			}
+		}
+	}
+	return object.Global{Obj: objs[0].ID()}, slot, nil
+}
+
+func prefetchRun(cfg PrefetchConfig, enable bool) (PrefetchRow, error) {
+	c, err := core.NewCluster(core.Config{
+		Seed:           cfg.Seed,
+		Scheme:         core.SchemeE2E,
+		EnablePrefetch: enable,
+		Prefetch:       prefetch.Config{MaxDepth: 2, MaxObjects: 8, BudgetBytes: 1 << 20},
+	})
+	if err != nil {
+		return PrefetchRow{}, err
+	}
+	driver, owner := c.Node(0), c.Node(1)
+	head, slot, err := buildChain(owner, cfg.ChainLen, cfg.ObjectSize)
+	if err != nil {
+		return PrefetchRow{}, err
+	}
+	c.Run()
+	c.ResetStats()
+	driver.Coherence.ResetCounters()
+
+	start := c.Sim.Now()
+	visited := 0
+	failed := error(nil)
+	var walk func(g object.Global)
+	walk = func(g object.Global) {
+		driver.Deref(g, func(o *object.Object, err error) {
+			if err != nil {
+				failed = err
+				return
+			}
+			visited++
+			next, lerr := o.LoadRef(slot)
+			if lerr != nil {
+				failed = lerr
+				return
+			}
+			if next.IsNil() {
+				return
+			}
+			// Application think time before following the reference.
+			c.Sim.Schedule(cfg.ThinkTime, func() { walk(next) })
+		})
+	}
+	walk(head)
+	c.Run()
+	if failed != nil {
+		return PrefetchRow{}, failed
+	}
+	if visited != cfg.ChainLen {
+		return PrefetchRow{}, fmt.Errorf("visited %d of %d", visited, cfg.ChainLen)
+	}
+	cc := driver.Coherence.Counters()
+	return PrefetchRow{
+		Prefetch:       enable,
+		ChainLen:       cfg.ChainLen,
+		TotalUS:        us(c.Sim.Now().Sub(start)),
+		RemoteAcquires: cc.RemoteAcquires,
+		LocalHits:      cc.LocalHits,
+	}, nil
+}
+
+// --- A2: reliable transport under loss (§3.2) ---
+
+// LossRow reports one loss-rate point.
+type LossRow struct {
+	LossPct      float64
+	CompletionUS float64
+	Retransmits  uint64
+	Delivered    bool
+}
+
+// AblationLoss transfers one object under increasing frame loss,
+// exercising the lightweight ack/retry transport.
+func AblationLoss(seed int64, objectSize int, lossPcts []float64) ([]LossRow, error) {
+	if objectSize == 0 {
+		objectSize = 256 << 10
+	}
+	if len(lossPcts) == 0 {
+		lossPcts = []float64{0, 1, 5, 10, 20, 25}
+	}
+	rows := make([]LossRow, 0, len(lossPcts))
+	for _, pct := range lossPcts {
+		c, err := core.NewCluster(core.Config{
+			Seed:             seed + int64(pct*10),
+			Scheme:           core.SchemeE2E,
+			DropRate:         pct / 100,
+			DiscoveryRetries: 40,
+			DiscoveryTimeout: 500 * netsim.Microsecond,
+			Transport: transport.Config{
+				MaxRetries:     40,
+				RequestTimeout: 200 * netsim.Millisecond,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		owner, reader := c.Node(1), c.Node(0)
+		o, err := owner.CreateObject(objectSize)
+		if err != nil {
+			return nil, err
+		}
+		c.Run()
+		c.ResetStats()
+		start := c.Sim.Now()
+		end := start
+		delivered := false
+		reader.Deref(object.Global{Obj: o.ID()}, func(_ *object.Object, err error) {
+			delivered = err == nil
+			end = c.Sim.Now()
+		})
+		c.Run()
+		var retrans uint64
+		for _, n := range c.Nodes {
+			retrans += n.EP.Counters().Retransmits
+		}
+		rows = append(rows, LossRow{
+			LossPct:      pct,
+			CompletionUS: us(end.Sub(start)),
+			Retransmits:  retrans,
+			Delivered:    delivered,
+		})
+	}
+	return rows, nil
+}
+
+// --- A3: discovery under switch-table saturation (§3.2/§4) ---
+
+// HybridRow reports one scheme's behaviour with saturated tables.
+type HybridRow struct {
+	Scheme        string
+	Objects       int
+	TableCapacity int
+	Successes     int
+	Failures      int
+	MeanUS        float64
+	Fallbacks     int
+}
+
+// AblationHybrid creates more objects than the switch object tables
+// can hold and accesses each once. Pure controller routing fails for
+// the overflow objects (their frames drop in the fabric); the hybrid
+// scheme detects the failed installs and falls back to E2E discovery.
+func AblationHybrid(seed int64, numObjects int) ([]HybridRow, error) {
+	if numObjects == 0 {
+		numObjects = 24
+	}
+	rows := make([]HybridRow, 0, 2)
+	for _, scheme := range []core.Scheme{core.SchemeController, core.SchemeHybrid} {
+		c, err := core.NewCluster(core.Config{
+			Seed:   seed + int64(scheme),
+			Scheme: scheme,
+			// Budget for ~8 object entries per switch (128-bit keys,
+			// 32 B/entry, fill 0.87 → 8 entries at 300 B).
+			ObjectTableMemory: 300,
+			Transport:         transportConfigShortTimeout(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		driver := c.Node(0)
+		owner := c.Node(1)
+		cap0 := c.Switches[0].ObjectTable().Capacity()
+
+		objs := make([]oid.ID, numObjects)
+		for i := range objs {
+			o, err := owner.CreateObject(2048)
+			if err != nil {
+				return nil, err
+			}
+			objs[i] = o.ID()
+		}
+		c.Run() // announcements + installs
+
+		succ, fail := 0, 0
+		var total netsim.Duration
+		err = runToCompletion(c, numObjects, func(i int, next func()) {
+			start := c.Sim.Now()
+			driver.ReadRef(object.Global{Obj: objs[i]}, 64, func(_ []byte, err error) {
+				if err == nil {
+					succ++
+					total += c.Sim.Now().Sub(start)
+				} else {
+					fail++
+				}
+				next()
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		mean := 0.0
+		if succ > 0 {
+			mean = us(total) / float64(succ)
+		}
+		fallbacks := 0
+		if scheme == core.SchemeHybrid {
+			if hy, ok := driver.Resolver.(*hybridAlias); ok {
+				fallbacks = hy.FallbackCount()
+			}
+		}
+		rows = append(rows, HybridRow{
+			Scheme:        scheme.String(),
+			Objects:       numObjects,
+			TableCapacity: cap0,
+			Successes:     succ,
+			Failures:      fail,
+			MeanUS:        mean,
+			Fallbacks:     fallbacks,
+		})
+	}
+	return rows, nil
+}
+
+// --- A4: CRDT auto-merge during movement (§5) ---
+
+// CRDTRow compares naive overwrite against CRDT merge when two
+// replicas of a counter object diverge.
+type CRDTRow struct {
+	Mode     string
+	Expected uint64
+	Final    uint64
+	Lost     uint64
+}
+
+// AblationCRDT has two nodes increment replicas of one counter object
+// concurrently, then reconciles: naive mode ships bytes (last writer
+// wins, losing increments); merge mode merges CRDT states during the
+// movement, converging with no loss.
+func AblationCRDT(seed int64, incsPerNode int) ([]CRDTRow, error) {
+	if incsPerNode == 0 {
+		incsPerNode = 100
+	}
+	expected := uint64(2 * incsPerNode)
+	rows := make([]CRDTRow, 0, 2)
+	for _, mode := range []string{"naive-overwrite", "crdt-merge"} {
+		a := crdt.NewGCounter()
+		b := crdt.NewGCounter()
+		for i := 0; i < incsPerNode; i++ {
+			a.Inc(1, 1)
+			b.Inc(2, 1)
+		}
+		var final uint64
+		switch mode {
+		case "naive-overwrite":
+			// Replica B's bytes replace A's state wholesale (what a
+			// byte-copy movement without merge semantics does).
+			moved, err := crdt.UnmarshalGCounter(b.Marshal())
+			if err != nil {
+				return nil, err
+			}
+			final = moved.Value()
+		case "crdt-merge":
+			moved, err := crdt.UnmarshalGCounter(b.Marshal())
+			if err != nil {
+				return nil, err
+			}
+			a.Merge(moved)
+			final = a.Value()
+		}
+		lost := uint64(0)
+		if final < expected {
+			lost = expected - final
+		}
+		rows = append(rows, CRDTRow{Mode: mode, Expected: expected, Final: final, Lost: lost})
+	}
+	return rows, nil
+}

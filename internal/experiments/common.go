@@ -1,0 +1,63 @@
+// Package experiments regenerates every table and figure in the
+// paper's evaluation (§4 Figures 2 and 3, the §3.2 switch-capacity
+// numbers, the Figure 1 rendezvous strategies, and the §2/§3.1
+// serialization claims), plus the ablations listed in DESIGN.md. Each
+// experiment returns typed rows; cmd/gaspbench prints them and
+// bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// CPU cost model for the serialization-sensitive paths, applied as
+// virtual-time delays so network and compute costs compose on one
+// clock. Rates are derived from the measured Go benchmarks in
+// internal/model (order-of-magnitude: deserialization with allocation
+// and pointer fixup runs ~4× slower than flat byte copies; see
+// EXPERIMENTS.md).
+const (
+	// SerializeBytesPerSec is the heap→wire marshal rate.
+	SerializeBytesPerSec = 2_000_000_000
+	// DeserializeBytesPerSec is the wire→heap rate (allocation +
+	// pointer fixup dominate, §2's 70% claim).
+	DeserializeBytesPerSec = 500_000_000
+	// ByteCopyBytesPerSec is the object-space load rate (memcpy).
+	ByteCopyBytesPerSec = 10_000_000_000
+)
+
+// cpuDelay converts a byte count and rate into virtual time.
+func cpuDelay(bytes int, rate int64) netsim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return netsim.Duration(int64(bytes) * int64(netsim.Second) / rate)
+}
+
+// us converts virtual duration to microseconds.
+func us(d netsim.Duration) float64 { return d.Microseconds() }
+
+// runToCompletion drives a closed-loop workload: step(i, next) must
+// call next() when access i completes; the loop finishes after n
+// steps. It returns an error if the simulator stalls before the loop
+// completes.
+func runToCompletion(c *core.Cluster, n int, step func(i int, next func())) error {
+	done := false
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= n {
+			done = true
+			return
+		}
+		step(i, func() { issue(i + 1) })
+	}
+	issue(0)
+	c.Run()
+	if !done {
+		return fmt.Errorf("experiments: workload stalled before completing %d steps", n)
+	}
+	return nil
+}

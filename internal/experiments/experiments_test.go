@@ -1,0 +1,387 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// These tests validate the *shapes* the paper reports, on scaled-down
+// workloads. The full-scale sweeps run from cmd/gaspbench and the
+// root-level benchmarks.
+
+func TestFigure2Shape(t *testing.T) {
+	rows, err := Figure2(Fig2Config{
+		AccessesPerPoint: 300,
+		OldPoolSize:      32,
+		Points:           []int{0, 50, 90},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r0, r50, r90 := rows[0], rows[1], rows[2]
+
+	// Controller: uniform 1 RTT across the sweep ("switch processing
+	// overhead is minimal, even as new objects proliferate").
+	spread := r90.ControllerMeanUS - r0.ControllerMeanUS
+	if spread < 0 {
+		spread = -spread
+	}
+	if spread > 0.25*r0.ControllerMeanUS {
+		t.Errorf("controller not flat: %v vs %v", r0.ControllerMeanUS, r90.ControllerMeanUS)
+	}
+
+	// E2E: rises toward 2 RTT as new objects proliferate.
+	if !(r90.E2EMeanUS > r50.E2EMeanUS && r50.E2EMeanUS > r0.E2EMeanUS) {
+		t.Errorf("E2E not rising: %v, %v, %v", r0.E2EMeanUS, r50.E2EMeanUS, r90.E2EMeanUS)
+	}
+	if r90.E2EMeanUS < 1.5*r0.E2EMeanUS {
+		t.Errorf("E2E at 90%% new should approach 2x baseline: %v vs %v",
+			r90.E2EMeanUS, r0.E2EMeanUS)
+	}
+
+	// At 0% new, both schemes sit at ~1 RTT.
+	ratio := r0.E2EMeanUS / r0.ControllerMeanUS
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("baseline RTTs differ: e2e=%v ctrl=%v", r0.E2EMeanUS, r0.ControllerMeanUS)
+	}
+
+	// Broadcast load tracks novelty (right axis).
+	if r0.BroadcastsPer100 != 0 {
+		t.Errorf("broadcasts at 0%% new: %v", r0.BroadcastsPer100)
+	}
+	if r90.BroadcastsPer100 < 60 || r90.BroadcastsPer100 > 120 {
+		t.Errorf("broadcasts at 90%% new: %v, want ~90", r90.BroadcastsPer100)
+	}
+	if r50.BroadcastsPer100 <= r0.BroadcastsPer100 ||
+		r90.BroadcastsPer100 <= r50.BroadcastsPer100 {
+		t.Error("broadcast count not rising with novelty")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	rows, err := Figure3(Fig3Config{
+		AccessesPerPoint: 300,
+		PoolSize:         32,
+		Points:           []int{0, 50, 90},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r50, r90 := rows[0], rows[1], rows[2]
+
+	// Access time rises with staleness.
+	if !(r90.MeanUS > r50.MeanUS && r50.MeanUS > r0.MeanUS) {
+		t.Errorf("mean not rising: %v, %v, %v", r0.MeanUS, r50.MeanUS, r90.MeanUS)
+	}
+	// Variability peaks mid-sweep and drops once staleness saturates
+	// ("the variability drops again since nearly all accesses require
+	// 2 round trips").
+	if !(r50.StddevUS > r0.StddevUS) {
+		t.Errorf("stddev should rise from 0%%: %v vs %v", r0.StddevUS, r50.StddevUS)
+	}
+	if !(r50.StddevUS > r90.StddevUS) {
+		t.Errorf("stddev should drop at saturation: mid=%v end=%v", r50.StddevUS, r90.StddevUS)
+	}
+	// Stale retries track the moved fraction.
+	if r0.StaleRetriesPerAccess != 0 {
+		t.Errorf("stale retries at 0%%: %v", r0.StaleRetriesPerAccess)
+	}
+	if r90.StaleRetriesPerAccess < 0.6 {
+		t.Errorf("stale retries at 90%%: %v", r90.StaleRetriesPerAccess)
+	}
+}
+
+func TestCapacityNumbers(t *testing.T) {
+	rows := Capacity()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r64, r128 := rows[0], rows[1]
+	if r64.KeyBits != 64 || r128.KeyBits != 128 {
+		t.Fatal("row order")
+	}
+	if r64.ModelCapacity < 1_700_000 || r64.ModelCapacity > 1_900_000 {
+		t.Errorf("64-bit capacity = %d, paper ~1.8M", r64.ModelCapacity)
+	}
+	if r128.ModelCapacity < 800_000 || r128.ModelCapacity > 900_000 {
+		t.Errorf("128-bit capacity = %d, paper ~850K", r128.ModelCapacity)
+	}
+	// The enforced (insert-to-full) count matches the model on the
+	// scaled table.
+	for _, r := range rows {
+		scaledWant := r.ModelCapacity / (1 << 20 / 1) // proportional check below instead
+		_ = scaledWant
+		if r.AchievedEntries == 0 {
+			t.Errorf("%d-bit: no entries inserted", r.KeyBits)
+		}
+	}
+	if r64.AchievedEntries <= r128.AchievedEntries {
+		t.Error("64-bit keys should pack more entries than 128-bit")
+	}
+	ratio := float64(r64.AchievedEntries) / float64(r128.AchievedEntries)
+	if ratio < 1.8 || ratio > 2.4 {
+		t.Errorf("density ratio = %.2f, paper ~2.1", ratio)
+	}
+}
+
+func TestRendezvousShape(t *testing.T) {
+	rows, err := Rendezvous(RendezvousConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]RendezvousRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+		if !r.ResultOK {
+			t.Errorf("%s: wrong inference result", r.Strategy)
+		}
+	}
+	man, opt, auto, dave := byName["manual-copy"], byName["manual-copy-optimized"],
+		byName["automatic-copy"], byName["dave-local"]
+
+	// Completion ordering: (1) > (2) > (3) > Dave-local.
+	if !(man.CompletionUS > opt.CompletionUS) {
+		t.Errorf("manual (%v) should be slower than optimized (%v)",
+			man.CompletionUS, opt.CompletionUS)
+	}
+	if !(opt.CompletionUS > auto.CompletionUS) {
+		t.Errorf("optimized (%v) should be slower than automatic (%v)",
+			opt.CompletionUS, auto.CompletionUS)
+	}
+	if !(auto.CompletionUS > dave.CompletionUS) {
+		t.Errorf("automatic (%v) should be slower than Dave-local (%v)",
+			auto.CompletionUS, dave.CompletionUS)
+	}
+	// Bytes: strategy 1 moves the model twice.
+	if man.KBMoved < 1.6*opt.KBMoved {
+		t.Errorf("manual moved %vKB, optimized %vKB — want ~2x", man.KBMoved, opt.KBMoved)
+	}
+	// The system placed the computation at idle Carol (station 3).
+	if auto.Executor != 3 {
+		t.Errorf("automatic executor = %v, want Carol", auto.Executor)
+	}
+	// Dave ran locally (station 4) with (almost) nothing moved.
+	if dave.Executor != 4 {
+		t.Errorf("dave executor = %v", dave.Executor)
+	}
+	if dave.KBMoved > opt.KBMoved/4 {
+		t.Errorf("dave moved %vKB — should be near zero", dave.KBMoved)
+	}
+}
+
+func TestSerializationClaims(t *testing.T) {
+	rows, err := Serialization(SerializationConfig{
+		Sizes:   []ModelShape{{2000, 32}},
+		Repeats: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Speedup < 2 {
+		t.Errorf("byte-copy speedup = %.1fx, want >2x", r.Speedup)
+	}
+	if r.LoadFractionBaseline <= r.LoadFractionOurs {
+		t.Errorf("load fractions: baseline %.2f vs ours %.2f",
+			r.LoadFractionBaseline, r.LoadFractionOurs)
+	}
+	if r.LoadFractionBaseline < 0.3 {
+		t.Errorf("baseline load fraction %.2f — deserialization should dominate",
+			r.LoadFractionBaseline)
+	}
+}
+
+func TestAblationPrefetchHelps(t *testing.T) {
+	rows, err := AblationPrefetch(PrefetchConfig{ChainLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, on := rows[0], rows[1]
+	if off.Prefetch || !on.Prefetch {
+		t.Fatal("row order")
+	}
+	if on.TotalUS >= off.TotalUS {
+		t.Errorf("prefetch did not help: on=%v off=%v", on.TotalUS, off.TotalUS)
+	}
+	if on.LocalHits <= off.LocalHits {
+		t.Errorf("prefetch local hits: on=%d off=%d", on.LocalHits, off.LocalHits)
+	}
+}
+
+func TestAblationLossShape(t *testing.T) {
+	rows, err := AblationLoss(3, 128<<10, []float64{0, 10, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Delivered {
+			t.Errorf("loss %.0f%%: transfer failed", r.LossPct)
+		}
+	}
+	if rows[0].Retransmits != 0 {
+		t.Errorf("retransmits on clean link: %d", rows[0].Retransmits)
+	}
+	if rows[2].Retransmits <= rows[1].Retransmits {
+		t.Errorf("retransmits not rising: %d, %d", rows[1].Retransmits, rows[2].Retransmits)
+	}
+	if rows[2].CompletionUS <= rows[0].CompletionUS {
+		t.Errorf("completion not rising with loss: %v vs %v",
+			rows[0].CompletionUS, rows[2].CompletionUS)
+	}
+}
+
+func TestAblationHybridGracefulDegradation(t *testing.T) {
+	rows, err := AblationHybrid(5, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, hy := rows[0], rows[1]
+	if ctrl.TableCapacity >= ctrl.Objects {
+		t.Fatalf("table not saturated: cap %d >= %d objects", ctrl.TableCapacity, ctrl.Objects)
+	}
+	if ctrl.Failures == 0 {
+		t.Error("pure controller should fail overflow objects")
+	}
+	if hy.Failures != 0 {
+		t.Errorf("hybrid failed %d accesses", hy.Failures)
+	}
+	if hy.Successes != hy.Objects {
+		t.Errorf("hybrid successes = %d", hy.Successes)
+	}
+}
+
+func TestAblationNetSeqOffload(t *testing.T) {
+	rows, err := AblationNetSeq(5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, sw := rows[0], rows[1]
+	if !host.UniqueDense || !sw.UniqueDense {
+		t.Fatalf("tickets not unique+dense: host=%v switch=%v", host.UniqueDense, sw.UniqueDense)
+	}
+	if host.Ops != 60 || sw.Ops != 60 {
+		t.Fatalf("ops: host=%d switch=%d", host.Ops, sw.Ops)
+	}
+	// The in-switch service halves the path (2 hops vs 4 each way).
+	if sw.MeanUS >= 0.7*host.MeanUS {
+		t.Errorf("in-switch %vµs not clearly faster than host %vµs", sw.MeanUS, host.MeanUS)
+	}
+}
+
+func TestAblationOverlayScales(t *testing.T) {
+	rows, err := AblationOverlay(5, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, overlay := rows[0], rows[1]
+	if exact.Failures == 0 {
+		t.Error("exact rules should fail beyond table capacity")
+	}
+	if overlay.Failures != 0 || overlay.Successes != overlay.Objects {
+		t.Errorf("overlay failed accesses: %+v", overlay)
+	}
+	if overlay.RulesPerSw >= exact.RulesPerSw {
+		t.Errorf("overlay rules/sw %v should be below exact %v",
+			overlay.RulesPerSw, exact.RulesPerSw)
+	}
+	if overlay.InstallFailed != 0 {
+		t.Errorf("overlay install failures: %d", overlay.InstallFailed)
+	}
+	// Same fast path: prefix routing costs no extra RTT.
+	if overlay.MeanUS > 1.2*exact.MeanUS {
+		t.Errorf("overlay mean %v vs exact %v", overlay.MeanUS, exact.MeanUS)
+	}
+}
+
+func TestScaleTradeoffShape(t *testing.T) {
+	rows, err := ScaleTradeoff(ScaleConfig{
+		NodeCounts: []int{3, 27},
+		Accesses:   100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	e2eSmall, ctrlSmall, e2eBig, ctrlBig := rows[0], rows[1], rows[2], rows[3]
+	// E2E installs no object rules; controller state grows with the
+	// switch count (objects × switches).
+	if e2eSmall.ObjectRules != 0 || e2eBig.ObjectRules != 0 {
+		t.Error("E2E should install no object rules")
+	}
+	if ctrlBig.ObjectRules <= ctrlSmall.ObjectRules {
+		t.Errorf("controller rules should grow with fabric: %d vs %d",
+			ctrlSmall.ObjectRules, ctrlBig.ObjectRules)
+	}
+	// E2E broadcast traffic grows with the host count; controller
+	// traffic stays flat.
+	if e2eBig.FabricFramesPerAccess <= 1.5*e2eSmall.FabricFramesPerAccess {
+		t.Errorf("E2E frames/access should grow with N: %.1f vs %.1f",
+			e2eSmall.FabricFramesPerAccess, e2eBig.FabricFramesPerAccess)
+	}
+	if ctrlBig.FabricFramesPerAccess > 1.5*ctrlSmall.FabricFramesPerAccess {
+		t.Errorf("controller frames/access should stay flat: %.1f vs %.1f",
+			ctrlSmall.FabricFramesPerAccess, ctrlBig.FabricFramesPerAccess)
+	}
+	// Cold-object latency: E2E ~2 RTT vs controller ~1 RTT.
+	if e2eSmall.MeanUS < 1.5*ctrlSmall.MeanUS {
+		t.Errorf("cold E2E should be ~2x controller: %.1f vs %.1f",
+			e2eSmall.MeanUS, ctrlSmall.MeanUS)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Rerunning any virtual-time experiment with the same seed must
+	// reproduce identical rows — EXPERIMENTS.md's reproducibility
+	// claim.
+	cfg := Fig2Config{AccessesPerPoint: 100, OldPoolSize: 16, Points: []int{0, 50}}
+	a, err := Figure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Figure2 row %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	r1, err := Rendezvous(RendezvousConfig{Buckets: 500, Dim: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Rendezvous(RendezvousConfig{Buckets: 500, Dim: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("Rendezvous row %d diverged", i)
+		}
+	}
+}
+
+func TestAblationCRDTConvergence(t *testing.T) {
+	rows, err := AblationCRDT(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, merge := rows[0], rows[1]
+	if naive.Lost == 0 {
+		t.Error("naive overwrite should lose increments")
+	}
+	if merge.Lost != 0 {
+		t.Errorf("CRDT merge lost %d increments", merge.Lost)
+	}
+	if merge.Final != merge.Expected {
+		t.Errorf("merge final = %d, want %d", merge.Final, merge.Expected)
+	}
+}

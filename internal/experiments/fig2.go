@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/telemetry"
+)
+
+// Fig2Config parameterizes the Figure 2 reproduction.
+type Fig2Config struct {
+	// Seed drives the deterministic run.
+	Seed int64
+	// AccessesPerPoint is the number of measured object accesses at
+	// each sweep point (paper-scale default 2000).
+	AccessesPerPoint int
+	// OldPoolSize is the pre-created, pre-resolved object population.
+	OldPoolSize int
+	// ObjectSize is each object's size in bytes.
+	ObjectSize int
+	// Points are the percentages of accesses to new objects.
+	Points []int
+	// ReadBytes is the per-access read size.
+	ReadBytes int
+}
+
+func (c *Fig2Config) fill() {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.AccessesPerPoint == 0 {
+		c.AccessesPerPoint = 2000
+	}
+	if c.OldPoolSize == 0 {
+		c.OldPoolSize = 64
+	}
+	if c.ObjectSize == 0 {
+		c.ObjectSize = 4096
+	}
+	if len(c.Points) == 0 {
+		c.Points = []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+	}
+	if c.ReadBytes == 0 {
+		c.ReadBytes = 64
+	}
+}
+
+// Fig2Row is one sweep point of Figure 2: access RTT under both
+// discovery schemes plus broadcast load (the figure's right axis).
+type Fig2Row struct {
+	PctNew int
+
+	ControllerMeanUS float64
+	ControllerP99US  float64
+	E2EMeanUS        float64
+	E2EP99US         float64
+
+	// BroadcastsPer100 counts E2E discovery broadcasts per 100
+	// accesses (the controller scheme sends none).
+	BroadcastsPer100 float64
+}
+
+// Figure2 sweeps the fraction of accesses that target newly created
+// objects and measures access RTT under the E2E and Controller
+// discovery schemes (§4, Figure 2).
+//
+// The driver (node 0) reads ReadBytes from objects homed on the
+// responder nodes. "Old" objects are pre-created and pre-resolved;
+// "new" objects are created on a responder immediately before the
+// access, so under E2E the first access pays a broadcast discovery
+// (2 RTT total) while under the controller scheme the announcement
+// pre-installs switch rules off the access path (uniform 1 RTT).
+func Figure2(cfg Fig2Config) ([]Fig2Row, error) {
+	cfg.fill()
+	rows := make([]Fig2Row, 0, len(cfg.Points))
+	for _, pct := range cfg.Points {
+		e2eHist, bcasts, err := fig2Point(cfg, core.SchemeE2E, pct)
+		if err != nil {
+			return nil, fmt.Errorf("e2e point %d: %w", pct, err)
+		}
+		ctrlHist, _, err := fig2Point(cfg, core.SchemeController, pct)
+		if err != nil {
+			return nil, fmt.Errorf("controller point %d: %w", pct, err)
+		}
+		e := e2eHist.Summarize()
+		c := ctrlHist.Summarize()
+		rows = append(rows, Fig2Row{
+			PctNew:           pct,
+			ControllerMeanUS: c.Mean,
+			ControllerP99US:  c.P99,
+			E2EMeanUS:        e.Mean,
+			E2EP99US:         e.P99,
+			BroadcastsPer100: float64(bcasts) * 100 / float64(cfg.AccessesPerPoint),
+		})
+	}
+	return rows, nil
+}
+
+// fig2Point runs one (scheme, pctNew) cell and returns the access-time
+// histogram and the driver's broadcast count.
+func fig2Point(cfg Fig2Config, scheme core.Scheme, pctNew int) (*telemetry.Histogram, uint64, error) {
+	c, err := core.NewCluster(core.Config{
+		Seed:   cfg.Seed + int64(pctNew)*1000 + int64(scheme),
+		Scheme: scheme,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	driver := c.Node(0)
+	responders := c.Nodes[1:]
+
+	// Old population, homed round-robin on responders.
+	oldObjs := make([]oid.ID, cfg.OldPoolSize)
+	for i := range oldObjs {
+		o, err := responders[i%len(responders)].CreateObject(cfg.ObjectSize)
+		if err != nil {
+			return nil, 0, err
+		}
+		oldObjs[i] = o.ID()
+	}
+	c.Run() // announcements
+
+	// Warm the driver's destination cache for the old population.
+	if err := runToCompletion(c, len(oldObjs), func(i int, next func()) {
+		driver.ReadRef(object.Global{Obj: oldObjs[i]}, cfg.ReadBytes, func(_ []byte, err error) {
+			if err == nil {
+				next()
+			}
+		})
+	}); err != nil {
+		return nil, 0, err
+	}
+
+	hist := telemetry.NewHistogram()
+	rng := c.Sim.Rand()
+	broadcastBase := driverBroadcasts(driver)
+
+	err = runToCompletion(c, cfg.AccessesPerPoint, func(i int, next func()) {
+		target := oldObjs[rng.Intn(len(oldObjs))]
+		isNew := rng.Intn(100) < pctNew
+		begin := func() {
+			start := c.Sim.Now()
+			driver.ReadRef(object.Global{Obj: target}, cfg.ReadBytes, func(_ []byte, err error) {
+				if err != nil {
+					return // stall -> surfaced by runToCompletion
+				}
+				hist.Observe(us(c.Sim.Now().Sub(start)))
+				next()
+			})
+		}
+		if !isNew {
+			begin()
+			return
+		}
+		// Create a fresh object on a responder; its announcement
+		// (controller rule install, or nothing under E2E) completes
+		// off the access path, as at creation time.
+		resp := responders[rng.Intn(len(responders))]
+		o, err := resp.CreateObject(cfg.ObjectSize)
+		if err != nil {
+			return
+		}
+		target = o.ID()
+		// Let the announcement settle before the access is issued.
+		c.Sim.Schedule(50*netsim.Microsecond, begin)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return hist, driverBroadcasts(driver) - broadcastBase, nil
+}
+
+// driverBroadcasts reads the driver endpoint's broadcast counter.
+func driverBroadcasts(n *core.Node) uint64 {
+	return n.EP.Counters().Broadcasts
+}

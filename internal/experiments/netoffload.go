@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/netseq"
+	"repro/internal/netsim"
+	"repro/internal/oid"
+	"repro/internal/p4sim"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// SeqRow compares sequencer implementations (§5: offloading
+// synchronization and arbitration to the programmable network).
+type SeqRow struct {
+	Mode        string
+	Ops         int
+	MeanUS      float64
+	P99US       float64
+	UniqueDense bool
+}
+
+// offloadFabric is the shared star topology: a core switch (which can
+// host registers) with three leaf switches and one host per leaf.
+type offloadFabric struct {
+	sim    *netsim.Sim
+	core   *p4sim.Switch
+	leaves []*p4sim.Switch
+	eps    []*transport.Endpoint
+}
+
+func buildOffloadFabric(seed int64) (*offloadFabric, error) {
+	sim := netsim.NewSim(seed)
+	net := netsim.NewNetwork(sim)
+	link := netsim.LinkConfig{Latency: 5 * netsim.Microsecond, BitsPerSec: 10_000_000_000}
+	coreSw, err := p4sim.NewSwitch(net, "core", 3, p4sim.SwitchConfig{Station: 900})
+	if err != nil {
+		return nil, err
+	}
+	f := &offloadFabric{sim: sim, core: coreSw}
+	for i := 0; i < 3; i++ {
+		leaf, err := p4sim.NewSwitch(net, fmt.Sprintf("leaf%d", i), 2,
+			p4sim.SwitchConfig{LearnStations: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := net.Connect(coreSw, i, leaf, 0, link); err != nil {
+			return nil, err
+		}
+		f.leaves = append(f.leaves, leaf)
+		h, err := netsim.NewHost(net, fmt.Sprintf("h%d", i))
+		if err != nil {
+			return nil, err
+		}
+		if err := net.Connect(h, 0, leaf, 1, link); err != nil {
+			return nil, err
+		}
+		f.eps = append(f.eps, transport.NewEndpoint(h, wire.StationID(i+1), transport.Config{}))
+	}
+	return f, nil
+}
+
+// AblationNetSeq issues opsPerClient sequencer tickets from each of
+// two clients, against (a) an RPC counter service on the third host
+// and (b) a register service in the core switch. Tickets must come
+// out unique and dense either way; the in-switch service answers in
+// half the hops with no server on the path.
+func AblationNetSeq(seed int64, opsPerClient int) ([]SeqRow, error) {
+	if opsPerClient == 0 {
+		opsPerClient = 50
+	}
+	rows := make([]SeqRow, 0, 2)
+	for _, mode := range []string{"host-rpc", "in-switch"} {
+		f, err := buildOffloadFabric(seed)
+		if err != nil {
+			return nil, err
+		}
+		hist := telemetry.NewHistogram()
+		tickets := map[uint64]int{}
+		issued := 0
+
+		var next func(client int) // issues one ticket for a client, chained
+		record := func(v uint64, start netsim.Time) {
+			tickets[v]++
+			issued++
+			hist.Observe(us(f.sim.Now().Sub(start)))
+		}
+
+		switch mode {
+		case "host-rpc":
+			// The third host runs a counter service.
+			var counter uint64
+			srv := rpc.NewServer(f.eps[2])
+			srv.Register("seq.next", func([]byte) ([]byte, error) {
+				out := make([]byte, 8)
+				binary.BigEndian.PutUint64(out, counter)
+				counter++
+				return out, nil
+			})
+			f.eps[2].SetHandler(func(h *wire.Header, p []byte) { srv.HandleFrame(h, p) })
+			clients := []*rpc.Client{rpc.NewClient(f.eps[0]), rpc.NewClient(f.eps[1])}
+			f.eps[0].SetHandler(func(h *wire.Header, p []byte) { clients[0].HandleFrame(h, p) })
+			f.eps[1].SetHandler(func(h *wire.Header, p []byte) { clients[1].HandleFrame(h, p) })
+			done := [2]int{}
+			next = func(ci int) {
+				if done[ci] >= opsPerClient {
+					return
+				}
+				done[ci]++
+				start := f.sim.Now()
+				clients[ci].Call(3, "seq.next", nil, func(res []byte, err error) {
+					if err != nil {
+						return
+					}
+					record(binary.BigEndian.Uint64(res), start)
+					next(ci)
+				})
+			}
+		case "in-switch":
+			serviceID := oid.NewSeededGenerator(seed + 7).New()
+			toward := map[*p4sim.Switch]int{}
+			for _, leaf := range f.leaves {
+				toward[leaf] = 0
+			}
+			if _, err := netseq.Install(serviceID, f.core, 1, toward); err != nil {
+				return nil, err
+			}
+			clients := []*netseq.Client{
+				netseq.NewClient(f.eps[0], serviceID),
+				netseq.NewClient(f.eps[1], serviceID),
+			}
+			done := [2]int{}
+			next = func(ci int) {
+				if done[ci] >= opsPerClient {
+					return
+				}
+				done[ci]++
+				start := f.sim.Now()
+				clients[ci].FetchAdd(0, 1, func(old uint64, err error) {
+					if err != nil {
+						return
+					}
+					record(old, start)
+					next(ci)
+				})
+			}
+		}
+
+		next(0)
+		next(1)
+		f.sim.Run()
+
+		want := 2 * opsPerClient
+		dense := issued == want
+		for v, n := range tickets {
+			if n != 1 || v >= uint64(want) {
+				dense = false
+			}
+		}
+		s := hist.Summarize()
+		rows = append(rows, SeqRow{
+			Mode:        mode,
+			Ops:         issued,
+			MeanUS:      s.Mean,
+			P99US:       s.P99,
+			UniqueDense: dense,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/discovery"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/p4sim"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// OverlayRow compares object-routing rule schemes under a tiny table
+// budget — §3.2: "To scale to larger deployments, we will explore
+// hierarchical identifier overlay schemes."
+type OverlayRow struct {
+	Mode          string
+	Objects       int
+	RulesPerSw    float64 // object-table entries actually installed
+	InstallFailed int
+	Successes     int
+	Failures      int
+	MeanUS        float64
+}
+
+// prefixBits is the overlay allocation granularity: each node owns a
+// /16 of the ID space (its station number in the high bits).
+const prefixBits = 16
+
+// nodePrefix returns station st's overlay prefix.
+func nodePrefix(st wire.StationID) oid.Prefix {
+	return oid.MakePrefix(oid.ID{Hi: uint64(st) << 48}, prefixBits)
+}
+
+// staticResolver always routes on the object ID (rules are static).
+type staticResolver struct{}
+
+func (staticResolver) Resolve(_ oid.ID, cb func(discovery.Result, error)) {
+	cb(discovery.Result{RouteOnObject: true, CacheHit: true}, nil)
+}
+func (staticResolver) Invalidate(oid.ID) {}
+func (staticResolver) Announce(oid.ID)   {}
+func (staticResolver) Withdraw(oid.ID)   {}
+
+// AblationOverlay gives every switch an object table that only holds
+// ~8 entries, then routes numObjects objects per owner two ways:
+//
+//   - exact: one rule per object (the §4 prototype's scheme) — rules
+//     beyond capacity fail to install and those objects' frames drop;
+//   - overlay: objects are allocated inside their owner's /16 prefix
+//     and each switch carries one LPM rule per owner — constant rule
+//     count regardless of object count.
+func AblationOverlay(seed int64, numObjects int) ([]OverlayRow, error) {
+	if numObjects == 0 {
+		numObjects = 24
+	}
+	rows := make([]OverlayRow, 0, 2)
+	for _, mode := range []string{"exact", "overlay"} {
+		row, err := overlayRun(seed, mode, numObjects)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mode, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func overlayRun(seed int64, mode string, numObjects int) (OverlayRow, error) {
+	sim := netsim.NewSim(seed)
+	net := netsim.NewNetwork(sim)
+	link := netsim.LinkConfig{Latency: 5 * netsim.Microsecond, BitsPerSec: 10_000_000_000}
+	gen := oid.NewSeededGenerator(seed + 1)
+
+	swCfg := p4sim.SwitchConfig{
+		ObjectLPM: mode == "overlay",
+		// ~8 exact 128-bit entries (see AblationHybrid); the LPM
+		// table's wider (value+mask) entries fit ~4 — enough for the
+		// three per-node prefixes.
+		ObjectTableMemory: 300,
+	}
+	coreSw, err := p4sim.NewSwitch(net, "core", 3, swCfg)
+	if err != nil {
+		return OverlayRow{}, err
+	}
+	switches := []*p4sim.Switch{coreSw}
+
+	type onode struct {
+		ep  *transport.Endpoint
+		st  *store.Store
+		coh *coherence.Node
+	}
+	var nodes []*onode
+	var leaves []*p4sim.Switch
+	for i := 0; i < 3; i++ {
+		leaf, err := p4sim.NewSwitch(net, fmt.Sprintf("leaf%d", i), 2, swCfg)
+		if err != nil {
+			return OverlayRow{}, err
+		}
+		if err := net.Connect(coreSw, i, leaf, 0, link); err != nil {
+			return OverlayRow{}, err
+		}
+		leaves = append(leaves, leaf)
+		switches = append(switches, leaf)
+		h, err := netsim.NewHost(net, fmt.Sprintf("h%d", i))
+		if err != nil {
+			return OverlayRow{}, err
+		}
+		if err := net.Connect(h, 0, leaf, 1, link); err != nil {
+			return OverlayRow{}, err
+		}
+		ep := transport.NewEndpoint(h, wire.StationID(i+1),
+			transport.Config{RequestTimeout: 500 * netsim.Microsecond})
+		st := store.New(0)
+		coh := coherence.NewNode(ep, st, staticResolver{})
+		nd := &onode{ep: ep, st: st, coh: coh}
+		ep.SetHandler(func(hd *wire.Header, p []byte) { nd.coh.HandleFrame(hd, p) })
+		nodes = append(nodes, nd)
+	}
+
+	// Station routes so replies unicast (out of band, as a controller
+	// would program them).
+	for st := 1; st <= 3; st++ {
+		hostLeaf := leaves[st-1]
+		if err := coreSw.InstallStationRoute(wire.StationID(st), st-1); err != nil {
+			return OverlayRow{}, err
+		}
+		for i, leaf := range leaves {
+			port := 0 // uplink
+			if i == st-1 {
+				port = 1 // local host
+			}
+			if err := leaf.InstallStationRoute(wire.StationID(st), port); err != nil {
+				return OverlayRow{}, err
+			}
+		}
+		_ = hostLeaf
+	}
+
+	// Objects live on nodes 2 and 3 (stations 2, 3); node 1 reads.
+	installFailed := 0
+	var objs []oid.ID
+	for i := 0; i < numObjects; i++ {
+		ownerIdx := 1 + i%2
+		ownerSt := wire.StationID(ownerIdx + 1)
+		var id oid.ID
+		if mode == "overlay" {
+			id = gen.NewInPrefix(nodePrefix(ownerSt))
+		} else {
+			id = gen.New()
+		}
+		o, err := object.New(id, 2048, 4)
+		if err != nil {
+			return OverlayRow{}, err
+		}
+		if _, err := o.AllocString("payload"); err != nil {
+			return OverlayRow{}, err
+		}
+		if err := nodes[ownerIdx].st.Put(o, 1, true); err != nil {
+			return OverlayRow{}, err
+		}
+		objs = append(objs, id)
+
+		if mode == "exact" {
+			// One rule per object on every switch, toward the owner.
+			for si, sw := range switches {
+				var port int
+				if si == 0 { // core
+					port = ownerIdx
+				} else if si-1 == ownerIdx {
+					port = 1
+				} else {
+					port = 0
+				}
+				if err := sw.InstallObjectRoute(wire.ValueOfID(id), port); err != nil {
+					installFailed++
+				}
+			}
+		}
+	}
+	if mode == "overlay" {
+		// One rule per owner prefix on every switch.
+		for _, ownerIdx := range []int{1, 2} {
+			ownerSt := wire.StationID(ownerIdx + 1)
+			p := nodePrefix(ownerSt)
+			v := wire.ValueOfID(p.ID)
+			for si, sw := range switches {
+				var port int
+				if si == 0 {
+					port = ownerIdx
+				} else if si-1 == ownerIdx {
+					port = 1
+				} else {
+					port = 0
+				}
+				if err := sw.InstallObjectPrefix(v, prefixBits, port); err != nil {
+					installFailed++
+				}
+			}
+		}
+	}
+
+	// Node 1 reads every object once.
+	succ, fail := 0, 0
+	var total netsim.Duration
+	reader := nodes[0]
+	done := false
+	var access func(i int)
+	access = func(i int) {
+		if i >= len(objs) {
+			done = true
+			return
+		}
+		start := sim.Now()
+		reader.coh.ReadAt(objs[i], object.HeaderSize+4*object.FOTEntrySize+8, 7,
+			func(_ []byte, err error) {
+				if err == nil {
+					succ++
+					total += sim.Now().Sub(start)
+				} else {
+					fail++
+				}
+				access(i + 1)
+			})
+	}
+	access(0)
+	sim.Run()
+	if !done {
+		return OverlayRow{}, fmt.Errorf("access loop stalled")
+	}
+
+	var rules int
+	for _, sw := range switches {
+		rules += sw.ObjectTable().Len()
+	}
+	mean := 0.0
+	if succ > 0 {
+		mean = us(total) / float64(succ)
+	}
+	return OverlayRow{
+		Mode:          mode,
+		Objects:       numObjects,
+		RulesPerSw:    float64(rules) / float64(len(switches)),
+		InstallFailed: installFailed,
+		Successes:     succ,
+		Failures:      fail,
+		MeanUS:        mean,
+	}, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/oid"
+)
+
+// ScaleRow quantifies the state-vs-traffic tradeoff between the two
+// discovery schemes as the deployment grows (§4: "The E2E scheme is
+// potentially more scalable [in switch state], but has worst-case
+// latency of 2 RTTs ... while the controller scheme has uniform
+// latency of 1 RTT ... however, memory constraints may impose limits
+// at the switch").
+type ScaleRow struct {
+	Scheme string
+	Nodes  int
+	// ObjectRules counts object-table entries across all switches
+	// (controller state grows with objects; E2E installs none).
+	ObjectRules int
+	// FabricFramesPerAccess is total frame deliveries per access —
+	// E2E broadcasts touch every host, so this grows with N.
+	FabricFramesPerAccess float64
+	// MeanUS is the access latency.
+	MeanUS float64
+}
+
+// ScaleConfig parameterizes the sweep.
+type ScaleConfig struct {
+	Seed        int64
+	NodeCounts  []int
+	ObjectsEach int // cold objects created per responder
+	Accesses    int
+}
+
+func (c *ScaleConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = 47
+	}
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{3, 9, 27}
+	}
+	if c.ObjectsEach == 0 {
+		c.ObjectsEach = 4
+	}
+	if c.Accesses == 0 {
+		c.Accesses = 200
+	}
+}
+
+// ScaleTradeoff sweeps cluster size under a cold-object workload
+// (every access is a first touch, the worst case for E2E): broadcast
+// traffic grows with the host count under E2E, while the controller
+// scheme stays unicast at the cost of per-object switch state.
+func ScaleTradeoff(cfg ScaleConfig) ([]ScaleRow, error) {
+	cfg.fill()
+	var rows []ScaleRow
+	for _, n := range cfg.NodeCounts {
+		for _, scheme := range []core.Scheme{core.SchemeE2E, core.SchemeController} {
+			row, err := scalePoint(cfg, scheme, n)
+			if err != nil {
+				return nil, fmt.Errorf("%v/%d nodes: %w", scheme, n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func scalePoint(cfg ScaleConfig, scheme core.Scheme, nodes int) (ScaleRow, error) {
+	leaves := 3
+	if nodes > 9 {
+		leaves = 9
+	}
+	c, err := core.NewCluster(core.Config{
+		Seed:      cfg.Seed + int64(nodes)*100 + int64(scheme),
+		Scheme:    scheme,
+		NumNodes:  nodes,
+		NumLeaves: leaves,
+	})
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	driver := c.Node(0)
+	responders := c.Nodes[1:]
+
+	// Cold population: enough objects that every measured access is a
+	// first touch at the driver.
+	var objs []oid.ID
+	for i := 0; i < cfg.Accesses; i++ {
+		o, err := responders[i%len(responders)].CreateObject(2048)
+		if err != nil {
+			return ScaleRow{}, err
+		}
+		objs = append(objs, o.ID())
+	}
+	c.Run() // announcements / rule installs
+	c.ResetStats()
+
+	var total float64
+	count := 0
+	err = runToCompletion(c, cfg.Accesses, func(i int, next func()) {
+		start := c.Sim.Now()
+		driver.ReadRef(object.Global{Obj: objs[i]}, 64, func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			total += us(c.Sim.Now().Sub(start))
+			count++
+			next()
+		})
+	})
+	if err != nil {
+		return ScaleRow{}, err
+	}
+
+	rules := 0
+	for _, sw := range c.Switches {
+		rules += sw.ObjectTable().Len()
+	}
+	st := c.Stats()
+	return ScaleRow{
+		Scheme:                scheme.String(),
+		Nodes:                 nodes,
+		ObjectRules:           rules,
+		FabricFramesPerAccess: float64(st.Network.FramesDelivered) / float64(cfg.Accesses),
+		MeanUS:                total / float64(count),
+	}, nil
+}

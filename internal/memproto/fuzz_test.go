@@ -1,0 +1,55 @@
+package memproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMsgUnmarshal ensures Unmarshal never panics and accepted
+// messages round-trip.
+func FuzzMsgUnmarshal(f *testing.F) {
+	f.Add((&Msg{Op: OpReadReq, Offset: 64, Length: 64}).Marshal(nil))
+	f.Add((&Msg{Op: OpObjectPush, TotalLen: 100, Data: []byte("abc")}).Marshal(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, headerSize))
+	f.Add(make([]byte, headerSize-1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Msg
+		if err := m.Unmarshal(data); err != nil {
+			return
+		}
+		re := m.Marshal(nil)
+		var m2 Msg
+		if err := m2.Unmarshal(re); err != nil {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+		if m2.Op != m.Op || m2.Offset != m.Offset || m2.TotalLen != m.TotalLen ||
+			!bytes.Equal(m2.Data, m.Data) {
+			t.Fatal("round trip changed message")
+		}
+	})
+}
+
+// FuzzReassembler ensures arbitrary fragment sequences never panic or
+// write out of bounds.
+func FuzzReassembler(f *testing.F) {
+	f.Add(uint64(100), uint64(0), []byte("0123456789"))
+	f.Add(uint64(10), uint64(5), []byte("abcdef"))
+	f.Add(uint64(0), uint64(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, total, fragOff uint64, data []byte) {
+		if total > 1<<20 {
+			total %= 1 << 20
+		}
+		var r Reassembler
+		m := &Msg{Op: OpObjectPush, TotalLen: total, FragOffset: fragOff, Data: data}
+		done, err := r.Add(m)
+		if err != nil {
+			return
+		}
+		if done && uint64(len(r.Bytes())) != total {
+			t.Fatalf("done with %d/%d bytes", len(r.Bytes()), total)
+		}
+	})
+}

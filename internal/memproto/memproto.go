@@ -1,0 +1,306 @@
+// Package memproto defines the memory-protocol message vocabulary of
+// §3.2: the network exposing a bus-like interface whose operations are
+// loads and stores against objects in the global address space, plus
+// the additional message types cache coherence requires (acquire,
+// probe, release, invalidate) in the style of TileLink [1].
+//
+// Messages ride inside GASP frames of type wire.MsgMem; the object they
+// target travels in the GASP header (it is the routing key), so this
+// layer carries only the operation, byte range, version, and payload.
+package memproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CacheLine is the smallest transfer unit, matching the "payload size
+// is usually a cache line" observation in §3.2.
+const CacheLine = 64
+
+// Op is a memory-protocol operation.
+type Op uint8
+
+// Operations. Requests flow toward an object's holder; responses flow
+// back to the requester.
+const (
+	OpInvalid Op = iota
+	// OpReadReq asks for [Offset, Offset+Length) of the object.
+	OpReadReq
+	// OpReadResp returns the requested bytes.
+	OpReadResp
+	// OpWriteReq writes Data at Offset.
+	OpWriteReq
+	// OpWriteResp acknowledges a write.
+	OpWriteResp
+	// OpObjectReq asks for the whole object (byte-copy movement).
+	OpObjectReq
+	// OpObjectPush carries (a fragment of) an object's raw bytes.
+	OpObjectPush
+	// OpAcquire requests a cached copy at Perm (coherence).
+	OpAcquire
+	// OpGrant responds to OpAcquire with data and granted permission.
+	OpGrant
+	// OpProbe asks a copy holder to downgrade/invalidate.
+	OpProbe
+	// OpProbeAck acknowledges a probe (with dirty data if demoting
+	// from exclusive).
+	OpProbeAck
+	// OpRelease returns a dirty copy to the home.
+	OpRelease
+	// OpReleaseAck acknowledges a release.
+	OpReleaseAck
+	// OpInvalidate tells sharers to drop their copies.
+	OpInvalidate
+	// OpInvalidateAck acknowledges an invalidation.
+	OpInvalidateAck
+
+	opCount
+)
+
+var opNames = [...]string{
+	"invalid", "read-req", "read-resp", "write-req", "write-resp",
+	"object-req", "object-push", "acquire", "grant", "probe",
+	"probe-ack", "release", "release-ack", "invalidate", "invalidate-ack",
+}
+
+// String names the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o > OpInvalid && o < opCount }
+
+// IsRequest reports whether o initiates an exchange.
+func (o Op) IsRequest() bool {
+	switch o {
+	case OpReadReq, OpWriteReq, OpObjectReq, OpAcquire, OpProbe, OpRelease, OpInvalidate:
+		return true
+	}
+	return false
+}
+
+// ResponseOp returns the operation that answers o, or OpInvalid.
+func (o Op) ResponseOp() Op {
+	switch o {
+	case OpReadReq:
+		return OpReadResp
+	case OpWriteReq:
+		return OpWriteResp
+	case OpObjectReq:
+		return OpObjectPush
+	case OpAcquire:
+		return OpGrant
+	case OpProbe:
+		return OpProbeAck
+	case OpRelease:
+		return OpReleaseAck
+	case OpInvalidate:
+		return OpInvalidateAck
+	}
+	return OpInvalid
+}
+
+// Status reports the outcome of a request.
+type Status uint8
+
+// Statuses.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusDenied
+	StatusConflict
+	StatusRange
+)
+
+var statusNames = [...]string{"ok", "not-found", "denied", "conflict", "range"}
+
+// String names the status.
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Err converts a non-OK status into an error (nil for StatusOK).
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("memproto: remote status %s", s)
+}
+
+// Perm is a coherence permission level.
+type Perm uint8
+
+// Permissions, ordered so higher grants more.
+const (
+	PermNone Perm = iota
+	PermShared
+	PermExclusive
+)
+
+var permNames = [...]string{"none", "shared", "exclusive"}
+
+// String names the permission.
+func (p Perm) String() string {
+	if int(p) < len(permNames) {
+		return permNames[p]
+	}
+	return fmt.Sprintf("perm(%d)", uint8(p))
+}
+
+// headerSize is the fixed message prefix before Data.
+//
+//	0  op(1) status(1) perm(1) reserved(1)
+//	4  length(4)       requested byte count
+//	8  offset(8)       byte offset in the object
+//	16 version(8)      object version for coherence fencing
+//	24 fragOffset(8)   offset of Data within a multi-frame transfer
+//	32 totalLen(8)     total bytes of the whole transfer
+//	40 dataLen(4)
+//	44 data...
+const headerSize = 44
+
+// ErrShort reports a truncated message buffer.
+var ErrShort = errors.New("memproto: message truncated")
+
+// Msg is one memory-protocol message.
+type Msg struct {
+	Op      Op
+	Status  Status
+	Perm    Perm
+	Length  uint32
+	Offset  uint64
+	Version uint64
+	// FragOffset and TotalLen describe multi-frame object transfers:
+	// Data covers [FragOffset, FragOffset+len(Data)) of TotalLen bytes.
+	FragOffset uint64
+	TotalLen   uint64
+	Data       []byte
+}
+
+// EncodedSize returns the marshaled size of m.
+func (m *Msg) EncodedSize() int { return headerSize + len(m.Data) }
+
+// Marshal appends the encoded message to dst and returns the result.
+func (m *Msg) Marshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, headerSize)...)
+	b := dst[off:]
+	b[0] = byte(m.Op)
+	b[1] = byte(m.Status)
+	b[2] = byte(m.Perm)
+	b[3] = 0
+	binary.BigEndian.PutUint32(b[4:8], m.Length)
+	binary.BigEndian.PutUint64(b[8:16], m.Offset)
+	binary.BigEndian.PutUint64(b[16:24], m.Version)
+	binary.BigEndian.PutUint64(b[24:32], m.FragOffset)
+	binary.BigEndian.PutUint64(b[32:40], m.TotalLen)
+	binary.BigEndian.PutUint32(b[40:44], uint32(len(m.Data)))
+	return append(dst, m.Data...)
+}
+
+// Unmarshal parses a message from b. Data is a zero-copy view into b.
+func (m *Msg) Unmarshal(b []byte) error {
+	if len(b) < headerSize {
+		return fmt.Errorf("%w: %d bytes", ErrShort, len(b))
+	}
+	m.Op = Op(b[0])
+	if !m.Op.Valid() {
+		return fmt.Errorf("memproto: invalid op %d", b[0])
+	}
+	m.Status = Status(b[1])
+	m.Perm = Perm(b[2])
+	m.Length = binary.BigEndian.Uint32(b[4:8])
+	m.Offset = binary.BigEndian.Uint64(b[8:16])
+	m.Version = binary.BigEndian.Uint64(b[16:24])
+	m.FragOffset = binary.BigEndian.Uint64(b[24:32])
+	m.TotalLen = binary.BigEndian.Uint64(b[32:40])
+	dataLen := binary.BigEndian.Uint32(b[40:44])
+	if int(dataLen) > len(b)-headerSize {
+		return fmt.Errorf("%w: data length %d in %d-byte buffer", ErrShort, dataLen, len(b))
+	}
+	if dataLen == 0 {
+		m.Data = nil
+	} else {
+		m.Data = b[headerSize : headerSize+int(dataLen)]
+	}
+	return nil
+}
+
+// MaxFragData is the largest Data slice that fits a single GASP frame
+// alongside this header.
+const MaxFragData = 64*1024 - headerSize
+
+// Fragment splits an object-sized transfer into OpObjectPush messages
+// no larger than maxData bytes of payload each (maxData <= MaxFragData;
+// 0 selects MaxFragData). Each fragment carries the object version.
+func Fragment(raw []byte, version uint64, maxData int) []Msg {
+	if maxData <= 0 || maxData > MaxFragData {
+		maxData = MaxFragData
+	}
+	total := uint64(len(raw))
+	if total == 0 {
+		return []Msg{{Op: OpObjectPush, Version: version, TotalLen: 0}}
+	}
+	var out []Msg
+	for off := 0; off < len(raw); off += maxData {
+		end := off + maxData
+		if end > len(raw) {
+			end = len(raw)
+		}
+		out = append(out, Msg{
+			Op:         OpObjectPush,
+			Version:    version,
+			FragOffset: uint64(off),
+			TotalLen:   total,
+			Data:       raw[off:end],
+		})
+	}
+	return out
+}
+
+// Reassembler collects OpObjectPush fragments into a whole object.
+type Reassembler struct {
+	buf      []byte
+	received uint64
+	total    uint64
+	started  bool
+	version  uint64
+}
+
+// Add ingests a fragment. It returns true when the transfer is
+// complete; call Bytes for the result.
+func (r *Reassembler) Add(m *Msg) (bool, error) {
+	if m.Op != OpObjectPush {
+		return false, fmt.Errorf("memproto: reassembling non-push op %s", m.Op)
+	}
+	if !r.started {
+		r.total = m.TotalLen
+		r.buf = make([]byte, m.TotalLen)
+		r.version = m.Version
+		r.started = true
+	}
+	if m.TotalLen != r.total {
+		return false, fmt.Errorf("memproto: fragment total %d != transfer total %d", m.TotalLen, r.total)
+	}
+	if m.FragOffset+uint64(len(m.Data)) > r.total {
+		return false, fmt.Errorf("memproto: fragment [%d,+%d) beyond total %d", m.FragOffset, len(m.Data), r.total)
+	}
+	copy(r.buf[m.FragOffset:], m.Data)
+	r.received += uint64(len(m.Data))
+	return r.received >= r.total, nil
+}
+
+// Bytes returns the reassembled object bytes.
+func (r *Reassembler) Bytes() []byte { return r.buf }
+
+// Version returns the version carried by the transfer.
+func (r *Reassembler) Version() uint64 { return r.version }

@@ -1,0 +1,276 @@
+package memproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	m := &Msg{
+		Op: OpReadResp, Status: StatusOK, Perm: PermShared,
+		Length: 128, Offset: 0x1000, Version: 7,
+		FragOffset: 64, TotalLen: 256, Data: []byte("payload bytes"),
+	}
+	enc := m.Marshal(nil)
+	if len(enc) != m.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, len = %d", m.EncodedSize(), len(enc))
+	}
+	var got Msg
+	if err := got.Unmarshal(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != m.Op || got.Status != m.Status || got.Perm != m.Perm ||
+		got.Length != m.Length || got.Offset != m.Offset || got.Version != m.Version ||
+		got.FragOffset != m.FragOffset || got.TotalLen != m.TotalLen ||
+		!bytes.Equal(got.Data, m.Data) {
+		t.Fatalf("round trip: %+v != %+v", got, *m)
+	}
+}
+
+func TestMarshalAppends(t *testing.T) {
+	m := &Msg{Op: OpReadReq, Length: 8}
+	prefix := []byte("prefix")
+	enc := m.Marshal(prefix)
+	if !bytes.HasPrefix(enc, prefix) {
+		t.Fatal("Marshal clobbered prefix")
+	}
+	var got Msg
+	if err := got.Unmarshal(enc[len(prefix):]); err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpReadReq || got.Length != 8 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var m Msg
+	if err := m.Unmarshal(make([]byte, 10)); !errors.Is(err, ErrShort) {
+		t.Fatalf("short: %v", err)
+	}
+	// Invalid op.
+	enc := (&Msg{Op: OpReadReq}).Marshal(nil)
+	enc[0] = 0
+	if err := m.Unmarshal(enc); err == nil {
+		t.Fatal("accepted invalid op")
+	}
+	enc[0] = byte(opCount)
+	if err := m.Unmarshal(enc); err == nil {
+		t.Fatal("accepted out-of-range op")
+	}
+	// Data length beyond buffer.
+	enc2 := (&Msg{Op: OpReadResp, Data: []byte("abc")}).Marshal(nil)
+	enc2[43] = 200
+	if err := m.Unmarshal(enc2); !errors.Is(err, ErrShort) {
+		t.Fatalf("bad data length: %v", err)
+	}
+}
+
+func TestEmptyDataNil(t *testing.T) {
+	enc := (&Msg{Op: OpWriteResp}).Marshal(nil)
+	var got Msg
+	if err := got.Unmarshal(enc); err != nil {
+		t.Fatal(err)
+	}
+	if got.Data != nil {
+		t.Fatal("empty data not nil")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpAcquire.String() != "acquire" || OpInvalidateAck.String() != "invalidate-ack" {
+		t.Fatal("op names")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatal("out-of-range op name")
+	}
+	if OpInvalid.Valid() || Op(99).Valid() || !OpGrant.Valid() {
+		t.Fatal("Valid()")
+	}
+}
+
+func TestRequestResponsePairs(t *testing.T) {
+	pairs := map[Op]Op{
+		OpReadReq:    OpReadResp,
+		OpWriteReq:   OpWriteResp,
+		OpObjectReq:  OpObjectPush,
+		OpAcquire:    OpGrant,
+		OpProbe:      OpProbeAck,
+		OpRelease:    OpReleaseAck,
+		OpInvalidate: OpInvalidateAck,
+	}
+	for req, resp := range pairs {
+		if !req.IsRequest() {
+			t.Errorf("%s not a request", req)
+		}
+		if req.ResponseOp() != resp {
+			t.Errorf("ResponseOp(%s) = %s, want %s", req, req.ResponseOp(), resp)
+		}
+		if resp.IsRequest() {
+			t.Errorf("%s is a request", resp)
+		}
+		if resp.ResponseOp() != OpInvalid {
+			t.Errorf("ResponseOp(%s) = %s", resp, resp.ResponseOp())
+		}
+	}
+}
+
+func TestStatus(t *testing.T) {
+	if StatusOK.Err() != nil {
+		t.Fatal("StatusOK.Err() != nil")
+	}
+	if StatusNotFound.Err() == nil || StatusDenied.Err() == nil {
+		t.Fatal("non-OK status without error")
+	}
+	if StatusConflict.String() != "conflict" || Status(99).String() != "status(99)" {
+		t.Fatal("status names")
+	}
+	if PermShared.String() != "shared" || Perm(9).String() != "perm(9)" {
+		t.Fatal("perm names")
+	}
+}
+
+func TestFragmentReassemble(t *testing.T) {
+	raw := make([]byte, 200_000)
+	for i := range raw {
+		raw[i] = byte(i * 31)
+	}
+	frags := Fragment(raw, 5, 0)
+	if len(frags) < 3 {
+		t.Fatalf("expected multiple fragments, got %d", len(frags))
+	}
+	var r Reassembler
+	done := false
+	for i, f := range frags {
+		var err error
+		done, err = r.Add(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done && i != len(frags)-1 {
+			t.Fatal("done before last fragment")
+		}
+	}
+	if !done {
+		t.Fatal("not done after all fragments")
+	}
+	if !bytes.Equal(r.Bytes(), raw) {
+		t.Fatal("reassembly mismatch")
+	}
+	if r.Version() != 5 {
+		t.Fatalf("version = %d", r.Version())
+	}
+}
+
+func TestFragmentOutOfOrder(t *testing.T) {
+	raw := make([]byte, 10_000)
+	for i := range raw {
+		raw[i] = byte(i)
+	}
+	frags := Fragment(raw, 1, 1024)
+	var r Reassembler
+	// Deliver in reverse.
+	done := false
+	for i := len(frags) - 1; i >= 0; i-- {
+		var err error
+		done, err = r.Add(&frags[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !done || !bytes.Equal(r.Bytes(), raw) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestFragmentEmpty(t *testing.T) {
+	frags := Fragment(nil, 2, 0)
+	if len(frags) != 1 {
+		t.Fatalf("empty fragment count = %d", len(frags))
+	}
+	var r Reassembler
+	done, err := r.Add(&frags[0])
+	if err != nil || !done {
+		t.Fatalf("empty reassembly: done=%v err=%v", done, err)
+	}
+	if len(r.Bytes()) != 0 {
+		t.Fatal("empty object bytes")
+	}
+}
+
+func TestReassemblerErrors(t *testing.T) {
+	var r Reassembler
+	if _, err := r.Add(&Msg{Op: OpReadReq}); err == nil {
+		t.Fatal("accepted non-push")
+	}
+	r2 := Reassembler{}
+	r2.Add(&Msg{Op: OpObjectPush, TotalLen: 100, Data: make([]byte, 50)})
+	if _, err := r2.Add(&Msg{Op: OpObjectPush, TotalLen: 200}); err == nil {
+		t.Fatal("accepted total mismatch")
+	}
+	if _, err := r2.Add(&Msg{Op: OpObjectPush, TotalLen: 100, FragOffset: 90, Data: make([]byte, 20)}); err == nil {
+		t.Fatal("accepted overflow fragment")
+	}
+}
+
+func TestPropertyFragmentReassemble(t *testing.T) {
+	f := func(data []byte, maxData uint16) bool {
+		frags := Fragment(data, 3, int(maxData))
+		var r Reassembler
+		done := false
+		for i := range frags {
+			var err error
+			done, err = r.Add(&frags[i])
+			if err != nil {
+				return false
+			}
+		}
+		return done && bytes.Equal(r.Bytes(), data) == (len(data) > 0) ||
+			(len(data) == 0 && done)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMsgRoundTrip(t *testing.T) {
+	f := func(op uint8, status, perm uint8, length uint32, off, ver, fo, tl uint64, data []byte) bool {
+		o := Op(op%uint8(opCount-1)) + 1
+		m := &Msg{
+			Op: o, Status: Status(status), Perm: Perm(perm),
+			Length: length, Offset: off, Version: ver,
+			FragOffset: fo, TotalLen: tl, Data: data,
+		}
+		var got Msg
+		if err := got.Unmarshal(m.Marshal(nil)); err != nil {
+			return false
+		}
+		return got.Op == m.Op && got.Offset == m.Offset &&
+			got.TotalLen == m.TotalLen && bytes.Equal(got.Data, m.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := &Msg{Op: OpReadResp, Data: make([]byte, CacheLine)}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Marshal(buf[:0])
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	enc := (&Msg{Op: OpReadResp, Data: make([]byte, CacheLine)}).Marshal(nil)
+	var m Msg
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Unmarshal(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

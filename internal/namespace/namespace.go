@@ -1,0 +1,507 @@
+// Package namespace implements a hierarchical name service built
+// entirely out of global-address-space objects — the kind of service
+// the paper's model makes almost free to decouple: directories are
+// ordinary objects whose entries hold first-class references, lookups
+// are reads through references from anywhere, and mutations are code
+// invocations that the system rendezvouses with the directory object
+// (usually at its home, so the write is local).
+//
+// Directory object layout (after the standard object header/FOT):
+//
+//	dirHeader (first allocation):
+//	  +0 magic  "NSDR"
+//	  +8 headPtr — Ptr to the newest entry record (0 = empty)
+//
+// Entry records form an intrusive list, newest first; a later record
+// for the same name shadows earlier ones (update and tombstone
+// semantics without in-place rewrites):
+//
+//	+0  nextPtr  Ptr to the previous record (0 = end)
+//	+8  target   Ptr (FOT-encoded reference; 0 = tombstone)
+//	+16 kind     u8 (KindValue | KindDir)
+//	+17 nameLen  u8
+//	+18 name     bytes
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/serde"
+)
+
+// Entry kinds.
+const (
+	// KindValue names an arbitrary object reference.
+	KindValue = 1
+	// KindDir names a child directory object.
+	KindDir = 2
+)
+
+const (
+	dirMagic = 0x5244534E // "NSDR"
+	// DirFOTCap sizes directory FOTs: one slot per distinct target
+	// object referenced by live or shadowed bindings.
+	DirFOTCap = 512
+	// DefaultDirSize is the size of directory objects; at ~32 bytes
+	// per record plus FOT slots a directory holds a few hundred
+	// bindings.
+	DefaultDirSize = 32 << 10
+	// MaxNameLen bounds one path component.
+	MaxNameLen = 255
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("namespace: name not found")
+	ErrNotDir   = errors.New("namespace: path component is not a directory")
+	ErrBadName  = errors.New("namespace: invalid name")
+	ErrNotNS    = errors.New("namespace: object is not a directory")
+)
+
+// bindSymbol is the code-object symbol for directory mutations.
+const bindSymbol = "gasp.ns.bind"
+
+// Entry is one listed binding.
+type Entry struct {
+	Name   string
+	Target object.Global
+	Kind   byte
+}
+
+// Namespace is a handle bound to one node and a root directory.
+type Namespace struct {
+	node *core.Node
+	root object.Global
+	code object.Global
+}
+
+// InitDirObject formats o as an empty directory.
+func InitDirObject(o *object.Object) error {
+	h, err := o.Alloc(16, 8)
+	if err != nil {
+		return err
+	}
+	if err := o.PutUint64(h, dirMagic); err != nil {
+		return err
+	}
+	return o.PutUint64(h+8, 0)
+}
+
+// dirHead returns the offset of the directory header, validating magic.
+func dirHead(o *object.Object) (uint64, error) {
+	h := o.HeapBase()
+	magic, err := o.Uint64(h)
+	if err != nil || magic != dirMagic {
+		return 0, ErrNotNS
+	}
+	return h, nil
+}
+
+// newDirObject creates and formats a directory object homed on node.
+func newDirObject(node *core.Node) (*object.Object, error) {
+	o, err := object.New(node.Cluster().NewID(), DefaultDirSize, DirFOTCap)
+	if err != nil {
+		return nil, err
+	}
+	if err := InitDirObject(o); err != nil {
+		return nil, err
+	}
+	if err := node.AdoptObject(o); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Create builds a new namespace rooted at a fresh directory object
+// homed on node, and registers the mutation code cluster-wide.
+func Create(node *core.Node) (*Namespace, error) {
+	root, err := newDirObject(node)
+	if err != nil {
+		return nil, err
+	}
+	node.Cluster().RegisterAll(bindSymbol, bindFunc)
+	code, err := node.CreateCodeObject(bindSymbol, root.ID())
+	if err != nil {
+		return nil, err
+	}
+	return &Namespace{
+		node: node,
+		root: object.Global{Obj: root.ID()},
+		code: object.Global{Obj: code.ID()},
+	}, nil
+}
+
+// Attach opens an existing namespace (created elsewhere) from another
+// node. The bind code object reference travels with the root.
+func Attach(node *core.Node, ns *Namespace) *Namespace {
+	node.Cluster().RegisterAll(bindSymbol, bindFunc)
+	return &Namespace{node: node, root: ns.root, code: ns.code}
+}
+
+// Root returns the root directory reference.
+func (ns *Namespace) Root() object.Global { return ns.root }
+
+// splitPath validates and splits "a/b/c".
+func splitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, fmt.Errorf("%w: empty path", ErrBadName)
+	}
+	parts := strings.Split(path, "/")
+	for _, p := range parts {
+		if p == "" || len(p) > MaxNameLen {
+			return nil, fmt.Errorf("%w: component %q", ErrBadName, p)
+		}
+	}
+	return parts, nil
+}
+
+// lookupIn scans a directory object for name; found=false with nil
+// error means a clean miss (or tombstone).
+func lookupIn(dir *object.Object, name string) (Entry, bool, error) {
+	h, err := dirHead(dir)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	headPtr, err := dir.GetPtr(h + 8)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	off := headPtr.Offset()
+	for !headPtr.IsNull() {
+		rec, e, err := readRecord(dir, off)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		if e.Name == name {
+			if e.Target.IsNil() {
+				return Entry{}, false, nil // tombstone
+			}
+			return e, true, nil
+		}
+		headPtr = rec
+		off = rec.Offset()
+	}
+	return Entry{}, false, nil
+}
+
+// readRecord decodes the record at off, returning the next pointer.
+func readRecord(dir *object.Object, off uint64) (object.Ptr, Entry, error) {
+	next, err := dir.GetPtr(off)
+	if err != nil {
+		return 0, Entry{}, err
+	}
+	target, err := dir.LoadRef(off + 8)
+	if err != nil {
+		return 0, Entry{}, err
+	}
+	meta, err := dir.ReadAt(off+16, 2)
+	if err != nil {
+		return 0, Entry{}, err
+	}
+	kind, nameLen := meta[0], int(meta[1])
+	name, err := dir.ReadAt(off+18, nameLen)
+	if err != nil {
+		return 0, Entry{}, err
+	}
+	return next, Entry{Name: string(name), Target: target, Kind: kind}, nil
+}
+
+// appendRecord writes a new head record into dir (which must be local
+// and writable — callers reach it via invocation at its home).
+func appendRecord(dir *object.Object, name string, target object.Global, kind byte) error {
+	h, err := dirHead(dir)
+	if err != nil {
+		return err
+	}
+	need := 18 + len(name)
+	off, err := dir.Alloc(need, 8)
+	if err != nil {
+		return err
+	}
+	oldHead, err := dir.GetPtr(h + 8)
+	if err != nil {
+		return err
+	}
+	if err := dir.PutPtr(off, oldHead); err != nil {
+		return err
+	}
+	if target.IsNil() {
+		if err := dir.PutPtr(off+8, 0); err != nil {
+			return err
+		}
+	} else {
+		if err := dir.StoreRef(off+8, target.Obj, target.Off, object.FlagRead); err != nil {
+			return err
+		}
+	}
+	if err := dir.WriteAt(off+16, []byte{kind, byte(len(name))}); err != nil {
+		return err
+	}
+	if err := dir.WriteAt(off+18, []byte(name)); err != nil {
+		return err
+	}
+	np, err := object.MakePtr(0, off)
+	if err != nil {
+		return err
+	}
+	return dir.PutPtr(h+8, np)
+}
+
+// List returns the live entries of the directory at path ("/" or ""
+// lists the root), resolving through references from this node.
+func (ns *Namespace) List(path string, cb func([]Entry, error)) {
+	ns.walk(path, func(dirRef object.Global, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		ns.node.Deref(dirRef, func(dir *object.Object, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			entries, err := collect(dir)
+			cb(entries, err)
+		})
+	})
+}
+
+// collect returns live entries, newest-binding-wins, sorted by scan
+// order (newest first), with tombstoned names removed.
+func collect(dir *object.Object) ([]Entry, error) {
+	h, err := dirHead(dir)
+	if err != nil {
+		return nil, err
+	}
+	headPtr, err := dir.GetPtr(h + 8)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []Entry
+	off := headPtr.Offset()
+	for !headPtr.IsNull() {
+		next, e, err := readRecord(dir, off)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			if !e.Target.IsNil() {
+				out = append(out, e)
+			}
+		}
+		headPtr = next
+		off = next.Offset()
+	}
+	return out, nil
+}
+
+// walk resolves the directory that contains path's final component —
+// for "" or "/" it yields the root itself.
+func (ns *Namespace) walk(path string, cb func(object.Global, error)) {
+	trimmed := strings.Trim(path, "/")
+	if trimmed == "" {
+		cb(ns.root, nil)
+		return
+	}
+	parts, err := splitPath(path)
+	if err != nil {
+		cb(object.Global{}, err)
+		return
+	}
+	ns.descend(ns.root, parts, cb)
+}
+
+// descend walks all components as directories.
+func (ns *Namespace) descend(cur object.Global, parts []string, cb func(object.Global, error)) {
+	if len(parts) == 0 {
+		cb(cur, nil)
+		return
+	}
+	ns.node.Deref(cur, func(dir *object.Object, err error) {
+		if err != nil {
+			cb(object.Global{}, err)
+			return
+		}
+		e, found, err := lookupIn(dir, parts[0])
+		if err != nil {
+			cb(object.Global{}, err)
+			return
+		}
+		if !found {
+			cb(object.Global{}, fmt.Errorf("%w: %q", ErrNotFound, parts[0]))
+			return
+		}
+		if e.Kind != KindDir {
+			cb(object.Global{}, fmt.Errorf("%w: %q", ErrNotDir, parts[0]))
+			return
+		}
+		ns.descend(e.Target, parts[1:], cb)
+	})
+}
+
+// Resolve looks up a full path to a reference.
+func (ns *Namespace) Resolve(path string, cb func(object.Global, byte, error)) {
+	parts, err := splitPath(path)
+	if err != nil {
+		cb(object.Global{}, 0, err)
+		return
+	}
+	dirPath := strings.Join(parts[:len(parts)-1], "/")
+	leaf := parts[len(parts)-1]
+	ns.walk(dirPath, func(dirRef object.Global, err error) {
+		if err != nil {
+			cb(object.Global{}, 0, err)
+			return
+		}
+		ns.node.Deref(dirRef, func(dir *object.Object, err error) {
+			if err != nil {
+				cb(object.Global{}, 0, err)
+				return
+			}
+			e, found, err := lookupIn(dir, leaf)
+			if err != nil {
+				cb(object.Global{}, 0, err)
+				return
+			}
+			if !found {
+				cb(object.Global{}, 0, fmt.Errorf("%w: %q", ErrNotFound, path))
+				return
+			}
+			cb(e.Target, e.Kind, nil)
+		})
+	})
+}
+
+// bind request encoding for the invocation parameter.
+func encodeBind(name string, target object.Global, kind byte, mkdir bool) []byte {
+	e := serde.NewEncoder(64 + len(name))
+	e.PutString(name)
+	e.PutUint64(target.Obj.Hi)
+	e.PutUint64(target.Obj.Lo)
+	e.PutUint64(target.Off)
+	mk := byte(0)
+	if mkdir {
+		mk = 1
+	}
+	e.PutUvarint(uint64(kind))
+	e.PutUvarint(uint64(mk))
+	return e.Bytes()
+}
+
+// bindFunc is the mutation code object body: it runs where the system
+// places it (the directory's home wins the cost model since the
+// directory is there), appends the record, and returns the bound
+// target — for mkdir it creates the child directory first.
+func bindFunc(ctx *core.ExecCtx) {
+	d := serde.NewDecoder(ctx.Param)
+	name := d.String()
+	target := object.Global{}
+	target.Obj.Hi = d.Uint64()
+	target.Obj.Lo = d.Uint64()
+	target.Off = d.Uint64()
+	kind := byte(d.Uvarint())
+	mkdir := d.Uvarint() == 1
+	if d.Err() != nil {
+		ctx.Fail(d.Err())
+		return
+	}
+	ctx.Deref(ctx.Args[0], func(dir *object.Object, err error) {
+		if err != nil {
+			ctx.Fail(err)
+			return
+		}
+		// Mutations must happen on the authoritative copy: require
+		// that the executing node is the directory's home. (The
+		// placement engine sends us here because the data is here.)
+		entry, err := ctx.Node().Store.GetEntry(dir.ID())
+		if err != nil || !entry.Home {
+			ctx.Fail(fmt.Errorf("namespace: bind executed away from directory home"))
+			return
+		}
+		if mkdir {
+			child, err := newDirObject(ctx.Node())
+			if err != nil {
+				ctx.Fail(err)
+				return
+			}
+			target = object.Global{Obj: child.ID()}
+			kind = KindDir
+		}
+		if err := appendRecord(dir, name, target, kind); err != nil {
+			ctx.Fail(err)
+			return
+		}
+		ctx.Node().Store.BumpVersion(dir.ID())
+		// Remote nodes may hold cached copies of the directory from
+		// earlier lookups; drop them so the new binding is visible.
+		ctx.Node().Coherence.InvalidateSharers(dir.ID())
+		out := serde.NewEncoder(24)
+		out.PutUint64(target.Obj.Hi)
+		out.PutUint64(target.Obj.Lo)
+		out.PutUint64(target.Off)
+		ctx.Return(out.Bytes())
+	})
+}
+
+// mutate runs the bind code against the directory containing the leaf.
+func (ns *Namespace) mutate(path string, target object.Global, kind byte, mkdir bool,
+	cb func(object.Global, error)) {
+
+	parts, err := splitPath(path)
+	if err != nil {
+		cb(object.Global{}, err)
+		return
+	}
+	dirPath := strings.Join(parts[:len(parts)-1], "/")
+	leaf := parts[len(parts)-1]
+	ns.walk(dirPath, func(dirRef object.Global, err error) {
+		if err != nil {
+			cb(object.Global{}, err)
+			return
+		}
+		ns.node.Invoke(ns.code, []object.Global{dirRef},
+			core.InvokeOptions{
+				Param:       encodeBind(leaf, target, kind, mkdir),
+				ComputeWork: 0.00001,
+				ResultSize:  32,
+			},
+			func(res core.InvokeResult, err error) {
+				if err != nil {
+					cb(object.Global{}, err)
+					return
+				}
+				d := serde.NewDecoder(res.Result)
+				out := object.Global{}
+				out.Obj.Hi = d.Uint64()
+				out.Obj.Lo = d.Uint64()
+				out.Off = d.Uint64()
+				cb(out, d.Err())
+			})
+	})
+}
+
+// Bind names target at path (the parent directories must exist).
+func (ns *Namespace) Bind(path string, target object.Global, cb func(error)) {
+	if target.IsNil() {
+		cb(fmt.Errorf("%w: nil target", ErrBadName))
+		return
+	}
+	ns.mutate(path, target, KindValue, false, func(_ object.Global, err error) { cb(err) })
+}
+
+// Mkdir creates (and names) a child directory, returning its reference.
+func (ns *Namespace) Mkdir(path string, cb func(object.Global, error)) {
+	ns.mutate(path, object.Global{}, KindDir, true, cb)
+}
+
+// Unbind removes the binding at path (idempotent tombstone).
+func (ns *Namespace) Unbind(path string, cb func(error)) {
+	ns.mutate(path, object.Global{}, KindValue, false, func(_ object.Global, err error) { cb(err) })
+}

@@ -1,0 +1,399 @@
+package namespace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/object"
+)
+
+func newCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{Seed: 21, Scheme: core.SchemeE2E})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// mkTarget creates a small value object on node.
+func mkTarget(t *testing.T, n *core.Node, marker string) object.Global {
+	t.Helper()
+	o, err := n.CreateObject(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := o.AllocString(marker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return object.Global{Obj: o.ID(), Off: off}
+}
+
+func TestBindResolveLocal(t *testing.T) {
+	c := newCluster(t)
+	ns, err := Create(c.Node(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := mkTarget(t, c.Node(0), "v1")
+	var bindErr error
+	ns.Bind("alpha", target, func(err error) { bindErr = err })
+	c.Run()
+	if bindErr != nil {
+		t.Fatal(bindErr)
+	}
+	var got object.Global
+	var kind byte
+	ns.Resolve("alpha", func(g object.Global, k byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, kind = g, k
+	})
+	c.Run()
+	if got != target || kind != KindValue {
+		t.Fatalf("Resolve = %v kind %d", got, kind)
+	}
+}
+
+func TestResolveFromRemoteNode(t *testing.T) {
+	c := newCluster(t)
+	ns0, err := Create(c.Node(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := mkTarget(t, c.Node(1), "remote target")
+	done := false
+	ns0.Bind("svc", target, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	c.Run()
+	if !done {
+		t.Fatal("bind incomplete")
+	}
+	// Node 2 attaches and resolves through the network.
+	ns2 := Attach(c.Node(2), ns0)
+	var got object.Global
+	ns2.Resolve("svc", func(g object.Global, _ byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = g
+	})
+	c.Run()
+	if got != target {
+		t.Fatalf("remote Resolve = %v", got)
+	}
+	// Follow the resolved reference to the data itself.
+	var payload string
+	c.Node(2).Deref(got, func(o *object.Object, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _ = o.LoadString(got.Off)
+	})
+	c.Run()
+	if payload != "remote target" {
+		t.Fatalf("payload = %q", payload)
+	}
+}
+
+func TestRemoteBindRunsAtDirectoryHome(t *testing.T) {
+	// A bind issued from node 2 must execute at the directory's home
+	// (node 0) via placement — and succeed.
+	c := newCluster(t)
+	ns0, err := Create(c.Node(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	ns2 := Attach(c.Node(2), ns0)
+	target := mkTarget(t, c.Node(2), "x")
+	var bindErr error
+	ok := false
+	ns2.Bind("from-remote", target, func(err error) { bindErr, ok = err, true })
+	c.Run()
+	if !ok || bindErr != nil {
+		t.Fatalf("remote bind: ok=%v err=%v", ok, bindErr)
+	}
+	var got object.Global
+	ns0.Resolve("from-remote", func(g object.Global, _ byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = g
+	})
+	c.Run()
+	if got != target {
+		t.Fatalf("resolve after remote bind = %v", got)
+	}
+}
+
+func TestMkdirAndNestedPaths(t *testing.T) {
+	c := newCluster(t)
+	ns, err := Create(c.Node(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirRef object.Global
+	ns.Mkdir("services", func(g object.Global, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirRef = g
+	})
+	c.Run()
+	if dirRef.IsNil() {
+		t.Fatal("mkdir returned nil ref")
+	}
+	ns.Mkdir("services/ml", func(g object.Global, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	c.Run()
+	target := mkTarget(t, c.Node(1), "deep")
+	ns.Bind("services/ml/model", target, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	c.Run()
+	var got object.Global
+	ns.Resolve("services/ml/model", func(g object.Global, k byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != KindValue {
+			t.Fatalf("kind = %d", k)
+		}
+		got = g
+	})
+	c.Run()
+	if got != target {
+		t.Fatalf("nested resolve = %v", got)
+	}
+	// Resolving the intermediate as a value yields the dir ref.
+	ns.Resolve("services", func(g object.Global, k byte, err error) {
+		if err != nil || k != KindDir {
+			t.Fatalf("dir resolve: %v kind=%d err=%v", g, k, err)
+		}
+	})
+	c.Run()
+}
+
+func TestRebindShadowsAndUnbindTombstones(t *testing.T) {
+	c := newCluster(t)
+	ns, _ := Create(c.Node(0))
+	t1 := mkTarget(t, c.Node(0), "v1")
+	t2 := mkTarget(t, c.Node(0), "v2")
+	ns.Bind("k", t1, func(err error) {})
+	c.Run()
+	ns.Bind("k", t2, func(err error) {})
+	c.Run()
+	var got object.Global
+	ns.Resolve("k", func(g object.Global, _ byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = g
+	})
+	c.Run()
+	if got != t2 {
+		t.Fatalf("rebind: got %v want %v", got, t2)
+	}
+	// Unbind tombstones.
+	ns.Unbind("k", func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	c.Run()
+	var rerr error
+	ns.Resolve("k", func(_ object.Global, _ byte, err error) { rerr = err })
+	c.Run()
+	if !errors.Is(rerr, ErrNotFound) {
+		t.Fatalf("after unbind: %v", rerr)
+	}
+}
+
+func TestList(t *testing.T) {
+	c := newCluster(t)
+	ns, _ := Create(c.Node(0))
+	for _, name := range []string{"a", "b", "c"} {
+		ns.Bind(name, mkTarget(t, c.Node(0), name), func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		c.Run()
+	}
+	ns.Unbind("b", func(error) {})
+	c.Run()
+	var names []string
+	ns.List("/", func(entries []Entry, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			names = append(names, e.Name)
+		}
+	})
+	c.Run()
+	if strings.Join(names, ",") != "c,a" && strings.Join(names, ",") != "a,c" {
+		t.Fatalf("List = %v (b should be tombstoned)", names)
+	}
+}
+
+func TestStaleCachedDirectoryInvalidated(t *testing.T) {
+	// Node 2 caches the root by resolving, then node 0 binds a new
+	// name; node 2 must see it (cached copy invalidated).
+	c := newCluster(t)
+	ns0, _ := Create(c.Node(0))
+	ns0.Bind("first", mkTarget(t, c.Node(0), "1"), func(error) {})
+	c.Run()
+	ns2 := Attach(c.Node(2), ns0)
+	ns2.Resolve("first", func(_ object.Global, _ byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	c.Run()
+	if !c.Node(2).Store.Contains(ns0.Root().Obj) {
+		t.Fatal("setup: node2 did not cache root")
+	}
+	// New binding from node 0.
+	t2 := mkTarget(t, c.Node(0), "2")
+	ns0.Bind("second", t2, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	c.Run()
+	var got object.Global
+	var rerr error
+	ns2.Resolve("second", func(g object.Global, _ byte, err error) { got, rerr = g, err })
+	c.Run()
+	if rerr != nil {
+		t.Fatalf("stale cache not invalidated: %v", rerr)
+	}
+	if got != t2 {
+		t.Fatalf("resolve = %v", got)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	c := newCluster(t)
+	ns, _ := Create(c.Node(0))
+	var err1, err2, err3 error
+	ns.Resolve("", func(_ object.Global, _ byte, err error) { err1 = err })
+	ns.Resolve("a//b", func(_ object.Global, _ byte, err error) { err2 = err })
+	ns.Bind("x", object.Global{}, func(err error) { err3 = err })
+	c.Run()
+	if !errors.Is(err1, ErrBadName) || !errors.Is(err2, ErrBadName) || !errors.Is(err3, ErrBadName) {
+		t.Fatalf("validation: %v %v %v", err1, err2, err3)
+	}
+	var err4 error
+	ns.Resolve("missing/deep", func(_ object.Global, _ byte, err error) { err4 = err })
+	c.Run()
+	if !errors.Is(err4, ErrNotFound) {
+		t.Fatalf("missing dir: %v", err4)
+	}
+	// Using a value as a directory.
+	ns.Bind("val", mkTarget(t, c.Node(0), "v"), func(error) {})
+	c.Run()
+	var err5 error
+	ns.Resolve("val/sub", func(_ object.Global, _ byte, err error) { err5 = err })
+	c.Run()
+	if !errors.Is(err5, ErrNotDir) {
+		t.Fatalf("value-as-dir: %v", err5)
+	}
+}
+
+func TestNotADirectoryObject(t *testing.T) {
+	c := newCluster(t)
+	ns, _ := Create(c.Node(0))
+	plain, _ := c.Node(0).CreateObject(2048)
+	// Manually bind a plain object as a "dir" and try to walk into it.
+	ns.Bind("fake", object.Global{Obj: plain.ID()}, func(error) {})
+	c.Run()
+	var rerr error
+	ns.Resolve("fake/x", func(_ object.Global, _ byte, err error) { rerr = err })
+	c.Run()
+	if rerr == nil {
+		t.Fatal("walked into a non-directory object")
+	}
+}
+
+func TestListErrors(t *testing.T) {
+	c := newCluster(t)
+	ns, _ := Create(c.Node(0))
+	var err1 error
+	ns.List("missing-dir/x", func(_ []Entry, err error) { err1 = err })
+	c.Run()
+	if !errors.Is(err1, ErrNotFound) {
+		t.Fatalf("List of missing dir: %v", err1)
+	}
+	var err2 error
+	ns.List("bad//path", func(_ []Entry, err error) { err2 = err })
+	c.Run()
+	if !errors.Is(err2, ErrBadName) {
+		t.Fatalf("List of bad path: %v", err2)
+	}
+	// Root list of empty namespace.
+	var entries []Entry
+	listed := false
+	ns.List("", func(es []Entry, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, listed = es, true
+	})
+	c.Run()
+	if !listed || len(entries) != 0 {
+		t.Fatalf("empty root list: %v %v", listed, entries)
+	}
+}
+
+func TestBindIntoMissingDirectory(t *testing.T) {
+	c := newCluster(t)
+	ns, _ := Create(c.Node(0))
+	var gotErr error
+	ns.Bind("nowhere/else/x", mkTarget(t, c.Node(0), "v"), func(err error) { gotErr = err })
+	c.Run()
+	if !errors.Is(gotErr, ErrNotFound) {
+		t.Fatalf("bind into missing dir: %v", gotErr)
+	}
+}
+
+func TestManyBindings(t *testing.T) {
+	c := newCluster(t)
+	ns, _ := Create(c.Node(0))
+	const n = 100
+	for i := 0; i < n; i++ {
+		name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		ns.Bind(name, mkTarget(t, c.Node(i%3), name), func(err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		c.Run()
+	}
+	var count int
+	ns.List("/", func(entries []Entry, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		count = len(entries)
+	})
+	c.Run()
+	if count != n {
+		t.Fatalf("List = %d entries, want %d", count, n)
+	}
+}

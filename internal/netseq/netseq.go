@@ -1,0 +1,132 @@
+// Package netseq offers in-network synchronization services — the §5
+// plan to "experiment with offloading some synchronization and
+// arbitration concerns to the programmable network (which now
+// functions somewhat as a memory bus)", following NetChain [18] and
+// the optimistic-concurrency offload of [16].
+//
+// A service is a register array hosted on a switch, addressed by an
+// object ID like everything else in the global space: frames carrying
+// the service's ID route toward the hosting switch, which executes the
+// atomic operation in its pipeline and replies — fewer hops and no
+// server software on the critical path, compared with the equivalent
+// host-based service.
+package netseq
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/oid"
+	"repro/internal/p4sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrRemote reports a non-OK register status.
+var ErrRemote = errors.New("netseq: register operation failed")
+
+// Service describes one installed register service.
+type Service struct {
+	ID   oid.ID
+	Host *p4sim.Switch
+}
+
+// Install provisions a register service on host and programs the
+// fabric so frames for id reach it: every switch in toward gets an
+// object route on the given port (its port facing host), and host
+// itself gets the ActRegisters entry.
+func Install(id oid.ID, host *p4sim.Switch, numRegs int, toward map[*p4sim.Switch]int) (*Service, error) {
+	if err := host.EnableRegisters(numRegs); err != nil {
+		return nil, err
+	}
+	if err := host.ObjectTable().Insert(p4sim.Entry{
+		Match:  []p4sim.KeyValue{{Value: wire.ValueOfID(id)}},
+		Action: p4sim.Action{Type: p4sim.ActRegisters},
+	}); err != nil {
+		return nil, err
+	}
+	for sw, port := range toward {
+		if sw == host {
+			continue
+		}
+		if err := sw.InstallObjectRoute(wire.ValueOfID(id), port); err != nil {
+			return nil, err
+		}
+	}
+	return &Service{ID: id, Host: host}, nil
+}
+
+// Client issues atomic operations against a service.
+type Client struct {
+	ep      *transport.Endpoint
+	service oid.ID
+}
+
+// NewClient binds a client to a service ID over an endpoint.
+func NewClient(ep *transport.Endpoint, service oid.ID) *Client {
+	return &Client{ep: ep, service: service}
+}
+
+// do sends one register operation and decodes the reply.
+func (c *Client) do(op p4sim.RegOp, index uint32, a, b uint64,
+	cb func(status byte, value uint64, err error)) {
+
+	payload := p4sim.EncodeRegisterReq(op, index, a, b)
+	h := wire.Header{
+		Type:   wire.MsgCtrl,
+		Flags:  wire.FlagRouteOnObject,
+		Dst:    wire.StationAny,
+		Object: c.service,
+	}
+	c.ep.Request(h, payload, 0, func(resp *wire.Header, p []byte, err error) {
+		if err != nil {
+			cb(0, 0, err)
+			return
+		}
+		status, value, derr := p4sim.DecodeRegisterResp(p)
+		cb(status, value, derr)
+	})
+}
+
+// FetchAdd atomically adds delta to register index, returning the
+// prior value — a line-rate sequencer.
+func (c *Client) FetchAdd(index uint32, delta uint64, cb func(old uint64, err error)) {
+	c.do(p4sim.RegFetchAdd, index, delta, 0, func(status byte, v uint64, err error) {
+		if err == nil && status != p4sim.RegOK {
+			err = fmt.Errorf("%w: status %d", ErrRemote, status)
+		}
+		cb(v, err)
+	})
+}
+
+// Read returns register index's value.
+func (c *Client) Read(index uint32, cb func(value uint64, err error)) {
+	c.do(p4sim.RegRead, index, 0, 0, func(status byte, v uint64, err error) {
+		if err == nil && status != p4sim.RegOK {
+			err = fmt.Errorf("%w: status %d", ErrRemote, status)
+		}
+		cb(v, err)
+	})
+}
+
+// CompareSwap installs next if register index currently holds expect;
+// ok reports success and cur the value observed — in-network locks and
+// arbitration.
+func (c *Client) CompareSwap(index uint32, expect, next uint64,
+	cb func(ok bool, cur uint64, err error)) {
+
+	c.do(p4sim.RegCompareSwap, index, expect, next, func(status byte, v uint64, err error) {
+		if err != nil {
+			cb(false, 0, err)
+			return
+		}
+		switch status {
+		case p4sim.RegOK:
+			cb(true, v, nil)
+		case p4sim.RegCASFailed:
+			cb(false, v, nil)
+		default:
+			cb(false, v, fmt.Errorf("%w: status %d", ErrRemote, status))
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package netseq
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/oid"
+	"repro/internal/p4sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+var gen = oid.NewSeededGenerator(71)
+
+// rig: core switch hosting the service, three leaves, one host each.
+type rig struct {
+	sim     *netsim.Sim
+	svc     *Service
+	clients []*Client
+	core    *p4sim.Switch
+}
+
+func newRig(t *testing.T, numRegs int) *rig {
+	t.Helper()
+	sim := netsim.NewSim(71)
+	net := netsim.NewNetwork(sim)
+	link := netsim.LinkConfig{Latency: 5 * netsim.Microsecond, BitsPerSec: 10_000_000_000}
+
+	coreSw, err := p4sim.NewSwitch(net, "core", 3, p4sim.SwitchConfig{Station: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{sim: sim, core: coreSw}
+	toward := map[*p4sim.Switch]int{}
+	serviceID := gen.New()
+	for i := 0; i < 3; i++ {
+		leaf, err := p4sim.NewSwitch(net, "leaf"+string(rune('0'+i)), 2,
+			p4sim.SwitchConfig{LearnStations: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Connect(coreSw, i, leaf, 0, link); err != nil {
+			t.Fatal(err)
+		}
+		toward[leaf] = 0 // uplink toward the core
+		h, err := netsim.NewHost(net, "h"+string(rune('0'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Connect(h, 0, leaf, 1, link); err != nil {
+			t.Fatal(err)
+		}
+		ep := transport.NewEndpoint(h, wire.StationID(i+1), transport.Config{})
+		r.clients = append(r.clients, NewClient(ep, serviceID))
+	}
+	svc, err := Install(serviceID, coreSw, numRegs, toward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.svc = svc
+	return r
+}
+
+func TestFetchAddSequencer(t *testing.T) {
+	r := newRig(t, 4)
+	var got []uint64
+	for i := 0; i < 5; i++ {
+		r.clients[0].FetchAdd(0, 1, func(old uint64, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, old)
+		})
+		r.sim.Run()
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("tickets = %v", got)
+		}
+	}
+	if r.core.Counters().RegisterOps != 5 {
+		t.Fatalf("RegisterOps = %d", r.core.Counters().RegisterOps)
+	}
+}
+
+func TestTicketsUniqueAcrossClients(t *testing.T) {
+	r := newRig(t, 1)
+	seen := map[uint64]int{}
+	total := 0
+	for round := 0; round < 10; round++ {
+		for c := range r.clients {
+			r.clients[c].FetchAdd(0, 1, func(old uint64, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				seen[old]++
+				total++
+			})
+		}
+	}
+	r.sim.Run()
+	if total != 30 {
+		t.Fatalf("completed %d/30", total)
+	}
+	for ticket, count := range seen {
+		if count != 1 {
+			t.Fatalf("ticket %d issued %d times", ticket, count)
+		}
+		if ticket >= 30 {
+			t.Fatalf("ticket %d out of range", ticket)
+		}
+	}
+}
+
+func TestCompareSwapLock(t *testing.T) {
+	r := newRig(t, 2)
+	// Client 0 takes the lock; client 1's attempt fails; after
+	// release client 1 succeeds.
+	step := 0
+	r.clients[0].CompareSwap(1, 0, 100, func(ok bool, cur uint64, err error) {
+		if err != nil || !ok {
+			t.Fatalf("acquire: ok=%v cur=%d err=%v", ok, cur, err)
+		}
+		step = 1
+		r.clients[1].CompareSwap(1, 0, 200, func(ok bool, cur uint64, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok || cur != 100 {
+				t.Fatalf("contended acquire should fail: ok=%v cur=%d", ok, cur)
+			}
+			step = 2
+			// Release.
+			r.clients[0].CompareSwap(1, 100, 0, func(ok bool, _ uint64, err error) {
+				if err != nil || !ok {
+					t.Fatalf("release: ok=%v err=%v", ok, err)
+				}
+				step = 3
+				r.clients[1].CompareSwap(1, 0, 200, func(ok bool, _ uint64, err error) {
+					if err != nil || !ok {
+						t.Fatalf("reacquire: ok=%v err=%v", ok, err)
+					}
+					step = 4
+				})
+			})
+		})
+	})
+	r.sim.Run()
+	if step != 4 {
+		t.Fatalf("lock protocol stopped at step %d", step)
+	}
+	regs := r.svc.Host.Registers()
+	if regs[1] != 200 {
+		t.Fatalf("final register = %d", regs[1])
+	}
+}
+
+func TestReadAndErrors(t *testing.T) {
+	r := newRig(t, 1)
+	r.clients[0].FetchAdd(0, 7, func(uint64, error) {})
+	r.sim.Run()
+	r.clients[0].Read(0, func(v uint64, err error) {
+		if err != nil || v != 7 {
+			t.Fatalf("Read = %d, %v", v, err)
+		}
+	})
+	r.sim.Run()
+	// Out-of-range index.
+	var gotErr error
+	r.clients[0].FetchAdd(99, 1, func(_ uint64, err error) { gotErr = err })
+	r.sim.Run()
+	if gotErr == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestSwitchHopLatencyAdvantage(t *testing.T) {
+	// The in-switch service answers from the core: 2 hops each way
+	// instead of the 4 a host-based service needs.
+	r := newRig(t, 1)
+	start := r.sim.Now()
+	var end netsim.Time
+	r.clients[0].FetchAdd(0, 1, func(uint64, error) { end = r.sim.Now() })
+	r.sim.Run()
+	rtt := end.Sub(start)
+	// host→leaf→core and back: 4 link crossings ≈ 4×(5µs+~1µs) plus
+	// pipeline delays; a host-based service would need 8.
+	if rtt > 30*netsim.Microsecond {
+		t.Fatalf("in-switch RTT = %v, expected ~25µs (2 hops each way)", rtt)
+	}
+}
+
+func TestCompareSwapBadIndex(t *testing.T) {
+	r := newRig(t, 1)
+	var gotErr error
+	r.clients[0].CompareSwap(9, 0, 1, func(_ bool, _ uint64, err error) { gotErr = err })
+	r.sim.Run()
+	if gotErr == nil {
+		t.Fatal("bad CAS index accepted")
+	}
+	var rerr error
+	r.clients[0].Read(9, func(_ uint64, err error) { rerr = err })
+	r.sim.Run()
+	if rerr == nil {
+		t.Fatal("bad Read index accepted")
+	}
+}
+
+func TestInstallFailsOnFullObjectTable(t *testing.T) {
+	sim := netsim.NewSim(2)
+	net := netsim.NewNetwork(sim)
+	// Capacity-0 object table (32B entries don't fit in 16B budget).
+	host, err := p4sim.NewSwitch(net, "h", 2, p4sim.SwitchConfig{
+		Station: 900, ObjectTableMemory: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(gen.New(), host, 1, nil); err == nil {
+		t.Fatal("Install accepted full table")
+	}
+}
+
+func TestInstallRequiresStation(t *testing.T) {
+	sim := netsim.NewSim(2)
+	net := netsim.NewNetwork(sim)
+	host, err := p4sim.NewSwitch(net, "h", 2, p4sim.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(gen.New(), host, 1, nil); err == nil {
+		t.Fatal("Install accepted station-less switch")
+	}
+}
+
+func TestEnableRegistersRequiresStation(t *testing.T) {
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	sw, err := p4sim.NewSwitch(net, "s", 2, p4sim.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.EnableRegisters(4); err == nil {
+		t.Fatal("EnableRegisters without Station accepted")
+	}
+}

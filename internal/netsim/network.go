@@ -1,0 +1,282 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame is a raw layer-2 frame. Frames cross links as bytes — devices
+// must parse them — so serialization costs are honest.
+type Frame []byte
+
+// Device is anything attachable to the network: a host NIC or a switch.
+// Recv is called synchronously from the event loop when a frame arrives
+// on one of the device's ports.
+type Device interface {
+	// DevName identifies the device in traces.
+	DevName() string
+	// Recv handles a frame arriving on local port index port.
+	Recv(port int, fr Frame)
+}
+
+// LinkConfig describes one link's characteristics.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency Duration
+	// BitsPerSec is the transmission rate; 0 means infinite (no
+	// serialization delay).
+	BitsPerSec int64
+	// DropRate is the probability in [0,1) that a frame is lost.
+	DropRate float64
+}
+
+// DefaultLink approximates an in-rack 10GbE hop.
+var DefaultLink = LinkConfig{Latency: 5 * Microsecond, BitsPerSec: 10_000_000_000}
+
+type endpoint struct {
+	dev  Device
+	port int
+}
+
+type link struct {
+	cfg LinkConfig
+	a   endpoint
+	b   endpoint
+	// busy tracks per-direction transmitter availability for
+	// serialization-delay queueing; index 0 = a→b, 1 = b→a.
+	busy [2]Time
+	// down silently drops all frames (failure injection).
+	down bool
+}
+
+// Stats aggregates network-wide frame counters.
+type Stats struct {
+	FramesSent      uint64
+	FramesDelivered uint64
+	FramesDropped   uint64
+	BytesDelivered  uint64
+}
+
+// TraceFunc observes every frame delivery attempt.
+type TraceFunc func(ev TraceEvent)
+
+// TraceEvent describes one frame hop for debugging and tests.
+type TraceEvent struct {
+	At      Time
+	From    string
+	To      string
+	Port    int
+	Bytes   int
+	Dropped bool
+}
+
+// Network wires devices together and moves frames between them on the
+// simulator's clock.
+type Network struct {
+	sim     *Sim
+	devices map[Device]*devState
+	stats   Stats
+	trace   TraceFunc
+}
+
+type devState struct {
+	name  string
+	ports []*link // nil where unconnected
+}
+
+// Errors returned by topology construction.
+var (
+	ErrUnknownDevice = errors.New("netsim: device not registered")
+	ErrBadPort       = errors.New("netsim: port out of range or already connected")
+)
+
+// NewNetwork creates a network on the given simulator.
+func NewNetwork(sim *Sim) *Network {
+	return &Network{sim: sim, devices: make(map[Device]*devState)}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// SetTrace installs a frame trace hook (nil to disable).
+func (n *Network) SetTrace(fn TraceFunc) { n.trace = fn }
+
+// Stats returns a copy of the frame counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the frame counters.
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// AddDevice registers dev with numPorts ports.
+func (n *Network) AddDevice(dev Device, numPorts int) error {
+	if _, dup := n.devices[dev]; dup {
+		return fmt.Errorf("netsim: device %q already added", dev.DevName())
+	}
+	if numPorts <= 0 {
+		return fmt.Errorf("netsim: device %q needs at least one port", dev.DevName())
+	}
+	n.devices[dev] = &devState{name: dev.DevName(), ports: make([]*link, numPorts)}
+	return nil
+}
+
+// Connect joins (devA, portA) to (devB, portB) with a full-duplex link.
+func (n *Network) Connect(devA Device, portA int, devB Device, portB int, cfg LinkConfig) error {
+	sa, ok := n.devices[devA]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, devA.DevName())
+	}
+	sb, ok := n.devices[devB]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, devB.DevName())
+	}
+	if portA < 0 || portA >= len(sa.ports) || sa.ports[portA] != nil {
+		return fmt.Errorf("%w: %s port %d", ErrBadPort, sa.name, portA)
+	}
+	if portB < 0 || portB >= len(sb.ports) || sb.ports[portB] != nil {
+		return fmt.Errorf("%w: %s port %d", ErrBadPort, sb.name, portB)
+	}
+	l := &link{cfg: cfg, a: endpoint{devA, portA}, b: endpoint{devB, portB}}
+	sa.ports[portA] = l
+	sb.ports[portB] = l
+	return nil
+}
+
+// SetLinkDown fails (or restores) the link at (dev, port). While down,
+// every frame in either direction is silently dropped — the partial
+// failure §5 names as the foremost challenge. It reports whether a
+// link was found.
+func (n *Network) SetLinkDown(dev Device, port int, down bool) bool {
+	s, ok := n.devices[dev]
+	if !ok || port < 0 || port >= len(s.ports) || s.ports[port] == nil {
+		return false
+	}
+	s.ports[port].down = down
+	return true
+}
+
+// LinkDown reports whether the link at (dev, port) is failed.
+func (n *Network) LinkDown(dev Device, port int) bool {
+	s, ok := n.devices[dev]
+	return ok && port >= 0 && port < len(s.ports) && s.ports[port] != nil && s.ports[port].down
+}
+
+// Peer returns the device and port on the far side of (dev, port)'s
+// link, if connected. Control planes use this to compute routes.
+func (n *Network) Peer(dev Device, port int) (Device, int, bool) {
+	s, ok := n.devices[dev]
+	if !ok || port < 0 || port >= len(s.ports) || s.ports[port] == nil {
+		return nil, 0, false
+	}
+	l := s.ports[port]
+	if l.a.dev == dev && l.a.port == port {
+		return l.b.dev, l.b.port, true
+	}
+	return l.a.dev, l.a.port, true
+}
+
+// Connected reports whether the device's port has a link.
+func (n *Network) Connected(dev Device, port int) bool {
+	s, ok := n.devices[dev]
+	return ok && port >= 0 && port < len(s.ports) && s.ports[port] != nil
+}
+
+// NumPorts returns the number of ports dev was registered with.
+func (n *Network) NumPorts(dev Device) int {
+	s, ok := n.devices[dev]
+	if !ok {
+		return 0
+	}
+	return len(s.ports)
+}
+
+// Send transmits fr out of dev's port. The frame is copied, so the
+// caller may reuse its buffer. Sending on an unconnected port silently
+// discards the frame (like a cable pulled out), counted as a drop.
+func (n *Network) Send(dev Device, port int, fr Frame) {
+	n.stats.FramesSent++
+	s, ok := n.devices[dev]
+	if !ok || port < 0 || port >= len(s.ports) || s.ports[port] == nil {
+		n.stats.FramesDropped++
+		return
+	}
+	l := s.ports[port]
+	if l.down {
+		n.stats.FramesDropped++
+		return
+	}
+	var dir int
+	var dst endpoint
+	if l.a.dev == dev && l.a.port == port {
+		dir, dst = 0, l.b
+	} else {
+		dir, dst = 1, l.a
+	}
+
+	// Serialization (transmission) delay with per-direction queueing.
+	now := n.sim.Now()
+	start := now
+	if l.busy[dir] > start {
+		start = l.busy[dir]
+	}
+	var txDelay Duration
+	if l.cfg.BitsPerSec > 0 {
+		txDelay = Duration(int64(len(fr)) * 8 * int64(Second) / l.cfg.BitsPerSec)
+	}
+	l.busy[dir] = start.Add(txDelay)
+	arrival := l.busy[dir].Add(l.cfg.Latency)
+
+	// Loss.
+	if l.cfg.DropRate > 0 && n.sim.Rand().Float64() < l.cfg.DropRate {
+		n.stats.FramesDropped++
+		if n.trace != nil {
+			n.trace(TraceEvent{At: now, From: s.name, To: n.devices[dst.dev].name,
+				Port: dst.port, Bytes: len(fr), Dropped: true})
+		}
+		return
+	}
+
+	cp := make(Frame, len(fr))
+	copy(cp, fr)
+	n.sim.ScheduleAt(arrival, func() {
+		n.stats.FramesDelivered++
+		n.stats.BytesDelivered += uint64(len(cp))
+		if n.trace != nil {
+			n.trace(TraceEvent{At: n.sim.Now(), From: s.name,
+				To: n.devices[dst.dev].name, Port: dst.port, Bytes: len(cp)})
+		}
+		dst.dev.Recv(dst.port, cp)
+	})
+}
+
+// Host is a single-port end station. Incoming frames are handed to
+// OnFrame; outgoing frames go through Send.
+type Host struct {
+	name    string
+	net     *Network
+	OnFrame func(fr Frame)
+}
+
+// NewHost creates a host and registers it with one port.
+func NewHost(n *Network, name string) (*Host, error) {
+	h := &Host{name: name, net: n}
+	if err := n.AddDevice(h, 1); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// DevName implements Device.
+func (h *Host) DevName() string { return h.name }
+
+// Recv implements Device by dispatching to OnFrame.
+func (h *Host) Recv(port int, fr Frame) {
+	if h.OnFrame != nil {
+		h.OnFrame(fr)
+	}
+}
+
+// Send transmits a frame out the host's NIC.
+func (h *Host) Send(fr Frame) { h.net.Send(h, 0, fr) }
+
+// Network returns the network the host is attached to.
+func (h *Host) Network() *Network { return h.net }

@@ -1,0 +1,169 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// It stands in for the paper's Mininet emulation (§4): hosts and
+// switches are devices joined by links with propagation latency,
+// transmission bandwidth, queueing, and optional loss. All timing runs
+// on a virtual clock, so experiments are exactly reproducible from a
+// seed and the figures' round-trip arithmetic is exact rather than
+// subject to emulation noise.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Add offsets a Time by a Duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the Duration between two Times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Microseconds returns d in (possibly fractional) microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration in microseconds for harness output.
+func (d Duration) String() string { return fmt.Sprintf("%.2fµs", d.Microseconds()) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the event loop. It is single-threaded: device handlers run
+// synchronously inside Run, which is what makes runs deterministic.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	processed uint64
+}
+
+// NewSim creates a simulator with a seeded random source.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's random source (deterministic per seed).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after d elapses (d < 0 is treated as 0).
+func (s *Sim) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute time t (clamped to now).
+func (s *Sim) ScheduleAt(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	stopped bool
+}
+
+// Stop cancels the timer; the callback will not run. It reports whether
+// the call prevented a future firing.
+func (t *Timer) Stop() bool {
+	was := t.stopped
+	t.stopped = true
+	return !was
+}
+
+// AfterFunc schedules fn after d and returns a Timer that can cancel it.
+func (s *Sim) AfterFunc(d Duration, fn func()) *Timer {
+	t := &Timer{}
+	s.Schedule(d, func() {
+		if !t.stopped {
+			t.stopped = true
+			fn()
+		}
+	})
+	return t
+}
+
+// Run processes events until the queue is empty, returning the number
+// processed.
+func (s *Sim) Run() uint64 {
+	start := s.processed
+	for s.events.Len() > 0 {
+		s.step()
+	}
+	return s.processed - start
+}
+
+// RunUntil processes events with timestamps <= t, then advances the
+// clock to t. It returns the number of events processed.
+func (s *Sim) RunUntil(t Time) uint64 {
+	start := s.processed
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return s.processed - start
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Sim) RunFor(d Duration) uint64 { return s.RunUntil(s.now.Add(d)) }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+func (s *Sim) step() {
+	e := heap.Pop(&s.events).(*event)
+	if e.at > s.now {
+		s.now = e.at
+	}
+	s.processed++
+	e.fn()
+}

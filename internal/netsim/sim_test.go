@@ -1,0 +1,194 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := NewSim(1)
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run processed %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	s := NewSim(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim(1)
+	var fired []Time
+	s.Schedule(10, func() {
+		fired = append(fired, s.Now())
+		s.Schedule(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := NewSim(1)
+	ran := false
+	s.Schedule(-100, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 0 {
+		t.Fatalf("negative delay: ran=%v now=%d", ran, s.Now())
+	}
+}
+
+func TestScheduleAtPast(t *testing.T) {
+	s := NewSim(1)
+	s.Schedule(100, func() {
+		s.ScheduleAt(5, func() {
+			if s.Now() != 100 {
+				t.Errorf("past event ran at %d", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim(1)
+	var fired []Time
+	for _, d := range []Duration{10, 20, 30, 40} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, s.Now()) })
+	}
+	n := s.RunUntil(25)
+	if n != 2 {
+		t.Fatalf("RunUntil processed %d", n)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now = %d after RunUntil(25)", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := NewSim(1)
+	count := 0
+	s.Schedule(10, func() { count++ })
+	s.Schedule(100, func() { count++ })
+	s.RunFor(50)
+	if count != 1 || s.Now() != 50 {
+		t.Fatalf("RunFor: count=%d now=%d", count, s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	tm := s.AfterFunc(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	s.AfterFunc(10, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := NewSim(42)
+		var out []Time
+		var rec func(depth int)
+		rec = func(depth int) {
+			out = append(out, s.Now())
+			if depth < 5 {
+				d := Duration(s.Rand().Intn(100))
+				s.Schedule(d, func() { rec(depth + 1) })
+				s.Schedule(d/2, func() { rec(depth + 1) })
+			}
+		}
+		s.Schedule(0, func() { rec(0) })
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPropertyEventsNeverRunEarly(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewSim(7)
+		ok := true
+		for _, d := range delays {
+			want := s.Now().Add(Duration(d))
+			s.Schedule(Duration(d), func() {
+				if s.Now() != want {
+					ok = false
+				}
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	if (2 * Microsecond).Microseconds() != 2.0 {
+		t.Fatal("Microseconds conversion wrong")
+	}
+	t0 := Time(0).Add(5 * Millisecond)
+	if t0.Sub(Time(0)) != 5*Millisecond {
+		t.Fatal("Sub wrong")
+	}
+	if (1500 * Nanosecond).String() != "1.50µs" {
+		t.Fatalf("String = %q", (1500 * Nanosecond).String())
+	}
+}

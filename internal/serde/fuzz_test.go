@@ -1,0 +1,34 @@
+package serde
+
+import "testing"
+
+// FuzzDecoder drives every decoder method over arbitrary input; the
+// decoder must never panic and must stay consistent after errors.
+func FuzzDecoder(f *testing.F) {
+	e := NewEncoder(0)
+	e.PutUvarint(7)
+	e.PutString("seed")
+	e.PutFloat32s([]float32{1, 2})
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.Uvarint()
+		_ = d.String()
+		_ = d.Float32s()
+		_ = d.Uint64()
+		_ = d.Uint32()
+		_ = d.Bytes()
+		if d.Err() != nil {
+			// Errors must be sticky: further reads return zero values.
+			if d.Uint64() != 0 || d.String() != "" {
+				t.Fatal("reads after error returned data")
+			}
+		}
+		if d.Remaining() < 0 {
+			t.Fatal("negative remaining")
+		}
+	})
+}

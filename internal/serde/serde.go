@@ -1,0 +1,192 @@
+// Package serde is the baseline serialization layer that traditional
+// RPC systems depend on — the cost the paper's §2 motivates against
+// ("as much as 70% of the processing time ... is spent deserializing
+// and loading the sparse personalized models").
+//
+// It provides a compact binary encoder/decoder used by the RPC
+// baseline and the model workload. Decoding is deliberately honest
+// about the costs the paper attributes to it: every variable-size
+// field allocates, and reconstructing pointer-rich structures walks
+// and rebuilds the heap (pointer fixup), in contrast to the
+// object-space byte-copy path.
+package serde
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt reports malformed input.
+var ErrCorrupt = errors.New("serde: corrupt input")
+
+// Encoder appends primitive values to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder creates an encoder with an optional size hint.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded size.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUint64 appends a fixed 8-byte value.
+func (e *Encoder) PutUint64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// PutUint32 appends a fixed 4-byte value.
+func (e *Encoder) PutUint32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// PutUvarint appends a varint-encoded value.
+func (e *Encoder) PutUvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	e.buf = append(e.buf, b[:n]...)
+}
+
+// PutFloat64 appends an IEEE-754 double.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutFloat32 appends an IEEE-754 single.
+func (e *Encoder) PutFloat32(v float32) { e.PutUint32(math.Float32bits(v)) }
+
+// PutBytes appends a length-prefixed byte slice.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutString appends a length-prefixed string.
+func (e *Encoder) PutString(s string) { e.PutBytes([]byte(s)) }
+
+// PutFloat32s appends a length-prefixed []float32.
+func (e *Encoder) PutFloat32s(vs []float32) {
+	e.PutUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		e.PutFloat32(v)
+	}
+}
+
+// Decoder consumes values from a buffer.
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+// Uint64 reads a fixed 8-byte value.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("uint64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+// Uint32 reads a fixed 4-byte value.
+func (d *Decoder) Uint32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.b) {
+		d.fail("uint32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+// Uvarint reads a varint-encoded value.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Float32 reads an IEEE-754 single.
+func (d *Decoder) Float32() float32 { return math.Float32frombits(d.Uint32()) }
+
+// Bytes reads a length-prefixed byte slice. It allocates — that is the
+// point: deserialization rebuilds the heap.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("bytes length")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:])
+	d.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// Float32s reads a length-prefixed []float32.
+func (d *Decoder) Float32s() []float32 {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()/4) {
+		d.fail("float32s length")
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = d.Float32()
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package serde
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutUint64(math.MaxUint64)
+	e.PutUint32(0xDEADBEEF)
+	e.PutUvarint(300)
+	e.PutFloat64(-3.25)
+	e.PutFloat32(1.5)
+	d := NewDecoder(e.Bytes())
+	if d.Uint64() != math.MaxUint64 {
+		t.Fatal("uint64")
+	}
+	if d.Uint32() != 0xDEADBEEF {
+		t.Fatal("uint32")
+	}
+	if d.Uvarint() != 300 {
+		t.Fatal("uvarint")
+	}
+	if d.Float64() != -3.25 {
+		t.Fatal("float64")
+	}
+	if d.Float32() != 1.5 {
+		t.Fatal("float32")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestBytesStringRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutBytes([]byte{1, 2, 3})
+	e.PutString("hello")
+	e.PutBytes(nil)
+	d := NewDecoder(e.Bytes())
+	if !bytes.Equal(d.Bytes(), []byte{1, 2, 3}) {
+		t.Fatal("bytes")
+	}
+	if d.String() != "hello" {
+		t.Fatal("string")
+	}
+	if len(d.Bytes()) != 0 || d.Err() != nil {
+		t.Fatal("empty bytes")
+	}
+}
+
+func TestFloat32sRoundTrip(t *testing.T) {
+	vs := []float32{0, -1.25, 3.5, float32(math.Pi)}
+	e := NewEncoder(0)
+	e.PutFloat32s(vs)
+	d := NewDecoder(e.Bytes())
+	got := d.Float32s()
+	if d.Err() != nil || len(got) != len(vs) {
+		t.Fatalf("err=%v len=%d", d.Err(), len(got))
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Fatalf("float32s[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint64(7)
+	e.PutBytes([]byte("abcdef"))
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Uint64()
+		d.Bytes()
+		if cut < len(full) && d.Err() == nil {
+			t.Fatalf("no error at cut %d", cut)
+		}
+		if !errors.Is(d.Err(), ErrCorrupt) {
+			t.Fatalf("err = %v", d.Err())
+		}
+	}
+}
+
+func TestBadLengthPrefix(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUvarint(1 << 40) // huge claimed length
+	d := NewDecoder(e.Bytes())
+	if d.Bytes() != nil || d.Err() == nil {
+		t.Fatal("accepted absurd length")
+	}
+	d2 := NewDecoder(e.Bytes())
+	if d2.Float32s() != nil || d2.Err() == nil {
+		t.Fatal("accepted absurd float32s length")
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Uint64() // fails
+	if d.Err() == nil {
+		t.Fatal("no error")
+	}
+	first := d.Err()
+	d.Uint32()
+	d.Uvarint()
+	if d.Err() != first {
+		t.Fatal("error not sticky")
+	}
+	if d.Uint64() != 0 || d.Float64() != 0 {
+		t.Fatal("post-error reads not zero")
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint64(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestPropertyMixedRoundTrip(t *testing.T) {
+	f := func(a uint64, b uint32, s string, fs []float32, raw []byte) bool {
+		e := NewEncoder(0)
+		e.PutUvarint(a)
+		e.PutUint32(b)
+		e.PutString(s)
+		e.PutFloat32s(fs)
+		e.PutBytes(raw)
+		d := NewDecoder(e.Bytes())
+		if d.Uvarint() != a || d.Uint32() != b || d.String() != s {
+			return false
+		}
+		got := d.Float32s()
+		if len(got) != len(fs) {
+			return false
+		}
+		for i := range fs {
+			if got[i] != fs[i] && !(math.IsNaN(float64(got[i])) && math.IsNaN(float64(fs[i]))) {
+				return false
+			}
+		}
+		return bytes.Equal(d.Bytes(), raw) == (len(raw) > 0) || len(raw) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeFloat32s(b *testing.B) {
+	vs := make([]float32, 1024)
+	e := NewEncoder(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutFloat32s(vs)
+	}
+}
+
+func BenchmarkDecodeFloat32s(b *testing.B) {
+	vs := make([]float32, 1024)
+	e := NewEncoder(8192)
+	e.PutFloat32s(vs)
+	raw := e.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(raw)
+		if d.Float32s() == nil {
+			b.Fatal("nil")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/oid"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New(0)
+	type info struct {
+		checksum uint64
+		version  uint64
+		home     bool
+	}
+	want := map[oid.ID]info{}
+	for i := 0; i < 20; i++ {
+		o := mkObj(t, 1024+(i%3)*512)
+		// Give each object distinct content, including references.
+		off, _ := o.AllocString("persistent payload")
+		_ = off
+		if i%2 == 0 {
+			slot, _ := o.Alloc(8, 8)
+			o.StoreRef(slot, gen.New(), 0x40, object.FlagRead)
+		}
+		home := i%3 == 0
+		if err := s.Put(o, uint64(i+1), home); err != nil {
+			t.Fatal(err)
+		}
+		want[o.ID()] = info{checksum: o.Checksum(), version: uint64(i + 1), home: home}
+	}
+
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(0)
+	n, err := restored.LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 || restored.Len() != 20 {
+		t.Fatalf("loaded %d, Len %d", n, restored.Len())
+	}
+	for id, w := range want {
+		e, err := restored.GetEntry(id)
+		if err != nil {
+			t.Fatalf("missing %s: %v", id.Short(), err)
+		}
+		if e.Obj.Checksum() != w.checksum {
+			t.Fatalf("%s: checksum changed across persistence", id.Short())
+		}
+		if e.Version != w.version || e.Home != w.home {
+			t.Fatalf("%s: metadata = v%d home=%v, want v%d home=%v",
+				id.Short(), e.Version, e.Home, w.version, w.home)
+		}
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	s := New(0)
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(0)
+	n, err := restored.LoadFrom(&buf)
+	if err != nil || n != 0 {
+		t.Fatalf("empty round trip: n=%d err=%v", n, err)
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	s := New(0)
+	s.Put(mkObj(t, 1024), 1, true)
+	var buf bytes.Buffer
+	s.SaveTo(&buf)
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte{9, 9, 9, 9}, good[4:]...),
+		"truncated":   good[:len(good)-5],
+		"bad version": append(append([]byte{}, good[:4]...), append([]byte{9, 0, 0, 0}, good[8:]...)...),
+	}
+	for name, data := range cases {
+		restored := New(0)
+		if _, err := restored.LoadFrom(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v", name, err)
+		}
+	}
+	// Corrupt an object body: object validation must catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-10] ^= 0xFF
+	restored := New(0)
+	if _, err := restored.LoadFrom(bytes.NewReader(bad)); err == nil {
+		// Depending on which byte flipped this may pass object
+		// validation (payload bytes are opaque); flip a header byte
+		// instead.
+		bad2 := append([]byte(nil), good...)
+		bad2[16+33] ^= 0xFF // first object's magic
+		restored2 := New(0)
+		if _, err := restored2.LoadFrom(bytes.NewReader(bad2)); err == nil {
+			t.Error("corrupted object header accepted")
+		}
+	}
+}
+
+func TestSnapshotReplacesExisting(t *testing.T) {
+	s := New(0)
+	o := mkObj(t, 1024)
+	s.Put(o, 5, true)
+	var buf bytes.Buffer
+	s.SaveTo(&buf)
+
+	// The same store loads its own snapshot: versions must not
+	// regress (Put keeps the freshest).
+	s.SetVersion(o.ID(), 9)
+	if _, err := s.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Version(o.ID()); v != 9 {
+		t.Fatalf("version regressed to %d", v)
+	}
+}

@@ -1,0 +1,338 @@
+// Package store implements the per-host object store: the local pool of
+// global-address-space objects a host currently holds.
+//
+// Objects are versioned (the coherence layer bumps the version on every
+// write acquisition) and may be pinned (home objects are pinned so the
+// authoritative copy is never evicted). Cached foreign objects are
+// evicted in LRU order when the store exceeds its byte budget — this is
+// the "caching ... moved out of the application and back into the
+// infrastructure" of §3.
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/object"
+	"repro/internal/oid"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNotFound = errors.New("store: object not found")
+	ErrExists   = errors.New("store: object already present")
+	ErrTooLarge = errors.New("store: object larger than store budget")
+)
+
+// Entry is an object held by the store together with its local
+// metadata.
+type Entry struct {
+	Obj     *object.Object
+	Version uint64 // coherence version of this copy
+	Home    bool   // this host is the object's home (authoritative copy)
+	Pinned  bool   // never evict
+	// Readers, when non-nil, restricts which stations may read the
+	// object (nil = world-readable). References remain passable by
+	// anyone — §1: "the invoker may wish to refer to data that they
+	// lack privileges to read".
+	Readers map[uint64]bool
+
+	lruElem *list.Element
+}
+
+// CanRead reports whether station may read this entry.
+func (e *Entry) CanRead(station uint64) bool {
+	return e.Readers == nil || e.Readers[station]
+}
+
+// Store is a thread-safe per-host object pool with an optional byte
+// budget. A budget of 0 means unlimited.
+type Store struct {
+	mu      sync.Mutex
+	budget  int
+	used    int
+	objects map[oid.ID]*Entry
+	lru     *list.List // front = most recently used; holds oid.ID
+
+	// Evictions counts objects dropped to stay within budget.
+	evictions uint64
+}
+
+// New creates a store with the given byte budget (0 = unlimited).
+func New(budget int) *Store {
+	return &Store{
+		budget:  budget,
+		objects: make(map[oid.ID]*Entry),
+		lru:     list.New(),
+	}
+}
+
+// Put inserts an object. Home objects are pinned automatically. If an
+// object with the same ID exists it is replaced (its version retained
+// if newVersion is lower, to keep the freshest copy).
+func (s *Store) Put(o *object.Object, version uint64, home bool) error {
+	if o == nil {
+		return fmt.Errorf("store: nil object")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := o.Size()
+	if s.budget > 0 && size > s.budget {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, s.budget)
+	}
+	if old, ok := s.objects[o.ID()]; ok {
+		s.used -= old.Obj.Size()
+		if old.lruElem != nil {
+			s.lru.Remove(old.lruElem)
+		}
+		if old.Version > version {
+			version = old.Version
+		}
+		home = home || old.Home
+		delete(s.objects, o.ID())
+	}
+	e := &Entry{Obj: o, Version: version, Home: home, Pinned: home}
+	if !e.Pinned {
+		e.lruElem = s.lru.PushFront(o.ID())
+	}
+	s.objects[o.ID()] = e
+	s.used += size
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked drops least-recently-used unpinned entries until the
+// budget is satisfied.
+func (s *Store) evictLocked() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.used > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			return // only pinned objects remain
+		}
+		id := back.Value.(oid.ID)
+		e := s.objects[id]
+		s.lru.Remove(back)
+		delete(s.objects, id)
+		s.used -= e.Obj.Size()
+		s.evictions++
+	}
+}
+
+// Get returns the object and marks it recently used.
+func (s *Store) Get(id oid.ID) (*object.Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	if e.lruElem != nil {
+		s.lru.MoveToFront(e.lruElem)
+	}
+	return e.Obj, nil
+}
+
+// GetEntry returns the full entry (object + metadata) and marks it
+// recently used.
+func (s *Store) GetEntry(id oid.ID) (*Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	if e.lruElem != nil {
+		s.lru.MoveToFront(e.lruElem)
+	}
+	return e, nil
+}
+
+// Contains reports presence without touching LRU order.
+func (s *Store) Contains(id oid.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[id]
+	return ok
+}
+
+// Version returns the stored copy's version, or 0 with ErrNotFound.
+func (s *Store) Version(id oid.ID) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	return e.Version, nil
+}
+
+// SetVersion updates the stored copy's version.
+func (s *Store) SetVersion(id oid.ID, v uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	e.Version = v
+	return nil
+}
+
+// BumpVersion increments and returns the stored copy's version.
+func (s *Store) BumpVersion(id oid.ID) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	e.Version++
+	return e.Version, nil
+}
+
+// SetReaders restricts id's readers to the given stations (nil
+// restores world-readability). Only meaningful on home copies — the
+// home enforces the ACL when serving reads and grants.
+func (s *Store) SetReaders(id oid.ID, stations []uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	if stations == nil {
+		e.Readers = nil
+		return nil
+	}
+	e.Readers = make(map[uint64]bool, len(stations))
+	for _, st := range stations {
+		e.Readers[st] = true
+	}
+	return nil
+}
+
+// Pin prevents eviction of id.
+func (s *Store) Pin(id oid.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	if !e.Pinned {
+		e.Pinned = true
+		if e.lruElem != nil {
+			s.lru.Remove(e.lruElem)
+			e.lruElem = nil
+		}
+	}
+	return nil
+}
+
+// Unpin makes id evictable again (no-op for home objects).
+func (s *Store) Unpin(id oid.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	if e.Home {
+		return nil // authoritative copies stay pinned
+	}
+	if e.Pinned {
+		e.Pinned = false
+		e.lruElem = s.lru.PushFront(id)
+		s.evictLocked()
+	}
+	return nil
+}
+
+// Delete removes id from the store.
+func (s *Store) Delete(id oid.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	if e.lruElem != nil {
+		s.lru.Remove(e.lruElem)
+	}
+	delete(s.objects, id)
+	s.used -= e.Obj.Size()
+	return nil
+}
+
+// Invalidate drops a cached (non-home) copy; it refuses to drop the
+// authoritative copy.
+func (s *Store) Invalidate(id oid.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil // already gone: invalidation is idempotent
+	}
+	if e.Home {
+		return fmt.Errorf("store: refusing to invalidate home copy of %s", id.Short())
+	}
+	if e.lruElem != nil {
+		s.lru.Remove(e.lruElem)
+	}
+	delete(s.objects, id)
+	s.used -= e.Obj.Size()
+	return nil
+}
+
+// List returns all held IDs in sorted order.
+func (s *Store) List() []oid.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]oid.ID, 0, len(s.objects))
+	for id := range s.objects {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// HomeList returns the IDs of objects this host is home for.
+func (s *Store) HomeList() []oid.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []oid.ID
+	for id, e := range s.objects {
+		if e.Home {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Len returns the number of held objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// BytesUsed returns the total size of held objects.
+func (s *Store) BytesUsed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Evictions returns the number of budget evictions so far.
+func (s *Store) Evictions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}

@@ -1,0 +1,321 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/oid"
+)
+
+var gen = oid.NewSeededGenerator(123)
+
+func mkObj(t testing.TB, size int) *object.Object {
+	t.Helper()
+	o, err := object.New(gen.New(), size, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestPutGet(t *testing.T) {
+	s := New(0)
+	o := mkObj(t, 4096)
+	if err := s.Put(o, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(o.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != o.ID() {
+		t.Fatalf("Get returned wrong object")
+	}
+	if !s.Contains(o.ID()) {
+		t.Fatal("Contains = false")
+	}
+	if s.Len() != 1 || s.BytesUsed() != 4096 {
+		t.Fatalf("Len=%d BytesUsed=%d", s.Len(), s.BytesUsed())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(0)
+	if _, err := s.Get(gen.New()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if _, err := s.Version(gen.New()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Version missing: %v", err)
+	}
+	if err := s.Delete(gen.New()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete missing: %v", err)
+	}
+	if err := s.Put(nil, 0, false); err == nil {
+		t.Fatal("Put(nil) succeeded")
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	s := New(0)
+	o := mkObj(t, 1024)
+	s.Put(o, 5, true)
+	v, err := s.Version(o.ID())
+	if err != nil || v != 5 {
+		t.Fatalf("Version = %d, %v", v, err)
+	}
+	nv, err := s.BumpVersion(o.ID())
+	if err != nil || nv != 6 {
+		t.Fatalf("BumpVersion = %d, %v", nv, err)
+	}
+	if err := s.SetVersion(o.ID(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Version(o.ID()); v != 10 {
+		t.Fatalf("after SetVersion: %d", v)
+	}
+}
+
+func TestReplaceKeepsFreshestVersion(t *testing.T) {
+	s := New(0)
+	o := mkObj(t, 1024)
+	s.Put(o, 9, false)
+	// Re-put an older copy: version must not regress.
+	clone, _ := object.FromBytes(o.ID(), o.CloneBytes())
+	s.Put(clone, 3, false)
+	if v, _ := s.Version(o.ID()); v != 9 {
+		t.Fatalf("version regressed to %d", v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after replace", s.Len())
+	}
+}
+
+func TestReplaceKeepsHome(t *testing.T) {
+	s := New(0)
+	o := mkObj(t, 1024)
+	s.Put(o, 1, true)
+	clone, _ := object.FromBytes(o.ID(), o.CloneBytes())
+	s.Put(clone, 2, false)
+	e, err := s.GetEntry(o.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Home || !e.Pinned {
+		t.Fatal("home flag lost on replace")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(3 * 1024)
+	a, b, c := mkObj(t, 1024), mkObj(t, 1024), mkObj(t, 1024)
+	s.Put(a, 1, false)
+	s.Put(b, 1, false)
+	s.Put(c, 1, false)
+	// Touch a so b is the LRU victim.
+	s.Get(a.ID())
+	d := mkObj(t, 1024)
+	s.Put(d, 1, false)
+	if s.Contains(b.ID()) {
+		t.Fatal("LRU victim b not evicted")
+	}
+	if !s.Contains(a.ID()) || !s.Contains(c.ID()) || !s.Contains(d.ID()) {
+		t.Fatal("wrong object evicted")
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("Evictions = %d", s.Evictions())
+	}
+}
+
+func TestPinnedNotEvicted(t *testing.T) {
+	s := New(2 * 1024)
+	home := mkObj(t, 1024)
+	s.Put(home, 1, true) // home => pinned
+	cached := mkObj(t, 1024)
+	s.Put(cached, 1, false)
+	extra := mkObj(t, 1024)
+	s.Put(extra, 1, false)
+	if !s.Contains(home.ID()) {
+		t.Fatal("pinned home object evicted")
+	}
+	if s.Contains(cached.ID()) {
+		t.Fatal("unpinned object survived over budget")
+	}
+}
+
+func TestPinUnpin(t *testing.T) {
+	s := New(0)
+	o := mkObj(t, 512)
+	s.Put(o, 1, false)
+	if err := s.Pin(o.ID()); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s.GetEntry(o.ID())
+	if !e.Pinned {
+		t.Fatal("Pin had no effect")
+	}
+	if err := s.Unpin(o.ID()); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = s.GetEntry(o.ID())
+	if e.Pinned {
+		t.Fatal("Unpin had no effect")
+	}
+	// Unpin of a home object is a no-op.
+	h := mkObj(t, 512)
+	s.Put(h, 1, true)
+	s.Unpin(h.ID())
+	e, _ = s.GetEntry(h.ID())
+	if !e.Pinned {
+		t.Fatal("home object unpinned")
+	}
+	if err := s.Pin(gen.New()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Pin missing: %v", err)
+	}
+}
+
+func TestOnlyPinnedOverBudget(t *testing.T) {
+	// If only pinned objects remain, the store may exceed budget but
+	// must not livelock or evict them.
+	s := New(1024)
+	a := mkObj(t, 1024)
+	b := mkObj(t, 1024)
+	s.Put(a, 1, true)
+	if err := s.Put(b, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(a.ID()) || !s.Contains(b.ID()) {
+		t.Fatal("pinned object missing")
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	s := New(512)
+	o := mkObj(t, 1024)
+	if err := s.Put(o, 1, false); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Put oversized: %v", err)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	s := New(0)
+	home := mkObj(t, 512)
+	cached := mkObj(t, 512)
+	s.Put(home, 1, true)
+	s.Put(cached, 1, false)
+	if err := s.Invalidate(cached.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(cached.ID()) {
+		t.Fatal("invalidated copy still present")
+	}
+	if err := s.Invalidate(home.ID()); err == nil {
+		t.Fatal("Invalidate dropped the home copy")
+	}
+	// Idempotent on missing.
+	if err := s.Invalidate(gen.New()); err != nil {
+		t.Fatalf("Invalidate missing: %v", err)
+	}
+}
+
+func TestDeleteAccounting(t *testing.T) {
+	s := New(0)
+	o := mkObj(t, 2048)
+	s.Put(o, 1, false)
+	if err := s.Delete(o.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if s.BytesUsed() != 0 || s.Len() != 0 {
+		t.Fatalf("after delete: used=%d len=%d", s.BytesUsed(), s.Len())
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 20; i++ {
+		s.Put(mkObj(t, 256), 1, i%2 == 0)
+	}
+	ids := s.List()
+	if len(ids) != 20 {
+		t.Fatalf("List len = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if !ids[i-1].Less(ids[i]) {
+			t.Fatal("List not sorted")
+		}
+	}
+	homes := s.HomeList()
+	if len(homes) != 10 {
+		t.Fatalf("HomeList len = %d", len(homes))
+	}
+}
+
+func TestReadersACL(t *testing.T) {
+	s := New(0)
+	o := mkObj(t, 1024)
+	s.Put(o, 1, true)
+	e, _ := s.GetEntry(o.ID())
+	if !e.CanRead(42) {
+		t.Fatal("default should be world-readable")
+	}
+	if err := s.SetReaders(o.ID(), []uint64{7, 9}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = s.GetEntry(o.ID())
+	if !e.CanRead(7) || !e.CanRead(9) || e.CanRead(42) {
+		t.Fatal("ACL not enforced")
+	}
+	if err := s.SetReaders(o.ID(), nil); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = s.GetEntry(o.ID())
+	if !e.CanRead(42) {
+		t.Fatal("nil did not restore world-readability")
+	}
+	if err := s.SetReaders(gen.New(), nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("SetReaders missing: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(64 * 1024)
+	var wg sync.WaitGroup
+	ids := make([]oid.ID, 16)
+	for i := range ids {
+		o := mkObj(t, 1024)
+		ids[i] = o.ID()
+		s.Put(o, 1, false)
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(g+i)%len(ids)]
+				s.Get(id)
+				s.Contains(id)
+				s.Version(id)
+				if i%50 == 0 {
+					o := mkObj(t, 512)
+					s.Put(o, 1, false)
+					s.Delete(o.ID())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := New(0)
+	o := mkObj(b, 4096)
+	s.Put(o, 1, false)
+	id := o.ID()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

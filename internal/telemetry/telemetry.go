@@ -1,0 +1,182 @@
+// Package telemetry provides the counters and latency recorders the
+// experiment harness uses to regenerate the paper's figures: mean,
+// percentiles, and standard deviation (Figure 3 reports variability as
+// well as central tendency).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.v = 0
+	c.mu.Unlock()
+}
+
+// Histogram records float64 samples (typically microseconds) and
+// reports distribution statistics.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Mean returns the sample mean (0 if empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Stddev returns the population standard deviation (0 if empty).
+func (h *Histogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank; 0 if
+// empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sortLocked()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return h.samples[idx]
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Summary is a snapshot of a histogram's statistics.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	P50    float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		Stddev: h.Stddev(),
+		Min:    h.Min(),
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
+		Max:    h.Max(),
+	}
+}
+
+// String renders the summary as one table row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f",
+		s.Count, s.Mean, s.Stddev, s.Min, s.P50, s.P90, s.P99, s.Max)
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 10000 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Stddev() != 0 || h.Quantile(0.5) != 0 ||
+		h.Min() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram nonzero stats")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if got := h.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("Stddev = %v", got)
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Quantile(0.5) != 3 {
+		t.Fatalf("P50 = %v", h.Quantile(0.5))
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 5 {
+		t.Fatal("extreme quantiles")
+	}
+}
+
+func TestObserveAfterQuantile(t *testing.T) {
+	// Observing after a quantile query must re-sort.
+	h := NewHistogram()
+	h.Observe(10)
+	_ = h.Quantile(0.5)
+	h.Observe(1)
+	if h.Quantile(0) != 1 {
+		t.Fatal("re-sort after observe failed")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.P50 != 50 || s.P90 != 90 || s.P99 != 99 || s.Max != 100 || s.Min != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		last := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := h.Quantile(q)
+			if h.Count() > 0 && v < last {
+				return false
+			}
+			if h.Count() > 0 {
+				last = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram()
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			h.Observe(v)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		m := h.Mean()
+		return m >= h.Min()-1e-6 && m <= h.Max()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(j))
+				if j%100 == 0 {
+					_ = h.Quantile(0.5)
+					_ = h.Mean()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}

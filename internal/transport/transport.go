@@ -1,0 +1,356 @@
+// Package transport implements the "new, light-weight form of reliable
+// transmission" argued for in §3.2: per-frame acknowledgment and
+// retransmission with none of TCP's connection setup, stream ordering,
+// or congestion control (no slow start), layered directly over GASP
+// frames.
+//
+// Two facilities are provided:
+//
+//   - frame-level reliability: frames sent with reliability enabled are
+//     retransmitted on a timer until acknowledged or retried out;
+//   - request/response matching: a request's sequence number routes the
+//     response back to a callback, with an overall timeout.
+//
+// Everything runs on the simulator's virtual clock.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Errors surfaced to callers.
+var (
+	ErrTimeout    = errors.New("transport: timed out")
+	ErrRetriesOut = errors.New("transport: retransmission limit reached")
+)
+
+// Config tunes an endpoint.
+type Config struct {
+	// RetransmitTimeout is the per-frame ack deadline (default 200µs,
+	// a handful of fabric RTTs). Large frames extend it by
+	// PerByteTimeout each.
+	RetransmitTimeout netsim.Duration
+	// PerByteTimeout scales the ack deadline with frame size so jumbo
+	// frames are not retransmitted while still serializing (default
+	// 10ns/byte ≈ a conservative 0.8 Gb/s path).
+	PerByteTimeout netsim.Duration
+	// MaxRetries bounds retransmissions per frame (default 4).
+	MaxRetries int
+	// RequestTimeout is the default request/response deadline
+	// (default 5ms).
+	RequestTimeout netsim.Duration
+}
+
+func (c *Config) fill() {
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = 200 * netsim.Microsecond
+	}
+	if c.PerByteTimeout == 0 {
+		c.PerByteTimeout = 10 * netsim.Nanosecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * netsim.Millisecond
+	}
+}
+
+// Counters aggregates endpoint statistics.
+type Counters struct {
+	FramesSent     uint64
+	Broadcasts     uint64
+	Retransmits    uint64
+	AcksSent       uint64
+	AcksReceived   uint64
+	Delivered      uint64
+	Duplicates     uint64
+	SendFailures   uint64
+	RequestsSent   uint64
+	ResponsesSent  uint64
+	RequestTimeout uint64
+}
+
+// Handler receives application frames (anything that is not a pure ack
+// or a matched response).
+type Handler func(h *wire.Header, payload []byte)
+
+type pendingFrame struct {
+	frame   netsim.Frame
+	retries int
+	timer   *netsim.Timer
+	done    func(error)
+}
+
+type pendingReq struct {
+	timer *netsim.Timer
+	cb    func(*wire.Header, []byte, error)
+}
+
+type dedupKey struct {
+	src wire.StationID
+	seq uint64
+}
+
+const dedupCapacity = 8192
+
+// Endpoint is a station's transport instance bound to a netsim host.
+type Endpoint struct {
+	sim     *netsim.Sim
+	host    *netsim.Host
+	station wire.StationID
+	cfg     Config
+
+	nextSeq  uint64
+	handler  Handler
+	pending  map[uint64]*pendingFrame
+	requests map[uint64]*pendingReq
+	// inflightBytes tracks unacked reliable bytes so retransmit
+	// deadlines account for self-induced queueing behind large frames.
+	inflightBytes int
+
+	seen     map[dedupKey]struct{}
+	seenRing []dedupKey
+	seenNext int
+
+	counters Counters
+}
+
+// NewEndpoint binds a transport endpoint to host, claiming its OnFrame
+// callback.
+func NewEndpoint(host *netsim.Host, station wire.StationID, cfg Config) *Endpoint {
+	cfg.fill()
+	e := &Endpoint{
+		sim:      host.Network().Sim(),
+		host:     host,
+		station:  station,
+		cfg:      cfg,
+		pending:  make(map[uint64]*pendingFrame),
+		requests: make(map[uint64]*pendingReq),
+		seen:     make(map[dedupKey]struct{}, dedupCapacity),
+		seenRing: make([]dedupKey, dedupCapacity),
+	}
+	host.OnFrame = e.onFrame
+	return e
+}
+
+// Station returns the endpoint's station ID.
+func (e *Endpoint) Station() wire.StationID { return e.station }
+
+// Sim returns the clock the endpoint runs on.
+func (e *Endpoint) Sim() *netsim.Sim { return e.sim }
+
+// Counters returns a copy of the endpoint statistics.
+func (e *Endpoint) Counters() Counters { return e.counters }
+
+// ResetCounters zeroes the statistics.
+func (e *Endpoint) ResetCounters() { e.counters = Counters{} }
+
+// SetHandler installs the application upcall.
+func (e *Endpoint) SetHandler(fn Handler) { e.handler = fn }
+
+// allocSeq returns a fresh sequence number.
+func (e *Endpoint) allocSeq() uint64 {
+	e.nextSeq++
+	return e.nextSeq
+}
+
+// Send transmits a frame unreliably (fire and forget). The header's
+// Src and Seq are filled in; h.Dst, h.Type, h.Object, h.Flags are the
+// caller's. It returns the assigned sequence number.
+func (e *Endpoint) Send(h wire.Header, payload []byte) (uint64, error) {
+	h.Src = e.station
+	h.Seq = e.allocSeq()
+	fr, err := wire.Encode(&h, payload)
+	if err != nil {
+		e.counters.SendFailures++
+		return 0, err
+	}
+	if h.Dst == wire.StationBroadcast {
+		e.counters.Broadcasts++
+	}
+	e.counters.FramesSent++
+	e.host.Send(fr)
+	return h.Seq, nil
+}
+
+// SendReliable transmits with acknowledgment and retransmission. done
+// (may be nil) is called with nil once acked, or ErrRetriesOut.
+func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error)) (uint64, error) {
+	if h.Dst == wire.StationBroadcast {
+		return 0, fmt.Errorf("transport: reliable broadcast unsupported")
+	}
+	h.Src = e.station
+	h.Seq = e.allocSeq()
+	h.Flags |= wire.FlagReliable
+	fr, err := wire.Encode(&h, payload)
+	if err != nil {
+		e.counters.SendFailures++
+		return 0, err
+	}
+	p := &pendingFrame{frame: fr, done: done}
+	e.pending[h.Seq] = p
+	e.inflightBytes += len(fr)
+	e.counters.FramesSent++
+	e.host.Send(fr)
+	e.armRetransmit(h.Seq, p)
+	return h.Seq, nil
+}
+
+func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
+	// The deadline covers this frame's own serialization plus the
+	// unacked bytes already queued ahead of it.
+	deadline := e.cfg.RetransmitTimeout +
+		netsim.Duration(len(p.frame)+e.inflightBytes)*e.cfg.PerByteTimeout
+	p.timer = e.sim.AfterFunc(deadline, func() {
+		if _, live := e.pending[seq]; !live {
+			return
+		}
+		if p.retries >= e.cfg.MaxRetries {
+			delete(e.pending, seq)
+			e.inflightBytes -= len(p.frame)
+			if p.done != nil {
+				p.done(fmt.Errorf("%w after %d retries", ErrRetriesOut, p.retries))
+			}
+			return
+		}
+		p.retries++
+		e.counters.Retransmits++
+		e.counters.FramesSent++
+		e.host.Send(p.frame)
+		e.armRetransmit(seq, p)
+	})
+}
+
+// Request sends a (reliable) request and routes the matching response
+// (FlagResponse with Ack == request seq) to cb. timeout 0 selects the
+// configured default. cb receives ErrTimeout if no response arrives.
+func (e *Endpoint) Request(h wire.Header, payload []byte, timeout netsim.Duration,
+	cb func(resp *wire.Header, payload []byte, err error)) (uint64, error) {
+
+	if timeout == 0 {
+		timeout = e.cfg.RequestTimeout
+	}
+	var seq uint64
+	var err error
+	if h.Dst == wire.StationBroadcast {
+		seq, err = e.Send(h, payload)
+	} else {
+		seq, err = e.SendReliable(h, payload, nil)
+	}
+	if err != nil {
+		return 0, err
+	}
+	e.counters.RequestsSent++
+	req := &pendingReq{cb: cb}
+	req.timer = e.sim.AfterFunc(timeout, func() {
+		if _, live := e.requests[seq]; !live {
+			return
+		}
+		delete(e.requests, seq)
+		e.counters.RequestTimeout++
+		cb(nil, nil, fmt.Errorf("%w: request seq %d", ErrTimeout, seq))
+	})
+	e.requests[seq] = req
+	return seq, nil
+}
+
+// Respond answers a request: Dst is the requester, Ack echoes the
+// request's sequence number, FlagResponse is set.
+func (e *Endpoint) Respond(req *wire.Header, h wire.Header, payload []byte) error {
+	h.Dst = req.Src
+	h.Ack = req.Seq
+	h.Flags |= wire.FlagResponse
+	e.counters.ResponsesSent++
+	if req.Flags&wire.FlagReliable != 0 {
+		_, err := e.SendReliable(h, payload, nil)
+		return err
+	}
+	_, err := e.Send(h, payload)
+	return err
+}
+
+// onFrame is the receive path.
+func (e *Endpoint) onFrame(fr netsim.Frame) {
+	var h wire.Header
+	if err := h.DecodeFrom(fr); err != nil {
+		return
+	}
+	// Frames flooded through the fabric may reach stations they are
+	// not addressed to. Frames addressed to StationAny were routed on
+	// their object ID — the fabric chose us, so accept.
+	if h.Dst != e.station && h.Dst != wire.StationBroadcast && h.Dst != wire.StationAny {
+		return
+	}
+
+	if h.Type == wire.MsgAck {
+		e.counters.AcksReceived++
+		if p, ok := e.pending[h.Ack]; ok {
+			delete(e.pending, h.Ack)
+			e.inflightBytes -= len(p.frame)
+			if p.timer != nil {
+				p.timer.Stop()
+			}
+			if p.done != nil {
+				p.done(nil)
+			}
+		}
+		return
+	}
+
+	// Ack reliable frames (even duplicates — the ack may have been
+	// lost).
+	if h.Flags&wire.FlagReliable != 0 {
+		ack := wire.Header{Type: wire.MsgAck, Src: e.station, Dst: h.Src, Ack: h.Seq}
+		if fr, err := wire.Encode(&ack, nil); err == nil {
+			e.counters.AcksSent++
+			e.host.Send(fr)
+		}
+	}
+
+	// Duplicate suppression.
+	k := dedupKey{src: h.Src, seq: h.Seq}
+	if _, dup := e.seen[k]; dup {
+		e.counters.Duplicates++
+		return
+	}
+	old := e.seenRing[e.seenNext]
+	if old != (dedupKey{}) {
+		delete(e.seen, old)
+	}
+	e.seenRing[e.seenNext] = k
+	e.seenNext = (e.seenNext + 1) % dedupCapacity
+	e.seen[k] = struct{}{}
+
+	payload := wire.Payload(fr)
+
+	// Response matching.
+	if h.Flags&wire.FlagResponse != 0 {
+		if req, ok := e.requests[h.Ack]; ok {
+			delete(e.requests, h.Ack)
+			if req.timer != nil {
+				req.timer.Stop()
+			}
+			e.counters.Delivered++
+			req.cb(&h, payload, nil)
+			return
+		}
+		// Late or duplicate response: drop.
+		return
+	}
+
+	e.counters.Delivered++
+	if e.handler != nil {
+		e.handler(&h, payload)
+	}
+}
+
+// PendingFrames reports in-flight reliable frames (for tests).
+func (e *Endpoint) PendingFrames() int { return len(e.pending) }
+
+// PendingRequests reports outstanding requests (for tests).
+func (e *Endpoint) PendingRequests() int { return len(e.requests) }

@@ -1,0 +1,396 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// pair wires two endpoints over one link.
+func pair(t *testing.T, link netsim.LinkConfig, cfg Config) (*netsim.Sim, *Endpoint, *Endpoint) {
+	t.Helper()
+	sim := netsim.NewSim(11)
+	net := netsim.NewNetwork(sim)
+	ha, err := netsim.NewHost(net, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := netsim.NewHost(net, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(ha, 0, hb, 0, link); err != nil {
+		t.Fatal(err)
+	}
+	return sim, NewEndpoint(ha, 1, cfg), NewEndpoint(hb, 2, cfg)
+}
+
+func TestUnreliableDelivery(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{Latency: 5 * netsim.Microsecond}, Config{})
+	var got []byte
+	b.SetHandler(func(h *wire.Header, payload []byte) {
+		got = append([]byte(nil), payload...)
+	})
+	seq, err := a.Send(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte("data"))
+	if err != nil || seq == 0 {
+		t.Fatalf("Send: seq=%d err=%v", seq, err)
+	}
+	sim.Run()
+	if string(got) != "data" {
+		t.Fatalf("got %q", got)
+	}
+	if b.Counters().Delivered != 1 {
+		t.Fatalf("Delivered = %d", b.Counters().Delivered)
+	}
+}
+
+func TestWrongDestinationIgnored(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{}, Config{})
+	called := false
+	b.SetHandler(func(*wire.Header, []byte) { called = true })
+	a.Send(wire.Header{Type: wire.MsgMem, Dst: 42}, nil)
+	sim.Run()
+	if called {
+		t.Fatal("frame for another station delivered")
+	}
+}
+
+func TestBroadcastDelivered(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{}, Config{})
+	called := false
+	b.SetHandler(func(*wire.Header, []byte) { called = true })
+	a.Send(wire.Header{Type: wire.MsgDiscover, Dst: wire.StationBroadcast}, nil)
+	sim.Run()
+	if !called {
+		t.Fatal("broadcast not delivered")
+	}
+	if a.Counters().Broadcasts != 1 {
+		t.Fatalf("Broadcasts = %d", a.Counters().Broadcasts)
+	}
+}
+
+func TestReliableAck(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{Latency: 5 * netsim.Microsecond}, Config{})
+	b.SetHandler(func(*wire.Header, []byte) {})
+	var ackErr error
+	acked := false
+	a.SendReliable(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte("x"), func(err error) {
+		acked, ackErr = true, err
+	})
+	sim.Run()
+	if !acked || ackErr != nil {
+		t.Fatalf("acked=%v err=%v", acked, ackErr)
+	}
+	if a.PendingFrames() != 0 {
+		t.Fatalf("PendingFrames = %d", a.PendingFrames())
+	}
+	if a.Counters().Retransmits != 0 {
+		t.Fatalf("Retransmits = %d on clean link", a.Counters().Retransmits)
+	}
+	if b.Counters().AcksSent != 1 || a.Counters().AcksReceived != 1 {
+		t.Fatalf("acks: sent=%d received=%d", b.Counters().AcksSent, a.Counters().AcksReceived)
+	}
+}
+
+func TestReliableBroadcastRejected(t *testing.T) {
+	_, a, _ := pair(t, netsim.LinkConfig{}, Config{})
+	if _, err := a.SendReliable(wire.Header{Dst: wire.StationBroadcast}, nil, nil); err == nil {
+		t.Fatal("reliable broadcast accepted")
+	}
+}
+
+func TestRetransmissionRecoversLoss(t *testing.T) {
+	// 60% loss: retries should still get the frame through eventually.
+	sim, a, b := pair(t, netsim.LinkConfig{Latency: 5 * netsim.Microsecond, DropRate: 0.6},
+		Config{MaxRetries: 30, RetransmitTimeout: 50 * netsim.Microsecond})
+	delivered := 0
+	b.SetHandler(func(*wire.Header, []byte) { delivered++ })
+	var ackErr error
+	a.SendReliable(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte("x"), func(err error) { ackErr = err })
+	sim.Run()
+	if ackErr != nil {
+		t.Fatalf("ack error: %v", ackErr)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d times (dedup should collapse retries)", delivered)
+	}
+	if a.Counters().Retransmits == 0 {
+		t.Fatal("no retransmits under 60% loss")
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	sim, a, _ := pair(t, netsim.LinkConfig{DropRate: 1.0},
+		Config{MaxRetries: 3, RetransmitTimeout: 10 * netsim.Microsecond})
+	var got error
+	a.SendReliable(wire.Header{Type: wire.MsgMem, Dst: 2}, nil, func(err error) { got = err })
+	sim.Run()
+	if !errors.Is(got, ErrRetriesOut) {
+		t.Fatalf("err = %v", got)
+	}
+	if a.PendingFrames() != 0 {
+		t.Fatal("pending frame leaked")
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	// Drop the ack path only cannot be configured per direction, so
+	// simulate duplicates by hand: send the same encoded frame twice.
+	sim, _, b := pair(t, netsim.LinkConfig{}, Config{})
+	sim2 := sim // same network
+	_ = sim2
+	delivered := 0
+	b.SetHandler(func(*wire.Header, []byte) { delivered++ })
+	h := wire.Header{Type: wire.MsgMem, Src: 1, Dst: 2, Seq: 77, Flags: wire.FlagReliable}
+	fr, _ := wire.Encode(&h, nil)
+	// Inject via b's host directly (bypassing endpoint a).
+	b.onFrame(fr)
+	b.onFrame(fr)
+	sim.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if b.Counters().Duplicates != 1 {
+		t.Fatalf("Duplicates = %d", b.Counters().Duplicates)
+	}
+	// Duplicate still acked so the sender can stop retrying.
+	if b.Counters().AcksSent != 2 {
+		t.Fatalf("AcksSent = %d, want 2", b.Counters().AcksSent)
+	}
+}
+
+func TestRequestResponse(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{Latency: 5 * netsim.Microsecond}, Config{})
+	b.SetHandler(func(h *wire.Header, payload []byte) {
+		b.Respond(h, wire.Header{Type: wire.MsgMem}, append([]byte("re:"), payload...))
+	})
+	var got []byte
+	var gotErr error
+	start := sim.Now()
+	var rttEnd netsim.Time
+	a.Request(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte("q"), 0,
+		func(resp *wire.Header, payload []byte, err error) {
+			got, gotErr = append([]byte(nil), payload...), err
+			rttEnd = sim.Now()
+		})
+	sim.Run()
+	if gotErr != nil || string(got) != "re:q" {
+		t.Fatalf("resp = %q, %v", got, gotErr)
+	}
+	if rtt := rttEnd.Sub(start); rtt != 10*netsim.Microsecond {
+		t.Fatalf("rtt = %v", rtt)
+	}
+	if a.PendingRequests() != 0 {
+		t.Fatal("request leaked")
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{}, Config{RequestTimeout: 100 * netsim.Microsecond})
+	b.SetHandler(func(*wire.Header, []byte) { /* never respond */ })
+	var got error
+	a.Request(wire.Header{Type: wire.MsgMem, Dst: 2}, nil, 0,
+		func(_ *wire.Header, _ []byte, err error) { got = err })
+	sim.Run()
+	if !errors.Is(got, ErrTimeout) {
+		t.Fatalf("err = %v", got)
+	}
+	if a.Counters().RequestTimeout != 1 {
+		t.Fatalf("RequestTimeout = %d", a.Counters().RequestTimeout)
+	}
+}
+
+func TestBroadcastRequestFirstResponseWins(t *testing.T) {
+	// Three stations on a hub host (star via direct links is enough:
+	// use b as the only responder; broadcast request still matches).
+	sim, a, b := pair(t, netsim.LinkConfig{Latency: 2 * netsim.Microsecond}, Config{})
+	b.SetHandler(func(h *wire.Header, payload []byte) {
+		b.Respond(h, wire.Header{Type: wire.MsgDiscoverReply}, []byte("here"))
+	})
+	responses := 0
+	a.Request(wire.Header{Type: wire.MsgDiscover, Dst: wire.StationBroadcast}, nil, 0,
+		func(resp *wire.Header, payload []byte, err error) {
+			if err == nil {
+				responses++
+			}
+		})
+	sim.Run()
+	if responses != 1 {
+		t.Fatalf("responses = %d", responses)
+	}
+}
+
+func TestLateResponseDropped(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{Latency: 300 * netsim.Microsecond},
+		Config{RequestTimeout: 100 * netsim.Microsecond, RetransmitTimeout: netsim.Second})
+	b.SetHandler(func(h *wire.Header, payload []byte) {
+		b.Respond(h, wire.Header{Type: wire.MsgMem}, nil)
+	})
+	calls := 0
+	var firstErr error
+	a.Request(wire.Header{Type: wire.MsgMem, Dst: 2}, nil, 0,
+		func(_ *wire.Header, _ []byte, err error) {
+			calls++
+			firstErr = err
+		})
+	sim.Run()
+	if calls != 1 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+	if !errors.Is(firstErr, ErrTimeout) {
+		t.Fatalf("err = %v", firstErr)
+	}
+}
+
+func TestSequenceNumbersUnique(t *testing.T) {
+	_, a, _ := pair(t, netsim.LinkConfig{}, Config{})
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seq, err := a.Send(wire.Header{Type: wire.MsgMem, Dst: 2}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[seq] {
+			t.Fatalf("seq %d repeated", seq)
+		}
+		seen[seq] = true
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{}, Config{})
+	b.SetHandler(func(*wire.Header, []byte) {})
+	a.Send(wire.Header{Type: wire.MsgMem, Dst: 2}, nil)
+	sim.Run()
+	if a.Counters().FramesSent != 1 {
+		t.Fatalf("FramesSent = %d", a.Counters().FramesSent)
+	}
+	a.ResetCounters()
+	if a.Counters() != (Counters{}) {
+		t.Fatal("ResetCounters")
+	}
+	if a.Station() != 1 || a.Sim() != sim {
+		t.Fatal("accessors")
+	}
+}
+
+func TestManyReliableFramesUnderLoss(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{Latency: 3 * netsim.Microsecond, DropRate: 0.3},
+		Config{MaxRetries: 25, RetransmitTimeout: 40 * netsim.Microsecond})
+	delivered := 0
+	b.SetHandler(func(*wire.Header, []byte) { delivered++ })
+	failures := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.SendReliable(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte{byte(i)}, func(err error) {
+			if err != nil {
+				failures++
+			}
+		})
+	}
+	sim.Run()
+	if failures != 0 {
+		t.Fatalf("%d reliable sends failed", failures)
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d/%d (duplicates must be suppressed)", delivered, n)
+	}
+}
+
+func TestEndpointSurvivesGarbageFrames(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{}, Config{})
+	delivered := 0
+	b.SetHandler(func(*wire.Header, []byte) { delivered++ })
+	rng := newTestRand()
+	// Inject garbage straight into b's receive path.
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(200)
+		fr := make([]byte, n)
+		rng.Read(fr)
+		b.onFrame(fr)
+	}
+	// Valid traffic still flows.
+	a.Send(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte("ok"))
+	sim.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d after garbage", delivered)
+	}
+}
+
+func TestAckForUnknownSeqIgnored(t *testing.T) {
+	sim, _, b := pair(t, netsim.LinkConfig{}, Config{})
+	// Acks for sequence numbers b never sent must be ignored.
+	for seq := uint64(1); seq < 50; seq++ {
+		h := wire.Header{Type: wire.MsgAck, Src: 1, Dst: 2, Ack: seq}
+		fr, _ := wire.Encode(&h, nil)
+		b.onFrame(fr)
+	}
+	sim.Run()
+	if b.Counters().AcksReceived != 49 {
+		t.Fatalf("AcksReceived = %d", b.Counters().AcksReceived)
+	}
+	if b.PendingFrames() != 0 {
+		t.Fatal("phantom pending state")
+	}
+}
+
+func TestResponseWithoutRequestDropped(t *testing.T) {
+	sim, _, b := pair(t, netsim.LinkConfig{}, Config{})
+	handled := 0
+	b.SetHandler(func(*wire.Header, []byte) { handled++ })
+	h := wire.Header{
+		Type: wire.MsgMem, Flags: wire.FlagResponse,
+		Src: 1, Dst: 2, Seq: 5, Ack: 999,
+	}
+	fr, _ := wire.Encode(&h, []byte("orphan"))
+	b.onFrame(fr)
+	sim.Run()
+	if handled != 0 {
+		t.Fatal("orphan response reached the handler")
+	}
+}
+
+func newTestRand() *mathRand { return &mathRand{state: 0x9E3779B97F4A7C15} }
+
+// mathRand is a tiny deterministic source so the test avoids pulling
+// in math/rand just for fuzz bytes.
+type mathRand struct{ state uint64 }
+
+func (r *mathRand) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+func (r *mathRand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+func (r *mathRand) Read(p []byte) {
+	for i := range p {
+		p[i] = byte(r.next())
+	}
+}
+
+func BenchmarkRequestResponse(b *testing.B) {
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	ha, _ := netsim.NewHost(net, "a")
+	hb, _ := netsim.NewHost(net, "b")
+	net.Connect(ha, 0, hb, 0, netsim.DefaultLink)
+	ea := NewEndpoint(ha, 1, Config{})
+	eb := NewEndpoint(hb, 2, Config{})
+	eb.SetHandler(func(h *wire.Header, payload []byte) {
+		eb.Respond(h, wire.Header{Type: wire.MsgMem}, payload)
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ea.Request(wire.Header{Type: wire.MsgMem, Dst: 2}, nil, 0,
+			func(*wire.Header, []byte, error) {})
+		sim.Run()
+	}
+}

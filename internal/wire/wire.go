@@ -1,0 +1,336 @@
+// Package wire defines GASP, the Global Address Space Protocol frame
+// format: the "light-weight form of reliable transmission" the paper
+// argues for in §3.2, carrying a 128-bit object identifier as the
+// routing key so switches forward on data identity rather than host
+// addresses.
+//
+// The layout is a fixed 64-byte header followed by a payload. All
+// multi-byte fields are big-endian (network order). Encoding and
+// decoding follow the gopacket DecodingLayer style: decode parses a
+// header in place with no allocation; the payload is a zero-copy view.
+//
+//	offset size field
+//	0      2    magic (0x6A50)
+//	2      1    version (1)
+//	3      1    message type
+//	4      2    flags
+//	6      2    header length (64)
+//	8      4    payload length
+//	12     4    header checksum (FNV-32a over header with this field zero)
+//	16     8    source station
+//	24     8    destination station (StationBroadcast floods)
+//	32     16   object ID (routing key; may be zero)
+//	48     8    sequence number
+//	56     8    acknowledgment number
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/oid"
+)
+
+// Frame geometry.
+const (
+	Magic      = 0x6A50
+	Version    = 1
+	HeaderSize = 64
+	// MaxPayload bounds a single frame's payload (jumbo-frame scale);
+	// the transport fragments larger transfers.
+	MaxPayload = 64 * 1024
+)
+
+// StationID identifies an end station (host NIC) for unicast replies.
+// Routing decisions in the fabric are made on object IDs; station IDs
+// exist so a responder can address the requester directly.
+type StationID uint64
+
+// StationBroadcast floods a frame through the fabric.
+const StationBroadcast StationID = ^StationID(0)
+
+// StationAny marks a frame routed purely on its object ID: the fabric
+// (not the sender) picks the destination, and whichever station the
+// fabric delivers it to should accept it.
+const StationAny StationID = 0
+
+// String formats a station ID.
+func (s StationID) String() string {
+	if s == StationBroadcast {
+		return "bcast"
+	}
+	return fmt.Sprintf("st%d", uint64(s))
+}
+
+// MsgType is the top-level message class.
+type MsgType uint8
+
+// Message classes. Memory-protocol operations (package memproto) ride
+// inside MsgMem payloads; RPC baseline messages ride inside MsgRPC.
+const (
+	MsgInvalid MsgType = iota
+	// MsgHello announces a station to its first-hop switch.
+	MsgHello
+	// MsgAnnounce advertises object ownership to the controller.
+	MsgAnnounce
+	// MsgAnnounceAck confirms rule installation.
+	MsgAnnounceAck
+	// MsgDiscover broadcasts an object-location query (E2E scheme).
+	MsgDiscover
+	// MsgDiscoverReply answers a MsgDiscover from the object's holder.
+	MsgDiscoverReply
+	// MsgMem carries a memory-protocol operation (loads/stores, §3.2).
+	MsgMem
+	// MsgAck is a pure transport acknowledgment.
+	MsgAck
+	// MsgRPC carries baseline RPC requests and responses.
+	MsgRPC
+	// MsgCtrl carries controller<->switch rule programming.
+	MsgCtrl
+
+	msgTypeCount
+)
+
+var msgNames = [...]string{
+	"invalid", "hello", "announce", "announce-ack", "discover",
+	"discover-reply", "mem", "ack", "rpc", "ctrl",
+}
+
+// String names the message type.
+func (m MsgType) String() string {
+	if int(m) < len(msgNames) {
+		return msgNames[m]
+	}
+	return fmt.Sprintf("msg(%d)", uint8(m))
+}
+
+// Valid reports whether m is a defined message type.
+func (m MsgType) Valid() bool { return m > MsgInvalid && m < msgTypeCount }
+
+// Flags modify frame handling.
+type Flags uint16
+
+const (
+	// FlagReliable requests transport acknowledgment.
+	FlagReliable Flags = 1 << iota
+	// FlagRouteOnObject asks the fabric to forward using the object ID
+	// (ignoring the destination station).
+	FlagRouteOnObject
+	// FlagResponse marks a reply in a request/response exchange.
+	FlagResponse
+)
+
+// Errors returned by frame parsing.
+var (
+	ErrTruncated   = errors.New("wire: frame truncated")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadChecksum = errors.New("wire: header checksum mismatch")
+	ErrBadLength   = errors.New("wire: inconsistent lengths")
+	ErrTooLarge    = errors.New("wire: payload exceeds MaxPayload")
+)
+
+// Header is a decoded GASP header.
+type Header struct {
+	Type       MsgType
+	Flags      Flags
+	PayloadLen uint32
+	Src        StationID
+	Dst        StationID
+	Object     oid.ID
+	Seq        uint64
+	Ack        uint64
+}
+
+// fnv32a over b, used as the header checksum.
+func fnv32a(b []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
+}
+
+// MarshalInto writes the header into b, which must be at least
+// HeaderSize bytes. It computes the checksum.
+func (h *Header) MarshalInto(b []byte) error {
+	if len(b) < HeaderSize {
+		return fmt.Errorf("%w: %d bytes for header", ErrTruncated, len(b))
+	}
+	if h.PayloadLen > MaxPayload {
+		return fmt.Errorf("%w: %d", ErrTooLarge, h.PayloadLen)
+	}
+	binary.BigEndian.PutUint16(b[0:2], Magic)
+	b[2] = Version
+	b[3] = byte(h.Type)
+	binary.BigEndian.PutUint16(b[4:6], uint16(h.Flags))
+	binary.BigEndian.PutUint16(b[6:8], HeaderSize)
+	binary.BigEndian.PutUint32(b[8:12], h.PayloadLen)
+	binary.BigEndian.PutUint32(b[12:16], 0)
+	binary.BigEndian.PutUint64(b[16:24], uint64(h.Src))
+	binary.BigEndian.PutUint64(b[24:32], uint64(h.Dst))
+	h.Object.PutBytes(b[32:48])
+	binary.BigEndian.PutUint64(b[48:56], h.Seq)
+	binary.BigEndian.PutUint64(b[56:64], h.Ack)
+	binary.BigEndian.PutUint32(b[12:16], fnv32a(b[:HeaderSize]))
+	return nil
+}
+
+// Encode allocates and returns a complete frame (header + payload).
+func Encode(h *Header, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d", ErrTooLarge, len(payload))
+	}
+	h.PayloadLen = uint32(len(payload))
+	fr := make([]byte, HeaderSize+len(payload))
+	if err := h.MarshalInto(fr); err != nil {
+		return nil, err
+	}
+	copy(fr[HeaderSize:], payload)
+	return fr, nil
+}
+
+// DecodeFrom parses a header from the start of fr, validating magic,
+// version, checksum, and length consistency. It does not copy.
+func (h *Header) DecodeFrom(fr []byte) error {
+	if len(fr) < HeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrTruncated, len(fr))
+	}
+	if binary.BigEndian.Uint16(fr[0:2]) != Magic {
+		return ErrBadMagic
+	}
+	if fr[2] != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, fr[2])
+	}
+	if binary.BigEndian.Uint16(fr[6:8]) != HeaderSize {
+		return fmt.Errorf("%w: header length %d", ErrBadLength, binary.BigEndian.Uint16(fr[6:8]))
+	}
+	sum := binary.BigEndian.Uint32(fr[12:16])
+	var scratch [HeaderSize]byte
+	copy(scratch[:], fr[:HeaderSize])
+	binary.BigEndian.PutUint32(scratch[12:16], 0)
+	if fnv32a(scratch[:]) != sum {
+		return ErrBadChecksum
+	}
+	h.Type = MsgType(fr[3])
+	h.Flags = Flags(binary.BigEndian.Uint16(fr[4:6]))
+	h.PayloadLen = binary.BigEndian.Uint32(fr[8:12])
+	if h.PayloadLen > MaxPayload {
+		return fmt.Errorf("%w: %d", ErrTooLarge, h.PayloadLen)
+	}
+	if int(HeaderSize+h.PayloadLen) > len(fr) {
+		return fmt.Errorf("%w: payload length %d in %d-byte frame", ErrBadLength, h.PayloadLen, len(fr))
+	}
+	h.Src = StationID(binary.BigEndian.Uint64(fr[16:24]))
+	h.Dst = StationID(binary.BigEndian.Uint64(fr[24:32]))
+	var err error
+	h.Object, err = oid.FromBytes(fr[32:48])
+	if err != nil {
+		return err
+	}
+	h.Seq = binary.BigEndian.Uint64(fr[48:56])
+	h.Ack = binary.BigEndian.Uint64(fr[56:64])
+	return nil
+}
+
+// Payload returns a zero-copy view of the payload of a frame whose
+// header has already been validated.
+func Payload(fr []byte) []byte {
+	if len(fr) <= HeaderSize {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(fr[8:12])
+	end := HeaderSize + int(n)
+	if end > len(fr) {
+		end = len(fr)
+	}
+	return fr[HeaderSize:end]
+}
+
+// Field identifies a header field for match-action pipelines and
+// packet subscriptions (the "user-defined packet formats" of Packet
+// Subscriptions [17]).
+type Field uint8
+
+// Matchable header fields.
+const (
+	FieldType Field = iota
+	FieldFlags
+	FieldSrc
+	FieldDst
+	FieldObject
+	FieldSeq
+
+	fieldCount
+)
+
+var fieldNames = [...]string{"type", "flags", "src", "dst", "object", "seq"}
+
+// String names the field.
+func (f Field) String() string {
+	if int(f) < len(fieldNames) {
+		return fieldNames[f]
+	}
+	return fmt.Sprintf("field(%d)", uint8(f))
+}
+
+// Valid reports whether f is a defined field.
+func (f Field) Valid() bool { return f < fieldCount }
+
+// Width returns the field's width in bits — what the switch's table
+// key consumes (the §3.2 capacity experiment hinges on FieldObject
+// being 128 bits wide).
+func (f Field) Width() int {
+	switch f {
+	case FieldType:
+		return 8
+	case FieldFlags:
+		return 16
+	case FieldSrc, FieldDst, FieldSeq:
+		return 64
+	case FieldObject:
+		return 128
+	default:
+		return 0
+	}
+}
+
+// Value is a field value up to 128 bits wide.
+type Value struct {
+	Hi, Lo uint64
+}
+
+// ValueOf builds a Value from a uint64.
+func ValueOf(v uint64) Value { return Value{Lo: v} }
+
+// ValueOfID builds a Value from an object ID.
+func ValueOfID(id oid.ID) Value { return Value{Hi: id.Hi, Lo: id.Lo} }
+
+// AsID converts the value back to an object ID.
+func (v Value) AsID() oid.ID { return oid.ID{Hi: v.Hi, Lo: v.Lo} }
+
+// Extract pulls a field's value out of a decoded header.
+func (h *Header) Extract(f Field) (Value, error) {
+	switch f {
+	case FieldType:
+		return ValueOf(uint64(h.Type)), nil
+	case FieldFlags:
+		return ValueOf(uint64(h.Flags)), nil
+	case FieldSrc:
+		return ValueOf(uint64(h.Src)), nil
+	case FieldDst:
+		return ValueOf(uint64(h.Dst)), nil
+	case FieldObject:
+		return ValueOfID(h.Object), nil
+	case FieldSeq:
+		return ValueOf(h.Seq), nil
+	default:
+		return Value{}, fmt.Errorf("wire: unknown field %d", f)
+	}
+}

@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oid"
+)
+
+var gen = oid.NewSeededGenerator(55)
+
+func sampleHeader() *Header {
+	return &Header{
+		Type:   MsgMem,
+		Flags:  FlagReliable | FlagRouteOnObject,
+		Src:    7,
+		Dst:    9,
+		Object: oid.ID{Hi: 0x1122334455667788, Lo: 0x99AABBCCDDEEFF00},
+		Seq:    42,
+		Ack:    41,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	payload := []byte("the payload")
+	fr, err := Encode(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != HeaderSize+len(payload) {
+		t.Fatalf("frame len = %d", len(fr))
+	}
+	var got Header
+	if err := got.DecodeFrom(fr); err != nil {
+		t.Fatal(err)
+	}
+	if got != *h {
+		t.Fatalf("decode = %+v, want %+v", got, *h)
+	}
+	if !bytes.Equal(Payload(fr), payload) {
+		t.Fatalf("Payload = %q", Payload(fr))
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	fr, err := Encode(sampleHeader(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != HeaderSize {
+		t.Fatalf("frame len = %d", len(fr))
+	}
+	if Payload(fr) != nil {
+		t.Fatal("Payload of empty frame not nil")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, _ := Encode(sampleHeader(), []byte("xyz"))
+
+	var h Header
+	if err := h.DecodeFrom(good[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF
+	if err := h.DecodeFrom(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("magic: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2] = 9
+	if err := h.DecodeFrom(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[7] = 32 // header length
+	if err := h.DecodeFrom(bad); !errors.Is(err, ErrBadLength) {
+		t.Errorf("header length: %v", err)
+	}
+
+	// Flipping a payload-length byte must break the checksum.
+	bad = append([]byte(nil), good...)
+	bad[11] ^= 0x01
+	if err := h.DecodeFrom(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("checksum: %v", err)
+	}
+
+	// Corrupting any single header byte must be detected.
+	for i := 0; i < HeaderSize; i++ {
+		bad = append([]byte(nil), good...)
+		bad[i] ^= 0xA5
+		if err := h.DecodeFrom(bad); err == nil {
+			t.Errorf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestEncodeTooLarge(t *testing.T) {
+	if _, err := Encode(sampleHeader(), make([]byte, MaxPayload+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+}
+
+func TestMarshalIntoShortBuffer(t *testing.T) {
+	h := sampleHeader()
+	if err := h.MarshalInto(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short buffer: %v", err)
+	}
+}
+
+func TestPayloadBounds(t *testing.T) {
+	if Payload([]byte("short")) != nil {
+		t.Fatal("Payload of short frame")
+	}
+	// Payload length larger than the frame: clamp.
+	h := sampleHeader()
+	fr, _ := Encode(h, []byte("abcdef"))
+	truncated := fr[:HeaderSize+3]
+	if got := Payload(truncated); string(got) != "abc" {
+		t.Fatalf("clamped payload = %q", got)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if MsgMem.String() != "mem" || MsgDiscover.String() != "discover" {
+		t.Fatal("MsgType names wrong")
+	}
+	if MsgType(200).String() != "msg(200)" {
+		t.Fatalf("out-of-range name: %q", MsgType(200).String())
+	}
+	if MsgInvalid.Valid() || !MsgHello.Valid() || MsgType(100).Valid() {
+		t.Fatal("Valid() wrong")
+	}
+}
+
+func TestStationString(t *testing.T) {
+	if StationBroadcast.String() != "bcast" {
+		t.Fatal("broadcast name")
+	}
+	if StationID(3).String() != "st3" {
+		t.Fatal("station name")
+	}
+}
+
+func TestFieldWidths(t *testing.T) {
+	cases := map[Field]int{
+		FieldType: 8, FieldFlags: 16, FieldSrc: 64,
+		FieldDst: 64, FieldObject: 128, FieldSeq: 64,
+	}
+	for f, w := range cases {
+		if f.Width() != w {
+			t.Errorf("Width(%v) = %d, want %d", f, f.Width(), w)
+		}
+		if !f.Valid() {
+			t.Errorf("Field %v not valid", f)
+		}
+	}
+	if Field(99).Width() != 0 || Field(99).Valid() {
+		t.Error("invalid field")
+	}
+	if FieldObject.String() != "object" || Field(99).String() != "field(99)" {
+		t.Error("field names")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	h := sampleHeader()
+	v, err := h.Extract(FieldObject)
+	if err != nil || v.AsID() != h.Object {
+		t.Fatalf("Extract(object) = %v, %v", v, err)
+	}
+	v, _ = h.Extract(FieldType)
+	if v.Lo != uint64(MsgMem) || v.Hi != 0 {
+		t.Fatalf("Extract(type) = %v", v)
+	}
+	v, _ = h.Extract(FieldSrc)
+	if v.Lo != 7 {
+		t.Fatalf("Extract(src) = %v", v)
+	}
+	v, _ = h.Extract(FieldDst)
+	if v.Lo != 9 {
+		t.Fatalf("Extract(dst) = %v", v)
+	}
+	v, _ = h.Extract(FieldFlags)
+	if Flags(v.Lo) != h.Flags {
+		t.Fatalf("Extract(flags) = %v", v)
+	}
+	v, _ = h.Extract(FieldSeq)
+	if v.Lo != 42 {
+		t.Fatalf("Extract(seq) = %v", v)
+	}
+	if _, err := h.Extract(Field(99)); err == nil {
+		t.Fatal("Extract accepted unknown field")
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(typ uint8, flags uint16, src, dst, hi, lo, seq, ack uint64, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		h := &Header{
+			Type: MsgType(typ), Flags: Flags(flags),
+			Src: StationID(src), Dst: StationID(dst),
+			Object: oid.ID{Hi: hi, Lo: lo}, Seq: seq, Ack: ack,
+		}
+		fr, err := Encode(h, payload)
+		if err != nil {
+			return false
+		}
+		var got Header
+		if err := got.DecodeFrom(fr); err != nil {
+			return false
+		}
+		return got == *h && bytes.Equal(Payload(fr), payload) == (len(payload) > 0) ||
+			(len(payload) == 0 && got == *h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	h := sampleHeader()
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(h, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	fr, _ := Encode(sampleHeader(), make([]byte, 256))
+	var h Header
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := h.DecodeFrom(fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
