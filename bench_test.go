@@ -214,3 +214,42 @@ func BenchmarkAblationCRDT_Merge(b *testing.B) {
 	b.ReportMetric(float64(rows[0].Lost), "naive-lost")
 	b.ReportMetric(float64(rows[1].Lost), "merge-lost")
 }
+
+// BenchmarkFaultRecovery_Crash measures E8 recovery from a home-node
+// fail-stop (replica promotion path).
+func BenchmarkFaultRecovery_Crash(b *testing.B) {
+	benchFaultClass(b, experiments.FaultCrash)
+}
+
+// BenchmarkFaultRecovery_LinkFlap measures E8 recovery from a 2ms
+// link flap (retransmit-backoff path).
+func BenchmarkFaultRecovery_LinkFlap(b *testing.B) {
+	benchFaultClass(b, experiments.FaultFlap)
+}
+
+// BenchmarkFaultRecovery_TableWipe measures E8 recovery from a
+// full switch-table wipe (controller repair / relearning path).
+func BenchmarkFaultRecovery_TableWipe(b *testing.B) {
+	benchFaultClass(b, experiments.FaultWipe)
+}
+
+func benchFaultClass(b *testing.B, class experiments.FaultClass) {
+	b.Helper()
+	var rows []experiments.FaultsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.FaultRecovery(experiments.FaultsConfig{
+			Seed:     int64(i + 1),
+			Accesses: 120,
+			Classes:  []experiments.FaultClass{class},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.RecoveryUS, r.Scheme+"-recovery-µs")
+		b.ReportMetric(r.FramesPerAccess, r.Scheme+"-frames/acc")
+		b.ReportMetric(float64(r.Failures), r.Scheme+"-failed")
+	}
+}

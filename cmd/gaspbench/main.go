@@ -11,6 +11,7 @@
 //	gaspbench serialization §2+§3.1: deserialize vs byte-copy load
 //	gaspbench ablations     A1 prefetch, A2 loss, A3 hybrid, A4 CRDT,
 //	                        A5 in-network sequencer, A6 overlay routing
+//	gaspbench faults        E8: scripted crash/flap/table-wipe recovery
 //	gaspbench all           everything above
 //
 // Flags:
@@ -38,7 +39,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,10 +67,12 @@ func main() {
 		err = runAblations()
 	case "scale":
 		err = runScale()
+	case "faults":
+		err = runFaults()
 	case "all":
 		for _, f := range []func() error{
 			runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
-			runAblations, runScale,
+			runAblations, runScale, runFaults,
 		} {
 			if err = f(); err != nil {
 				break
@@ -182,6 +185,30 @@ func runScale() error {
 		"scheme", "nodes", "object_rules", "fabric_frames_per_acc", "mean_us")
 	for _, r := range rows {
 		t.row(r.Scheme, r.Nodes, r.ObjectRules, r.FabricFramesPerAccess, r.MeanUS)
+	}
+	t.print(*csvOut)
+	return nil
+}
+
+func runFaults() error {
+	cfg := experiments.FaultsConfig{Seed: *seed}
+	if *quick {
+		cfg.Accesses = 120
+	}
+	rows, err := experiments.FaultRecovery(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable("E8: recovery from scripted crash / link-flap / table-wipe faults (§5)",
+		"scheme", "fault", "accesses", "failed", "degraded",
+		"mean_us", "p99_us", "max_us", "recovery_us",
+		"rtx_mean", "rtx_max", "frames_per_acc", "promoted", "lost")
+	for _, r := range rows {
+		t.row(r.Scheme, r.Fault, r.Accesses, r.Failures, r.DegradedAccesses,
+			fmt.Sprintf("%.1f", r.Latency.Mean), fmt.Sprintf("%.1f", r.Latency.P99),
+			fmt.Sprintf("%.1f", r.Latency.Max), fmt.Sprintf("%.1f", r.RecoveryUS),
+			fmt.Sprintf("%.2f", r.Retransmits.Mean), fmt.Sprintf("%.0f", r.Retransmits.Max),
+			fmt.Sprintf("%.1f", r.FramesPerAccess), r.Promotions, r.Lost)
 	}
 	t.print(*csvOut)
 	return nil

@@ -125,13 +125,14 @@ func main() {
 
 	// --- Scenario 1: Alice invokes; Bob overloaded → Carol executes.
 	alice.Invoke(codeRef, []object.Global{rootRef},
-		core.InvokeOptions{Param: encodeActivation(activation), ComputeWork: 0.01, ResultSize: 8},
 		func(res core.InvokeResult, err error) {
 			if err != nil {
 				log.Fatal(err)
 			}
 			report("Alice's request", res, want, cluster)
-		})
+		},
+		core.WithParam(encodeActivation(activation)),
+		core.WithComputeWork(0.01), core.WithResultSize(8))
 	cluster.Run()
 
 	// --- Scenario 2: same reference-based request from Dave, now
@@ -141,13 +142,14 @@ func main() {
 	dave.Deref(rootRef, func(*object.Object, error) {})
 	cluster.Run()
 	dave.Invoke(codeRef, []object.Global{rootRef},
-		core.InvokeOptions{Param: encodeActivation(activation), ComputeWork: 0.01, ResultSize: 8},
 		func(res core.InvokeResult, err error) {
 			if err != nil {
 				log.Fatal(err)
 			}
 			report("Dave's request", res, want, cluster)
-		})
+		},
+		core.WithParam(encodeActivation(activation)),
+		core.WithComputeWork(0.01), core.WithResultSize(8))
 	cluster.Run()
 }
 

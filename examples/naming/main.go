@@ -88,14 +88,14 @@ func main() {
 			nsCon.Resolve("services/ml/scorer", func(target object.Global, _ byte, err error) {
 				check(err)
 				consumer.Invoke(object.Global{Obj: scoreCode.ID()}, []object.Global{target},
-					core.InvokeOptions{ComputeWork: 0.0005, ResultSize: 16},
 					func(res core.InvokeResult, err error) {
 						check(err)
 						fmt.Printf("%s: score=%.4f (model object %s, executed at %v)\n",
 							tag, serde.NewDecoder(res.Result).Float64(),
 							target.Obj.Short(), res.Executor)
 						done()
-					})
+					},
+					core.WithComputeWork(0.0005), core.WithResultSize(16))
 			})
 		})
 	}

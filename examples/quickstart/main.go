@@ -77,17 +77,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	alice.Invoke(
+	future := alice.InvokeFuture(
 		object.Global{Obj: code.ID()},
 		[]object.Global{{Obj: greetings.ID()}},
-		core.InvokeOptions{ComputeWork: 0.0001, ResultSize: 128},
-		func(res core.InvokeResult, err error) {
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("result:   %s\n", res.Result)
-			fmt.Printf("executor: station %v (chosen by the system)\n", res.Executor)
-			fmt.Printf("elapsed:  %v of simulated time\n", res.Elapsed)
-		})
-	cluster.Run() // drain the virtual clock
+		core.WithComputeWork(0.0001), core.WithResultSize(128))
+	cluster.Run() // drain the virtual clock; the future resolves inside
+
+	res, err := future.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result:   %s\n", res.Result)
+	fmt.Printf("executor: station %v (chosen by the system)\n", res.Executor)
+	fmt.Printf("elapsed:  %v of simulated time\n", res.Elapsed)
 }

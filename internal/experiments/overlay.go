@@ -45,6 +45,7 @@ func (staticResolver) Resolve(_ oid.ID, cb func(discovery.Result, error)) {
 func (staticResolver) Invalidate(oid.ID) {}
 func (staticResolver) Announce(oid.ID)   {}
 func (staticResolver) Withdraw(oid.ID)   {}
+func (staticResolver) Reset()            {}
 
 // AblationOverlay gives every switch an object table that only holds
 // ~8 entries, then routes numObjects objects per owner two ways:

@@ -302,15 +302,12 @@ func rendezvousStrategy(cfg RendezvousConfig, strategy string, m *model.SparseMo
 			return RendezvousRow{}, cerr
 		}
 		alice.Invoke(object.Global{Obj: code.ID()}, []object.Global{{Obj: modelObj.ID()}},
-			core.InvokeOptions{
-				Param:       actBlob,
-				ComputeWork: cfg.ComputeWork,
-				ResultSize:  16,
-			},
 			func(r core.InvokeResult, err error) {
 				executor = r.Executor
 				finish(r.Result, err)
-			})
+			},
+			core.WithParam(actBlob),
+			core.WithComputeWork(cfg.ComputeWork), core.WithResultSize(16))
 	case "dave-local":
 		// (4) Dave is a capable edge device already holding a cached
 		// copy; the same Invoke now runs locally with no movement.
@@ -333,15 +330,12 @@ func rendezvousStrategy(cfg RendezvousConfig, strategy string, m *model.SparseMo
 			return RendezvousRow{}, cerr
 		}
 		dave.Invoke(object.Global{Obj: code.ID()}, []object.Global{{Obj: modelObj.ID()}},
-			core.InvokeOptions{
-				Param:       actBlob,
-				ComputeWork: cfg.ComputeWork,
-				ResultSize:  16,
-			},
 			func(r core.InvokeResult, err error) {
 				executor = r.Executor
 				finish(r.Result, err)
-			})
+			},
+			core.WithParam(actBlob),
+			core.WithComputeWork(cfg.ComputeWork), core.WithResultSize(16))
 	default:
 		return RendezvousRow{}, fmt.Errorf("unknown strategy %q", strategy)
 	}

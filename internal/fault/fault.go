@@ -1,0 +1,324 @@
+// Package fault is a deterministic fault-schedule engine over the
+// netsim virtual clock: node crashes and restarts, link failures,
+// flaps and degradation, and switch table wipes, all injected at
+// scripted virtual times into a core.Cluster.
+//
+// The paper's §5 claims the data-centric model "masks failures" —
+// replicated objects keep their identity, and the system promotes a
+// replica when the home dies. This package is the substrate that
+// claim is tested against: a Schedule scripts *what* breaks *when*; an
+// Injector arms the script on the simulator clock, performs the
+// recovery orchestration a control plane would (replica promotion
+// after a detection delay, controller table repair after a wipe), and
+// keeps an event log so experiments can line recovery behavior up
+// against the injected faults. Everything runs on virtual time from a
+// seeded simulation, so a given (schedule, seed) pair replays
+// bit-identically.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/oid"
+)
+
+// Kind classifies a scripted fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindCrash fail-stops a node: link down + all volatile state lost.
+	KindCrash Kind = iota
+	// KindRestart brings a crashed node back with an empty store.
+	KindRestart
+	// KindLinkDown partitions a node: link dead, state intact.
+	KindLinkDown
+	// KindLinkUp heals a partition.
+	KindLinkUp
+	// KindDegrade sets a loss rate on a node's access link.
+	KindDegrade
+	// KindTableWipe clears a switch's match-action tables.
+	KindTableWipe
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindLinkDown:
+		return "link-down"
+	case KindLinkUp:
+		return "link-up"
+	case KindDegrade:
+		return "degrade"
+	case KindTableWipe:
+		return "table-wipe"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scripted fault.
+type Event struct {
+	// At is the virtual time offset (from arming) at which the fault
+	// fires.
+	At netsim.Duration
+	// Kind selects the fault.
+	Kind Kind
+	// Node is the target node index (crash/restart/link faults).
+	Node int
+	// Switch is the target switch index for KindTableWipe; -1 wipes
+	// every switch.
+	Switch int
+	// LossRate is the injected drop rate for KindDegrade.
+	LossRate float64
+}
+
+// Schedule is an ordered fault script, built fluently:
+//
+//	s := fault.NewSchedule().
+//		CrashNode(2*netsim.Millisecond, 1).
+//		RestartNode(8*netsim.Millisecond, 1).
+//		WipeTables(12*netsim.Millisecond, -1)
+type Schedule struct {
+	events []Event
+}
+
+// NewSchedule creates an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// CrashNode scripts a fail-stop of node at offset at.
+func (s *Schedule) CrashNode(at netsim.Duration, node int) *Schedule {
+	s.events = append(s.events, Event{At: at, Kind: KindCrash, Node: node})
+	return s
+}
+
+// RestartNode scripts a crashed node's return at offset at.
+func (s *Schedule) RestartNode(at netsim.Duration, node int) *Schedule {
+	s.events = append(s.events, Event{At: at, Kind: KindRestart, Node: node})
+	return s
+}
+
+// LinkDown scripts a partition of node's access link at offset at.
+func (s *Schedule) LinkDown(at netsim.Duration, node int) *Schedule {
+	s.events = append(s.events, Event{At: at, Kind: KindLinkDown, Node: node})
+	return s
+}
+
+// LinkUp scripts the partition healing at offset at.
+func (s *Schedule) LinkUp(at netsim.Duration, node int) *Schedule {
+	s.events = append(s.events, Event{At: at, Kind: KindLinkUp, Node: node})
+	return s
+}
+
+// FlapLink scripts a link going down at offset at and returning after
+// downFor — the classic flap.
+func (s *Schedule) FlapLink(at netsim.Duration, node int, downFor netsim.Duration) *Schedule {
+	return s.LinkDown(at, node).LinkUp(at+downFor, node)
+}
+
+// DegradeLink scripts node's access link dropping frames at rate
+// (restore with rate 0).
+func (s *Schedule) DegradeLink(at netsim.Duration, node int, rate float64) *Schedule {
+	s.events = append(s.events, Event{At: at, Kind: KindDegrade, Node: node, LossRate: rate})
+	return s
+}
+
+// WipeTables scripts clearing the match-action tables of switch sw
+// (index into Cluster.Switches; -1 = every switch) at offset at.
+func (s *Schedule) WipeTables(at netsim.Duration, sw int) *Schedule {
+	s.events = append(s.events, Event{At: at, Kind: KindTableWipe, Switch: sw})
+	return s
+}
+
+// Events returns the script sorted by time (stable, so same-time
+// events keep insertion order).
+func (s *Schedule) Events() []Event {
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of scripted events.
+func (s *Schedule) Len() int { return len(s.events) }
+
+// Horizon returns the offset of the last scripted event.
+func (s *Schedule) Horizon() netsim.Duration {
+	var h netsim.Duration
+	for _, e := range s.events {
+		if e.At > h {
+			h = e.At
+		}
+	}
+	return h
+}
+
+// Config tunes the injector's recovery orchestration.
+type Config struct {
+	// PromotionDelay models failure detection plus promotion decision
+	// time: how long after a crash surviving replicas of the dead
+	// home's objects are promoted (default 500µs). Negative disables
+	// promotion entirely (objects stay lost until the node restarts).
+	PromotionDelay netsim.Duration
+	// RepairDelay models the controller noticing a table wipe and
+	// replaying its rules (default 200µs). Only meaningful when the
+	// cluster runs a controller; under pure E2E the fabric re-learns
+	// on its own. Negative disables repair.
+	RepairDelay netsim.Duration
+}
+
+func (c *Config) fill() {
+	if c.PromotionDelay == 0 {
+		c.PromotionDelay = 500 * netsim.Microsecond
+	}
+	if c.RepairDelay == 0 {
+		c.RepairDelay = 200 * netsim.Microsecond
+	}
+}
+
+// Record is one log line: an injected fault or a recovery action.
+type Record struct {
+	At     netsim.Time
+	Kind   string
+	Detail string
+}
+
+// String formats the record.
+func (r Record) String() string {
+	return fmt.Sprintf("%12v  %-10s %s", r.At, r.Kind, r.Detail)
+}
+
+// Injector arms a Schedule against a cluster and orchestrates
+// recovery.
+type Injector struct {
+	cluster *core.Cluster
+	cfg     Config
+
+	log        []Record
+	promotions int
+	lost       []oid.ID
+}
+
+// NewInjector creates an injector for c. Arm schedules the script.
+func NewInjector(c *core.Cluster, cfg Config) *Injector {
+	cfg.fill()
+	return &Injector{cluster: c, cfg: cfg}
+}
+
+// Arm schedules every event of sched on the cluster's virtual clock,
+// relative to the current virtual time. It may be called once per
+// schedule; arming multiple schedules composes.
+func (inj *Injector) Arm(sched *Schedule) {
+	for _, ev := range sched.Events() {
+		ev := ev
+		inj.cluster.Sim.Schedule(ev.At, func() { inj.fire(ev) })
+	}
+}
+
+// fire applies one event and schedules its recovery actions.
+func (inj *Injector) fire(ev Event) {
+	c := inj.cluster
+	switch ev.Kind {
+	case KindCrash:
+		homed := c.CrashNode(ev.Node)
+		inj.record("crash", fmt.Sprintf("node%d down, %d home objects at risk", ev.Node, len(homed)))
+		// The controller's liveness detection sees the port die and
+		// drops ownership records, so locates fail fast instead of
+		// routing into a black hole.
+		if c.Controller != nil {
+			c.Controller.Forget(c.Nodes[ev.Node].Station)
+		}
+		if inj.cfg.PromotionDelay < 0 {
+			inj.lost = append(inj.lost, homed...)
+			return
+		}
+		c.Sim.Schedule(inj.cfg.PromotionDelay, func() { inj.promote(homed) })
+	case KindRestart:
+		c.RestartNode(ev.Node)
+		inj.record("restart", fmt.Sprintf("node%d up (empty store)", ev.Node))
+	case KindLinkDown:
+		c.Net.SetLinkDown(c.Nodes[ev.Node].Host, 0, true)
+		inj.record("link-down", fmt.Sprintf("node%d partitioned", ev.Node))
+	case KindLinkUp:
+		c.Net.SetLinkDown(c.Nodes[ev.Node].Host, 0, false)
+		inj.record("link-up", fmt.Sprintf("node%d rejoined", ev.Node))
+	case KindDegrade:
+		c.Net.SetLinkLoss(c.Nodes[ev.Node].Host, 0, ev.LossRate)
+		inj.record("degrade", fmt.Sprintf("node%d loss=%.0f%%", ev.Node, ev.LossRate*100))
+	case KindTableWipe:
+		wiped := 0
+		for i, sw := range c.Switches {
+			if ev.Switch >= 0 && i != ev.Switch {
+				continue
+			}
+			sw.WipeTables()
+			wiped++
+		}
+		inj.record("table-wipe", fmt.Sprintf("%d switch table(s) cleared", wiped))
+		if c.Controller != nil && inj.cfg.RepairDelay >= 0 {
+			c.Sim.Schedule(inj.cfg.RepairDelay, func() {
+				// The controller replays station routes first (so
+				// replies unicast again), then object rules.
+				c.Controller.ProgramStationTables()
+				n := c.Controller.ReinstallAll()
+				inj.record("repair", fmt.Sprintf("controller reinstalled %d object(s)", n))
+			})
+		}
+	}
+}
+
+// promote walks the dead home's objects and promotes the
+// lowest-station surviving replica of each; objects with no surviving
+// copy are recorded as lost.
+func (inj *Injector) promote(homed []oid.ID) {
+	c := inj.cluster
+	for _, obj := range homed {
+		var target *core.Node
+		for _, n := range c.Nodes {
+			if n.Down() || !n.Store.Contains(obj) {
+				continue
+			}
+			if target == nil || n.Station < target.Station {
+				target = n
+			}
+		}
+		if target == nil {
+			inj.lost = append(inj.lost, obj)
+			inj.record("lost", obj.Short())
+			continue
+		}
+		if err := c.PromoteReplica(obj, target); err != nil {
+			inj.record("promote-fail", fmt.Sprintf("%s: %v", obj.Short(), err))
+			continue
+		}
+		inj.promotions++
+		inj.record("promote", fmt.Sprintf("%s → %v", obj.Short(), target.Station))
+	}
+}
+
+func (inj *Injector) record(kind, detail string) {
+	inj.log = append(inj.log, Record{At: inj.cluster.Sim.Now(), Kind: kind, Detail: detail})
+}
+
+// Log returns the fault/recovery event log in time order.
+func (inj *Injector) Log() []Record {
+	out := make([]Record, len(inj.log))
+	copy(out, inj.log)
+	return out
+}
+
+// Promotions reports how many replicas were promoted to home.
+func (inj *Injector) Promotions() int { return inj.promotions }
+
+// Lost returns objects whose every copy died with a crashed node.
+func (inj *Injector) Lost() []oid.ID {
+	out := make([]oid.ID, len(inj.lost))
+	copy(out, inj.lost)
+	return out
+}

@@ -1,0 +1,41 @@
+package gasperr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{fmt.Errorf("transport: retransmission limit reached: %w", ErrUnreachable), ErrUnreachable},
+		{fmt.Errorf("discovery: %w", ErrNotFound), ErrNotFound},
+		{fmt.Errorf("rpc: %w", ErrTimeout), ErrTimeout},
+		{fmt.Errorf("p4sim: %w", ErrTableFull), ErrTableFull},
+		{errors.New("unrelated"), nil},
+		{nil, nil},
+	}
+	for _, c := range cases {
+		if got := Class(c.err); got != c.want {
+			t.Errorf("Class(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	if !Retryable(fmt.Errorf("x: %w", ErrTimeout)) {
+		t.Error("timeout should be retryable")
+	}
+	if !Retryable(fmt.Errorf("x: %w", ErrUnreachable)) {
+		t.Error("unreachable should be retryable")
+	}
+	if Retryable(fmt.Errorf("x: %w", ErrNotFound)) {
+		t.Error("not-found should not be retryable")
+	}
+	if Retryable(fmt.Errorf("x: %w", ErrTableFull)) {
+		t.Error("table-full should not be retryable")
+	}
+}

@@ -467,11 +467,6 @@ func (ns *Namespace) mutate(path string, target object.Global, kind byte, mkdir 
 			return
 		}
 		ns.node.Invoke(ns.code, []object.Global{dirRef},
-			core.InvokeOptions{
-				Param:       encodeBind(leaf, target, kind, mkdir),
-				ComputeWork: 0.00001,
-				ResultSize:  32,
-			},
 			func(res core.InvokeResult, err error) {
 				if err != nil {
 					cb(object.Global{}, err)
@@ -483,7 +478,9 @@ func (ns *Namespace) mutate(path string, target object.Global, kind byte, mkdir 
 				out.Obj.Lo = d.Uint64()
 				out.Off = d.Uint64()
 				cb(out, d.Err())
-			})
+			},
+			core.WithParam(encodeBind(leaf, target, kind, mkdir)),
+			core.WithComputeWork(0.00001), core.WithResultSize(32))
 	})
 }
 

@@ -186,6 +186,15 @@ func (sw *Switch) InstallStationRoute(st wire.StationID, port int) error {
 	})
 }
 
+// WipeTables clears both match-action tables, modeling a switch
+// reboot or control-plane fault that loses programmed state. The
+// filter table (a separate control plane) is left alone. Forwarding
+// degrades to flooding/learning until rules are re-installed.
+func (sw *Switch) WipeTables() {
+	sw.objTable.Clear()
+	sw.stationTable.Clear()
+}
+
 // Recv implements netsim.Device: the ingress pipeline.
 func (sw *Switch) Recv(port int, fr netsim.Frame) {
 	sw.counters.FramesIn++

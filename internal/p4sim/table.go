@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/gasperr"
 	"repro/internal/wire"
 )
 
@@ -121,9 +122,10 @@ const (
 	fillMultiWord  = 0.87
 )
 
-// Errors returned by table operations.
+// Errors returned by table operations. ErrTableFull wraps the shared
+// gasperr sentinel so upper layers can classify capacity exhaustion.
 var (
-	ErrTableFull = errors.New("p4sim: table full")
+	ErrTableFull = fmt.Errorf("p4sim: %w", gasperr.ErrTableFull)
 	ErrBadEntry  = errors.New("p4sim: entry does not match table key schema")
 )
 

@@ -353,7 +353,9 @@ func (c *Client) CallWithTimeout(dst wire.StationID, method string, args []byte,
 		func(resp *wire.Header, payload []byte, err error) {
 			if err != nil {
 				if _, live := c.inbound[id]; live {
-					c.finish(id, call, nil, fmt.Errorf("%w: %v", ErrTransport, err))
+					// Both %w: callers match ErrTransport for the layer and
+					// the wrapped transport error for its gasperr class.
+					c.finish(id, call, nil, fmt.Errorf("%w: %w", ErrTransport, err))
 				}
 				return
 			}

@@ -290,6 +290,17 @@ func (s *Store) Invalidate(id oid.ID) error {
 	return nil
 }
 
+// Clear drops every entry — home copies included — modeling a crash
+// that loses the host's (volatile) object pool. Eviction statistics
+// are preserved; crashes are not evictions.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects = make(map[oid.ID]*Entry)
+	s.lru = list.New()
+	s.used = 0
+}
+
 // List returns all held IDs in sorted order.
 func (s *Store) List() []oid.ID {
 	s.mu.Lock()

@@ -15,31 +15,46 @@
 package transport
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/gasperr"
 	"repro/internal/netsim"
 	"repro/internal/wire"
 )
 
-// Errors surfaced to callers.
+// Errors surfaced to callers. Both wrap the gasperr taxonomy so
+// callers can classify with errors.Is(err, gasperr.ErrTimeout) /
+// gasperr.ErrUnreachable without importing this package.
 var (
-	ErrTimeout    = errors.New("transport: timed out")
-	ErrRetriesOut = errors.New("transport: retransmission limit reached")
+	ErrTimeout    = fmt.Errorf("transport: timed out: %w", gasperr.ErrTimeout)
+	ErrRetriesOut = fmt.Errorf("transport: retransmission budget exhausted: %w", gasperr.ErrUnreachable)
 )
 
 // Config tunes an endpoint.
 type Config struct {
-	// RetransmitTimeout is the per-frame ack deadline (default 200µs,
-	// a handful of fabric RTTs). Large frames extend it by
+	// RetransmitTimeout is the initial per-frame ack deadline (default
+	// 200µs, a handful of fabric RTTs). Each unacknowledged
+	// retransmission multiplies the deadline by Backoff, up to
+	// MaxRetransmitTimeout. Large frames extend every deadline by
 	// PerByteTimeout each.
 	RetransmitTimeout netsim.Duration
 	// PerByteTimeout scales the ack deadline with frame size so jumbo
 	// frames are not retransmitted while still serializing (default
 	// 10ns/byte ≈ a conservative 0.8 Gb/s path).
 	PerByteTimeout netsim.Duration
-	// MaxRetries bounds retransmissions per frame (default 4).
-	MaxRetries int
+	// Backoff is the multiplier applied to the retransmit interval
+	// after every unacknowledged attempt (default 2.0; use 1 for a
+	// constant interval).
+	Backoff float64
+	// MaxRetransmitTimeout caps the backed-off interval so a long
+	// outage doesn't push probes arbitrarily far apart (default 16×
+	// the initial interval).
+	MaxRetransmitTimeout netsim.Duration
+	// RetryBudget bounds the total time a reliable frame may spend
+	// unacknowledged, replacing the old fixed retry count. Once the
+	// budget elapses the frame fails with ErrRetriesOut (default 5ms,
+	// which fits five attempts of the default backoff schedule).
+	RetryBudget netsim.Duration
 	// RequestTimeout is the default request/response deadline
 	// (default 5ms).
 	RequestTimeout netsim.Duration
@@ -52,8 +67,14 @@ func (c *Config) fill() {
 	if c.PerByteTimeout == 0 {
 		c.PerByteTimeout = 10 * netsim.Nanosecond
 	}
-	if c.MaxRetries == 0 {
-		c.MaxRetries = 4
+	if c.Backoff < 1 {
+		c.Backoff = 2.0
+	}
+	if c.MaxRetransmitTimeout == 0 {
+		c.MaxRetransmitTimeout = 16 * c.RetransmitTimeout
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 5 * netsim.Millisecond
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 5 * netsim.Millisecond
@@ -80,10 +101,12 @@ type Counters struct {
 type Handler func(h *wire.Header, payload []byte)
 
 type pendingFrame struct {
-	frame   netsim.Frame
-	retries int
-	timer   *netsim.Timer
-	done    func(error)
+	frame    netsim.Frame
+	retries  int
+	interval netsim.Duration // current backed-off retransmit interval
+	deadline netsim.Time     // first-send time + RetryBudget
+	timer    *netsim.Timer
+	done     func(error)
 }
 
 type pendingReq struct {
@@ -192,7 +215,12 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 		e.counters.SendFailures++
 		return 0, err
 	}
-	p := &pendingFrame{frame: fr, done: done}
+	p := &pendingFrame{
+		frame:    fr,
+		interval: e.cfg.RetransmitTimeout,
+		deadline: e.sim.Now().Add(e.cfg.RetryBudget),
+		done:     done,
+	}
 	e.pending[h.Seq] = p
 	e.inflightBytes += len(fr)
 	e.counters.FramesSent++
@@ -202,19 +230,20 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 }
 
 func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
-	// The deadline covers this frame's own serialization plus the
-	// unacked bytes already queued ahead of it.
-	deadline := e.cfg.RetransmitTimeout +
+	// The wait covers this frame's own serialization plus the unacked
+	// bytes already queued ahead of it.
+	wait := p.interval +
 		netsim.Duration(len(p.frame)+e.inflightBytes)*e.cfg.PerByteTimeout
-	p.timer = e.sim.AfterFunc(deadline, func() {
+	p.timer = e.sim.AfterFunc(wait, func() {
 		if _, live := e.pending[seq]; !live {
 			return
 		}
-		if p.retries >= e.cfg.MaxRetries {
+		if e.sim.Now() >= p.deadline {
 			delete(e.pending, seq)
 			e.inflightBytes -= len(p.frame)
 			if p.done != nil {
-				p.done(fmt.Errorf("%w after %d retries", ErrRetriesOut, p.retries))
+				p.done(fmt.Errorf("%w after %d retransmits over %v",
+					ErrRetriesOut, p.retries, e.cfg.RetryBudget))
 			}
 			return
 		}
@@ -222,6 +251,11 @@ func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
 		e.counters.Retransmits++
 		e.counters.FramesSent++
 		e.host.Send(p.frame)
+		// Exponential backoff: widen the probe interval up to the cap.
+		p.interval = netsim.Duration(float64(p.interval) * e.cfg.Backoff)
+		if p.interval > e.cfg.MaxRetransmitTimeout {
+			p.interval = e.cfg.MaxRetransmitTimeout
+		}
 		e.armRetransmit(seq, p)
 	})
 }
@@ -347,6 +381,31 @@ func (e *Endpoint) onFrame(fr netsim.Frame) {
 	if e.handler != nil {
 		e.handler(&h, payload)
 	}
+}
+
+// Reset abandons all in-flight transport state, modeling a process
+// crash: pending reliable frames and outstanding requests are dropped
+// without invoking their callbacks (the process that registered them
+// is gone), timers are stopped, and the dedup window is cleared. The
+// sequence counter is preserved so a restarted endpoint does not reuse
+// sequence numbers its peers may still remember.
+func (e *Endpoint) Reset() {
+	for seq, p := range e.pending {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		delete(e.pending, seq)
+	}
+	for seq, r := range e.requests {
+		if r.timer != nil {
+			r.timer.Stop()
+		}
+		delete(e.requests, seq)
+	}
+	e.inflightBytes = 0
+	e.seen = make(map[dedupKey]struct{}, dedupCapacity)
+	e.seenRing = make([]dedupKey, dedupCapacity)
+	e.seenNext = 0
 }
 
 // PendingFrames reports in-flight reliable frames (for tests).

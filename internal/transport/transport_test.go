@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/gasperr"
 	"repro/internal/netsim"
 	"repro/internal/wire"
 )
@@ -104,7 +105,12 @@ func TestReliableBroadcastRejected(t *testing.T) {
 func TestRetransmissionRecoversLoss(t *testing.T) {
 	// 60% loss: retries should still get the frame through eventually.
 	sim, a, b := pair(t, netsim.LinkConfig{Latency: 5 * netsim.Microsecond, DropRate: 0.6},
-		Config{MaxRetries: 30, RetransmitTimeout: 50 * netsim.Microsecond})
+		Config{
+			RetransmitTimeout:    50 * netsim.Microsecond,
+			Backoff:              1.5,
+			MaxRetransmitTimeout: 200 * netsim.Microsecond,
+			RetryBudget:          10 * netsim.Millisecond,
+		})
 	delivered := 0
 	b.SetHandler(func(*wire.Header, []byte) { delivered++ })
 	var ackErr error
@@ -123,7 +129,7 @@ func TestRetransmissionRecoversLoss(t *testing.T) {
 
 func TestRetriesExhausted(t *testing.T) {
 	sim, a, _ := pair(t, netsim.LinkConfig{DropRate: 1.0},
-		Config{MaxRetries: 3, RetransmitTimeout: 10 * netsim.Microsecond})
+		Config{RetransmitTimeout: 10 * netsim.Microsecond, RetryBudget: 100 * netsim.Microsecond})
 	var got error
 	a.SendReliable(wire.Header{Type: wire.MsgMem, Dst: 2}, nil, func(err error) { got = err })
 	sim.Run()
@@ -278,7 +284,12 @@ func TestCountersReset(t *testing.T) {
 
 func TestManyReliableFramesUnderLoss(t *testing.T) {
 	sim, a, b := pair(t, netsim.LinkConfig{Latency: 3 * netsim.Microsecond, DropRate: 0.3},
-		Config{MaxRetries: 25, RetransmitTimeout: 40 * netsim.Microsecond})
+		Config{
+			RetransmitTimeout:    40 * netsim.Microsecond,
+			Backoff:              1.5,
+			MaxRetransmitTimeout: 300 * netsim.Microsecond,
+			RetryBudget:          20 * netsim.Millisecond,
+		})
 	delivered := 0
 	b.SetHandler(func(*wire.Header, []byte) { delivered++ })
 	failures := 0
@@ -392,5 +403,123 @@ func BenchmarkRequestResponse(b *testing.B) {
 		ea.Request(wire.Header{Type: wire.MsgMem, Dst: 2}, nil, 0,
 			func(*wire.Header, []byte, error) {})
 		sim.Run()
+	}
+}
+
+func TestBackoffBridgesLossBursts(t *testing.T) {
+	// A reliable frame sent into a dead link survives any outage
+	// shorter than the retry budget, and exponential backoff keeps the
+	// probe count logarithmic in the outage length. Outages longer
+	// than the budget fail with ErrRetriesOut.
+	cfg := Config{
+		RetransmitTimeout:    100 * netsim.Microsecond,
+		Backoff:              2.0,
+		MaxRetransmitTimeout: 2 * netsim.Millisecond,
+		RetryBudget:          5 * netsim.Millisecond,
+	}
+	cases := []struct {
+		name           string
+		burst          netsim.Duration // outage length from t=0
+		wantOK         bool
+		maxRetransmits uint64
+	}{
+		{"no-burst", 0, true, 0},
+		{"short-burst", 500 * netsim.Microsecond, true, 4},
+		// 100+200+400+800 = 1.5ms of probes bridge a 1.4ms outage; a
+		// fixed 100µs interval would have burned 14 probes, backoff
+		// needs 4.
+		{"medium-burst", 1400 * netsim.Microsecond, true, 5},
+		{"burst-exceeds-budget", 8 * netsim.Millisecond, false, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := netsim.NewSim(11)
+			net := netsim.NewNetwork(sim)
+			ha, _ := netsim.NewHost(net, "a")
+			hb, _ := netsim.NewHost(net, "b")
+			link := netsim.LinkConfig{Latency: 5 * netsim.Microsecond}
+			if err := net.Connect(ha, 0, hb, 0, link); err != nil {
+				t.Fatal(err)
+			}
+			a, b := NewEndpoint(ha, 1, cfg), NewEndpoint(hb, 2, cfg)
+			delivered := false
+			b.SetHandler(func(*wire.Header, []byte) { delivered = true })
+
+			if tc.burst > 0 {
+				net.SetLinkDown(ha, 0, true)
+				sim.Schedule(tc.burst, func() { net.SetLinkDown(ha, 0, false) })
+			}
+			var sendErr error
+			acked := false
+			a.SendReliable(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte("burst"), func(err error) {
+				acked, sendErr = true, err
+			})
+			sim.Run()
+
+			if !acked {
+				t.Fatal("completion callback never ran")
+			}
+			if tc.wantOK {
+				if sendErr != nil || !delivered {
+					t.Fatalf("delivered=%v err=%v", delivered, sendErr)
+				}
+			} else {
+				if !errors.Is(sendErr, ErrRetriesOut) {
+					t.Fatalf("err = %v, want ErrRetriesOut", sendErr)
+				}
+				if !errors.Is(sendErr, gasperr.ErrUnreachable) {
+					t.Fatalf("err = %v, want gasperr.ErrUnreachable class", sendErr)
+				}
+			}
+			if got := a.Counters().Retransmits; got > tc.maxRetransmits {
+				t.Fatalf("retransmits = %d, want <= %d (backoff not growing?)", got, tc.maxRetransmits)
+			}
+		})
+	}
+}
+
+func TestBackoffUnderRandomLossBursts(t *testing.T) {
+	// Seeded random loss at 85% for the first 2ms of a transfer: every
+	// seed must converge once the loss clears, and identical seeds must
+	// replay identically.
+	run := func(seed int64) (uint64, netsim.Time) {
+		sim := netsim.NewSim(seed)
+		net := netsim.NewNetwork(sim)
+		ha, _ := netsim.NewHost(net, "a")
+		hb, _ := netsim.NewHost(net, "b")
+		link := netsim.LinkConfig{Latency: 5 * netsim.Microsecond, DropRate: 0.85}
+		if err := net.Connect(ha, 0, hb, 0, link); err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			RetransmitTimeout:    100 * netsim.Microsecond,
+			Backoff:              1.5,
+			MaxRetransmitTimeout: netsim.Millisecond,
+			RetryBudget:          20 * netsim.Millisecond,
+		}
+		a, b := NewEndpoint(ha, 1, cfg), NewEndpoint(hb, 2, cfg)
+		b.SetHandler(func(*wire.Header, []byte) {})
+		sim.Schedule(2*netsim.Millisecond, func() { net.SetLinkLoss(ha, 0, 0) })
+
+		okCount := 0
+		for i := 0; i < 8; i++ {
+			a.SendReliable(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte{byte(i)}, func(err error) {
+				if err == nil {
+					okCount++
+				}
+			})
+		}
+		sim.Run()
+		if okCount != 8 {
+			t.Fatalf("seed %d: %d/8 frames survived the loss burst", seed, okCount)
+		}
+		return a.Counters().Retransmits, sim.Now()
+	}
+	for _, seed := range []int64{1, 2, 3, 4} {
+		r1, t1 := run(seed)
+		r2, t2 := run(seed)
+		if r1 != r2 || t1 != t2 {
+			t.Fatalf("seed %d not deterministic: (%d,%v) vs (%d,%v)", seed, r1, t1, r2, t2)
+		}
 	}
 }

@@ -88,13 +88,20 @@ const (
 	MsgRPC
 	// MsgCtrl carries controller<->switch rule programming.
 	MsgCtrl
+	// MsgLocate asks the controller where an object lives after a
+	// route-on-object delivery failure (stale or wiped fabric rules).
+	MsgLocate
+	// MsgLocateReply answers a MsgLocate with the owner's station and
+	// confirms the object's fabric rules have been re-installed.
+	MsgLocateReply
 
 	msgTypeCount
 )
 
 var msgNames = [...]string{
 	"invalid", "hello", "announce", "announce-ack", "discover",
-	"discover-reply", "mem", "ack", "rpc", "ctrl",
+	"discover-reply", "mem", "ack", "rpc", "ctrl", "locate",
+	"locate-reply",
 }
 
 // String names the message type.
