@@ -316,7 +316,13 @@ func (n *Node) ReadAt(obj oid.ID, off uint64, length int, cb func([]byte, error)
 	n.counters.RemoteReads++
 	n.accessAttempt(obj, 1, cb,
 		&memproto.Msg{Op: memproto.OpReadReq, Offset: off, Length: uint32(length)},
-		func(rm *memproto.Msg) { cb(rm.Data, nil) })
+		func(rm *memproto.Msg) {
+			// rm.Data is a view into the frame buffer, which is recycled
+			// after dispatch; the caller keeps the bytes, so copy.
+			data := make([]byte, len(rm.Data))
+			copy(data, rm.Data)
+			cb(data, nil)
+		})
 }
 
 // WriteAt writes data at off in obj at its home; the home invalidates

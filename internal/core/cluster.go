@@ -134,6 +134,7 @@ type Cluster struct {
 	// Controller is non-nil under SchemeController/SchemeHybrid.
 	Controller     *discovery.Controller
 	controllerNode *netsim.Host
+	controllerEP   *transport.Endpoint
 
 	// Placement is the shared rendezvous engine.
 	Placement *placement.Engine
@@ -233,8 +234,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err := ctrl.ProgramStationTables(); err != nil {
 			return nil, err
 		}
-		ep.SetHandler(func(h *wire.Header, p []byte) { ctrl.HandleFrame(h, p) })
+		ep.Mux().Handle(wire.MsgAnnounce, ctrl.HandleFrame)
+		ep.Mux().Handle(wire.MsgLocate, ctrl.HandleFrame)
 		c.Controller = ctrl
+		c.controllerEP = ep
 	}
 
 	// Wire resolvers now that the controller exists.
@@ -403,6 +406,11 @@ func (c *Cluster) RestartNode(i int) {
 type Stats struct {
 	Network  netsim.Stats
 	Switches []p4sim.Counters
+	// FrameDrops counts frames that reached an endpoint's mux but no
+	// handler claimed (unknown or unhandled message types), summed over
+	// every node and the controller. Before the dataplane mux these
+	// vanished silently.
+	FrameDrops uint64
 }
 
 // Stats snapshots cluster-wide counters.
@@ -411,14 +419,26 @@ func (c *Cluster) Stats() Stats {
 	for _, sw := range c.Switches {
 		s.Switches = append(s.Switches, sw.Counters())
 	}
+	for _, n := range c.Nodes {
+		s.FrameDrops += n.EP.Mux().Stats().Dropped
+	}
+	if c.controllerEP != nil {
+		s.FrameDrops += c.controllerEP.Mux().Stats().Dropped
+	}
 	return s
 }
 
-// ResetStats zeroes network and switch counters.
+// ResetStats zeroes network, switch, and mux counters.
 func (c *Cluster) ResetStats() {
 	c.Net.ResetStats()
 	for _, sw := range c.Switches {
 		sw.ResetCounters()
+	}
+	for _, n := range c.Nodes {
+		n.EP.Mux().ResetStats()
+	}
+	if c.controllerEP != nil {
+		c.controllerEP.Mux().ResetStats()
 	}
 }
 

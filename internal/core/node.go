@@ -102,18 +102,12 @@ func (n *Node) initResolver(cfg Config) {
 		n.Prefetch = prefetch.New(n.Coherence, n.Store.Contains, cfg.Prefetch)
 	}
 	n.Registry.registerInvoke(n)
-	n.EP.SetHandler(func(h *wire.Header, payload []byte) {
-		if n.e2e != nil && n.e2e.HandleFrame(h, payload) {
-			return
-		}
-		if n.Coherence.HandleFrame(h, payload) {
-			return
-		}
-		if n.RPCServer.HandleFrame(h, payload) {
-			return
-		}
-		n.RPCClient.HandleFrame(h, payload)
-	})
+	mux := n.EP.Mux()
+	if n.e2e != nil {
+		mux.Handle(wire.MsgDiscover, n.e2e.HandleFrame)
+	}
+	mux.Handle(wire.MsgMem, n.Coherence.HandleFrame)
+	mux.Handle(wire.MsgRPC, n.RPCServer.HandleFrame, n.RPCClient.HandleFrame)
 	n.cluster.Placement.SetNode(n.placementInfo())
 }
 

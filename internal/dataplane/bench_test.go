@@ -1,0 +1,115 @@
+package dataplane_test
+
+// End-to-end hot-path allocation benchmarks: encode → transport send →
+// switch forwarding → delivery → parse → mux dispatch. These ran
+// unchanged against the pre-dataplane tree to establish the baseline
+// the allocation-regression CI step guards.
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/p4sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+type benchNet struct {
+	sim *netsim.Sim
+	a   *transport.Endpoint
+	b   *transport.Endpoint
+}
+
+func newBenchNet(tb testing.TB) *benchNet {
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	sw, err := p4sim.NewSwitch(net, "sw", 4, p4sim.SwitchConfig{LearnStations: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ha, err := netsim.NewHost(net, "a")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hb, err := netsim.NewHost(net, "b")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	link := netsim.LinkConfig{Latency: 5 * netsim.Microsecond, BitsPerSec: 10_000_000_000}
+	if err := net.Connect(ha, 0, sw, 0, link); err != nil {
+		tb.Fatal(err)
+	}
+	if err := net.Connect(hb, 0, sw, 1, link); err != nil {
+		tb.Fatal(err)
+	}
+	return &benchNet{
+		sim: sim,
+		a:   transport.NewEndpoint(ha, 1, transport.Config{}),
+		b:   transport.NewEndpoint(hb, 2, transport.Config{}),
+	}
+}
+
+func BenchmarkDataplane_SendDeliver(b *testing.B) {
+	n := newBenchNet(b)
+	delivered := 0
+	n.b.SetHandler(func(h *wire.Header, p []byte) { delivered++ })
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.a.Send(wire.Header{Type: wire.MsgMem, Dst: 2}, payload); err != nil {
+			b.Fatal(err)
+		}
+		n.sim.Run()
+	}
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+func BenchmarkDataplane_ReliableRoundTrip(b *testing.B) {
+	n := newBenchNet(b)
+	n.b.SetHandler(func(h *wire.Header, p []byte) {
+		n.b.Respond(h, wire.Header{Type: wire.MsgMem}, p)
+	})
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := false
+		_, err := n.a.Request(wire.Header{Type: wire.MsgMem, Dst: 2}, payload, 0,
+			func(resp *wire.Header, p []byte, err error) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				got = true
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.sim.Run()
+		if !got {
+			b.Fatal("no response")
+		}
+	}
+}
+
+func BenchmarkDataplane_LargePayload(b *testing.B) {
+	n := newBenchNet(b)
+	delivered := 0
+	n.b.SetHandler(func(h *wire.Header, p []byte) { delivered++ })
+	payload := make([]byte, 32*1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.a.Send(wire.Header{Type: wire.MsgMem, Dst: 2}, payload); err != nil {
+			b.Fatal(err)
+		}
+		n.sim.Run()
+	}
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}

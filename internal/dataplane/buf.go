@@ -1,0 +1,126 @@
+// Package dataplane is the unified frame path shared by every layer
+// that produces or consumes GASP frames: a reference-counted frame
+// buffer pool (Buf) so encode → transport send → fabric delivery →
+// parse → handler dispatch reuse one allocation instead of copying at
+// every hop, and a per-node Mux that dispatches decoded frames to
+// handlers registered by message type, wrapped in composable
+// middleware (telemetry counters, trace events, fault-injection
+// hooks) with explicit drop accounting for unclaimed frames.
+//
+// # Buffer ownership rules
+//
+// A Buf is born with one reference, owned by the caller of GetBuf (or
+// EncodeFrame). Ownership passes with the frame:
+//
+//   - netsim.Network.SendBuf consumes one reference per call: the
+//     network releases it when the frame is dropped, or after the
+//     receiving device's Recv/RecvBuf returns. A sender that wants to
+//     keep the frame (e.g. for retransmission) must Retain before
+//     sending and Release when done.
+//   - A device forwarding a received frame out additional ports (a
+//     switch flooding) Retains once per scheduled transmission; each
+//     SendBuf consumes one.
+//   - Frame receivers and mux handlers borrow: header and payload
+//     views are valid only until the dispatch call returns. A handler
+//     that stores payload bytes past that point must copy them.
+//
+// Plain []byte frames (tests, switch-generated replies) keep working:
+// a nil buffer means the garbage collector owns the frame and no
+// recycling happens.
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// bufClasses are the pooled capacity classes. Frames larger than the
+// biggest class (a jumbo payload plus header) are allocated directly
+// and never recycled.
+var bufClasses = [...]int{
+	256,
+	4096,
+	wire.HeaderSize + wire.MaxPayload,
+}
+
+var pools = func() [len(bufClasses)]*sync.Pool {
+	var ps [len(bufClasses)]*sync.Pool
+	for i, size := range bufClasses {
+		size := size
+		ps[i] = &sync.Pool{New: func() any {
+			return &Buf{b: make([]byte, 0, size), pool: ps[i]}
+		}}
+	}
+	return ps
+}()
+
+// Buf is a reference-counted frame buffer. See the package comment
+// for the ownership rules.
+type Buf struct {
+	b    []byte
+	refs atomic.Int32
+	pool *sync.Pool // nil when the buffer is not recycled
+}
+
+// GetBuf returns a buffer of length n with one reference, drawn from
+// the pool when a capacity class fits.
+func GetBuf(n int) *Buf {
+	for i, size := range bufClasses {
+		if n <= size {
+			b := pools[i].Get().(*Buf)
+			b.b = b.b[:n]
+			b.refs.Store(1)
+			return b
+		}
+	}
+	b := &Buf{b: make([]byte, n)}
+	b.refs.Store(1)
+	return b
+}
+
+// Bytes returns the buffer's contents. The slice is valid only while
+// the caller holds a reference.
+func (b *Buf) Bytes() []byte { return b.b }
+
+// Len returns the buffer length.
+func (b *Buf) Len() int { return len(b.b) }
+
+// Retain adds a reference.
+func (b *Buf) Retain() { b.refs.Add(1) }
+
+// Release drops a reference; the last release returns the buffer to
+// its pool. Releasing more times than retained is a bug and panics.
+func (b *Buf) Release() {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		if b.pool != nil {
+			b.b = b.b[:0]
+			b.pool.Put(b)
+		}
+	case n < 0:
+		panic(fmt.Sprintf("dataplane: Buf over-released (refs %d)", n))
+	}
+}
+
+// Refs reports the current reference count (for tests).
+func (b *Buf) Refs() int32 { return b.refs.Load() }
+
+// EncodeFrame encodes a complete frame (header + payload) into a
+// pooled buffer, mirroring wire.Encode without the per-message
+// allocation. The caller owns the returned buffer's single reference.
+func EncodeFrame(h *wire.Header, payload []byte) (*Buf, error) {
+	if len(payload) > wire.MaxPayload {
+		return nil, fmt.Errorf("%w: %d", wire.ErrTooLarge, len(payload))
+	}
+	h.PayloadLen = uint32(len(payload))
+	b := GetBuf(wire.HeaderSize + len(payload))
+	if err := h.MarshalInto(b.b); err != nil {
+		b.Release()
+		return nil, err
+	}
+	copy(b.b[wire.HeaderSize:], payload)
+	return b, nil
+}

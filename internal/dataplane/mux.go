@@ -1,0 +1,193 @@
+package dataplane
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// Handler consumes one decoded frame. It returns true when the frame
+// was consumed; false lets the next handler registered for the type
+// (or the default handler) try. Header and payload are borrowed: a
+// handler that keeps payload bytes past its return must copy them.
+type Handler func(h *wire.Header, payload []byte) bool
+
+// Middleware wraps a dispatch chain. Middleware installed with Use
+// sees every frame before type-based routing, so it can count, trace,
+// or drop frames uniformly for all handlers.
+type Middleware func(next Handler) Handler
+
+// Stats is a snapshot of a mux's dispatch accounting. Unclaimed
+// frames — a type nobody registered for, or one every handler
+// declined — are counted as drops instead of vanishing silently.
+type Stats struct {
+	// Dispatched counts frames entering the mux.
+	Dispatched uint64
+	// Consumed counts frames some handler accepted.
+	Consumed uint64
+	// Dropped counts unclaimed frames (Dispatched - Consumed minus
+	// middleware FaultDrops).
+	Dropped uint64
+	// DroppedByType breaks drops down by message type; types outside
+	// the defined range are lumped into DroppedUnknown.
+	DroppedByType [wire.NumMsgTypes]uint64
+	// DroppedUnknown counts drops of frames whose type byte is not a
+	// defined message type.
+	DroppedUnknown uint64
+	// FaultDrops counts frames discarded by WithFault middleware.
+	FaultDrops uint64
+}
+
+// Drops returns total unclaimed-frame drops (excluding injected
+// fault drops).
+func (s Stats) Drops() uint64 { return s.Dropped }
+
+// Mux routes decoded frames to handlers registered by message type.
+// Registration order is dispatch order within a type; handlers for
+// the same type form a chain that stops at the first consumer. The
+// zero number of handlers plus no default means the frame is dropped
+// and accounted. Mux is not safe for concurrent use; like the rest of
+// the simulator it runs on the single event-loop goroutine.
+type Mux struct {
+	handlers [wire.NumMsgTypes][]Handler
+	fallback Handler
+	mw       []Middleware
+	entry    Handler
+	stats    Stats
+}
+
+// NewMux creates an empty mux.
+func NewMux() *Mux {
+	m := &Mux{}
+	m.rebuild()
+	return m
+}
+
+// Handle registers handlers for message type t, after any already
+// registered for t.
+func (m *Mux) Handle(t wire.MsgType, hs ...Handler) {
+	m.handlers[t] = append(m.handlers[t], hs...)
+}
+
+// SetDefault installs a catch-all handler consulted when no typed
+// handler consumes a frame (nil removes it). Frames the default
+// handler declines are counted as drops.
+func (m *Mux) SetDefault(h Handler) { m.fallback = h }
+
+// Use appends middleware around the whole dispatch chain. The first
+// middleware installed is the outermost.
+func (m *Mux) Use(mw ...Middleware) {
+	m.mw = append(m.mw, mw...)
+	m.rebuild()
+}
+
+// rebuild composes the middleware chain around the core dispatcher.
+func (m *Mux) rebuild() {
+	h := m.route
+	for i := len(m.mw) - 1; i >= 0; i-- {
+		h = m.mw[i](h)
+	}
+	m.entry = h
+}
+
+// Dispatch routes one decoded frame, reporting whether any handler
+// consumed it. Unconsumed frames increment the drop counters.
+func (m *Mux) Dispatch(h *wire.Header, payload []byte) bool {
+	m.stats.Dispatched++
+	return m.entry(h, payload)
+}
+
+// route is the core dispatcher: typed handlers, then the default,
+// then drop accounting.
+func (m *Mux) route(h *wire.Header, payload []byte) bool {
+	if int(h.Type) < len(m.handlers) {
+		for _, fn := range m.handlers[h.Type] {
+			if fn(h, payload) {
+				m.stats.Consumed++
+				return true
+			}
+		}
+	}
+	if m.fallback != nil && m.fallback(h, payload) {
+		m.stats.Consumed++
+		return true
+	}
+	m.stats.Dropped++
+	if h.Type.Valid() {
+		m.stats.DroppedByType[h.Type]++
+	} else {
+		m.stats.DroppedUnknown++
+	}
+	return false
+}
+
+// Stats returns a copy of the dispatch accounting.
+func (m *Mux) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the dispatch accounting.
+func (m *Mux) ResetStats() { m.stats = Stats{} }
+
+// --- middleware ---
+
+// Trace describes one mux dispatch, for per-hop trace pipelines.
+type Trace struct {
+	Type     wire.MsgType
+	Src, Dst wire.StationID
+	Bytes    int
+	Consumed bool
+}
+
+// WithTrace emits a Trace event for every dispatched frame.
+func WithTrace(fn func(Trace)) Middleware {
+	return func(next Handler) Handler {
+		return func(h *wire.Header, payload []byte) bool {
+			ok := next(h, payload)
+			fn(Trace{Type: h.Type, Src: h.Src, Dst: h.Dst, Bytes: len(payload), Consumed: ok})
+			return ok
+		}
+	}
+}
+
+// WithTelemetry counts dispatched frames and payload bytes into the
+// given telemetry counters (either may be nil).
+func WithTelemetry(frames, bytes *telemetry.Counter) Middleware {
+	return func(next Handler) Handler {
+		return func(h *wire.Header, payload []byte) bool {
+			if frames != nil {
+				frames.Inc()
+			}
+			if bytes != nil {
+				bytes.Add(uint64(len(payload)))
+			}
+			return next(h, payload)
+		}
+	}
+}
+
+// WithObserver invokes fn after every dispatch with the frame header
+// and outcome — the hook RTT recorders and custom telemetry compose
+// on.
+func WithObserver(fn func(h *wire.Header, payloadBytes int, consumed bool)) Middleware {
+	return func(next Handler) Handler {
+		return func(h *wire.Header, payload []byte) bool {
+			ok := next(h, payload)
+			fn(h, len(payload), ok)
+			return ok
+		}
+	}
+}
+
+// WithFault discards frames for which drop returns true before any
+// handler sees them — the dataplane's fault-injection hook. Discards
+// are counted in Stats.FaultDrops and report the frame as consumed
+// (it was taken off the wire, just not delivered).
+func (m *Mux) WithFault(drop func(h *wire.Header) bool) Middleware {
+	return func(next Handler) Handler {
+		return func(h *wire.Header, payload []byte) bool {
+			if drop(h) {
+				m.stats.FaultDrops++
+				return true
+			}
+			return next(h, payload)
+		}
+	}
+}

@@ -33,6 +33,11 @@ import (
 // package.
 var ErrNotFound = fmt.Errorf("discovery: object not found: %w", gasperr.ErrNotFound)
 
+// locateReplyLen is the payload size of a full MsgLocateReply: a
+// status byte followed by the owner's station ID. Failure replies
+// carry the status byte alone.
+const locateReplyLen = 1 + wire.StationIDSize
+
 // Result is the outcome of a resolution.
 type Result struct {
 	// Station is the object holder's station (E2E). Unset when
@@ -397,7 +402,7 @@ func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 		}
 		c.sim.Schedule(c.installDelay, func() {
 			status := c.installObject(obj, owner)
-			reply := make([]byte, 9)
+			reply := make([]byte, locateReplyLen)
 			reply[0] = status
 			binary.BigEndian.PutUint64(reply[1:], uint64(owner))
 			c.ep.Respond(&req, wire.Header{Type: wire.MsgLocateReply, Object: obj}, reply)
@@ -505,7 +510,7 @@ func (cc *ControllerClient) locate(obj oid.ID, attempt int, cb func(Result, erro
 			}
 			if len(payload) < 1 || payload[0] != 0 {
 				cc.counters.Failures++
-				if len(payload) >= 9 {
+				if len(payload) >= locateReplyLen {
 					// Owner known but the rules would not fit the tables.
 					cc.failed[obj] = true
 					cb(Result{}, fmt.Errorf("discovery: locate %s: %w", obj.Short(), gasperr.ErrTableFull))

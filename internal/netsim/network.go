@@ -7,6 +7,12 @@ import (
 
 // Frame is a raw layer-2 frame. Frames cross links as bytes — devices
 // must parse them — so serialization costs are honest.
+//
+// Frames pass through the network zero-copy: once handed to Send the
+// bytes are shared by every in-flight hop and must not be mutated.
+// Receivers borrow the frame for the duration of Recv; anything kept
+// longer must be copied (or retained, for pooled frames — see
+// FrameBuffer).
 type Frame []byte
 
 // Device is anything attachable to the network: a host NIC or a switch.
@@ -17,6 +23,25 @@ type Device interface {
 	DevName() string
 	// Recv handles a frame arriving on local port index port.
 	Recv(port int, fr Frame)
+}
+
+// FrameBuffer is implemented by recyclable frame buffers (see
+// internal/dataplane). SendBuf consumes one reference per call: the
+// network releases it when the frame is dropped, or after the final
+// delivery upcall returns, so a buffer returns to its pool only after
+// its last in-flight hop.
+type FrameBuffer interface {
+	Retain()
+	Release()
+}
+
+// BufReceiver is a Device that participates in buffer ownership:
+// when a frame carries a FrameBuffer, RecvBuf is called instead of
+// Recv so the device can Retain the buffer before scheduling onward
+// transmissions of the same frame. The buffer is borrowed; the
+// network releases its own reference after RecvBuf returns.
+type BufReceiver interface {
+	RecvBuf(port int, fr Frame, buf FrameBuffer)
 }
 
 // LinkConfig describes one link's characteristics.
@@ -212,19 +237,33 @@ func (n *Network) NumPorts(dev Device) int {
 	return len(s.ports)
 }
 
-// Send transmits fr out of dev's port. The frame is copied, so the
-// caller may reuse its buffer. Sending on an unconnected port silently
-// discards the frame (like a cable pulled out), counted as a drop.
+// Send transmits fr out of dev's port without copying: the caller
+// relinquishes the frame, which must not be mutated afterwards.
+// Sending on an unconnected port silently discards the frame (like a
+// cable pulled out), counted as a drop.
 func (n *Network) Send(dev Device, port int, fr Frame) {
+	n.SendBuf(dev, port, fr, nil)
+}
+
+// SendBuf is Send for pooled frames: buf (may be nil) is the frame's
+// reference-counted buffer, of which one reference is consumed — the
+// network releases it when the frame is dropped or after delivery.
+func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 	n.stats.FramesSent++
 	s, ok := n.devices[dev]
 	if !ok || port < 0 || port >= len(s.ports) || s.ports[port] == nil {
 		n.stats.FramesDropped++
+		if buf != nil {
+			buf.Release()
+		}
 		return
 	}
 	l := s.ports[port]
 	if l.down {
 		n.stats.FramesDropped++
+		if buf != nil {
+			buf.Release()
+		}
 		return
 	}
 	var dir int
@@ -255,20 +294,46 @@ func (n *Network) Send(dev Device, port int, fr Frame) {
 			n.trace(TraceEvent{At: now, From: s.name, To: n.devices[dst.dev].name,
 				Port: dst.port, Bytes: len(fr), Dropped: true})
 		}
+		if buf != nil {
+			buf.Release()
+		}
 		return
 	}
 
-	cp := make(Frame, len(fr))
-	copy(cp, fr)
-	n.sim.ScheduleAt(arrival, func() {
-		n.stats.FramesDelivered++
-		n.stats.BytesDelivered += uint64(len(cp))
-		if n.trace != nil {
-			n.trace(TraceEvent{At: n.sim.Now(), From: s.name,
-				To: n.devices[dst.dev].name, Port: dst.port, Bytes: len(cp)})
-		}
-		dst.dev.Recv(dst.port, cp)
+	n.sim.scheduleFrame(arrival, event{
+		kind: evDeliver, net: n, dev: dst.dev, port: dst.port,
+		fromName: s.name, fr: fr, buf: buf,
 	})
+}
+
+// SendBufAfter is SendBuf delayed by d — the closure-free path for
+// store-and-forward devices that emit after a pipeline delay.
+func (n *Network) SendBufAfter(dev Device, port int, fr Frame, buf FrameBuffer, d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n.sim.scheduleFrame(n.sim.Now().Add(d), event{
+		kind: evSend, net: n, dev: dev, port: port, fr: fr, buf: buf,
+	})
+}
+
+// deliver hands an arrived frame to its destination device (the
+// evDeliver event body).
+func (n *Network) deliver(from string, dev Device, port int, fr Frame, buf FrameBuffer) {
+	n.stats.FramesDelivered++
+	n.stats.BytesDelivered += uint64(len(fr))
+	if n.trace != nil {
+		n.trace(TraceEvent{At: n.sim.Now(), From: from,
+			To: n.devices[dev].name, Port: port, Bytes: len(fr)})
+	}
+	if br, ok := dev.(BufReceiver); ok && buf != nil {
+		br.RecvBuf(port, fr, buf)
+	} else {
+		dev.Recv(port, fr)
+	}
+	if buf != nil {
+		buf.Release()
+	}
 }
 
 // Host is a single-port end station. Incoming frames are handed to
@@ -300,6 +365,10 @@ func (h *Host) Recv(port int, fr Frame) {
 
 // Send transmits a frame out the host's NIC.
 func (h *Host) Send(fr Frame) { h.net.Send(h, 0, fr) }
+
+// SendBuf transmits a pooled frame out the host's NIC, consuming one
+// reference of buf.
+func (h *Host) SendBuf(fr Frame, buf FrameBuffer) { h.net.SendBuf(h, 0, fr, buf) }
 
 // Network returns the network the host is attached to.
 func (h *Host) Network() *Network { return h.net }

@@ -9,7 +9,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -40,30 +39,85 @@ func (d Duration) Microseconds() float64 { return float64(d) / float64(Microseco
 // String formats the duration in microseconds for harness output.
 func (d Duration) String() string { return fmt.Sprintf("%.2fµs", d.Microseconds()) }
 
+// event is one queued occurrence. Events are stored by value in the
+// heap so the steady-state event flow allocates nothing; the two
+// hot-path event kinds of the frame pipeline (delivery to a device,
+// delayed transmission out of a device) are represented inline instead
+// of as closures.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	fn  func() // nil for inline frame events
+
+	// Inline frame event (when net is non-nil): evDeliver hands fr to
+	// dev, evSend transmits fr out of dev's port.
+	kind     uint8
+	net      *Network
+	dev      Device
+	port     int
+	fromName string // tracing (evDeliver)
+	fr       Frame
+	buf      FrameBuffer
 }
 
-type eventHeap []*event
+// Inline frame-event kinds.
+const (
+	evFn uint8 = iota
+	evDeliver
+	evSend
+)
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). The
+// order is total (seq never repeats), so the pop sequence — and with
+// it every simulation — is independent of the heap's internal layout.
+type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (s *Sim) push(e event) {
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+func (s *Sim) pop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/frame references for the GC
+	h = h[:n]
+	s.events = h
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && h.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }
 
 // Sim is the event loop. It is single-threaded: device handlers run
@@ -102,7 +156,17 @@ func (s *Sim) ScheduleAt(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// scheduleFrame queues an inline frame event (closure-free hot path).
+func (s *Sim) scheduleFrame(t Time, e event) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e.at, e.seq = t, s.seq
+	s.push(e)
 }
 
 // Timer is a cancellable scheduled callback.
@@ -160,10 +224,17 @@ func (s *Sim) RunFor(d Duration) uint64 { return s.RunUntil(s.now.Add(d)) }
 func (s *Sim) Pending() int { return s.events.Len() }
 
 func (s *Sim) step() {
-	e := heap.Pop(&s.events).(*event)
+	e := s.pop()
 	if e.at > s.now {
 		s.now = e.at
 	}
 	s.processed++
-	e.fn()
+	switch e.kind {
+	case evDeliver:
+		e.net.deliver(e.fromName, e.dev, e.port, e.fr, e.buf)
+	case evSend:
+		e.net.SendBuf(e.dev, e.port, e.fr, e.buf)
+	default:
+		e.fn()
+	}
 }

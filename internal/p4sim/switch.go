@@ -195,8 +195,19 @@ func (sw *Switch) WipeTables() {
 	sw.stationTable.Clear()
 }
 
-// Recv implements netsim.Device: the ingress pipeline.
+// Recv implements netsim.Device: the ingress pipeline for unpooled
+// frames.
 func (sw *Switch) Recv(port int, fr netsim.Frame) {
+	sw.ingress(port, fr, nil)
+}
+
+// RecvBuf implements netsim.BufReceiver: pooled frames enter the same
+// pipeline with their buffer, retained once per onward transmission.
+func (sw *Switch) RecvBuf(port int, fr netsim.Frame, buf netsim.FrameBuffer) {
+	sw.ingress(port, fr, buf)
+}
+
+func (sw *Switch) ingress(port int, fr netsim.Frame, buf netsim.FrameBuffer) {
 	sw.counters.FramesIn++
 	var h wire.Header
 	if err := h.DecodeFrom(fr); err != nil {
@@ -206,10 +217,9 @@ func (sw *Switch) Recv(port int, fr netsim.Frame) {
 
 	// Source-station learning (data plane).
 	if sw.cfg.LearnStations && h.Src != wire.StationBroadcast {
-		key := []KeyValue{{Value: wire.ValueOf(uint64(h.Src))}}
 		if _, known := sw.stationTable.Lookup(&wire.Header{Dst: h.Src}); !known {
 			err := sw.stationTable.Insert(Entry{
-				Match:  key,
+				Match:  []KeyValue{{Value: wire.ValueOf(uint64(h.Src))}},
 				Action: Action{Type: ActForward, Port: port},
 			})
 			if err != nil {
@@ -225,7 +235,7 @@ func (sw *Switch) Recv(port int, fr netsim.Frame) {
 		sw.handleRegisters(port, &h, fr)
 		return
 	}
-	sw.emit(port, fr, act)
+	sw.emit(port, fr, buf, act)
 }
 
 // bcastKey identifies a broadcast frame for duplicate suppression.
@@ -277,7 +287,10 @@ func (sw *Switch) decide(h *wire.Header) Action {
 		}
 		sw.counters.ObjectMisses++
 		if sw.OnMiss != nil {
-			sw.OnMiss(h)
+			// Hand the hook its own copy: an unknown callee would
+			// otherwise force every ingress header to the heap.
+			hh := *h
+			sw.OnMiss(&hh)
 		}
 		// An object-routed frame with no concrete destination cannot
 		// fall back to station forwarding: drop it (the sender times
@@ -295,8 +308,18 @@ func (sw *Switch) decide(h *wire.Header) Action {
 	return Action{Type: ActFlood}
 }
 
-func (sw *Switch) emit(ingress int, fr netsim.Frame, act Action) {
+// emit executes a forwarding decision. Each scheduled transmission of
+// the borrowed frame retains its buffer once; the SendBuf it ends in
+// consumes that reference.
+func (sw *Switch) emit(ingress int, fr netsim.Frame, buf netsim.FrameBuffer, act Action) {
 	delay := sw.cfg.PipelineDelay
+	send := func(port int) {
+		sw.counters.FramesOut++
+		if buf != nil {
+			buf.Retain()
+		}
+		sw.net.SendBufAfter(sw, port, fr, buf, delay)
+	}
 	switch act.Type {
 	case ActDrop:
 		sw.counters.Dropped++
@@ -306,8 +329,7 @@ func (sw *Switch) emit(ingress int, fr netsim.Frame, act Action) {
 			sw.counters.Dropped++
 			return
 		}
-		sw.counters.FramesOut++
-		sw.net.Sim().Schedule(delay, func() { sw.net.Send(sw, act.Port, fr) })
+		send(act.Port)
 	case ActFlood:
 		sw.counters.Flooded++
 		n := sw.net.NumPorts(sw)
@@ -315,17 +337,14 @@ func (sw *Switch) emit(ingress int, fr netsim.Frame, act Action) {
 			if p == ingress || !sw.net.Connected(sw, p) {
 				continue
 			}
-			p := p
-			sw.counters.FramesOut++
-			sw.net.Sim().Schedule(delay, func() { sw.net.Send(sw, p, fr) })
+			send(p)
 		}
 	case ActToController:
 		sw.counters.ToController++
 		// The CPU port is conventionally the highest-numbered port.
 		cpu := sw.net.NumPorts(sw) - 1
 		if cpu != ingress && sw.net.Connected(sw, cpu) {
-			sw.counters.FramesOut++
-			sw.net.Sim().Schedule(delay, func() { sw.net.Send(sw, cpu, fr) })
+			send(cpu)
 		}
 	default:
 		sw.counters.Dropped++

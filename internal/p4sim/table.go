@@ -304,9 +304,38 @@ func (t *Table) Clear() {
 	t.scan = nil
 }
 
+// maxStackKeys bounds the key components a lookup can hold on the
+// stack; wider schemas fall back to heap buffers. Every table the
+// switch program builds uses a single key component.
+const maxStackKeys = 4
+
 // Lookup finds the matching entry for a decoded header, returning its
-// action and true on a hit.
+// action and true on a hit. The hot path (exact tables with a narrow
+// key schema, i.e. every forwarding lookup) is allocation-free.
 func (t *Table) Lookup(h *wire.Header) (Action, bool) {
+	if t.exactOnly && len(t.keys) <= maxStackKeys {
+		var kb [maxStackKeys * 16]byte
+		b := kb[:0]
+		for _, k := range t.keys {
+			v, err := h.Extract(k.Field)
+			if err != nil {
+				return Action{}, false
+			}
+			var tmp [16]byte
+			v.AsID().PutBytes(tmp[:])
+			b = append(b, tmp[:]...)
+		}
+		if e, ok := t.exact[string(b)]; ok {
+			return e.Action, true
+		}
+		return Action{}, false
+	}
+	return t.lookupSlow(h)
+}
+
+// lookupSlow handles ternary/LPM tables and exact tables with wide
+// key schemas.
+func (t *Table) lookupSlow(h *wire.Header) (Action, bool) {
 	vals := make([]wire.Value, len(t.keys))
 	for i, k := range t.keys {
 		v, err := h.Extract(k.Field)

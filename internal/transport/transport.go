@@ -17,6 +17,7 @@ package transport
 import (
 	"fmt"
 
+	"repro/internal/dataplane"
 	"repro/internal/gasperr"
 	"repro/internal/netsim"
 	"repro/internal/wire"
@@ -94,6 +95,10 @@ type Counters struct {
 	RequestsSent   uint64
 	ResponsesSent  uint64
 	RequestTimeout uint64
+	// ParseDrops counts received frames that failed header validation
+	// (truncated, bad magic/version/checksum) — malformed traffic is
+	// accounted, never dispatched.
+	ParseDrops uint64
 }
 
 // Handler receives application frames (anything that is not a pure ack
@@ -102,6 +107,7 @@ type Handler func(h *wire.Header, payload []byte)
 
 type pendingFrame struct {
 	frame    netsim.Frame
+	buf      *dataplane.Buf // reference held until acked or retried out
 	retries  int
 	interval netsim.Duration // current backed-off retransmit interval
 	deadline netsim.Time     // first-send time + RetryBudget
@@ -129,7 +135,7 @@ type Endpoint struct {
 	cfg     Config
 
 	nextSeq  uint64
-	handler  Handler
+	mux      *dataplane.Mux
 	pending  map[uint64]*pendingFrame
 	requests map[uint64]*pendingReq
 	// inflightBytes tracks unacked reliable bytes so retransmit
@@ -152,6 +158,7 @@ func NewEndpoint(host *netsim.Host, station wire.StationID, cfg Config) *Endpoin
 		host:     host,
 		station:  station,
 		cfg:      cfg,
+		mux:      dataplane.NewMux(),
 		pending:  make(map[uint64]*pendingFrame),
 		requests: make(map[uint64]*pendingReq),
 		seen:     make(map[dedupKey]struct{}, dedupCapacity),
@@ -173,8 +180,24 @@ func (e *Endpoint) Counters() Counters { return e.counters }
 // ResetCounters zeroes the statistics.
 func (e *Endpoint) ResetCounters() { e.counters = Counters{} }
 
-// SetHandler installs the application upcall.
-func (e *Endpoint) SetHandler(fn Handler) { e.handler = fn }
+// Mux returns the endpoint's frame mux. Application frames (anything
+// that is not a pure ack or a matched response) are dispatched through
+// it; register per-type handlers, middleware, and fault hooks here.
+func (e *Endpoint) Mux() *dataplane.Mux { return e.mux }
+
+// SetHandler installs a catch-all application upcall: a compatibility
+// wrapper over Mux().SetDefault that consumes every frame no typed
+// handler claimed. Pass nil to remove it.
+func (e *Endpoint) SetHandler(fn Handler) {
+	if fn == nil {
+		e.mux.SetDefault(nil)
+		return
+	}
+	e.mux.SetDefault(func(h *wire.Header, payload []byte) bool {
+		fn(h, payload)
+		return true
+	})
+}
 
 // allocSeq returns a fresh sequence number.
 func (e *Endpoint) allocSeq() uint64 {
@@ -188,7 +211,7 @@ func (e *Endpoint) allocSeq() uint64 {
 func (e *Endpoint) Send(h wire.Header, payload []byte) (uint64, error) {
 	h.Src = e.station
 	h.Seq = e.allocSeq()
-	fr, err := wire.Encode(&h, payload)
+	buf, err := dataplane.EncodeFrame(&h, payload)
 	if err != nil {
 		e.counters.SendFailures++
 		return 0, err
@@ -197,7 +220,7 @@ func (e *Endpoint) Send(h wire.Header, payload []byte) (uint64, error) {
 		e.counters.Broadcasts++
 	}
 	e.counters.FramesSent++
-	e.host.Send(fr)
+	e.host.SendBuf(buf.Bytes(), buf)
 	return h.Seq, nil
 }
 
@@ -210,21 +233,25 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 	h.Src = e.station
 	h.Seq = e.allocSeq()
 	h.Flags |= wire.FlagReliable
-	fr, err := wire.Encode(&h, payload)
+	buf, err := dataplane.EncodeFrame(&h, payload)
 	if err != nil {
 		e.counters.SendFailures++
 		return 0, err
 	}
 	p := &pendingFrame{
-		frame:    fr,
+		frame:    buf.Bytes(),
+		buf:      buf,
 		interval: e.cfg.RetransmitTimeout,
 		deadline: e.sim.Now().Add(e.cfg.RetryBudget),
 		done:     done,
 	}
 	e.pending[h.Seq] = p
-	e.inflightBytes += len(fr)
+	e.inflightBytes += len(p.frame)
 	e.counters.FramesSent++
-	e.host.Send(fr)
+	// The pending entry keeps the caller's reference for retransmission;
+	// each SendBuf consumes one of its own.
+	buf.Retain()
+	e.host.SendBuf(p.frame, buf)
 	e.armRetransmit(h.Seq, p)
 	return h.Seq, nil
 }
@@ -241,8 +268,10 @@ func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
 		if e.sim.Now() >= p.deadline {
 			delete(e.pending, seq)
 			e.inflightBytes -= len(p.frame)
-			if p.done != nil {
-				p.done(fmt.Errorf("%w after %d retransmits over %v",
+			done := p.done
+			p.buf.Release()
+			if done != nil {
+				done(fmt.Errorf("%w after %d retransmits over %v",
 					ErrRetriesOut, p.retries, e.cfg.RetryBudget))
 			}
 			return
@@ -250,7 +279,8 @@ func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
 		p.retries++
 		e.counters.Retransmits++
 		e.counters.FramesSent++
-		e.host.Send(p.frame)
+		p.buf.Retain()
+		e.host.SendBuf(p.frame, p.buf)
 		// Exponential backoff: widen the probe interval up to the cap.
 		p.interval = netsim.Duration(float64(p.interval) * e.cfg.Backoff)
 		if p.interval > e.cfg.MaxRetransmitTimeout {
@@ -312,6 +342,7 @@ func (e *Endpoint) Respond(req *wire.Header, h wire.Header, payload []byte) erro
 func (e *Endpoint) onFrame(fr netsim.Frame) {
 	var h wire.Header
 	if err := h.DecodeFrom(fr); err != nil {
+		e.counters.ParseDrops++
 		return
 	}
 	// Frames flooded through the fabric may reach stations they are
@@ -329,8 +360,10 @@ func (e *Endpoint) onFrame(fr netsim.Frame) {
 			if p.timer != nil {
 				p.timer.Stop()
 			}
-			if p.done != nil {
-				p.done(nil)
+			done := p.done
+			p.buf.Release()
+			if done != nil {
+				done(nil)
 			}
 		}
 		return
@@ -340,9 +373,9 @@ func (e *Endpoint) onFrame(fr netsim.Frame) {
 	// lost).
 	if h.Flags&wire.FlagReliable != 0 {
 		ack := wire.Header{Type: wire.MsgAck, Src: e.station, Dst: h.Src, Ack: h.Seq}
-		if fr, err := wire.Encode(&ack, nil); err == nil {
+		if buf, err := dataplane.EncodeFrame(&ack, nil); err == nil {
 			e.counters.AcksSent++
-			e.host.Send(fr)
+			e.host.SendBuf(buf.Bytes(), buf)
 		}
 	}
 
@@ -378,9 +411,7 @@ func (e *Endpoint) onFrame(fr netsim.Frame) {
 	}
 
 	e.counters.Delivered++
-	if e.handler != nil {
-		e.handler(&h, payload)
-	}
+	e.mux.Dispatch(&h, payload)
 }
 
 // Reset abandons all in-flight transport state, modeling a process
@@ -394,6 +425,7 @@ func (e *Endpoint) Reset() {
 		if p.timer != nil {
 			p.timer.Stop()
 		}
+		p.buf.Release()
 		delete(e.pending, seq)
 	}
 	for seq, r := range e.requests {

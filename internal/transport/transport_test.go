@@ -523,3 +523,93 @@ func TestBackoffUnderRandomLossBursts(t *testing.T) {
 		}
 	}
 }
+
+func TestMalformedFramesCountedAsParseDrops(t *testing.T) {
+	_, _, b := pair(t, netsim.LinkConfig{}, Config{})
+	b.SetHandler(func(*wire.Header, []byte) { t.Fatal("malformed frame dispatched") })
+
+	good, err := wire.Encode(&wire.Header{Type: wire.MsgMem, Src: 1, Dst: 2}, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xFF
+	badSum := append([]byte(nil), good...)
+	badSum[50] ^= 0xFF
+	cases := [][]byte{
+		nil,
+		good[:wire.HeaderSize-1],
+		badMagic,
+		badSum,
+		make([]byte, wire.HeaderSize), // all zero: bad magic
+	}
+	for _, fr := range cases {
+		b.onFrame(fr)
+	}
+	if got := b.Counters().ParseDrops; got != uint64(len(cases)) {
+		t.Fatalf("ParseDrops = %d, want %d", got, len(cases))
+	}
+}
+
+func TestUnclaimedFramesCountedByMux(t *testing.T) {
+	// No handler registered at all: valid frames of any type land in
+	// the mux's drop accounting instead of vanishing.
+	sim, a, b := pair(t, netsim.LinkConfig{}, Config{})
+	if _, err := a.Send(wire.Header{Type: wire.MsgMem, Dst: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A type byte outside the defined range still decodes (the header
+	// is otherwise valid) and must be accounted separately.
+	if _, err := a.Send(wire.Header{Type: wire.MsgType(99), Dst: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	st := b.Mux().Stats()
+	if st.Dropped != 2 {
+		t.Fatalf("mux Dropped = %d, want 2: %+v", st.Dropped, st)
+	}
+	if st.DroppedByType[wire.MsgMem] != 1 || st.DroppedUnknown != 1 {
+		t.Fatalf("drop breakdown wrong: %+v", st)
+	}
+}
+
+func TestTypedMuxHandlerPreemptsDefault(t *testing.T) {
+	sim, a, b := pair(t, netsim.LinkConfig{}, Config{})
+	var typed, fallback int
+	b.Mux().Handle(wire.MsgMem, func(h *wire.Header, p []byte) bool { typed++; return true })
+	b.SetHandler(func(*wire.Header, []byte) { fallback++ })
+	a.Send(wire.Header{Type: wire.MsgMem, Dst: 2}, nil)
+	a.Send(wire.Header{Type: wire.MsgRPC, Dst: 2}, nil)
+	sim.Run()
+	if typed != 1 || fallback != 1 {
+		t.Fatalf("typed = %d, fallback = %d", typed, fallback)
+	}
+}
+
+func TestReliableBufferLifecycle(t *testing.T) {
+	// Reliable frames retain their pooled buffer until acked; loss plus
+	// retransmission must not over- or under-release (over-release
+	// panics in dataplane.Buf, so completing cleanly is the assertion).
+	sim, a, b := pair(t, netsim.LinkConfig{DropRate: 0.3}, Config{})
+	b.SetHandler(func(*wire.Header, []byte) {})
+	acked, failed := 0, 0
+	for i := 0; i < 200; i++ {
+		a.SendReliable(wire.Header{Type: wire.MsgMem, Dst: 2}, []byte("payload"), func(err error) {
+			if err == nil {
+				acked++
+			} else {
+				failed++
+			}
+		})
+	}
+	sim.Run()
+	if acked+failed != 200 {
+		t.Fatalf("settled %d of 200 (acked %d, failed %d)", acked+failed, acked, failed)
+	}
+	if acked == 0 {
+		t.Fatal("nothing acked under 30% loss")
+	}
+	if a.PendingFrames() != 0 {
+		t.Fatalf("pending = %d after all settled", a.PendingFrames())
+	}
+}

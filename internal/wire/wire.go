@@ -47,6 +47,10 @@ const (
 // exist so a responder can address the requester directly.
 type StationID uint64
 
+// StationIDSize is the encoded size of a StationID in bytes, for
+// payloads that carry station IDs outside the frame header.
+const StationIDSize = 8
+
 // StationBroadcast floods a frame through the fabric.
 const StationBroadcast StationID = ^StationID(0)
 
@@ -97,6 +101,10 @@ const (
 
 	msgTypeCount
 )
+
+// NumMsgTypes is the number of defined message types (including
+// MsgInvalid) — the size dispatch tables indexed by MsgType need.
+const NumMsgTypes = int(msgTypeCount)
 
 var msgNames = [...]string{
 	"invalid", "hello", "announce", "announce-ack", "discover",
