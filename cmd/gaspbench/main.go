@@ -12,7 +12,9 @@
 //	gaspbench ablations     A1 prefetch, A2 loss, A3 hybrid, A4 CRDT,
 //	                        A5 in-network sequencer, A6 overlay routing
 //	gaspbench faults        E8: scripted crash/flap/table-wipe recovery
-//	gaspbench all           everything above
+//	gaspbench trace         causal span tree + critical-path breakdown
+//	                        of one cold access per discovery scheme
+//	gaspbench all           everything above (except trace)
 //
 // Flags:
 //
@@ -39,7 +41,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,6 +71,8 @@ func main() {
 		err = runScale()
 	case "faults":
 		err = runFaults()
+	case "trace":
+		err = runTrace()
 	case "all":
 		for _, f := range []func() error{
 			runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
@@ -211,6 +215,24 @@ func runFaults() error {
 			fmt.Sprintf("%.1f", r.FramesPerAccess), r.Promotions, r.Lost)
 	}
 	t.print(*csvOut)
+	return nil
+}
+
+func runTrace() error {
+	reps, err := experiments.TraceBreakdown(*seed)
+	if err != nil {
+		return err
+	}
+	for i, r := range reps {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s: cold access, hop-by-hop (measured RTT %.2fµs, root span %.2fµs, %d spans)\n",
+			r.Scheme, r.MeasuredUS, r.RootUS, r.Spans)
+		fmt.Print(r.Tree)
+		fmt.Println()
+		fmt.Print(r.Breakdown)
+	}
 	return nil
 }
 

@@ -18,12 +18,14 @@ import (
 	"fmt"
 
 	"repro/internal/discovery"
+	"repro/internal/future"
 	"repro/internal/gasperr"
 	"repro/internal/memproto"
 	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/oid"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -76,6 +78,7 @@ type Node struct {
 	fetches   map[oid.ID]*fetchState
 	releases  map[releaseKey]*memproto.Reassembler
 
+	tracer   *trace.Recorder
 	counters Counters
 }
 
@@ -97,6 +100,10 @@ func NewNode(ep *transport.Endpoint, st *store.Store, res discovery.Resolver) *N
 		releases:  make(map[releaseKey]*memproto.Reassembler),
 	}
 }
+
+// SetTracer attaches a span recorder: each public operation becomes a
+// sampled trace root whose context rides the wire to every hop.
+func (n *Node) SetTracer(r *trace.Recorder) { n.tracer = r }
 
 // Counters returns a copy of the statistics.
 func (n *Node) Counters() Counters { return n.counters }
@@ -151,8 +158,10 @@ func (n *Node) send(dst wire.StationID, obj oid.ID, m *memproto.Msg) {
 }
 
 // sendReliable transmits a memory-protocol message with ack/retry.
-func (n *Node) sendReliable(dst wire.StationID, obj oid.ID, m *memproto.Msg) {
-	n.ep.SendReliable(wire.Header{Type: wire.MsgMem, Dst: dst, Object: obj}, m.Marshal(nil), nil)
+func (n *Node) sendReliable(dst wire.StationID, obj oid.ID, tc trace.Ctx, m *memproto.Msg) {
+	h := wire.Header{Type: wire.MsgMem, Dst: dst, Object: obj}
+	tc.Inject(&h)
+	n.ep.SendReliable(h, m.Marshal(nil), nil)
 }
 
 // request performs a reliable memory-protocol request and decodes the
@@ -179,30 +188,74 @@ func (n *Node) respond(req *wire.Header, m *memproto.Msg) {
 
 // --- access paths (requester side) ---
 
+// endOp wraps an operation callback so the operation's root span ends
+// (recording any error) exactly when the caller learns the outcome —
+// the root span's duration equals the externally observable latency.
+func endOp[T any](sp *trace.Span, cb func(T, error)) func(T, error) {
+	if sp == nil {
+		return cb
+	}
+	return func(v T, err error) {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		cb(v, err)
+	}
+}
+
+// endOpErr is endOp for error-only callbacks.
+func endOpErr(sp *trace.Span, cb func(error)) func(error) {
+	if sp == nil {
+		return cb
+	}
+	return func(err error) {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		cb(err)
+	}
+}
+
 // AcquireShared obtains a (possibly cached) copy of obj, fetching and
-// caching it from its holder if needed.
-func (n *Node) AcquireShared(obj oid.ID, cb func(*object.Object, error)) {
+// caching it from its holder if needed. The returned future resolves
+// as the simulation runs.
+func (n *Node) AcquireShared(obj oid.ID) *future.Future[*object.Object] {
+	f, complete := future.New[*object.Object]()
+	n.AcquireSharedCB(obj, complete)
+	return f
+}
+
+// AcquireSharedCB is the callback form of AcquireShared, for callers
+// that chain continuations directly.
+func (n *Node) AcquireSharedCB(obj oid.ID, cb func(*object.Object, error)) {
+	sp := n.tracer.StartRoot("op:acquire-shared")
+	cb = endOp(sp, cb)
 	if o, err := n.store.Get(obj); err == nil {
 		n.counters.LocalHits++
+		sp.SetAttr("local", "hit")
 		cb(o, nil)
 		return
 	}
 	if f, pending := n.fetches[obj]; pending {
+		sp.SetAttr("coalesced", "true")
 		f.cbs = append(f.cbs, cb)
 		return
 	}
 	n.fetches[obj] = &fetchState{cbs: []func(*object.Object, error){cb}}
 	n.counters.RemoteAcquires++
-	n.acquireAttempt(obj, memproto.PermShared, 1)
+	n.acquireAttempt(obj, memproto.PermShared, 1, sp.Ctx())
 }
 
-func (n *Node) acquireAttempt(obj oid.ID, perm memproto.Perm, attempt int) {
-	n.resolver.Resolve(obj, func(r discovery.Result, err error) {
+func (n *Node) acquireAttempt(obj oid.ID, perm memproto.Perm, attempt int, tc trace.Ctx) {
+	n.resolver.ResolveCtx(obj, tc, func(r discovery.Result, err error) {
 		if err != nil {
 			n.finishFetch(obj, nil, fmt.Errorf("%w: %v", ErrNotFound, err))
 			return
 		}
 		h := wire.Header{Type: wire.MsgMem, Object: obj}
+		tc.Inject(&h)
 		if r.RouteOnObject {
 			h.Flags |= wire.FlagRouteOnObject
 			h.Dst = wire.StationID(0)
@@ -232,7 +285,7 @@ func (n *Node) acquireAttempt(obj oid.ID, perm memproto.Perm, attempt int) {
 			}
 			n.counters.StaleRetries++
 			n.resolver.Invalidate(obj)
-			n.acquireAttempt(obj, perm, attempt+1)
+			n.acquireAttempt(obj, perm, attempt+1, tc)
 		})
 	})
 }
@@ -282,9 +335,19 @@ func (n *Node) finishFetch(obj oid.ID, o *object.Object, err error) {
 // may mutate its copy and push it back with Release. If this node is
 // the home, sharers are invalidated and the authoritative copy is
 // returned directly.
-func (n *Node) AcquireExclusive(obj oid.ID, cb func(*object.Object, error)) {
+func (n *Node) AcquireExclusive(obj oid.ID) *future.Future[*object.Object] {
+	f, complete := future.New[*object.Object]()
+	n.AcquireExclusiveCB(obj, complete)
+	return f
+}
+
+// AcquireExclusiveCB is the callback form of AcquireExclusive.
+func (n *Node) AcquireExclusiveCB(obj oid.ID, cb func(*object.Object, error)) {
+	sp := n.tracer.StartRoot("op:acquire-excl")
+	cb = endOp(sp, cb)
 	if e, err := n.store.GetEntry(obj); err == nil && e.Home {
 		n.counters.LocalHits++
+		sp.SetAttr("local", "home")
 		n.invalidateSharers(obj, 0)
 		cb(e.Obj, nil)
 		return
@@ -296,25 +359,36 @@ func (n *Node) AcquireExclusive(obj oid.ID, cb func(*object.Object, error)) {
 		// A shared fetch is in flight; piggyback (the grant permission
 		// races, but single-threaded simulation keeps this ordered —
 		// callers needing strict exclusivity serialize their acquires).
+		sp.SetAttr("coalesced", "true")
 		f.cbs = append(f.cbs, cb)
 		return
 	}
 	n.fetches[obj] = &fetchState{cbs: []func(*object.Object, error){cb}}
 	n.counters.RemoteAcquires++
-	n.acquireAttempt(obj, memproto.PermExclusive, 1)
+	n.acquireAttempt(obj, memproto.PermExclusive, 1, sp.Ctx())
 }
 
 // ReadAt reads [off, off+length) of obj from wherever it lives,
 // without caching the object (a bus-style load, §3.2).
-func (n *Node) ReadAt(obj oid.ID, off uint64, length int, cb func([]byte, error)) {
+func (n *Node) ReadAt(obj oid.ID, off uint64, length int) *future.Future[[]byte] {
+	f, complete := future.New[[]byte]()
+	n.ReadAtCB(obj, off, length, complete)
+	return f
+}
+
+// ReadAtCB is the callback form of ReadAt.
+func (n *Node) ReadAtCB(obj oid.ID, off uint64, length int, cb func([]byte, error)) {
+	sp := n.tracer.StartRoot("op:read")
+	cb = endOp(sp, cb)
 	if o, err := n.store.Get(obj); err == nil {
 		n.counters.LocalHits++
+		sp.SetAttr("local", "hit")
 		b, err := o.ReadAt(off, length)
 		cb(b, err)
 		return
 	}
 	n.counters.RemoteReads++
-	n.accessAttempt(obj, 1, cb,
+	n.accessAttempt(obj, 1, sp.Ctx(), cb,
 		&memproto.Msg{Op: memproto.OpReadReq, Offset: off, Length: uint32(length)},
 		func(rm *memproto.Msg) {
 			// rm.Data is a view into the frame buffer, which is recycled
@@ -327,9 +401,19 @@ func (n *Node) ReadAt(obj oid.ID, off uint64, length int, cb func([]byte, error)
 
 // WriteAt writes data at off in obj at its home; the home invalidates
 // cached copies and bumps the version.
-func (n *Node) WriteAt(obj oid.ID, off uint64, data []byte, cb func(error)) {
+func (n *Node) WriteAt(obj oid.ID, off uint64, data []byte) *future.Future[struct{}] {
+	f, complete := future.New[struct{}]()
+	n.WriteAtCB(obj, off, data, func(err error) { complete(struct{}{}, err) })
+	return f
+}
+
+// WriteAtCB is the callback form of WriteAt.
+func (n *Node) WriteAtCB(obj oid.ID, off uint64, data []byte, cb func(error)) {
+	sp := n.tracer.StartRoot("op:write")
+	cb = endOpErr(sp, cb)
 	if e, err := n.store.GetEntry(obj); err == nil && e.Home {
 		n.counters.LocalHits++
+		sp.SetAttr("local", "home")
 		if err := e.Obj.WriteAt(off, data); err != nil {
 			cb(err)
 			return
@@ -340,7 +424,7 @@ func (n *Node) WriteAt(obj oid.ID, off uint64, data []byte, cb func(error)) {
 		return
 	}
 	n.counters.RemoteWrites++
-	n.accessAttempt(obj, 1, func(_ []byte, err error) { cb(err) },
+	n.accessAttempt(obj, 1, sp.Ctx(), func(_ []byte, err error) { cb(err) },
 		&memproto.Msg{Op: memproto.OpWriteReq, Offset: off, Data: data},
 		func(rm *memproto.Msg) {
 			// Our own cached copy (if any) is now stale.
@@ -352,15 +436,16 @@ func (n *Node) WriteAt(obj oid.ID, off uint64, data []byte, cb func(error)) {
 // accessAttempt is the shared resolve→request→stale-retry loop for
 // bus-style reads and writes. fail receives terminal errors; ok
 // receives the successful response.
-func (n *Node) accessAttempt(obj oid.ID, attempt int, fail func([]byte, error),
+func (n *Node) accessAttempt(obj oid.ID, attempt int, tc trace.Ctx, fail func([]byte, error),
 	m *memproto.Msg, ok func(*memproto.Msg)) {
 
-	n.resolver.Resolve(obj, func(r discovery.Result, err error) {
+	n.resolver.ResolveCtx(obj, tc, func(r discovery.Result, err error) {
 		if err != nil {
 			fail(nil, fmt.Errorf("%w: %v", ErrNotFound, err))
 			return
 		}
 		h := wire.Header{Type: wire.MsgMem, Object: obj}
+		tc.Inject(&h)
 		if r.RouteOnObject {
 			h.Flags |= wire.FlagRouteOnObject
 		} else {
@@ -384,32 +469,44 @@ func (n *Node) accessAttempt(obj oid.ID, attempt int, fail func([]byte, error),
 			}
 			n.counters.StaleRetries++
 			n.resolver.Invalidate(obj)
-			n.accessAttempt(obj, attempt+1, fail, m, ok)
+			n.accessAttempt(obj, attempt+1, tc, fail, m, ok)
 		})
 	})
 }
 
 // Release pushes a locally modified cached copy back to the object's
 // home (OpRelease), which applies it and bumps the version.
-func (n *Node) Release(obj oid.ID, cb func(error)) {
+func (n *Node) Release(obj oid.ID) *future.Future[struct{}] {
+	f, complete := future.New[struct{}]()
+	n.ReleaseCB(obj, func(err error) { complete(struct{}{}, err) })
+	return f
+}
+
+// ReleaseCB is the callback form of Release.
+func (n *Node) ReleaseCB(obj oid.ID, cb func(error)) {
+	sp := n.tracer.StartRoot("op:release")
+	cb = endOpErr(sp, cb)
 	e, err := n.store.GetEntry(obj)
 	if err != nil {
 		cb(err)
 		return
 	}
 	if e.Home {
+		sp.SetAttr("local", "home")
 		cb(nil) // already authoritative
 		return
 	}
 	n.counters.Releases++
 	raw := e.Obj.CloneBytes()
 	frags := memproto.Fragment(raw, e.Version, 0)
-	n.resolver.Resolve(obj, func(r discovery.Result, err error) {
+	tc := sp.Ctx()
+	n.resolver.ResolveCtx(obj, tc, func(r discovery.Result, err error) {
 		if err != nil {
 			cb(fmt.Errorf("%w: %v", ErrNotFound, err))
 			return
 		}
 		h := wire.Header{Type: wire.MsgMem, Object: obj}
+		tc.Inject(&h)
 		if r.RouteOnObject {
 			h.Flags |= wire.FlagRouteOnObject
 		} else {
@@ -587,7 +684,7 @@ func (n *Node) serveAcquire(h *wire.Header, m *memproto.Msg) {
 	n.respond(h, &first)
 	for i := range frags[1:] {
 		f := frags[1+i]
-		n.sendReliable(h.Src, h.Object, &f)
+		n.sendReliable(h.Src, h.Object, trace.FromHeader(h), &f)
 	}
 }
 

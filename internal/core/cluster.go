@@ -24,6 +24,8 @@ import (
 	"repro/internal/p4sim"
 	"repro/internal/placement"
 	"repro/internal/prefetch"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -92,6 +94,10 @@ type Config struct {
 	ControllerInstallDelay netsim.Duration
 	// DropRate injects loss on every link.
 	DropRate float64
+	// Trace configures causal span recording (zero = tracing off;
+	// off means no frame ever carries wire.FlagTraced, so runs are
+	// bit-identical to a build without tracing).
+	Trace trace.Config
 }
 
 func (c *Config) fill() {
@@ -138,6 +144,10 @@ type Cluster struct {
 
 	// Placement is the shared rendezvous engine.
 	Placement *placement.Engine
+
+	// Tracer records causal spans when Config.Trace enables sampling
+	// (nil otherwise — a nil recorder is valid and records nothing).
+	Tracer *trace.Recorder
 
 	gen  *oid.Generator
 	meta map[oid.ID]*objMeta
@@ -240,6 +250,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.controllerEP = ep
 	}
 
+	// Tracing: one recorder spans the whole cluster, so a single
+	// operation's spans line up across requester, switches, links and
+	// responder on the shared virtual clock.
+	c.Tracer = trace.NewRecorder(c.Sim, cfg.Trace)
+	if c.Tracer != nil {
+		c.Net.SetFrameSpanHook(c.Tracer.LinkHook())
+		for _, sw := range c.Switches {
+			sw.SetTracer(c.Tracer)
+		}
+		if c.Controller != nil {
+			c.Controller.SetTracer(c.Tracer)
+			c.controllerEP.SetTracer(c.Tracer)
+		}
+	}
+
 	// Wire resolvers now that the controller exists.
 	for _, n := range c.Nodes {
 		n.initResolver(cfg)
@@ -325,7 +350,7 @@ func (c *Cluster) MoveObject(obj oid.ID, from, to *Node) error {
 // with the home's coherence directory like any fetched copy, so
 // writes still invalidate it.
 func (c *Cluster) ReplicateObject(obj oid.ID, at *Node, cb func(error)) {
-	at.Coherence.AcquireShared(obj, func(_ *object.Object, err error) { cb(err) })
+	at.Coherence.AcquireSharedCB(obj, func(_ *object.Object, err error) { cb(err) })
 }
 
 // PromoteReplica makes node's cached copy of obj the authoritative
@@ -440,6 +465,45 @@ func (c *Cluster) ResetStats() {
 	if c.controllerEP != nil {
 		c.controllerEP.Mux().ResetStats()
 	}
+}
+
+// Telemetry flattens every stats surface in the cluster — network,
+// switches, endpoints, muxes, discovery, coherence, prefetch, RPC,
+// tracing — into one snapshot with stable snake_case names. Per-node
+// counters registered under a shared prefix sum across nodes; the
+// native typed accessors (Stats, Counters) remain for callers that
+// need per-instance or per-type breakdowns.
+func (c *Cluster) Telemetry() telemetry.Snapshot {
+	r := telemetry.NewRegistry()
+	r.Add("net", c.Net.Stats())
+	for _, sw := range c.Switches {
+		r.Add("switch", sw.Counters())
+	}
+	for _, n := range c.Nodes {
+		r.Add("transport", n.EP.Counters())
+		r.Add("mux", n.EP.Mux().Stats())
+		r.Add("coherence", n.Coherence.Counters())
+		if n.Prefetch != nil {
+			r.Add("prefetch", n.Prefetch.Counters())
+		}
+		if n.e2e != nil {
+			r.Add("discovery", n.e2e.Counters())
+		}
+		if n.cc != nil {
+			r.Add("discovery", n.cc.Counters())
+		}
+		r.Add("rpc_client", n.RPCClient.Counters())
+		r.Add("rpc_server", n.RPCServer.Counters())
+	}
+	if c.controllerEP != nil {
+		r.Add("transport", c.controllerEP.Counters())
+		r.Add("mux", c.controllerEP.Mux().Stats())
+	}
+	if c.Tracer != nil {
+		r.Set("trace.spans", uint64(len(c.Tracer.Spans())))
+		r.Set("trace.dropped", c.Tracer.Dropped())
+	}
+	return r.Snapshot()
 }
 
 // BroadcastsObserved sums switch flood events — the quantity on

@@ -10,6 +10,7 @@ import (
 	"repro/internal/oid"
 	"repro/internal/placement"
 	"repro/internal/serde"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -416,9 +417,10 @@ func (n *Node) invokeResolved(code object.Global, args []object.Global,
 	o *invokeOpts, cb func(InvokeResult, error)) {
 
 	start := n.Sim().Now()
+	sp := n.cluster.Tracer.StartRoot("op:invoke")
 	var attemptFn func(attempt int)
 	attemptFn = func(attempt int) {
-		n.invokeOnce(code, args, o, func(res InvokeResult, err error) {
+		n.invokeOnce(code, args, o, sp.Ctx(), func(res InvokeResult, err error) {
 			if err != nil && attempt < o.retries && gasperr.Retryable(err) {
 				// Exponential backoff between attempts; stale resolver
 				// state was already invalidated by the failing layer.
@@ -430,6 +432,16 @@ func (n *Node) invokeResolved(code object.Global, args []object.Global,
 			if err == nil && o.replicas > 0 {
 				n.seedReplicas(args, o.replicas)
 			}
+			if sp != nil {
+				sp.SetAttr("executor", fmt.Sprintf("%d", res.Executor))
+				if attempt > 0 {
+					sp.SetAttr("attempts", fmt.Sprintf("%d", attempt+1))
+				}
+				if err != nil {
+					sp.SetAttr("error", err.Error())
+				}
+				sp.End()
+			}
 			cb(res, err)
 		})
 	}
@@ -438,7 +450,7 @@ func (n *Node) invokeResolved(code object.Global, args []object.Global,
 
 // invokeOnce performs a single placement + execution attempt.
 func (n *Node) invokeOnce(code object.Global, args []object.Global,
-	o *invokeOpts, cb func(InvokeResult, error)) {
+	o *invokeOpts, tc trace.Ctx, cb func(InvokeResult, error)) {
 
 	res := InvokeResult{}
 	executor := o.forceExecutor
@@ -468,7 +480,7 @@ func (n *Node) invokeOnce(code object.Global, args []object.Global,
 		// virtual time.
 		timeout = 30 * netsim.Second
 	}
-	n.RPCClient.CallWithTimeout(executor, invokeMethod, blob, timeout, finish)
+	n.RPCClient.CallCtx(executor, invokeMethod, blob, timeout, tc, finish)
 }
 
 // seedReplicas caches each argument object at up to k additional live

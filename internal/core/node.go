@@ -98,6 +98,17 @@ func (n *Node) initResolver(cfg Config) {
 		n.Resolver = discovery.NewHybrid(n.cc, e2e)
 	}
 	n.Coherence = coherence.NewNode(n.EP, n.Store, n.Resolver)
+	if tr := n.cluster.Tracer; tr != nil {
+		n.EP.SetTracer(tr)
+		n.Coherence.SetTracer(tr)
+		n.RPCClient.SetTracer(tr)
+		if n.e2e != nil {
+			n.e2e.SetTracer(tr)
+		}
+		if n.cc != nil {
+			n.cc.SetTracer(tr)
+		}
+	}
 	if cfg.EnablePrefetch {
 		n.Prefetch = prefetch.New(n.Coherence, n.Store.Contains, cfg.Prefetch)
 	}
@@ -190,7 +201,7 @@ func (n *Node) Deref(g object.Global, cb func(*object.Object, error)) {
 		return
 	}
 	wasLocal := n.Store.Contains(g.Obj)
-	n.Coherence.AcquireShared(g.Obj, func(o *object.Object, err error) {
+	n.Coherence.AcquireSharedCB(g.Obj, func(o *object.Object, err error) {
 		if err == nil && !wasLocal && n.Prefetch != nil {
 			n.Prefetch.OnFetch(o)
 		}
@@ -233,10 +244,10 @@ func (n *Node) DerefAll(gs []object.Global, cb func([]*object.Object, error)) {
 // ReadRef reads bytes through a global reference without caching the
 // whole object (bus-style load).
 func (n *Node) ReadRef(g object.Global, length int, cb func([]byte, error)) {
-	n.Coherence.ReadAt(g.Obj, g.Off, length, cb)
+	n.Coherence.ReadAtCB(g.Obj, g.Off, length, cb)
 }
 
 // WriteRef writes bytes through a global reference (coherent store).
 func (n *Node) WriteRef(g object.Global, data []byte, cb func(error)) {
-	n.Coherence.WriteAt(g.Obj, g.Off, data, cb)
+	n.Coherence.WriteAtCB(g.Obj, g.Off, data, cb)
 }

@@ -43,7 +43,7 @@ import (
 var bufClasses = [...]int{
 	256,
 	4096,
-	wire.HeaderSize + wire.MaxPayload,
+	wire.TracedHeaderSize + wire.MaxPayload,
 }
 
 var pools = func() [len(bufClasses)]*sync.Pool {
@@ -116,11 +116,12 @@ func EncodeFrame(h *wire.Header, payload []byte) (*Buf, error) {
 		return nil, fmt.Errorf("%w: %d", wire.ErrTooLarge, len(payload))
 	}
 	h.PayloadLen = uint32(len(payload))
-	b := GetBuf(wire.HeaderSize + len(payload))
+	hdrLen := h.WireLen()
+	b := GetBuf(hdrLen + len(payload))
 	if err := h.MarshalInto(b.b); err != nil {
 		b.Release()
 		return nil, err
 	}
-	copy(b.b[wire.HeaderSize:], payload)
+	copy(b.b[hdrLen:], payload)
 	return b, nil
 }

@@ -59,7 +59,7 @@ func TestBufPoolReuse(t *testing.T) {
 }
 
 func TestBufOversizeUnpooled(t *testing.T) {
-	n := wire.HeaderSize + wire.MaxPayload + 1
+	n := wire.TracedHeaderSize + wire.MaxPayload + 1
 	b := GetBuf(n)
 	if b.Len() != n {
 		t.Fatalf("len = %d, want %d", b.Len(), n)

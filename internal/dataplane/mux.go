@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -142,6 +143,28 @@ func WithTrace(fn func(Trace)) Middleware {
 		return func(h *wire.Header, payload []byte) bool {
 			ok := next(h, payload)
 			fn(Trace{Type: h.Type, Src: h.Src, Dst: h.Dst, Bytes: len(payload), Consumed: ok})
+			return ok
+		}
+	}
+}
+
+// WithSpans records a handler-dispatch span around every traced frame
+// (headers carrying wire.FlagTraced), parented to the span the sender
+// stamped into the header — the receiver-side leaf of a cross-hop
+// trace. Untraced frames pass through untouched.
+func WithSpans(rec *trace.Recorder) Middleware {
+	return func(next Handler) Handler {
+		return func(h *wire.Header, payload []byte) bool {
+			if h.Flags&wire.FlagTraced == 0 {
+				return next(h, payload)
+			}
+			sp := rec.StartSpan(trace.Ctx{Trace: h.TraceID, Span: h.SpanID},
+				trace.KindDispatch, "dispatch:"+h.Type.String())
+			ok := next(h, payload)
+			if !ok {
+				sp.SetAttr("consumed", "false")
+			}
+			sp.End()
 			return ok
 		}
 	}

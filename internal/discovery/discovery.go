@@ -24,6 +24,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/oid"
 	"repro/internal/p4sim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -57,6 +58,11 @@ type Result struct {
 type Resolver interface {
 	// Resolve finds obj, calling cb exactly once.
 	Resolve(obj oid.ID, cb func(Result, error))
+	// ResolveCtx is Resolve carrying a trace context: a sampled
+	// operation passes its span so the resolution (and any frames it
+	// sends) appears in the operation's span tree. A zero context is
+	// equivalent to Resolve.
+	ResolveCtx(obj oid.ID, tc trace.Ctx, cb func(Result, error))
 	// Invalidate drops any cached location for obj (stale-entry
 	// feedback from a failed access).
 	Invalidate(obj oid.ID)
@@ -93,6 +99,7 @@ type E2E struct {
 	cache    map[oid.ID]wire.StationID
 	timeout  netsim.Duration
 	retries  int
+	tracer   *trace.Recorder
 	counters Counters
 }
 
@@ -115,6 +122,9 @@ func (e *E2E) SetTimeout(d netsim.Duration) { e.timeout = d }
 // (broadcasts are unacknowledged, so loss is recovered ARP-style by
 // asking again).
 func (e *E2E) SetRetries(n int) { e.retries = n }
+
+// SetTracer attaches a span recorder for traced resolutions.
+func (e *E2E) SetTracer(r *trace.Recorder) { e.tracer = r }
 
 // Counters returns a copy of the statistics.
 func (e *E2E) Counters() Counters { return e.counters }
@@ -140,26 +150,40 @@ func (e *E2E) HandleFrame(h *wire.Header, payload []byte) bool {
 // Resolve implements Resolver: cache hit answers immediately; a miss
 // broadcasts a DISCOVER and caches the replying station.
 func (e *E2E) Resolve(obj oid.ID, cb func(Result, error)) {
+	e.ResolveCtx(obj, trace.Ctx{}, cb)
+}
+
+// ResolveCtx implements Resolver with trace propagation: the
+// resolution gets a resolve span under tc, and DISCOVER broadcasts
+// carry the span so fabric hops attach to it.
+func (e *E2E) ResolveCtx(obj oid.ID, tc trace.Ctx, cb func(Result, error)) {
 	e.counters.Resolves++
+	sp := e.tracer.StartSpan(tc, trace.KindResolve, "resolve:e2e")
 	if st, ok := e.cache[obj]; ok {
 		e.counters.CacheHits++
+		sp.SetAttr("cache", "hit")
+		sp.End()
 		cb(Result{Station: st, CacheHit: true}, nil)
 		return
 	}
 	e.counters.CacheMisses++
-	e.broadcast(obj, 0, cb)
+	sp.SetAttr("cache", "miss")
+	e.broadcast(obj, 0, sp, func(r Result, err error) {
+		sp.End()
+		cb(r, err)
+	})
 }
 
 // broadcast issues one DISCOVER and retries on timeout.
-func (e *E2E) broadcast(obj oid.ID, attempt int, cb func(Result, error)) {
+func (e *E2E) broadcast(obj oid.ID, attempt int, sp *trace.Span, cb func(Result, error)) {
 	e.counters.Broadcasts++
-	_, err := e.ep.Request(
-		wire.Header{Type: wire.MsgDiscover, Dst: wire.StationBroadcast, Object: obj},
-		nil, e.timeout,
+	hdr := wire.Header{Type: wire.MsgDiscover, Dst: wire.StationBroadcast, Object: obj}
+	sp.Ctx().Inject(&hdr)
+	_, err := e.ep.Request(hdr, nil, e.timeout,
 		func(resp *wire.Header, _ []byte, err error) {
 			if err != nil {
 				if attempt < e.retries {
-					e.broadcast(obj, attempt+1, cb)
+					e.broadcast(obj, attempt+1, sp, cb)
 					return
 				}
 				e.counters.Failures++
@@ -210,6 +234,7 @@ type Controller struct {
 	// latency on the (out-of-band) control channel.
 	installDelay netsim.Duration
 	sim          *netsim.Sim
+	tracer       *trace.Recorder
 
 	objects  map[oid.ID]wire.StationID
 	counters struct {
@@ -238,6 +263,10 @@ func (c *Controller) AddSwitch(sw *p4sim.Switch) {
 		c.routes[sw] = make(map[wire.StationID]int)
 	}
 }
+
+// SetTracer attaches a span recorder: traced announce/locate requests
+// get an install span covering the rule-programming delay.
+func (c *Controller) SetTracer(r *trace.Recorder) { c.tracer = r }
 
 // Announces returns the number of announcements processed.
 func (c *Controller) Announces() uint64 { return c.counters.Announces }
@@ -383,8 +412,11 @@ func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 		obj, owner := h.Object, h.Src
 		c.objects[obj] = owner
 		req := *h
+		sp := c.installSpan(&req)
 		c.sim.Schedule(c.installDelay, func() {
 			status := c.installObject(obj, owner)
+			sp.SetAttr("status", installStatus(status))
+			sp.End()
 			// The ack carries whether rules are fully installed, so hosts
 			// can fall back for objects the tables could not hold.
 			c.ep.Respond(&req, wire.Header{Type: wire.MsgAnnounceAck, Object: obj}, []byte{status})
@@ -400,8 +432,11 @@ func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 			c.ep.Respond(&req, wire.Header{Type: wire.MsgLocateReply, Object: obj}, []byte{1})
 			return true
 		}
+		sp := c.installSpan(&req)
 		c.sim.Schedule(c.installDelay, func() {
 			status := c.installObject(obj, owner)
+			sp.SetAttr("status", installStatus(status))
+			sp.End()
 			reply := make([]byte, locateReplyLen)
 			reply[0] = status
 			binary.BigEndian.PutUint64(reply[1:], uint64(owner))
@@ -410,6 +445,23 @@ func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 		return true
 	}
 	return false
+}
+
+// installSpan opens a rule-install span for a traced request: the
+// interval from request arrival through the programming delay.
+func (c *Controller) installSpan(req *wire.Header) *trace.Span {
+	if c.tracer == nil || req.Flags&wire.FlagTraced == 0 {
+		return nil
+	}
+	return c.tracer.StartSpan(trace.Ctx{Trace: req.TraceID, Span: req.SpanID},
+		trace.KindInstall, "install:"+req.Type.String())
+}
+
+func installStatus(status byte) string {
+	if status == 0 {
+		return "ok"
+	}
+	return "partial"
 }
 
 // --- Controller client (host side) ---
@@ -429,6 +481,7 @@ type ControllerClient struct {
 	stale         map[oid.ID]bool
 	locateTimeout netsim.Duration
 	locateRetries int
+	tracer        *trace.Recorder
 }
 
 // NewControllerClient creates a client that announces to the
@@ -450,6 +503,9 @@ func (cc *ControllerClient) Counters() Counters { return cc.counters }
 
 // ResetCounters zeroes the statistics.
 func (cc *ControllerClient) ResetCounters() { cc.counters = Counters{} }
+
+// SetTracer attaches a span recorder for traced resolutions.
+func (cc *ControllerClient) SetTracer(r *trace.Recorder) { cc.tracer = r }
 
 // Announce implements Resolver: notify the controller (reliable
 // request; the ack confirms rules are active).
@@ -481,27 +537,40 @@ func (cc *ControllerClient) InstallFailed(obj oid.ID) bool { return cc.failed[ob
 // controller first, which re-installs their fabric rules (healing
 // wiped or out-of-date tables) before the access is retried.
 func (cc *ControllerClient) Resolve(obj oid.ID, cb func(Result, error)) {
+	cc.ResolveCtx(obj, trace.Ctx{}, cb)
+}
+
+// ResolveCtx implements Resolver with trace propagation.
+func (cc *ControllerClient) ResolveCtx(obj oid.ID, tc trace.Ctx, cb func(Result, error)) {
 	cc.counters.Resolves++
+	sp := cc.tracer.StartSpan(tc, trace.KindResolve, "resolve:controller")
 	if cc.stale[obj] {
 		cc.counters.CacheMisses++
-		cc.locate(obj, 0, cb)
+		sp.SetAttr("stale", "true")
+		cc.locate(obj, 0, sp, func(r Result, err error) {
+			sp.End()
+			cb(r, err)
+		})
 		return
 	}
 	cc.counters.CacheHits++
+	// The fabric routes on the object ID: resolution is free.
+	sp.SetAttr("route-on-object", "true")
+	sp.End()
 	cb(Result{RouteOnObject: true, CacheHit: true}, nil)
 }
 
 // locate asks the controller where obj lives and waits for its rules
 // to be re-installed, retrying on timeout.
-func (cc *ControllerClient) locate(obj oid.ID, attempt int, cb func(Result, error)) {
+func (cc *ControllerClient) locate(obj oid.ID, attempt int, sp *trace.Span, cb func(Result, error)) {
 	cc.counters.Relocates++
-	_, err := cc.ep.Request(
-		wire.Header{Type: wire.MsgLocate, Dst: cc.controller, Object: obj},
-		nil, cc.locateTimeout,
+	hdr := wire.Header{Type: wire.MsgLocate, Dst: cc.controller, Object: obj}
+	sp.Ctx().Inject(&hdr)
+	_, err := cc.ep.Request(hdr, nil, cc.locateTimeout,
 		func(resp *wire.Header, payload []byte, err error) {
 			if err != nil {
 				if attempt < cc.locateRetries {
-					cc.locate(obj, attempt+1, cb)
+					cc.locate(obj, attempt+1, sp, cb)
 					return
 				}
 				cc.counters.Failures++
@@ -582,12 +651,18 @@ func (h *Hybrid) HandleFrame(hd *wire.Header, payload []byte) bool {
 // install (or whose route-on-object access previously failed) use the
 // E2E path.
 func (h *Hybrid) Resolve(obj oid.ID, cb func(Result, error)) {
+	h.ResolveCtx(obj, trace.Ctx{}, cb)
+}
+
+// ResolveCtx implements Resolver, delegating to whichever plane
+// handles the object (each records its own resolve span).
+func (h *Hybrid) ResolveCtx(obj oid.ID, tc trace.Ctx, cb func(Result, error)) {
 	h.counters.Resolves++
 	if h.fallback[obj] || h.cc.InstallFailed(obj) {
-		h.e2e.Resolve(obj, cb)
+		h.e2e.ResolveCtx(obj, tc, cb)
 		return
 	}
-	h.cc.Resolve(obj, cb)
+	h.cc.ResolveCtx(obj, tc, cb)
 }
 
 // Invalidate implements Resolver: a failed route-on-object access

@@ -10,6 +10,7 @@ import (
 	"repro/internal/oid"
 	"repro/internal/p4sim"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -41,6 +42,9 @@ type staticResolver struct{}
 
 func (staticResolver) Resolve(_ oid.ID, cb func(discovery.Result, error)) {
 	cb(discovery.Result{RouteOnObject: true, CacheHit: true}, nil)
+}
+func (r staticResolver) ResolveCtx(obj oid.ID, _ trace.Ctx, cb func(discovery.Result, error)) {
+	r.Resolve(obj, cb)
 }
 func (staticResolver) Invalidate(oid.ID) {}
 func (staticResolver) Announce(oid.ID)   {}
@@ -216,7 +220,7 @@ func overlayRun(seed int64, mode string, numObjects int) (OverlayRow, error) {
 			return
 		}
 		start := sim.Now()
-		reader.coh.ReadAt(objs[i], object.HeaderSize+4*object.FOTEntrySize+8, 7,
+		reader.coh.ReadAtCB(objs[i], object.HeaderSize+4*object.FOTEntrySize+8, 7,
 			func(_ []byte, err error) {
 				if err == nil {
 					succ++

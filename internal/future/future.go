@@ -1,0 +1,103 @@
+// Package future provides the promise half of the repo's async APIs:
+// a single-threaded Future[T] resolved by the discrete-event
+// simulation. It sits below core so that any layer with a callback
+// API (coherence, rpc, core) can return futures without an import
+// cycle.
+package future
+
+import "errors"
+
+// ErrNotReady reports that a future's Result was read before the
+// simulation resolved it.
+var ErrNotReady = errors.New("future: not resolved yet")
+
+// Future is a promise-style handle on an asynchronous result: the
+// value-returning alternative to the cb(...) continuation forms. The
+// simulation is single-threaded on a virtual clock, so a Future never
+// blocks — it resolves during Cluster.Run (or any Sim.Run variant),
+// and Result is read afterwards:
+//
+//	f := node.Coherence.AcquireShared(obj)
+//	cluster.Run()
+//	o, err := f.Result()
+//
+// Then chains work onto resolution without waiting for it, mirroring
+// the continuation style when composition is needed.
+type Future[T any] struct {
+	done bool
+	val  T
+	err  error
+	subs []func(T, error)
+}
+
+// New creates an unresolved future and the completion function that
+// resolves it. The completion function is idempotent — only the first
+// call wins, matching the "exactly once" contract of the callback
+// APIs it wraps.
+func New[T any]() (*Future[T], func(T, error)) {
+	f := &Future[T]{}
+	return f, f.complete
+}
+
+// Resolved returns an already-completed future (for fast paths that
+// fail or hit a local cache before any asynchrony starts).
+func Resolved[T any](v T, err error) *Future[T] {
+	return &Future[T]{done: true, val: v, err: err}
+}
+
+func (f *Future[T]) complete(v T, err error) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.val, f.err = v, err
+	subs := f.subs
+	f.subs = nil
+	for _, fn := range subs {
+		fn(v, err)
+	}
+}
+
+// Done reports whether the future has resolved.
+func (f *Future[T]) Done() bool { return f.done }
+
+// Result returns the resolved value or error. Reading before
+// resolution returns ErrNotReady (with a zero value): run the
+// simulation first.
+func (f *Future[T]) Result() (T, error) {
+	if !f.done {
+		var zero T
+		return zero, ErrNotReady
+	}
+	return f.val, f.err
+}
+
+// MustResult returns the value, panicking on error or if unresolved —
+// for examples and tests where failure is fatal anyway.
+func (f *Future[T]) MustResult() T {
+	v, err := f.Result()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Err returns the resolution error: ErrNotReady before resolution,
+// then whatever the operation produced (nil on success).
+func (f *Future[T]) Err() error {
+	if !f.done {
+		return ErrNotReady
+	}
+	return f.err
+}
+
+// Then runs fn when the future resolves (immediately if it already
+// has). Multiple callbacks run in registration order.
+func (f *Future[T]) Then(fn func(T, error)) *Future[T] {
+	if f.done {
+		fn(f.val, f.err)
+		return f
+	}
+	f.subs = append(f.subs, fn)
+	return f
+}

@@ -85,6 +85,14 @@ type Stats struct {
 // TraceFunc observes every frame delivery attempt.
 type TraceFunc func(ev TraceEvent)
 
+// FrameSpanHook observes one link traversal with its full timing
+// decomposition: the frame was handed to the link at sent, waited
+// queued for the transmitter, serialized for tx, and arrives at
+// arrival (meaningless when dropped). Installed by the tracing layer;
+// the hook must not mutate fr, schedule events, or draw randomness.
+type FrameSpanHook func(from, to string, fr Frame, sent Time,
+	arrival Time, queued, tx Duration, dropped bool)
+
 // TraceEvent describes one frame hop for debugging and tests.
 type TraceEvent struct {
 	At      Time
@@ -98,10 +106,11 @@ type TraceEvent struct {
 // Network wires devices together and moves frames between them on the
 // simulator's clock.
 type Network struct {
-	sim     *Sim
-	devices map[Device]*devState
-	stats   Stats
-	trace   TraceFunc
+	sim      *Sim
+	devices  map[Device]*devState
+	stats    Stats
+	trace    TraceFunc
+	spanHook FrameSpanHook
 }
 
 type devState struct {
@@ -125,6 +134,11 @@ func (n *Network) Sim() *Sim { return n.sim }
 
 // SetTrace installs a frame trace hook (nil to disable).
 func (n *Network) SetTrace(fn TraceFunc) { n.trace = fn }
+
+// SetFrameSpanHook installs a per-link-traversal timing hook (nil to
+// disable). Unlike SetTrace it fires at send time with the computed
+// queueing/serialization split, so span intervals are exact.
+func (n *Network) SetFrameSpanHook(fn FrameSpanHook) { n.spanHook = fn }
 
 // Stats returns a copy of the frame counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -294,10 +308,18 @@ func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 			n.trace(TraceEvent{At: now, From: s.name, To: n.devices[dst.dev].name,
 				Port: dst.port, Bytes: len(fr), Dropped: true})
 		}
+		if n.spanHook != nil {
+			n.spanHook(s.name, n.devices[dst.dev].name, fr, now, arrival,
+				start.Sub(now), txDelay, true)
+		}
 		if buf != nil {
 			buf.Release()
 		}
 		return
+	}
+	if n.spanHook != nil {
+		n.spanHook(s.name, n.devices[dst.dev].name, fr, now, arrival,
+			start.Sub(now), txDelay, false)
 	}
 
 	n.sim.scheduleFrame(arrival, event{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -88,6 +89,8 @@ type Switch struct {
 	// OnMiss, when non-nil, observes object-table misses for frames
 	// flagged route-on-object (used by hybrid discovery).
 	OnMiss func(h *wire.Header)
+
+	tracer *trace.Recorder
 }
 
 // NewSwitch creates and registers a switch with numPorts ports.
@@ -147,6 +150,10 @@ func (sw *Switch) SetFilterTable(t *Table) { sw.filterTable = t }
 
 // FilterTable returns the installed filter table (nil if none).
 func (sw *Switch) FilterTable() *Table { return sw.filterTable }
+
+// SetTracer attaches a span recorder: every traced frame through the
+// pipeline gets a switch span annotated with its table lookups.
+func (sw *Switch) SetTracer(r *trace.Recorder) { sw.tracer = r }
 
 // Counters returns a copy of the switch counters.
 func (sw *Switch) Counters() Counters { return sw.counters }
@@ -230,10 +237,24 @@ func (sw *Switch) ingress(port int, fr netsim.Frame, buf netsim.FrameBuffer) {
 		}
 	}
 
-	act := sw.decide(&h)
+	var sp *trace.Span
+	if sw.tracer != nil && h.Flags&wire.FlagTraced != 0 {
+		sp = sw.tracer.StartSpan(trace.Ctx{Trace: h.TraceID, Span: h.SpanID},
+			trace.KindSwitch, "sw:"+sw.name)
+	}
+	act := sw.decide(&h, sp)
 	if act.Type == ActRegisters {
+		sp.SetAttr("action", "registers")
+		sp.End()
 		sw.handleRegisters(port, &h, fr)
 		return
+	}
+	if act.Type == ActDrop {
+		sp.SetAttr("action", "drop")
+		sp.End()
+	} else {
+		// The frame occupies the pipeline until it is emitted.
+		sp.EndAt(sw.net.Sim().Now().Add(sw.cfg.PipelineDelay))
 	}
 	sw.emit(port, fr, buf, act)
 }
@@ -265,27 +286,35 @@ func (sw *Switch) dupBroadcast(h *wire.Header) bool {
 	return false
 }
 
-func (sw *Switch) decide(h *wire.Header) Action {
+// decide runs the match-action program. sp (nil when untraced) is
+// annotated with every table consulted and its hit/miss outcome.
+func (sw *Switch) decide(h *wire.Header, sp *trace.Span) Action {
 	// Duplicate suppression first so pub/sub actions on broadcast
 	// frames cannot loop.
 	if h.Dst == wire.StationBroadcast && sw.dupBroadcast(h) {
+		sp.SetAttr("bcast", "dup")
 		return Action{Type: ActDrop}
 	}
 	if sw.filterTable != nil {
 		if act, ok := sw.filterTable.Lookup(h); ok {
 			sw.counters.FilterHits++
+			sp.SetAttr("filter", "hit")
 			return act
 		}
+		sp.SetAttr("filter", "miss")
 	}
 	if h.Dst == wire.StationBroadcast {
+		sp.SetAttr("action", "flood")
 		return Action{Type: ActFlood}
 	}
 	if h.Flags&wire.FlagRouteOnObject != 0 {
 		if act, ok := sw.objTable.Lookup(h); ok {
 			sw.counters.ObjectHits++
+			sp.SetAttr("obj", "hit")
 			return act
 		}
 		sw.counters.ObjectMisses++
+		sp.SetAttr("obj", "miss")
 		if sw.OnMiss != nil {
 			// Hand the hook its own copy: an unknown callee would
 			// otherwise force every ingress header to the heap.
@@ -302,9 +331,12 @@ func (sw *Switch) decide(h *wire.Header) Action {
 	}
 	if act, ok := sw.stationTable.Lookup(h); ok {
 		sw.counters.StationHits++
+		sp.SetAttr("station", "hit")
 		return act
 	}
 	// Unknown unicast: flood so it still reaches its station.
+	sp.SetAttr("station", "miss")
+	sp.SetAttr("action", "flood")
 	return Action{Type: ActFlood}
 }
 

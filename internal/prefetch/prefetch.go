@@ -17,7 +17,7 @@ import (
 
 // Fetcher acquires objects (satisfied by coherence.Node).
 type Fetcher interface {
-	AcquireShared(obj oid.ID, cb func(*object.Object, error))
+	AcquireSharedCB(obj oid.ID, cb func(*object.Object, error))
 }
 
 // Config tunes the prefetcher.
@@ -114,7 +114,7 @@ func (p *Prefetcher) walk(o *object.Object, depth int, st *walkState) {
 		p.counters.Issued++
 		id := id
 		depth := depth
-		p.fetcher.AcquireShared(id, func(fetched *object.Object, err error) {
+		p.fetcher.AcquireSharedCB(id, func(fetched *object.Object, err error) {
 			delete(p.inflight, id)
 			if err != nil {
 				p.counters.FetchFailures++

@@ -24,7 +24,7 @@ func newFake() *fakeFetcher {
 	}
 }
 
-func (f *fakeFetcher) AcquireShared(id oid.ID, cb func(*object.Object, error)) {
+func (f *fakeFetcher) AcquireSharedCB(id oid.ID, cb func(*object.Object, error)) {
 	f.fetched = append(f.fetched, id)
 	o, ok := f.objects[id]
 	if !ok {
@@ -181,7 +181,7 @@ type asyncFetcher struct {
 	pending map[oid.ID]func(*object.Object, error)
 }
 
-func (a *asyncFetcher) AcquireShared(id oid.ID, cb func(*object.Object, error)) {
+func (a *asyncFetcher) AcquireSharedCB(id oid.ID, cb func(*object.Object, error)) {
 	*a.issue++
 	a.pending[id] = cb
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/serde"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -243,6 +244,7 @@ type Client struct {
 	ep       *transport.Endpoint
 	nextCall uint64
 	inbound  map[uint64]*clientCall
+	tracer   *trace.Recorder
 	counters Counters
 }
 
@@ -262,6 +264,10 @@ func NewClient(ep *transport.Endpoint) *Client {
 
 // Counters returns a copy of the client statistics.
 func (c *Client) Counters() Counters { return c.counters }
+
+// SetTracer attaches a span recorder: calls become trace roots (or
+// children, when the caller supplies a context via CallCtx).
+func (c *Client) SetTracer(r *trace.Recorder) { c.tracer = r }
 
 // HandleFrame consumes MsgRPC response chunks that precede the matched
 // final response; returns true if consumed.
@@ -317,13 +323,40 @@ func (c *Client) finish(id uint64, call *clientCall, result []byte, err error) {
 // Call invokes method at dst with serialized args; cb receives the
 // result or an error. Arguments of any size are chunked.
 func (c *Client) Call(dst wire.StationID, method string, args []byte, cb func([]byte, error)) {
-	c.CallWithTimeout(dst, method, args, 0, cb)
+	c.CallCtx(dst, method, args, 0, trace.Ctx{}, cb)
 }
 
 // CallWithTimeout is Call with an explicit response deadline (0 scales
 // the default with argument size).
 func (c *Client) CallWithTimeout(dst wire.StationID, method string, args []byte,
 	timeout netsim.Duration, cb func([]byte, error)) {
+	c.CallCtx(dst, method, args, timeout, trace.Ctx{}, cb)
+}
+
+// CallCtx is CallWithTimeout with an explicit trace context: when tc
+// carries a sampled trace the call's span parents under it (so e.g. an
+// Invoke's RPC leg nests inside the invoke root); a zero tc makes the
+// call its own sampled root.
+func (c *Client) CallCtx(dst wire.StationID, method string, args []byte,
+	timeout netsim.Duration, tc trace.Ctx, cb func([]byte, error)) {
+
+	var sp *trace.Span
+	if tc.Traced() {
+		sp = c.tracer.StartSpan(tc, trace.KindRPC, "rpc:"+method)
+	} else {
+		sp = c.tracer.StartRoot("rpc:" + method)
+	}
+	if sp != nil {
+		inner := cb
+		cb = func(result []byte, err error) {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+			inner(result, err)
+		}
+	}
+	ctx := sp.Ctx()
 	c.nextCall++
 	id := c.nextCall
 	c.counters.CallsSent++
@@ -336,7 +369,9 @@ func (c *Client) CallWithTimeout(dst wire.StationID, method string, args []byte,
 			kind: kindRequest, callID: id, method: method,
 			fragOff: off, total: total, data: args[off : off+chunkData],
 		}
-		c.ep.SendReliable(wire.Header{Type: wire.MsgRPC, Dst: dst}, chunk.marshal(), nil)
+		ch := wire.Header{Type: wire.MsgRPC, Dst: dst}
+		ctx.Inject(&ch)
+		c.ep.SendReliable(ch, chunk.marshal(), nil)
 		off += chunkData
 	}
 	last := &envelope{
@@ -348,7 +383,9 @@ func (c *Client) CallWithTimeout(dst wire.StationID, method string, args []byte,
 	}
 	call := &clientCall{cb: cb}
 	c.inbound[id] = call
-	c.ep.Request(wire.Header{Type: wire.MsgRPC, Dst: dst}, last.marshal(),
+	lh := wire.Header{Type: wire.MsgRPC, Dst: dst}
+	ctx.Inject(&lh)
+	c.ep.Request(lh, last.marshal(),
 		timeout,
 		func(resp *wire.Header, payload []byte, err error) {
 			if err != nil {

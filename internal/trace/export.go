@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete events), the
+// format chrome://tracing and Perfetto load directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // µs
+	Dur  float64           `json:"dur"` // µs
+	PID  uint64            `json:"pid"` // trace ID
+	TID  uint64            `json:"tid"` // span ID
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome emits spans as a Chrome trace-event JSON array. Each
+// trace becomes one "process" (pid = trace ID).
+func WriteChrome(w io.Writer, spans []*Span) error {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			TS:   s.Start.Sub(0).Microseconds(),
+			Dur:  s.Duration().Microseconds(),
+			PID:  s.Trace,
+			TID:  s.ID,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs)+1)
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		if s.Parent != 0 {
+			if ev.Args == nil {
+				ev.Args = make(map[string]string, 1)
+			}
+			ev.Args["parent"] = fmt.Sprintf("%d", s.Parent)
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// ByTrace filters spans belonging to one trace, in creation order.
+func ByTrace(spans []*Span, traceID uint64) []*Span {
+	var out []*Span
+	for _, s := range spans {
+		if s.Trace == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Root returns a trace's root span (the span whose ID equals the
+// trace ID), or nil.
+func Root(spans []*Span, traceID uint64) *Span {
+	for _, s := range spans {
+		if s.Trace == traceID && s.ID == traceID {
+			return s
+		}
+	}
+	return nil
+}
+
+// TraceIDs lists the distinct trace IDs present, in first-seen order.
+func TraceIDs(spans []*Span) []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for _, s := range spans {
+		if !seen[s.Trace] {
+			seen[s.Trace] = true
+			out = append(out, s.Trace)
+		}
+	}
+	return out
+}
+
+// depthOf computes a span's tree depth via its parent chain. Spans
+// whose parent is missing (e.g. ack-carried context for an
+// unrecorded span) hang at depth 1.
+func depthOf(s *Span, byID map[uint64]*Span) int {
+	depth := 0
+	for cur := s; cur != nil && cur.Parent != 0 && depth < 64; depth++ {
+		cur = byID[cur.Parent]
+	}
+	return depth
+}
+
+// WriteTree prints one trace's span tree, preorder with indentation,
+// one line per span: start, duration, kind, name, attrs.
+func WriteTree(w io.Writer, spans []*Span, traceID uint64) {
+	ts := ByTrace(spans, traceID)
+	byID := make(map[uint64]*Span, len(ts))
+	children := make(map[uint64][]*Span)
+	for _, s := range ts {
+		byID[s.ID] = s
+	}
+	var roots []*Span
+	for _, s := range ts {
+		if s.Parent != 0 && byID[s.Parent] != nil {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	order := func(ss []*Span) {
+		sort.SliceStable(ss, func(i, j int) bool {
+			if ss[i].Start != ss[j].Start {
+				return ss[i].Start < ss[j].Start
+			}
+			return ss[i].ID < ss[j].ID
+		})
+	}
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		var attrs string
+		if len(s.Attrs) > 0 {
+			parts := make([]string, len(s.Attrs))
+			for i, a := range s.Attrs {
+				parts[i] = a.Key + "=" + a.Val
+			}
+			attrs = "  [" + strings.Join(parts, " ") + "]"
+		}
+		fmt.Fprintf(w, "%10.2f  %9.2f  %s%-8s %s%s\n",
+			s.Start.Sub(0).Microseconds(), s.Duration().Microseconds(),
+			strings.Repeat("  ", depth), s.Kind.String(), s.Name, attrs)
+		kids := children[s.ID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	order(roots)
+	fmt.Fprintf(w, "%10s  %9s  span\n", "start µs", "dur µs")
+	for _, s := range roots {
+		walk(s, 0)
+	}
+}
+
+// BreakdownRow attributes part of a root span's wall time to one
+// span kind.
+type BreakdownRow struct {
+	Label string
+	Dur   netsim.Duration
+	Pct   float64
+	Count int // spans of this kind inside the root interval
+}
+
+// Breakdown attributes every instant of the root span's interval to
+// the deepest span active at that instant (critical-path style):
+// link/switch/dispatch spans shadow the transport send that contains
+// them, which shadows the resolve/op above it. Instants covered by no
+// descendant span are attributed to "host" — endpoint-side time the
+// instrumentation doesn't subdivide (timeout waits, handler logic).
+func Breakdown(spans []*Span, root *Span) []BreakdownRow {
+	if root == nil || root.open {
+		return nil
+	}
+	ts := ByTrace(spans, root.Trace)
+	byID := make(map[uint64]*Span, len(ts))
+	for _, s := range ts {
+		byID[s.ID] = s
+	}
+
+	type active struct {
+		s     *Span
+		depth int
+	}
+	var within []active
+	counts := make([]int, numKinds)
+	for _, s := range ts {
+		if s == root || s.open {
+			continue
+		}
+		if s.Finish <= root.Start || s.Start >= root.Finish {
+			continue
+		}
+		counts[s.Kind]++
+		within = append(within, active{s, depthOf(s, byID)})
+	}
+
+	// Boundary sweep over the elementary intervals inside the root.
+	cuts := []netsim.Time{root.Start, root.Finish}
+	for _, a := range within {
+		if a.s.Start > root.Start && a.s.Start < root.Finish {
+			cuts = append(cuts, a.s.Start)
+		}
+		if a.s.Finish > root.Start && a.s.Finish < root.Finish {
+			cuts = append(cuts, a.s.Finish)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	attributed := make([]netsim.Duration, numKinds)
+	var host netsim.Duration
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		if hi <= lo {
+			continue
+		}
+		best := active{}
+		for _, a := range within {
+			if a.s.Start <= lo && a.s.Finish >= hi {
+				if best.s == nil || a.depth > best.depth ||
+					(a.depth == best.depth && a.s.ID > best.s.ID) {
+					best = a
+				}
+			}
+		}
+		if best.s == nil {
+			host += hi.Sub(lo)
+		} else {
+			attributed[best.s.Kind] += hi.Sub(lo)
+		}
+	}
+
+	total := root.Duration()
+	pct := func(d netsim.Duration) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(total)
+	}
+	var rows []BreakdownRow
+	for k := Kind(0); k < numKinds; k++ {
+		if attributed[k] == 0 && counts[k] == 0 {
+			continue
+		}
+		rows = append(rows, BreakdownRow{
+			Label: k.String(), Dur: attributed[k],
+			Pct: pct(attributed[k]), Count: counts[k],
+		})
+	}
+	if host > 0 {
+		rows = append(rows, BreakdownRow{Label: "host", Dur: host, Pct: pct(host)})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Dur > rows[j].Dur })
+	return rows
+}
+
+// WriteBreakdown prints a Breakdown as an aligned text table.
+func WriteBreakdown(w io.Writer, spans []*Span, root *Span) {
+	rows := Breakdown(spans, root)
+	fmt.Fprintf(w, "%-10s %10s %7s %7s\n", "where", "µs", "%", "spans")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10.2f %6.1f%% %7d\n",
+			r.Label, r.Dur.Microseconds(), r.Pct, r.Count)
+	}
+	fmt.Fprintf(w, "%-10s %10.2f %6.1f%%\n", "total",
+		root.Duration().Microseconds(), 100.0)
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/gasperr"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -113,6 +114,7 @@ type pendingFrame struct {
 	deadline netsim.Time     // first-send time + RetryBudget
 	timer    *netsim.Timer
 	done     func(error)
+	span     *trace.Span // send span, open until acked or retried out
 }
 
 type pendingReq struct {
@@ -146,6 +148,7 @@ type Endpoint struct {
 	seenRing []dedupKey
 	seenNext int
 
+	tracer   *trace.Recorder
 	counters Counters
 }
 
@@ -199,6 +202,33 @@ func (e *Endpoint) SetHandler(fn Handler) {
 	})
 }
 
+// SetTracer attaches a span recorder: traced frames (headers stamped
+// via trace.Ctx.Inject) get a send span per transmission attempt
+// lineage, retransmit markers, and a receiver-side dispatch span via
+// mux middleware. A nil recorder leaves the endpoint untraced.
+func (e *Endpoint) SetTracer(r *trace.Recorder) {
+	e.tracer = r
+	if r != nil {
+		e.mux.Use(dataplane.WithSpans(r))
+	}
+}
+
+// traceSend opens a send span for a traced header and re-stamps the
+// header so downstream hops (switches, links, the receiver) parent to
+// this span: the frame carries span lineage hop by hop.
+func (e *Endpoint) traceSend(h *wire.Header) *trace.Span {
+	if e.tracer == nil || h.Flags&wire.FlagTraced == 0 {
+		return nil
+	}
+	sp := e.tracer.StartSpan(trace.Ctx{Trace: h.TraceID, Span: h.SpanID},
+		trace.KindSend, "send:"+h.Type.String())
+	if sp != nil {
+		h.ParentID = h.SpanID
+		h.SpanID = sp.ID
+	}
+	return sp
+}
+
 // allocSeq returns a fresh sequence number.
 func (e *Endpoint) allocSeq() uint64 {
 	e.nextSeq++
@@ -211,9 +241,11 @@ func (e *Endpoint) allocSeq() uint64 {
 func (e *Endpoint) Send(h wire.Header, payload []byte) (uint64, error) {
 	h.Src = e.station
 	h.Seq = e.allocSeq()
+	sp := e.traceSend(&h)
 	buf, err := dataplane.EncodeFrame(&h, payload)
 	if err != nil {
 		e.counters.SendFailures++
+		sp.End()
 		return 0, err
 	}
 	if h.Dst == wire.StationBroadcast {
@@ -221,6 +253,8 @@ func (e *Endpoint) Send(h wire.Header, payload []byte) (uint64, error) {
 	}
 	e.counters.FramesSent++
 	e.host.SendBuf(buf.Bytes(), buf)
+	// Fire and forget: the send span marks the handoff instant.
+	sp.End()
 	return h.Seq, nil
 }
 
@@ -233,9 +267,11 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 	h.Src = e.station
 	h.Seq = e.allocSeq()
 	h.Flags |= wire.FlagReliable
+	sp := e.traceSend(&h)
 	buf, err := dataplane.EncodeFrame(&h, payload)
 	if err != nil {
 		e.counters.SendFailures++
+		sp.End()
 		return 0, err
 	}
 	p := &pendingFrame{
@@ -244,6 +280,7 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 		interval: e.cfg.RetransmitTimeout,
 		deadline: e.sim.Now().Add(e.cfg.RetryBudget),
 		done:     done,
+		span:     sp,
 	}
 	e.pending[h.Seq] = p
 	e.inflightBytes += len(p.frame)
@@ -269,6 +306,8 @@ func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
 			delete(e.pending, seq)
 			e.inflightBytes -= len(p.frame)
 			done := p.done
+			p.span.SetAttr("error", "retries-out")
+			p.span.End()
 			p.buf.Release()
 			if done != nil {
 				done(fmt.Errorf("%w after %d retransmits over %v",
@@ -279,6 +318,10 @@ func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
 		p.retries++
 		e.counters.Retransmits++
 		e.counters.FramesSent++
+		if e.tracer != nil && p.span != nil {
+			e.tracer.Mark(p.span.Ctx(), trace.KindRetrans,
+				fmt.Sprintf("rtx#%d", p.retries))
+		}
 		p.buf.Retain()
 		e.host.SendBuf(p.frame, p.buf)
 		// Exponential backoff: widen the probe interval up to the cap.
@@ -329,6 +372,11 @@ func (e *Endpoint) Respond(req *wire.Header, h wire.Header, payload []byte) erro
 	h.Dst = req.Src
 	h.Ack = req.Seq
 	h.Flags |= wire.FlagResponse
+	// Replies inherit the request's trace context so the response leg
+	// chains causally under the request's send span.
+	if req.Flags&wire.FlagTraced != 0 {
+		trace.Ctx{Trace: req.TraceID, Span: req.SpanID}.Inject(&h)
+	}
 	e.counters.ResponsesSent++
 	if req.Flags&wire.FlagReliable != 0 {
 		_, err := e.SendReliable(h, payload, nil)
@@ -360,6 +408,11 @@ func (e *Endpoint) onFrame(fr netsim.Frame) {
 			if p.timer != nil {
 				p.timer.Stop()
 			}
+			if p.span != nil && p.retries > 0 {
+				p.span.SetAttr("retries", fmt.Sprintf("%d", p.retries))
+			}
+			// A reliable send span spans first transmission to ack.
+			p.span.End()
 			done := p.done
 			p.buf.Release()
 			if done != nil {
@@ -425,6 +478,8 @@ func (e *Endpoint) Reset() {
 		if p.timer != nil {
 			p.timer.Stop()
 		}
+		p.span.SetAttr("error", "reset")
+		p.span.End()
 		p.buf.Release()
 		delete(e.pending, seq)
 	}

@@ -14,7 +14,7 @@
 //	2      1    version (1)
 //	3      1    message type
 //	4      2    flags
-//	6      2    header length (64)
+//	6      2    header length (64, or 88 with FlagTraced)
 //	8      4    payload length
 //	12     4    header checksum (FNV-32a over header with this field zero)
 //	16     8    source station
@@ -22,6 +22,15 @@
 //	32     16   object ID (routing key; may be zero)
 //	48     8    sequence number
 //	56     8    acknowledgment number
+//
+// When FlagTraced is set the header grows by a 24-byte trace
+// extension, so in-band trace context crosses every hop without a
+// side channel (the header-length field is what makes the extension
+// negotiable):
+//
+//	64     8    trace ID
+//	72     8    span ID (the sender's current span)
+//	80     8    parent span ID
 package wire
 
 import (
@@ -37,6 +46,11 @@ const (
 	Magic      = 0x6A50
 	Version    = 1
 	HeaderSize = 64
+	// TraceExtSize is the optional trace-context header extension
+	// (trace ID + span ID + parent span ID), present iff FlagTraced.
+	TraceExtSize = 24
+	// TracedHeaderSize is the header size with the trace extension.
+	TracedHeaderSize = HeaderSize + TraceExtSize
 	// MaxPayload bounds a single frame's payload (jumbo-frame scale);
 	// the transport fragments larger transfers.
 	MaxPayload = 64 * 1024
@@ -134,6 +148,9 @@ const (
 	FlagRouteOnObject
 	// FlagResponse marks a reply in a request/response exchange.
 	FlagResponse
+	// FlagTraced indicates the header carries the 24-byte trace
+	// extension (TraceID/SpanID/ParentID) after the fixed 64 bytes.
+	FlagTraced
 )
 
 // Errors returned by frame parsing.
@@ -156,6 +173,22 @@ type Header struct {
 	Object     oid.ID
 	Seq        uint64
 	Ack        uint64
+
+	// Trace context, carried on the wire iff FlagTraced is set.
+	// SpanID names the span covering this frame's transmission;
+	// ParentID is that span's parent on the sending side.
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+}
+
+// WireLen returns the encoded header length implied by the flags:
+// HeaderSize, or TracedHeaderSize when FlagTraced is set.
+func (h *Header) WireLen() int {
+	if h.Flags&FlagTraced != 0 {
+		return TracedHeaderSize
+	}
+	return HeaderSize
 }
 
 // fnv32a over b, used as the header checksum.
@@ -173,9 +206,10 @@ func fnv32a(b []byte) uint32 {
 }
 
 // MarshalInto writes the header into b, which must be at least
-// HeaderSize bytes. It computes the checksum.
+// h.WireLen() bytes. It computes the checksum.
 func (h *Header) MarshalInto(b []byte) error {
-	if len(b) < HeaderSize {
+	hdrLen := h.WireLen()
+	if len(b) < hdrLen {
 		return fmt.Errorf("%w: %d bytes for header", ErrTruncated, len(b))
 	}
 	if h.PayloadLen > MaxPayload {
@@ -185,7 +219,7 @@ func (h *Header) MarshalInto(b []byte) error {
 	b[2] = Version
 	b[3] = byte(h.Type)
 	binary.BigEndian.PutUint16(b[4:6], uint16(h.Flags))
-	binary.BigEndian.PutUint16(b[6:8], HeaderSize)
+	binary.BigEndian.PutUint16(b[6:8], uint16(hdrLen))
 	binary.BigEndian.PutUint32(b[8:12], h.PayloadLen)
 	binary.BigEndian.PutUint32(b[12:16], 0)
 	binary.BigEndian.PutUint64(b[16:24], uint64(h.Src))
@@ -193,7 +227,12 @@ func (h *Header) MarshalInto(b []byte) error {
 	h.Object.PutBytes(b[32:48])
 	binary.BigEndian.PutUint64(b[48:56], h.Seq)
 	binary.BigEndian.PutUint64(b[56:64], h.Ack)
-	binary.BigEndian.PutUint32(b[12:16], fnv32a(b[:HeaderSize]))
+	if hdrLen == TracedHeaderSize {
+		binary.BigEndian.PutUint64(b[64:72], h.TraceID)
+		binary.BigEndian.PutUint64(b[72:80], h.SpanID)
+		binary.BigEndian.PutUint64(b[80:88], h.ParentID)
+	}
+	binary.BigEndian.PutUint32(b[12:16], fnv32a(b[:hdrLen]))
 	return nil
 }
 
@@ -203,11 +242,12 @@ func Encode(h *Header, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d", ErrTooLarge, len(payload))
 	}
 	h.PayloadLen = uint32(len(payload))
-	fr := make([]byte, HeaderSize+len(payload))
+	hdrLen := h.WireLen()
+	fr := make([]byte, hdrLen+len(payload))
 	if err := h.MarshalInto(fr); err != nil {
 		return nil, err
 	}
-	copy(fr[HeaderSize:], payload)
+	copy(fr[hdrLen:], payload)
 	return fr, nil
 }
 
@@ -223,23 +263,30 @@ func (h *Header) DecodeFrom(fr []byte) error {
 	if fr[2] != Version {
 		return fmt.Errorf("%w: %d", ErrBadVersion, fr[2])
 	}
-	if binary.BigEndian.Uint16(fr[6:8]) != HeaderSize {
-		return fmt.Errorf("%w: header length %d", ErrBadLength, binary.BigEndian.Uint16(fr[6:8]))
+	hdrLen := int(binary.BigEndian.Uint16(fr[6:8]))
+	if hdrLen != HeaderSize && hdrLen != TracedHeaderSize {
+		return fmt.Errorf("%w: header length %d", ErrBadLength, hdrLen)
+	}
+	if len(fr) < hdrLen {
+		return fmt.Errorf("%w: %d bytes for %d-byte header", ErrTruncated, len(fr), hdrLen)
+	}
+	h.Flags = Flags(binary.BigEndian.Uint16(fr[4:6]))
+	if (h.Flags&FlagTraced != 0) != (hdrLen == TracedHeaderSize) {
+		return fmt.Errorf("%w: header length %d does not match flags %#x", ErrBadLength, hdrLen, uint16(h.Flags))
 	}
 	sum := binary.BigEndian.Uint32(fr[12:16])
-	var scratch [HeaderSize]byte
-	copy(scratch[:], fr[:HeaderSize])
+	var scratch [TracedHeaderSize]byte
+	copy(scratch[:hdrLen], fr[:hdrLen])
 	binary.BigEndian.PutUint32(scratch[12:16], 0)
-	if fnv32a(scratch[:]) != sum {
+	if fnv32a(scratch[:hdrLen]) != sum {
 		return ErrBadChecksum
 	}
 	h.Type = MsgType(fr[3])
-	h.Flags = Flags(binary.BigEndian.Uint16(fr[4:6]))
 	h.PayloadLen = binary.BigEndian.Uint32(fr[8:12])
 	if h.PayloadLen > MaxPayload {
 		return fmt.Errorf("%w: %d", ErrTooLarge, h.PayloadLen)
 	}
-	if int(HeaderSize+h.PayloadLen) > len(fr) {
+	if hdrLen+int(h.PayloadLen) > len(fr) {
 		return fmt.Errorf("%w: payload length %d in %d-byte frame", ErrBadLength, h.PayloadLen, len(fr))
 	}
 	h.Src = StationID(binary.BigEndian.Uint64(fr[16:24]))
@@ -251,21 +298,53 @@ func (h *Header) DecodeFrom(fr []byte) error {
 	}
 	h.Seq = binary.BigEndian.Uint64(fr[48:56])
 	h.Ack = binary.BigEndian.Uint64(fr[56:64])
+	if hdrLen == TracedHeaderSize {
+		h.TraceID = binary.BigEndian.Uint64(fr[64:72])
+		h.SpanID = binary.BigEndian.Uint64(fr[72:80])
+		h.ParentID = binary.BigEndian.Uint64(fr[80:88])
+	} else {
+		h.TraceID, h.SpanID, h.ParentID = 0, 0, 0
+	}
 	return nil
+}
+
+// HeaderLen reports the encoded header length of a frame whose header
+// has already been validated.
+func HeaderLen(fr []byte) int {
+	if len(fr) >= TracedHeaderSize &&
+		Flags(binary.BigEndian.Uint16(fr[4:6]))&FlagTraced != 0 {
+		return TracedHeaderSize
+	}
+	return HeaderSize
 }
 
 // Payload returns a zero-copy view of the payload of a frame whose
 // header has already been validated.
 func Payload(fr []byte) []byte {
-	if len(fr) <= HeaderSize {
+	hdrLen := HeaderLen(fr)
+	if len(fr) <= hdrLen {
 		return nil
 	}
 	n := binary.BigEndian.Uint32(fr[8:12])
-	end := HeaderSize + int(n)
+	end := hdrLen + int(n)
 	if end > len(fr) {
 		end = len(fr)
 	}
-	return fr[HeaderSize:end]
+	return fr[hdrLen:end]
+}
+
+// TraceContext extracts the trace extension from a frame without a
+// full header decode — the per-hop fast path for switch and link
+// instrumentation. ok is false for untraced or too-short frames.
+func TraceContext(fr []byte) (traceID, spanID, parentID uint64, ok bool) {
+	if len(fr) < TracedHeaderSize ||
+		Flags(binary.BigEndian.Uint16(fr[4:6]))&FlagTraced == 0 {
+		return 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint64(fr[64:72]),
+		binary.BigEndian.Uint64(fr[72:80]),
+		binary.BigEndian.Uint64(fr[80:88]),
+		true
 }
 
 // Field identifies a header field for match-action pipelines and

@@ -247,3 +247,69 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+func TestTracedHeaderRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	h.Flags |= FlagTraced
+	h.TraceID, h.SpanID, h.ParentID = 0xA1, 0xB2, 0xC3
+	payload := []byte("traced payload")
+	fr, err := Encode(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != TracedHeaderSize+len(payload) {
+		t.Fatalf("frame len = %d, want %d", len(fr), TracedHeaderSize+len(payload))
+	}
+	if h.WireLen() != TracedHeaderSize {
+		t.Fatalf("WireLen = %d", h.WireLen())
+	}
+	var got Header
+	if err := got.DecodeFrom(fr); err != nil {
+		t.Fatal(err)
+	}
+	if got != *h {
+		t.Fatalf("decode = %+v, want %+v", got, *h)
+	}
+	if !bytes.Equal(Payload(fr), payload) {
+		t.Fatalf("Payload = %q", Payload(fr))
+	}
+	tr, sp, par, ok := TraceContext(fr)
+	if !ok || tr != 0xA1 || sp != 0xB2 || par != 0xC3 {
+		t.Fatalf("TraceContext = %x %x %x %v", tr, sp, par, ok)
+	}
+}
+
+func TestTraceContextUntraced(t *testing.T) {
+	fr, err := Encode(sampleHeader(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := TraceContext(fr); ok {
+		t.Fatal("TraceContext reported trace on untraced frame")
+	}
+	// Decoding an untraced frame must leave trace fields zero even if
+	// the Header struct was previously used for a traced frame.
+	h := Header{TraceID: 1, SpanID: 2, ParentID: 3}
+	if err := h.DecodeFrom(fr); err != nil {
+		t.Fatal(err)
+	}
+	if h.TraceID != 0 || h.SpanID != 0 || h.ParentID != 0 {
+		t.Fatalf("stale trace fields survived decode: %+v", h)
+	}
+}
+
+func TestTracedFlagLengthConsistency(t *testing.T) {
+	h := sampleHeader()
+	h.Flags |= FlagTraced
+	h.TraceID = 7
+	fr, err := Encode(h, []byte("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating a traced frame to the untraced header length must not
+	// decode as a valid untraced frame.
+	var got Header
+	if err := got.DecodeFrom(fr[:HeaderSize+3]); err == nil {
+		t.Fatal("truncated traced frame decoded cleanly")
+	}
+}
