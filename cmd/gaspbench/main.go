@@ -14,7 +14,10 @@
 //	gaspbench faults        E8: scripted crash/flap/table-wipe recovery
 //	gaspbench trace         causal span tree + critical-path breakdown
 //	                        of one cold access per discovery scheme
-//	gaspbench all           everything above (except trace)
+//	gaspbench load          E9: offered-load sweep per discovery scheme
+//	                        with saturation-knee detection; writes
+//	                        BENCH_load.json
+//	gaspbench all           everything above (except trace and load)
 //
 // Flags:
 //
@@ -22,6 +25,8 @@
 //	-accesses N   accesses per sweep point for fig2/fig3 (default 2000)
 //	-quick        reduced workloads (CI-speed)
 //	-csv          machine-readable output for plotting
+//	-smoke        CI-scale load sweep (load only)
+//	-out FILE     load report path (load only, default BENCH_load.json)
 package main
 
 import (
@@ -37,11 +42,13 @@ var (
 	accesses = flag.Int("accesses", 2000, "accesses per sweep point")
 	quick    = flag.Bool("quick", false, "reduced workloads")
 	csvOut   = flag.Bool("csv", false, "CSV output for plotting")
+	smoke    = flag.Bool("smoke", false, "CI-scale load sweep (load only)")
+	loadOut  = flag.String("out", "BENCH_load.json", "load report path (load only)")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,10 +80,12 @@ func main() {
 		err = runFaults()
 	case "trace":
 		err = runTrace()
+	case "load":
+		err = runLoad()
 	case "all":
 		for _, f := range []func() error{
 			runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
-			runAblations, runScale, runFaults,
+			runAblations, runScale, runFaults, runLoad,
 		} {
 			if err = f(); err != nil {
 				break
@@ -233,6 +242,49 @@ func runTrace() error {
 		fmt.Println()
 		fmt.Print(r.Breakdown)
 	}
+	return nil
+}
+
+func runLoad() error {
+	rep, err := experiments.LoadSweep(experiments.LoadConfig{
+		Seed:  *seed,
+		Smoke: *smoke || *quick,
+	})
+	if err != nil {
+		return err
+	}
+	for _, ss := range rep.Schemes {
+		t := newTable(fmt.Sprintf("E9 (%s): offered load vs goodput and tail latency", ss.Scheme),
+			"offered_ops", "goodput_ops", "completed", "failed", "queued",
+			"p50_us", "p99_us", "p999_us", "frames")
+		for _, p := range ss.Points {
+			t.row(fmt.Sprintf("%.0f", p.OfferedPerSec), fmt.Sprintf("%.0f", p.GoodputPerSec),
+				p.Completed, p.Failed, p.Queued,
+				fmt.Sprintf("%.1f", p.P50US), fmt.Sprintf("%.1f", p.P99US),
+				fmt.Sprintf("%.1f", p.P999US), p.FramesSent)
+		}
+		t.print(*csvOut)
+		if !*csvOut {
+			if ss.Knee.Index >= 0 {
+				fmt.Printf("   knee: %.0f ops/s offered (goodput %.0f, p99 %.1fµs) — %s\n",
+					ss.Knee.OfferedPerSec, ss.Knee.GoodputPerSec, ss.Knee.P99US, ss.Knee.Reason)
+			} else {
+				fmt.Printf("   knee: %s\n", ss.Knee.Reason)
+			}
+		}
+		fmt.Println()
+	}
+	// The timestamp is stamped here, outside the deterministic run, so
+	// the report body is byte-identical across same-seed invocations.
+	rep.GeneratedAt = nowRFC3339()
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*loadOut, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *loadOut)
 	return nil
 }
 

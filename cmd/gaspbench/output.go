@@ -3,7 +3,12 @@ package main
 import (
 	"fmt"
 	"strings"
+	"time"
 )
+
+// nowRFC3339 stamps load reports after their deterministic body is
+// complete (the only wall-clock read in the binary).
+func nowRFC3339() string { return time.Now().UTC().Format(time.RFC3339) }
 
 // table renders rows either aligned for terminals or as CSV (-csv),
 // so every figure regenerates in a plottable form.

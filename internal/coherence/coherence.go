@@ -79,8 +79,16 @@ type Node struct {
 	releases  map[releaseKey]*memproto.Reassembler
 
 	tracer   *trace.Recorder
+	observer OpObserver
 	counters Counters
 }
+
+// OpObserver receives the name and outcome of every public operation
+// ("acquire_shared", "acquire_exclusive", "read", "write", "release")
+// exactly when its caller learns the result — the per-op completion
+// hook the workload engine tallies goodput from. Local hits fire it
+// too: an operation is an operation wherever it completes.
+type OpObserver func(op string, err error)
 
 type releaseKey struct {
 	src wire.StationID
@@ -104,6 +112,9 @@ func NewNode(ep *transport.Endpoint, st *store.Store, res discovery.Resolver) *N
 // SetTracer attaches a span recorder: each public operation becomes a
 // sampled trace root whose context rides the wire to every hop.
 func (n *Node) SetTracer(r *trace.Recorder) { n.tracer = r }
+
+// SetOpObserver installs the per-op completion hook (nil to disable).
+func (n *Node) SetOpObserver(fn OpObserver) { n.observer = fn }
 
 // Counters returns a copy of the statistics.
 func (n *Node) Counters() Counters { return n.counters }
@@ -188,32 +199,44 @@ func (n *Node) respond(req *wire.Header, m *memproto.Msg) {
 
 // --- access paths (requester side) ---
 
-// endOp wraps an operation callback so the operation's root span ends
-// (recording any error) exactly when the caller learns the outcome —
-// the root span's duration equals the externally observable latency.
-func endOp[T any](sp *trace.Span, cb func(T, error)) func(T, error) {
-	if sp == nil {
+// opDone wraps an operation callback so the operation's root span ends
+// (recording any error) and the op observer fires exactly when the
+// caller learns the outcome — the root span's duration equals the
+// externally observable latency. With no tracer and no observer it
+// returns cb unchanged: the hot path costs nothing when nobody listens.
+func opDone[T any](n *Node, name string, sp *trace.Span, cb func(T, error)) func(T, error) {
+	if sp == nil && n.observer == nil {
 		return cb
 	}
 	return func(v T, err error) {
-		if err != nil {
-			sp.SetAttr("error", err.Error())
+		if sp != nil {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
 		}
-		sp.End()
+		if n.observer != nil {
+			n.observer(name, err)
+		}
 		cb(v, err)
 	}
 }
 
-// endOpErr is endOp for error-only callbacks.
-func endOpErr(sp *trace.Span, cb func(error)) func(error) {
-	if sp == nil {
+// opDoneErr is opDone for error-only callbacks.
+func opDoneErr(n *Node, name string, sp *trace.Span, cb func(error)) func(error) {
+	if sp == nil && n.observer == nil {
 		return cb
 	}
 	return func(err error) {
-		if err != nil {
-			sp.SetAttr("error", err.Error())
+		if sp != nil {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
 		}
-		sp.End()
+		if n.observer != nil {
+			n.observer(name, err)
+		}
 		cb(err)
 	}
 }
@@ -231,7 +254,7 @@ func (n *Node) AcquireShared(obj oid.ID) *future.Future[*object.Object] {
 // that chain continuations directly.
 func (n *Node) AcquireSharedCB(obj oid.ID, cb func(*object.Object, error)) {
 	sp := n.tracer.StartRoot("op:acquire-shared")
-	cb = endOp(sp, cb)
+	cb = opDone(n, "acquire_shared", sp, cb)
 	if o, err := n.store.Get(obj); err == nil {
 		n.counters.LocalHits++
 		sp.SetAttr("local", "hit")
@@ -344,7 +367,7 @@ func (n *Node) AcquireExclusive(obj oid.ID) *future.Future[*object.Object] {
 // AcquireExclusiveCB is the callback form of AcquireExclusive.
 func (n *Node) AcquireExclusiveCB(obj oid.ID, cb func(*object.Object, error)) {
 	sp := n.tracer.StartRoot("op:acquire-excl")
-	cb = endOp(sp, cb)
+	cb = opDone(n, "acquire_exclusive", sp, cb)
 	if e, err := n.store.GetEntry(obj); err == nil && e.Home {
 		n.counters.LocalHits++
 		sp.SetAttr("local", "home")
@@ -379,7 +402,7 @@ func (n *Node) ReadAt(obj oid.ID, off uint64, length int) *future.Future[[]byte]
 // ReadAtCB is the callback form of ReadAt.
 func (n *Node) ReadAtCB(obj oid.ID, off uint64, length int, cb func([]byte, error)) {
 	sp := n.tracer.StartRoot("op:read")
-	cb = endOp(sp, cb)
+	cb = opDone(n, "read", sp, cb)
 	if o, err := n.store.Get(obj); err == nil {
 		n.counters.LocalHits++
 		sp.SetAttr("local", "hit")
@@ -410,7 +433,7 @@ func (n *Node) WriteAt(obj oid.ID, off uint64, data []byte) *future.Future[struc
 // WriteAtCB is the callback form of WriteAt.
 func (n *Node) WriteAtCB(obj oid.ID, off uint64, data []byte, cb func(error)) {
 	sp := n.tracer.StartRoot("op:write")
-	cb = endOpErr(sp, cb)
+	cb = opDoneErr(n, "write", sp, cb)
 	if e, err := n.store.GetEntry(obj); err == nil && e.Home {
 		n.counters.LocalHits++
 		sp.SetAttr("local", "home")
@@ -485,7 +508,7 @@ func (n *Node) Release(obj oid.ID) *future.Future[struct{}] {
 // ReleaseCB is the callback form of Release.
 func (n *Node) ReleaseCB(obj oid.ID, cb func(error)) {
 	sp := n.tracer.StartRoot("op:release")
-	cb = endOpErr(sp, cb)
+	cb = opDoneErr(n, "release", sp, cb)
 	e, err := n.store.GetEntry(obj)
 	if err != nil {
 		cb(err)

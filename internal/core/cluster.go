@@ -467,14 +467,12 @@ func (c *Cluster) ResetStats() {
 	}
 }
 
-// Telemetry flattens every stats surface in the cluster — network,
-// switches, endpoints, muxes, discovery, coherence, prefetch, RPC,
-// tracing — into one snapshot with stable snake_case names. Per-node
-// counters registered under a shared prefix sum across nodes; the
-// native typed accessors (Stats, Counters) remain for callers that
-// need per-instance or per-type breakdowns.
-func (c *Cluster) Telemetry() telemetry.Snapshot {
-	r := telemetry.NewRegistry()
+// AddTelemetry registers every stats surface in the cluster —
+// network, switches, endpoints, muxes, discovery, coherence,
+// prefetch, RPC, tracing — into r with stable snake_case names.
+// Callers (the workload harness, benchmarks) layer their own
+// counters into the same registry before snapshotting.
+func (c *Cluster) AddTelemetry(r *telemetry.Registry) {
 	r.Add("net", c.Net.Stats())
 	for _, sw := range c.Switches {
 		r.Add("switch", sw.Counters())
@@ -503,6 +501,15 @@ func (c *Cluster) Telemetry() telemetry.Snapshot {
 		r.Set("trace.spans", uint64(len(c.Tracer.Spans())))
 		r.Set("trace.dropped", c.Tracer.Dropped())
 	}
+}
+
+// Telemetry flattens every stats surface into one snapshot. Per-node
+// counters registered under a shared prefix sum across nodes; the
+// native typed accessors (Stats, Counters) remain for callers that
+// need per-instance or per-type breakdowns.
+func (c *Cluster) Telemetry() telemetry.Snapshot {
+	r := telemetry.NewRegistry()
+	c.AddTelemetry(r)
 	return r.Snapshot()
 }
 

@@ -422,3 +422,38 @@ func TestFaultRecoveryMasksEveryFaultClass(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadSweepShape(t *testing.T) {
+	rep, err := LoadSweep(LoadConfig{Seed: 42, Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Schemes) != 2 {
+		t.Fatalf("schemes = %d, want e2e and controller", len(rep.Schemes))
+	}
+	for _, ss := range rep.Schemes {
+		if len(ss.Points) != len(rep.Rates) {
+			t.Fatalf("%s: %d points, want %d", ss.Scheme, len(ss.Points), len(rep.Rates))
+		}
+		// The smoke ladder is tuned so the knee lands mid-ladder: at
+		// least one clean point below it and a collapsed one above.
+		if ss.Knee.Index < 0 || ss.Knee.Index >= len(ss.Points)-1 {
+			t.Errorf("%s: knee index %d (%s), want mid-ladder",
+				ss.Scheme, ss.Knee.Index, ss.Knee.Reason)
+		}
+		for j, p := range ss.Points[:ss.Knee.Index+1] {
+			if p.Failed > 0 {
+				t.Errorf("%s point %d: %d failures below the knee", ss.Scheme, j, p.Failed)
+			}
+		}
+		last := ss.Points[len(ss.Points)-1]
+		if last.Failed <= last.Completed {
+			t.Errorf("%s: top rate not collapsed (completed %d, failed %d)",
+				ss.Scheme, last.Completed, last.Failed)
+		}
+		if last.P99US < 5*ss.Points[0].P99US {
+			t.Errorf("%s: top-rate p99 %.0fus did not blow up vs base %.0fus",
+				ss.Scheme, last.P99US, ss.Points[0].P99US)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -89,6 +90,24 @@ func (s Snapshot) Value(name string) uint64 { return s.vals[name] }
 
 // Len reports the metric count.
 func (s Snapshot) Len() int { return len(s.names) }
+
+// MarshalJSON renders the snapshot as one JSON object whose keys
+// appear in sorted order — the byte-stable encoding machine-readable
+// artifacts (BENCH_load.json) rely on to diff cleanly across runs.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range s.names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(n))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(s.vals[n], 10))
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
 
 // String renders "name value" lines in sorted order.
 func (s Snapshot) String() string {

@@ -65,3 +65,26 @@ func TestRegistryFlattensAndSums(t *testing.T) {
 		t.Error("absent metric should read as 0")
 	}
 }
+
+// TestSnapshotJSONDeterministic pins the snapshot's JSON encoding:
+// keys sorted, no whitespace — the exact bytes BENCH artifacts embed,
+// so two same-seed runs diff cleanly.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		r.Set("zeta.last", 1)
+		r.Set("alpha.first", 2)
+		r.Set("mid.value", 30)
+		return r.Snapshot()
+	}
+	want := `{"alpha.first":2,"mid.value":30,"zeta.last":1}`
+	for i := 0; i < 3; i++ {
+		got, err := build().MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("run %d: MarshalJSON = %s, want %s", i, got, want)
+		}
+	}
+}

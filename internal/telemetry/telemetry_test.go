@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -72,13 +73,104 @@ func TestHistogramStats(t *testing.T) {
 }
 
 func TestObserveAfterQuantile(t *testing.T) {
-	// Observing after a quantile query must re-sort.
+	// Observing after a quantile query must be reflected immediately.
 	h := NewHistogram()
 	h.Observe(10)
 	_ = h.Quantile(0.5)
 	h.Observe(1)
 	if h.Quantile(0) != 1 {
-		t.Fatal("re-sort after observe failed")
+		t.Fatal("observe after quantile not reflected")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 50; i++ {
+		a.Observe(float64(i))
+		all.Observe(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(float64(i))
+		all.Observe(float64(i))
+	}
+	b.Observe(-3)
+	all.Observe(-3)
+	b.Observe(0)
+	all.Observe(0)
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	a.Merge(a)   // no-op
+	sa, sall := a.Summarize(), all.Summarize()
+	if sa != sall {
+		t.Fatalf("merged summary %+v != direct %+v", sa, sall)
+	}
+	ba, ball := a.Buckets(), all.Buckets()
+	if len(ba) != len(ball) {
+		t.Fatalf("bucket count %d != %d", len(ba), len(ball))
+	}
+	for i := range ba {
+		if ba[i] != ball[i] {
+			t.Fatalf("bucket %d: %+v != %+v", i, ba[i], ball[i])
+		}
+	}
+}
+
+func TestHistogramRelativeErrorBound(t *testing.T) {
+	// Quantiles of bucketed ranks must sit within RelErrorBound below
+	// the exact nearest-rank sample.
+	rng := func() func() float64 { // deterministic LCG, no math/rand dep
+		s := uint64(12345)
+		return func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / float64(1<<53)
+		}
+	}()
+	h := NewHistogram()
+	var samples []float64
+	for i := 0; i < 5000; i++ {
+		v := math.Exp(rng()*14 - 2) // ~0.13µs .. ~162k µs, log-spread
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := sorted[int(math.Ceil(q*float64(len(sorted))))-1]
+		got := h.Quantile(q)
+		if got > exact {
+			t.Fatalf("q=%v: reported %v above exact %v", q, got, exact)
+		}
+		if exact > got*(1+RelErrorBound)*(1+1e-12) {
+			t.Fatalf("q=%v: reported %v more than %.3f%% below exact %v",
+				q, got, 100*RelErrorBound, exact)
+		}
+	}
+}
+
+func TestSummaryP999(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 999; i++ {
+		h.Observe(10)
+	}
+	h.Observe(100000)
+	s := h.Summarize()
+	if s.P99 != 10 {
+		t.Fatalf("P99 = %v, want 10", s.P99)
+	}
+	if s.P999 < 10*(1-RelErrorBound) || s.P999 > 10 {
+		t.Fatalf("P999 = %v", s.P999)
+	}
+	// The outlier is the top 0.1%: Quantile just above 0.999 sees it.
+	if got := h.Quantile(0.9995); got < 100000*(1-RelErrorBound) {
+		t.Fatalf("Quantile(0.9995) = %v, want ~100000", got)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1) // allocate the positive bucket array
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(42.5) }); n > 0 {
+		t.Fatalf("Observe allocates %v/op after warmup, want 0", n)
 	}
 }
 

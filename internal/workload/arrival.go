@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/netsim"
+)
+
+// ArrivalKind selects the arrival process.
+type ArrivalKind int
+
+// Arrival processes. Poisson is the zero value: the right default
+// for load sweeps, where offered rate must not adapt to the system.
+const (
+	// ArrivalPoisson issues ops with exponentially distributed gaps at
+	// mean RatePerSec.
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalOpen issues ops at a fixed RatePerSec regardless of
+	// completions.
+	ArrivalOpen
+	// ArrivalClosed runs Clients concurrent clients, each issuing its
+	// next op Think after the previous one completes — offered load
+	// adapts to the system (the classic closed loop that *causes*
+	// coordinated omission in naive harnesses).
+	ArrivalClosed
+)
+
+// String names the arrival process.
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalOpen:
+		return "open"
+	case ArrivalClosed:
+		return "closed"
+	}
+	return "arrival?"
+}
+
+// ArrivalConfig tunes the arrival process.
+type ArrivalConfig struct {
+	Kind ArrivalKind
+	// Clients is the closed-loop concurrency (default 4).
+	Clients int
+	// Think is the closed-loop post-completion pause.
+	Think netsim.Duration
+	// RatePerSec is the open/Poisson offered load.
+	RatePerSec float64
+}
+
+func (a *ArrivalConfig) fill() {
+	if a.Clients <= 0 {
+		a.Clients = 4
+	}
+	if a.Kind != ArrivalClosed && a.RatePerSec <= 0 {
+		a.RatePerSec = 1000
+	}
+}
+
+// gap draws the next inter-arrival gap (open/Poisson only), floored
+// at 1ns so the event loop always advances.
+func (a ArrivalConfig) gap(rng *rand.Rand) netsim.Duration {
+	mean := float64(netsim.Second) / a.RatePerSec
+	d := netsim.Duration(mean)
+	if a.Kind == ArrivalPoisson {
+		d = netsim.Duration(rng.ExpFloat64() * mean)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

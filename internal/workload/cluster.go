@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/telemetry"
+)
+
+// ClusterConfig shapes the object population a ClusterTarget drives.
+type ClusterConfig struct {
+	// Driver is the index of the node issuing every op (default 0).
+	Driver int
+	// WarmPool is the number of pre-discovered objects (default 64),
+	// homed round-robin on the non-driver nodes.
+	WarmPool int
+	// ColdPool is the number of never-discovered single-use objects
+	// cold ops consume (default 0). When exhausted, cold ops fall back
+	// to the warm pool and ColdExhausted counts the shortfall.
+	ColdPool int
+	// ObjectSize is each object's total size in bytes (default 512).
+	// Workload objects carry a small 4-entry FOT, so most of the size
+	// is payload — an acquire moves ObjectSize bytes, not 1.5KB of
+	// empty default FOT.
+	ObjectSize int
+	// IOSize is the read/write length per op (default 64).
+	IOSize int
+}
+
+func (c *ClusterConfig) fill() {
+	if c.WarmPool <= 0 {
+		c.WarmPool = 64
+	}
+	if c.ObjectSize <= 0 {
+		c.ObjectSize = 512
+	}
+	if c.IOSize <= 0 {
+		c.IOSize = 64
+	}
+}
+
+// TargetCounters tallies target-side activity; the fields flatten
+// into a telemetry.Registry under "workload_target".
+type TargetCounters struct {
+	// CoherenceOps / CoherenceErrs count every coherence-layer
+	// operation completion observed at the driver (via the coherence
+	// engine's per-op completion hook) — acquire-release ops complete
+	// two, reads and writes one each.
+	CoherenceOps  uint64
+	CoherenceErrs uint64
+	// ColdExhausted counts cold ops that fell back to warm objects
+	// because the cold pool ran out.
+	ColdExhausted uint64
+}
+
+// ClusterTarget adapts a core.Cluster to the runner's Target
+// interface: one driver node issues reads, writes, acquire-release
+// pairs, and invokes against a pool of objects homed on the other
+// nodes, through the coherence engine's futures API.
+type ClusterTarget struct {
+	cl       *core.Cluster
+	driver   *core.Node
+	warm     []object.Global
+	cold     []object.Global
+	coldNext int
+	code     object.Global
+	writeBuf []byte
+	ioSize   int
+	counters TargetCounters
+}
+
+// noopSymbol is the registered function invoke ops run: placement
+// routes it to the data's home, so the op cost is pure dispatch.
+const noopSymbol = "workload.noop"
+
+// dataFOTCap is the FOT capacity of workload data objects: small, so
+// object transfers are mostly payload.
+const dataFOTCap = 4
+
+// ioOff is where reads and writes land: the start of a data object's
+// heap, past the header and FOT so raw writes never clobber object
+// metadata.
+const ioOff = object.HeaderSize + object.FOTEntrySize*dataFOTCap
+
+// NewClusterTarget builds the object population: warm and cold pools
+// homed round-robin on the non-driver nodes, plus one code object.
+// Call Warm before starting the runner.
+func NewClusterTarget(cl *core.Cluster, cfg ClusterConfig) (*ClusterTarget, error) {
+	cfg.fill()
+	if cfg.Driver < 0 || cfg.Driver >= len(cl.Nodes) {
+		return nil, fmt.Errorf("workload: driver index %d out of range", cfg.Driver)
+	}
+	t := &ClusterTarget{
+		cl:       cl,
+		driver:   cl.Node(cfg.Driver),
+		writeBuf: make([]byte, cfg.IOSize),
+		ioSize:   cfg.IOSize,
+	}
+	for i := range t.writeBuf {
+		t.writeBuf[i] = byte(i)
+	}
+	var homes []*core.Node
+	for i, n := range cl.Nodes {
+		if i != cfg.Driver {
+			homes = append(homes, n)
+		}
+	}
+	if len(homes) == 0 { // single-node cluster: everything is local
+		homes = []*core.Node{t.driver}
+	}
+	alloc := func(n int) ([]object.Global, error) {
+		gs := make([]object.Global, 0, n)
+		for i := 0; i < n; i++ {
+			home := homes[i%len(homes)]
+			o, err := object.New(cl.NewID(), cfg.ObjectSize, dataFOTCap)
+			if err != nil {
+				return nil, err
+			}
+			if err := home.AdoptObject(o); err != nil {
+				return nil, err
+			}
+			gs = append(gs, object.Global{Obj: o.ID()})
+		}
+		return gs, nil
+	}
+	var err error
+	if t.warm, err = alloc(cfg.WarmPool); err != nil {
+		return nil, err
+	}
+	if t.cold, err = alloc(cfg.ColdPool); err != nil {
+		return nil, err
+	}
+	codeObj, err := homes[0].CreateCodeObject(noopSymbol)
+	if err != nil {
+		return nil, err
+	}
+	t.code = object.Global{Obj: codeObj.ID()}
+	cl.RegisterAll(noopSymbol, func(ctx *core.ExecCtx) { ctx.Return(nil) })
+	return t, nil
+}
+
+// Warm pre-discovers the warm pool and the code object from the
+// driver (a 1-byte read resolves and caches each home), drains the
+// simulation, then installs the per-op completion observer — warmup
+// traffic stays out of the counters. Cold-pool objects are left
+// untouched so their first access pays full discovery.
+func (t *ClusterTarget) Warm() {
+	coh := t.driver.Coherence
+	for _, g := range t.warm {
+		coh.ReadAt(g.Obj, ioOff, 1)
+	}
+	coh.ReadAt(t.code.Obj, ioOff, 1)
+	t.cl.Run()
+	coh.SetOpObserver(func(_ string, err error) {
+		t.counters.CoherenceOps++
+		if err != nil {
+			t.counters.CoherenceErrs++
+		}
+	})
+}
+
+// obj picks the op's object: cold ops consume the cold pool once,
+// warm ops hash the key into the warm pool.
+func (t *ClusterTarget) obj(op Op) object.Global {
+	if op.Cold {
+		if t.coldNext < len(t.cold) {
+			g := t.cold[t.coldNext]
+			t.coldNext++
+			return g
+		}
+		t.counters.ColdExhausted++
+	}
+	return t.warm[op.Key%len(t.warm)]
+}
+
+// Issue starts one operation through the futures API; done fires when
+// the driver learns the outcome.
+func (t *ClusterTarget) Issue(op Op, done func(error)) {
+	g := t.obj(op)
+	coh := t.driver.Coherence
+	switch op.Kind {
+	case OpWrite:
+		coh.WriteAt(g.Obj, ioOff, t.writeBuf).Then(
+			func(_ struct{}, err error) { done(err) })
+	case OpAcquireRelease:
+		coh.AcquireExclusive(g.Obj).Then(func(_ *object.Object, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			coh.Release(g.Obj).Then(func(_ struct{}, err error) { done(err) })
+		})
+	case OpInvoke:
+		t.driver.Invoke(t.code, []object.Global{g},
+			func(_ core.InvokeResult, err error) { done(err) })
+	default: // OpRead
+		coh.ReadAt(g.Obj, ioOff, t.ioSize).Then(
+			func(_ []byte, err error) { done(err) })
+	}
+}
+
+// AddTelemetry registers target counters under "workload_target".
+func (t *ClusterTarget) AddTelemetry(reg *telemetry.Registry) {
+	reg.Add("workload_target", t.counters)
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// Recorder measures latency without coordinated omission: every
+// sample is completion time minus the op's *intended* start, and an
+// op belongs to the measure window by its intended time, not by when
+// the system got around to issuing or finishing it. A 1ms stall
+// therefore shows up as ~1ms of extra latency on every op that was
+// due during the stall — instead of silently vanishing because the
+// generator waited too.
+type Recorder struct {
+	start, end netsim.Time
+	hist       *telemetry.Histogram
+}
+
+func newRecorder(start, end netsim.Time) *Recorder {
+	return &Recorder{start: start, end: end, hist: telemetry.NewHistogram()}
+}
+
+// inWindow reports whether an op with the given intended time counts.
+func (r *Recorder) inWindow(intended netsim.Time) bool {
+	return intended >= r.start && intended < r.end
+}
+
+// observe records one successful completion (in microseconds from
+// intended start). Completions arriving after the window closes still
+// record — late is data, not exclusion.
+func (r *Recorder) observe(op Op, done netsim.Time) {
+	if r.inWindow(op.Intended) {
+		r.hist.Observe(done.Sub(op.Intended).Microseconds())
+	}
+}
+
+// Hist exposes the latency histogram (for merging and for the
+// determinism tests' bucket comparison).
+func (r *Recorder) Hist() *telemetry.Histogram { return r.hist }

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// Target is anything the runner can drive: it starts one operation
+// and calls done exactly once when the operation's outcome is known.
+type Target interface {
+	Issue(op Op, done func(error))
+}
+
+// Config tunes one runner.
+type Config struct {
+	// Seed drives the generator (schedule, kinds, keys, arrival gaps).
+	Seed int64
+	// Arrival selects the arrival process.
+	Arrival ArrivalConfig
+	// Mix is the operation mix.
+	Mix Mix
+	// Keys is the key-popularity model.
+	Keys KeyConfig
+	// Warmup precedes the measure window; ops intended during warmup
+	// run but are not counted or recorded.
+	Warmup netsim.Duration
+	// Measure is the measurement window length.
+	Measure netsim.Duration
+	// MaxOutstanding caps in-flight ops for open/Poisson arrivals
+	// (0 = unlimited). Ops over the cap queue FIFO but keep their
+	// original intended time, so queueing delay is measured, not
+	// coordinated away.
+	MaxOutstanding int
+}
+
+// Runner drives a Target with the configured workload on the virtual
+// clock. Create with New, call Start, then drain the simulation
+// (e.g. Cluster.Run) and read Result.
+type Runner struct {
+	sim *netsim.Sim
+	tgt Target
+	cfg Config
+	gen *Gen
+	rec *Recorder
+
+	counters    Counters
+	outstanding int
+	backlog     []Op
+	backlogHead int
+	issueEnd    netsim.Time
+
+	tickFn   func() // cached method values: one closure, many schedules
+	clientFn func()
+}
+
+// New builds a runner; Start begins issuing.
+func New(sim *netsim.Sim, tgt Target, cfg Config) *Runner {
+	cfg.Arrival.fill()
+	r := &Runner{
+		sim: sim,
+		tgt: tgt,
+		cfg: cfg,
+		gen: NewGen(cfg.Seed, cfg.Mix, cfg.Keys),
+	}
+	r.tickFn = r.tick
+	r.clientFn = r.clientOp
+	return r
+}
+
+// Start schedules the arrival process. The measure window is
+// [now+Warmup, now+Warmup+Measure); issuing stops at window end but
+// in-flight and queued ops run to completion (and still record
+// against their intended times).
+func (r *Runner) Start() {
+	start := r.sim.Now()
+	mStart := start.Add(r.cfg.Warmup)
+	r.rec = newRecorder(mStart, mStart.Add(r.cfg.Measure))
+	r.issueEnd = mStart.Add(r.cfg.Measure)
+	if r.cfg.Arrival.Kind == ArrivalClosed {
+		for i := 0; i < r.cfg.Arrival.Clients; i++ {
+			r.sim.Schedule(0, r.clientFn)
+		}
+		return
+	}
+	r.sim.Schedule(0, r.tickFn)
+}
+
+// tick is one open/Poisson arrival: generate, dispatch, re-arm.
+func (r *Runner) tick() {
+	now := r.sim.Now()
+	if now >= r.issueEnd {
+		return
+	}
+	r.dispatch(r.gen.Next(now))
+	r.sim.Schedule(r.cfg.Arrival.gap(r.gen.Rand()), r.tickFn)
+}
+
+// clientOp is one closed-loop client issuing its next op.
+func (r *Runner) clientOp() {
+	now := r.sim.Now()
+	if now >= r.issueEnd {
+		return
+	}
+	r.dispatch(r.gen.Next(now))
+}
+
+func (r *Runner) dispatch(op Op) {
+	if r.rec.inWindow(op.Intended) {
+		r.counters.OpsGenerated++
+		switch op.Kind {
+		case OpRead:
+			r.counters.Reads++
+		case OpWrite:
+			r.counters.Writes++
+		case OpAcquireRelease:
+			r.counters.AcqRels++
+		case OpInvoke:
+			r.counters.Invokes++
+		}
+		if op.Cold {
+			r.counters.ColdOps++
+		}
+	}
+	if r.cfg.MaxOutstanding > 0 && r.outstanding >= r.cfg.MaxOutstanding {
+		if r.rec.inWindow(op.Intended) {
+			r.counters.OpsQueued++
+		}
+		r.backlog = append(r.backlog, op)
+		return
+	}
+	r.issue(op)
+}
+
+func (r *Runner) issue(op Op) {
+	r.outstanding++
+	if r.rec.inWindow(op.Intended) {
+		r.counters.OpsIssued++
+	}
+	r.tgt.Issue(op, func(err error) { r.complete(op, err) })
+}
+
+func (r *Runner) complete(op Op, err error) {
+	r.outstanding--
+	now := r.sim.Now()
+	if r.rec.inWindow(op.Intended) {
+		if err != nil {
+			r.counters.OpsFailed++
+		} else {
+			r.counters.OpsCompleted++
+		}
+	}
+	if err == nil {
+		r.rec.observe(op, now)
+	}
+	// A completion frees a slot: issue the oldest queued op, which
+	// keeps its original intended time.
+	if r.backlogHead < len(r.backlog) {
+		next := r.backlog[r.backlogHead]
+		r.backlog[r.backlogHead] = Op{}
+		r.backlogHead++
+		if r.backlogHead == len(r.backlog) {
+			r.backlog = r.backlog[:0]
+			r.backlogHead = 0
+		}
+		r.issue(next)
+	}
+	if r.cfg.Arrival.Kind == ArrivalClosed {
+		r.sim.Schedule(r.cfg.Arrival.Think, r.clientFn)
+	}
+}
+
+// Result is a finished run's aggregate view.
+type Result struct {
+	Counters Counters
+	Latency  telemetry.Summary
+	Measure  netsim.Duration
+}
+
+// GoodputPerSec is successful completions per second of measure window.
+func (res Result) GoodputPerSec() float64 {
+	if res.Measure <= 0 {
+		return 0
+	}
+	return float64(res.Counters.OpsCompleted) * float64(netsim.Second) / float64(res.Measure)
+}
+
+// Result snapshots the run (call after draining the simulation).
+func (r *Runner) Result() Result {
+	return Result{
+		Counters: r.counters,
+		Latency:  r.rec.Hist().Summarize(),
+		Measure:  r.cfg.Measure,
+	}
+}
+
+// Hist exposes the latency histogram.
+func (r *Runner) Hist() *telemetry.Histogram { return r.rec.Hist() }
+
+// AddTelemetry registers the runner's counters under "workload".
+func (r *Runner) AddTelemetry(reg *telemetry.Registry) {
+	reg.Add("workload", r.counters)
+}

@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	mix := Mix{ColdFrac: 0.05}
+	keys := KeyConfig{Dist: KeyZipf, Population: 64}
+	a := NewGen(7, mix, keys)
+	b := NewGen(7, mix, keys)
+	for i := 0; i < 2000; i++ {
+		at := netsim.Time(i * 1000)
+		oa, ob := a.Next(at), b.Next(at)
+		if oa != ob {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, oa, ob)
+		}
+		if oa.Index != uint64(i) {
+			t.Fatalf("op %d has index %d", i, oa.Index)
+		}
+	}
+	c := NewGen(8, mix, keys)
+	diff := 0
+	for i := 0; i < 200; i++ {
+		if a.Next(0) != c.Next(0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenMixShares(t *testing.T) {
+	g := NewGen(1, Mix{}, KeyConfig{})
+	var kinds [numOpKinds]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		kinds[g.Next(0).Kind]++
+	}
+	// Default mix is 80/14/4/2; allow generous slack.
+	if f := float64(kinds[OpRead]) / n; f < 0.75 || f > 0.85 {
+		t.Fatalf("read share %.3f, want ~0.80", f)
+	}
+	if kinds[OpWrite] == 0 || kinds[OpAcquireRelease] == 0 || kinds[OpInvoke] == 0 {
+		t.Fatalf("kind counts %v: every kind should appear", kinds)
+	}
+}
+
+func TestGenAllocs(t *testing.T) {
+	g := NewGen(1, Mix{ColdFrac: 0.1}, KeyConfig{Dist: KeyZipf})
+	g.Next(0)
+	if n := testing.AllocsPerRun(1000, func() { g.Next(12345) }); n > 1 {
+		t.Fatalf("Next allocates %v/op, want <=1", n)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewGen(3, Mix{}, KeyConfig{Dist: KeyZipf, Population: 32, ZipfS: 1.1})
+	counts := make([]int, 32)
+	for i := 0; i < 20000; i++ {
+		counts[g.Next(0).Key]++
+	}
+	if counts[0] <= counts[31]*4 {
+		t.Fatalf("zipf not skewed: key0=%d key31=%d", counts[0], counts[31])
+	}
+	for k, c := range counts {
+		if c == 0 {
+			t.Fatalf("key %d never drawn", k)
+		}
+	}
+}
+
+func TestHotShiftMoves(t *testing.T) {
+	cfg := KeyConfig{
+		Dist: KeyHotShift, Population: 100,
+		HotFrac: 0.1, HotWeight: 0.95,
+		ShiftEvery: 10 * netsim.Millisecond,
+	}
+	g := NewGen(5, Mix{}, cfg)
+	countAt := func(at netsim.Time) []int {
+		counts := make([]int, 100)
+		for i := 0; i < 5000; i++ {
+			counts[g.Next(at).Key]++
+		}
+		return counts
+	}
+	hotKey := func(counts []int) int {
+		best := 0
+		for k := range counts {
+			if counts[k] > counts[best] {
+				best = k
+			}
+		}
+		return best
+	}
+	h0 := hotKey(countAt(0))
+	h1 := hotKey(countAt(10 * 1000 * 1000)) // one ShiftEvery later
+	if h0 == h1 {
+		t.Fatalf("hot set did not move: epoch0 and epoch1 both peak at key %d", h0)
+	}
+	if h0 >= 10 {
+		t.Fatalf("epoch-0 hot set should be keys 0..9, peak was %d", h0)
+	}
+}
+
+// fakeTarget completes ops after a configurable service time on the
+// virtual clock.
+type fakeTarget struct {
+	sim         *netsim.Sim
+	service     func(op Op) netsim.Duration
+	inflight    int
+	maxInflight int
+}
+
+func (f *fakeTarget) Issue(op Op, done func(error)) {
+	f.inflight++
+	if f.inflight > f.maxInflight {
+		f.maxInflight = f.inflight
+	}
+	f.sim.Schedule(f.service(op), func() {
+		f.inflight--
+		done(nil)
+	})
+}
+
+func TestClosedLoop(t *testing.T) {
+	sim := netsim.NewSim(1)
+	tgt := &fakeTarget{sim: sim,
+		service: func(Op) netsim.Duration { return 10 * netsim.Microsecond }}
+	r := New(sim, tgt, Config{
+		Seed: 2,
+		Arrival: ArrivalConfig{Kind: ArrivalClosed, Clients: 3,
+			Think: 10 * netsim.Microsecond},
+		Measure: 10 * netsim.Millisecond,
+	})
+	r.Start()
+	sim.Run()
+	res := r.Result()
+	if tgt.maxInflight > 3 {
+		t.Fatalf("closed loop exceeded client count: %d in flight", tgt.maxInflight)
+	}
+	// 3 clients, 20µs per cycle => ~500 ops/client over 10ms.
+	if res.Counters.OpsCompleted < 1000 || res.Counters.OpsCompleted > 1600 {
+		t.Fatalf("completed %d ops, want ~1500", res.Counters.OpsCompleted)
+	}
+	if res.Counters.OpsFailed != 0 {
+		t.Fatalf("%d failures", res.Counters.OpsFailed)
+	}
+	if got := res.Latency.P50; got < 9 || got > 12 {
+		t.Fatalf("P50 = %vµs, want ~10", got)
+	}
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	sim := netsim.NewSim(1)
+	tgt := &fakeTarget{sim: sim,
+		service: func(Op) netsim.Duration { return netsim.Microsecond }}
+	r := New(sim, tgt, Config{
+		Seed:    3,
+		Arrival: ArrivalConfig{Kind: ArrivalOpen, RatePerSec: 100_000},
+		Warmup:  netsim.Millisecond,
+		Measure: 10 * netsim.Millisecond,
+	})
+	r.Start()
+	sim.Run()
+	res := r.Result()
+	// 100k ops/s over a 10ms window = 1000 ops, fixed spacing.
+	if res.Counters.OpsGenerated != 1000 {
+		t.Fatalf("generated %d, want 1000", res.Counters.OpsGenerated)
+	}
+	if res.Counters.OpsCompleted != 1000 {
+		t.Fatalf("completed %d, want 1000", res.Counters.OpsCompleted)
+	}
+	if g := res.GoodputPerSec(); g < 99_000 || g > 101_000 {
+		t.Fatalf("goodput %.0f, want ~100000", g)
+	}
+}
+
+// TestCoordinatedOmissionStall is the regression test for the
+// package's reason to exist: a 1ms server stall must surface in the
+// recorded tail even though the runner could only issue one op at a
+// time. Ops that were *due* during the stall record the wait they
+// actually suffered, measured from their intended start.
+func TestCoordinatedOmissionStall(t *testing.T) {
+	sim := netsim.NewSim(1)
+	stallStart := netsim.Time(2 * netsim.Millisecond)
+	stalled := false
+	tgt := &fakeTarget{sim: sim}
+	tgt.service = func(Op) netsim.Duration {
+		if !stalled && sim.Now() >= stallStart {
+			stalled = true
+			return netsim.Millisecond // one 1ms stall
+		}
+		return 5 * netsim.Microsecond
+	}
+	r := New(sim, tgt, Config{
+		Seed:           4,
+		Arrival:        ArrivalConfig{Kind: ArrivalOpen, RatePerSec: 50_000},
+		Measure:        10 * netsim.Millisecond,
+		MaxOutstanding: 1,
+	})
+	r.Start()
+	sim.Run()
+	res := r.Result()
+	if res.Counters.OpsQueued == 0 {
+		t.Fatal("stall should have queued ops behind the cap")
+	}
+	// ~50 ops were due during the 1ms stall; intended-start accounting
+	// must spread the stall across them: the max is ~1ms and well over
+	// 10 samples exceed 100µs. Issue-time accounting would report a
+	// single slow op and a clean tail.
+	if res.Latency.Max < 900 {
+		t.Fatalf("max latency %vµs, want >=900 (the stall)", res.Latency.Max)
+	}
+	over := 0
+	for _, b := range r.Hist().Buckets() {
+		if b.Low >= 100 {
+			over += int(b.Count)
+		}
+	}
+	if over < 10 {
+		t.Fatalf("only %d samples over 100µs; stall was coordinated away", over)
+	}
+	if res.Latency.P999 < 400 {
+		t.Fatalf("P999 = %vµs, want inflated by the stall", res.Latency.P999)
+	}
+}
+
+func TestRunnerTelemetry(t *testing.T) {
+	sim := netsim.NewSim(1)
+	tgt := &fakeTarget{sim: sim,
+		service: func(Op) netsim.Duration { return netsim.Microsecond }}
+	r := New(sim, tgt, Config{
+		Seed:    5,
+		Arrival: ArrivalConfig{Kind: ArrivalOpen, RatePerSec: 10_000},
+		Measure: 5 * netsim.Millisecond,
+	})
+	r.Start()
+	sim.Run()
+	reg := telemetry.NewRegistry()
+	r.AddTelemetry(reg)
+	s := reg.Snapshot()
+	if s.Value("workload.ops_generated") == 0 {
+		t.Fatalf("workload counters missing from registry:\n%s", s.String())
+	}
+	if s.Value("workload.ops_completed") != s.Value("workload.ops_generated") {
+		t.Fatalf("completed != generated in registry:\n%s", s.String())
+	}
+}
+
+func TestKneeDetection(t *testing.T) {
+	cfg := SweepConfig{}
+	cfg.fill()
+	pt := func(generated, completed uint64, p99 float64) Point {
+		return Point{Generated: generated, Completed: completed, P99US: p99}
+	}
+	k := detectKnee([]Point{
+		pt(100, 100, 50), pt(200, 199, 60), pt(400, 210, 80),
+	}, cfg)
+	if k.Index != 1 || k.Reason != "goodput_plateau" {
+		t.Fatalf("goodput knee = %+v", k)
+	}
+	k = detectKnee([]Point{
+		pt(100, 100, 50), pt(200, 199, 60), pt(400, 390, 500),
+	}, cfg)
+	if k.Index != 1 || k.Reason != "p99_blowup" {
+		t.Fatalf("p99 knee = %+v", k)
+	}
+	k = detectKnee([]Point{pt(100, 100, 50), pt(200, 195, 60)}, cfg)
+	if k.Index != 1 || k.Reason != "not_reached" {
+		t.Fatalf("unreached knee = %+v", k)
+	}
+	k = detectKnee([]Point{pt(100, 10, 50)}, cfg)
+	if k.Index != -1 || k.Reason != "goodput_plateau" {
+		t.Fatalf("first-point knee = %+v", k)
+	}
+}
+
+func BenchmarkWorkload_Gen(b *testing.B) {
+	g := NewGen(1, Mix{ColdFrac: 0.02}, KeyConfig{Dist: KeyZipf, Population: 128})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next(netsim.Time(i))
+	}
+}
+
+func BenchmarkWorkload_GenHotShift(b *testing.B) {
+	g := NewGen(1, Mix{}, KeyConfig{Dist: KeyHotShift, Population: 128})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next(netsim.Time(i * 1000))
+	}
+}
+
+func BenchmarkWorkload_Observe(b *testing.B) {
+	rec := newRecorder(0, netsim.Time(1<<60))
+	op := Op{Intended: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.observe(op, netsim.Time(100+i%1000))
+	}
+}
