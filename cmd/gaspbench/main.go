@@ -17,7 +17,19 @@
 //	gaspbench load          E9: offered-load sweep per discovery scheme
 //	                        with saturation-knee detection; writes
 //	                        BENCH_load.json
-//	gaspbench all           everything above (except trace and load)
+//	gaspbench check         E10: protocol invariant checker — explore
+//	                        delivery perturbations per scenario; exits
+//	                        nonzero on any invariant violation
+//	gaspbench all           everything above (except trace, load, check)
+//
+// The check subcommand takes its own flags after the command word:
+//
+//	gaspbench check -seed 7                     explore all scenarios
+//	gaspbench check -smoke                      CI sweep (fig2+faults)
+//	gaspbench check -scenario fig2 -schedule "drop:8" -seed 7
+//	                                            replay a counterexample
+//	gaspbench check -buggy                      legacy reassembly bugs
+//	                                            restored (self-test)
 //
 // Flags:
 //
@@ -35,6 +47,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/memproto"
 )
 
 var (
@@ -48,11 +61,13 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	// check takes its own flags after the command word (the replay
+	// command a violation report prints is in that form).
+	if flag.NArg() < 1 || (flag.Arg(0) != "check" && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -82,6 +97,8 @@ func main() {
 		err = runTrace()
 	case "load":
 		err = runLoad()
+	case "check":
+		err = runCheck(flag.Args()[1:])
 	case "all":
 		for _, f := range []func() error{
 			runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
@@ -359,5 +376,70 @@ func runAblations() error {
 		t6.row(r.Mode, r.Objects, r.RulesPerSw, r.InstallFailed, r.Successes, r.Failures, r.MeanUS)
 	}
 	t6.print(*csvOut)
+	return nil
+}
+
+// runCheck dispatches E10 from its own flag set (flags follow the
+// command word, matching the replay line a violation report prints).
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	var (
+		cseed    = fs.Int64("seed", *seed, "scenario seed")
+		scenario = fs.String("scenario", "", "single scenario (default: all)")
+		schedule = fs.String("schedule", "", "replay this exact schedule (requires -scenario)")
+		csmoke   = fs.Bool("smoke", false, "CI sweep: fig2+faults, reduced run budget")
+		buggy    = fs.Bool("buggy", false, "restore the legacy reassembly bugs (self-test)")
+		runs     = fs.Int("runs", 0, "max perturbed executions per scenario")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *schedule != "" {
+		if *scenario == "" {
+			return fmt.Errorf("check: -schedule requires -scenario")
+		}
+		if *buggy {
+			prev := memproto.SetLegacyAccounting(true)
+			defer memproto.SetLegacyAccounting(prev)
+		}
+		rep, err := experiments.CheckReplay(*scenario, *cseed, *schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		if !rep.Clean() {
+			return fmt.Errorf("check: invariant violation under %q", *schedule)
+		}
+		return nil
+	}
+	cfg := experiments.CheckConfig{Seed: *cseed, MaxRuns: *runs, Smoke: *csmoke, Buggy: *buggy}
+	if *scenario != "" {
+		cfg.Scenarios = []string{*scenario}
+	}
+	rows, err := experiments.InvariantCheck(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable("E10: protocol invariant checker — bounded schedule exploration",
+		"scenario", "runs", "frames", "verdict", "schedule", "violations")
+	dirty := 0
+	for _, r := range rows {
+		verdict := "clean"
+		if !r.Clean {
+			verdict = "VIOLATION"
+			dirty++
+		}
+		t.row(r.Scenario, r.Runs, r.Frames, verdict, r.Schedule, r.Violations)
+	}
+	t.print(*csvOut)
+	for _, r := range rows {
+		if !r.Clean {
+			fmt.Println()
+			fmt.Print(r.Report)
+		}
+	}
+	if dirty > 0 {
+		return fmt.Errorf("check: %d scenario(s) violated protocol invariants", dirty)
+	}
 	return nil
 }

@@ -1,0 +1,168 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memproto"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	cases := []string{
+		"none",
+		"drop:0",
+		"dropall:7",
+		"dup:3",
+		"delay:5:200000",
+		"dropall:1,dropall:3",
+		"drop:2,dup:4,delay:9:1",
+	}
+	for _, in := range cases {
+		s, err := ParseSchedule(in)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", in, err)
+		}
+		if got := s.String(); got != in {
+			t.Fatalf("round trip %q -> %q", in, got)
+		}
+	}
+	for _, bad := range []string{"nope:1", "drop:x", "delay:1", "delay:1:-5", "drop"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+// memFrame builds an encoded MsgMem frame from src with the given seq.
+func memFrame(t *testing.T, src wire.StationID, seq uint64) netsim.Frame {
+	t.Helper()
+	h := wire.Header{Type: wire.MsgMem, Src: src, Dst: 2, Seq: seq}
+	fr, err := wire.Encode(&h, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func TestInjectorIndexesLogicalFrames(t *testing.T) {
+	in := newInjector(Schedule{
+		{Frame: 0, Kind: ActDropAll},
+		{Frame: 1, Kind: ActDrop},
+	})
+	f0, f1 := memFrame(t, 5, 1), memFrame(t, 5, 2)
+
+	// Switch hops never index or perturb.
+	if ctl := in.hook("leaf0", "core", f0); ctl != (netsim.FrameControl{}) || in.next != 0 {
+		t.Fatalf("switch hop perturbed: %+v next=%d", ctl, in.next)
+	}
+	// Origin hop of frame 0: drop-all.
+	if ctl := in.hook("node0", "leaf0", f0); !ctl.Drop {
+		t.Fatalf("frame 0 not dropped: %+v", ctl)
+	}
+	// Retransmit (same src/seq) shares the index and stays killed.
+	if ctl := in.hook("node0", "leaf0", f0); !ctl.Drop || in.next != 1 {
+		t.Fatalf("retransmit of killed frame: %+v next=%d", ctl, in.next)
+	}
+	// Frame 1: single drop hits the first transmission only.
+	if ctl := in.hook("node0", "leaf0", f1); !ctl.Drop {
+		t.Fatalf("frame 1 first send not dropped: %+v", ctl)
+	}
+	if ctl := in.hook("node0", "leaf0", f1); ctl.Drop {
+		t.Fatal("frame 1 retransmit dropped by single-drop action")
+	}
+	// Non-MsgMem frames pass untouched and take no index.
+	ack := wire.Header{Type: wire.MsgAck, Src: 5, Dst: 2, Seq: 9}
+	fr, err := wire.Encode(&ack, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl := in.hook("node0", "leaf0", fr); ctl != (netsim.FrameControl{}) || in.next != 2 {
+		t.Fatalf("ack frame indexed or perturbed: %+v next=%d", ctl, in.next)
+	}
+}
+
+// TestExploreFindsLegacyReassemblyBugs is the PR's regression test:
+// with the reassembler's legacy accounting restored (duplicate bytes
+// count toward completion, version skew unchecked), the schedule
+// explorer must find an invariant violation in the fig2 scenario,
+// emit a replayable seed + shrunk schedule, and — crucially — the
+// identical schedule must run clean once the fixes are back in.
+func TestExploreFindsLegacyReassemblyBugs(t *testing.T) {
+	prev := memproto.SetLegacyAccounting(true)
+	defer memproto.SetLegacyAccounting(prev)
+
+	sc := Fig2Scenario()
+	rep, err := Explore(sc, ExploreConfig{Seed: 7})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if rep.Clean() {
+		t.Fatalf("explorer missed the legacy reassembly bugs (%d runs, %d frames)", rep.Runs, rep.Frames)
+	}
+	if len(rep.Schedule) == 0 || len(rep.Schedule) > 2 {
+		t.Fatalf("schedule not shrunk to a minimal core: %s", rep.Schedule)
+	}
+	if !hasInvariant(rep.Violations, InvCopyDivergence) {
+		t.Fatalf("expected a copy-divergence violation, got %v", rep.Violations)
+	}
+	out := rep.String()
+	for _, want := range []string{"VIOLATION", "replay:", "-seed 7", sc.Name} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// The shrunk schedule replays deterministically from seed alone.
+	again, err := Replay(sc, rep.Seed, rep.Schedule)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if again.Clean() {
+		t.Fatalf("shrunk schedule %s did not replay the violation", rep.Schedule)
+	}
+
+	// With the fixes applied, the same adversarial schedule is harmless.
+	memproto.SetLegacyAccounting(false)
+	fixed, err := Replay(sc, rep.Seed, rep.Schedule)
+	if err != nil {
+		t.Fatalf("Replay (fixed): %v", err)
+	}
+	if !fixed.Clean() {
+		t.Fatalf("fixed reassembler still violates under %s: %v", rep.Schedule, fixed.Violations)
+	}
+}
+
+func hasInvariant(vs []Violation, invariant string) bool {
+	for _, v := range vs {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExploreCleanWithFixes bounds a clean exploration of each
+// scenario: the current protocol must survive the explorer's
+// single-action probes without a safety violation.
+func TestExploreCleanWithFixes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded exploration is a few hundred simulated runs")
+	}
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Explore(sc, ExploreConfig{Seed: 7, MaxRuns: 80})
+			if err != nil {
+				t.Fatalf("Explore: %v", err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("fixed protocol violated under %s:\n%s", rep.Schedule, rep)
+			}
+			if rep.Frames == 0 {
+				t.Fatal("no frames indexed — injector matched nothing")
+			}
+		})
+	}
+}

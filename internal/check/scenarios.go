@@ -1,0 +1,343 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/trace"
+)
+
+// Run is a built scenario instance ready to drive: the cluster is
+// constructed and its setup traffic (object creation, replication,
+// warm-up) has already quiesced, so every frame the explorer's
+// injector sees belongs to the measured phase. Drive runs that phase
+// to completion and finishes with a quiescent CheckNow scan.
+type Run struct {
+	Cluster *core.Cluster
+	Checker *Checker
+	Drive   func() error
+}
+
+// Scenario names one reproducible workload the checker can watch and
+// the explorer can perturb. Build constructs a fresh instance at the
+// given seed; traced turns on full span sampling (SampleEvery 1) for
+// violation replays.
+type Scenario struct {
+	Name        string
+	Description string
+	Build       func(seed int64, traced bool) (*Run, error)
+}
+
+// Scenarios returns the built-in scenario set, in the order the
+// checker experiment (E10) sweeps them.
+func Scenarios() []Scenario {
+	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario()}
+}
+
+// ScenarioByName finds a built-in scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+func newCluster(seed int64, traced bool, mutate func(*core.Config)) (*core.Cluster, error) {
+	cfg := core.Config{
+		Seed:             seed,
+		Scheme:           core.SchemeE2E,
+		DiscoveryTimeout: 300 * netsim.Microsecond,
+		Check:            core.CheckConfig{Enabled: true},
+	}
+	if traced {
+		cfg.Trace = trace.Config{SampleEvery: 1}
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return core.NewCluster(cfg)
+}
+
+// fill writes a deterministic byte pattern over the object's heap
+// (header and FOT untouched) so content digests are sensitive to any
+// torn or misplaced fragment.
+func fill(o *object.Object, salt byte) {
+	base := o.HeapBase()
+	b := make([]byte, o.Size()-int(base))
+	for i := range b {
+		b[i] = byte(i*7) ^ salt
+	}
+	o.WriteAt(base, b)
+}
+
+// Fig2Scenario is the fragment-reassembly stress: a reader interleaves
+// small coherent reads with the shared acquisition of a 160KB object —
+// three MaxFragData fragments per grant — while the home publishes a
+// new version mid-transfer. Duplicate or version-skewed fragments
+// (the two reassembler bugs this PR fixes) corrupt the cached copy in
+// ways only the content-digest invariant sees.
+func Fig2Scenario() Scenario {
+	const (
+		bigSize     = 160_000
+		smallSize   = 2048
+		smallReads  = 3
+		maxAttempts = 6
+		retryGap    = 300 * netsim.Microsecond
+		writeAt     = 2500 * netsim.Microsecond // mid-transfer, before the 5ms request-timeout retry
+		finalReadAt = 12 * netsim.Millisecond
+	)
+	return Scenario{
+		Name:        "fig2",
+		Description: "small reads + fragmented 160KB acquire with a concurrent home write",
+		Build: func(seed int64, traced bool) (*Run, error) {
+			c, err := newCluster(seed, traced, nil)
+			if err != nil {
+				return nil, err
+			}
+			home, reader := c.Node(1), c.Node(0)
+			smalls := make([]oid.ID, smallReads)
+			for i := range smalls {
+				o, err := home.CreateObject(smallSize)
+				if err != nil {
+					return nil, err
+				}
+				fill(o, byte(i))
+				smalls[i] = o.ID()
+			}
+			big, err := home.CreateObject(bigSize)
+			if err != nil {
+				return nil, err
+			}
+			fill(big, 0xA5)
+			c.Run() // drain announcements: setup quiesces here
+			k := New(c)
+			drive := func() error {
+				var driveErr error
+				// Small coherent reads first: they populate the
+				// explorer's frame index with request/response pairs
+				// and warm the reader's resolver.
+				step := 0
+				var small func()
+				small = func() {
+					if step >= smallReads {
+						acquireBig(c, reader, big.ID(), maxAttempts, retryGap)
+						return
+					}
+					i := step
+					step++
+					reader.ReadRef(object.Global{Obj: smalls[i], Off: 1600}, 32, func(_ []byte, err error) {
+						if err != nil {
+							driveErr = fmt.Errorf("small read %d: %w", i, err)
+						}
+						small()
+					})
+				}
+				small()
+				// The home rewrites the big object's tail mid-transfer
+				// and bumps the version — the seed for version-skew.
+				c.Sim.Schedule(writeAt, func() {
+					patch := make([]byte, 40_000)
+					for i := range patch {
+						patch[i] = byte(i*13) ^ 0x5A
+					}
+					home.Coherence.WriteAtCB(big.ID(), 100_000, patch, func(error) {})
+				})
+				// A late small read confirms the fabric still serves
+				// after the transfer settles.
+				c.Sim.Schedule(finalReadAt, func() {
+					reader.ReadRef(object.Global{Obj: smalls[0], Off: 0}, 16, func([]byte, error) {})
+				})
+				c.Run()
+				k.CheckNow()
+				return driveErr
+			}
+			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
+		},
+	}
+}
+
+// acquireBig acquires obj with bounded application-level retries; a
+// failure after maxAttempts is tolerated (under adversarial drop-all
+// schedules liveness is not guaranteed — only safety is).
+func acquireBig(c *core.Cluster, reader *core.Node, obj oid.ID, maxAttempts int, retryGap netsim.Duration) {
+	var attempt func(k int)
+	attempt = func(k int) {
+		reader.Coherence.AcquireSharedCB(obj, func(_ *object.Object, err error) {
+			if err != nil && k+1 < maxAttempts {
+				c.Sim.Schedule(retryGap<<k, func() { attempt(k + 1) })
+			}
+		})
+	}
+	attempt(0)
+}
+
+// FaultsScenario is the recovery path under the checker: a replicated
+// object's home crashes mid-workload and a replica is promoted, while
+// a reader retries through the outage. The checker's Epoch is
+// scheduled at the crash so the rebuilt home's version history is not
+// misread as a monotonicity violation.
+func FaultsScenario() Scenario {
+	const (
+		objSize  = 4096
+		crashAt  = 3 * netsim.Millisecond
+		accesses = 24
+	)
+	return Scenario{
+		Name:        "faults",
+		Description: "home crash + replica promotion under a retrying reader",
+		Build: func(seed int64, traced bool) (*Run, error) {
+			c, err := newCluster(seed, traced, nil)
+			if err != nil {
+				return nil, err
+			}
+			home, replica, reader := c.Node(1), c.Node(2), c.Node(0)
+			o, err := home.CreateObject(objSize)
+			if err != nil {
+				return nil, err
+			}
+			fill(o, 0x3C)
+			repOK := false
+			c.ReplicateObject(o.ID(), replica, func(err error) { repOK = err == nil })
+			c.Run()
+			if !repOK {
+				return nil, fmt.Errorf("check: replicating object failed")
+			}
+			warm := false
+			reader.ReadRef(object.Global{Obj: o.ID(), Off: 8}, 16, func(_ []byte, err error) { warm = err == nil })
+			c.Run()
+			if !warm {
+				return nil, fmt.Errorf("check: warm read failed")
+			}
+			k := New(c)
+			drive := func() error {
+				inj := fault.NewInjector(c, fault.Config{})
+				inj.Arm(fault.NewSchedule().CrashNode(crashAt, 1))
+				// The crash discards the authoritative copy and the
+				// promotion rebuilds it; both legitimately rewind the
+				// object's observable history.
+				c.Sim.Schedule(crashAt, func() { k.Epoch() })
+				const (
+					interAccess = 150 * netsim.Microsecond
+					maxAttempts = 8
+					retryDelay  = 250 * netsim.Microsecond
+				)
+				var issue func(i int)
+				issue = func(i int) {
+					if i >= accesses {
+						return
+					}
+					var attempt func(kk int)
+					attempt = func(kk int) {
+						reader.ReadRef(object.Global{Obj: o.ID(), Off: 8}, 16, func(_ []byte, err error) {
+							if err != nil && kk+1 < maxAttempts {
+								c.Sim.Schedule(retryDelay<<kk, func() { attempt(kk + 1) })
+								return
+							}
+							c.Sim.Schedule(interAccess, func() { issue(i + 1) })
+						})
+					}
+					attempt(0)
+				}
+				issue(0)
+				c.Run()
+				k.CheckNow()
+				return nil
+			}
+			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
+		},
+	}
+}
+
+// LoadScenario is a small E9-style mixed workload: several readers
+// acquire, read, and write a shared working set concurrently — the
+// directory-coverage and single-exclusive invariants get their
+// exercise here.
+func LoadScenario() Scenario {
+	const (
+		objects  = 4
+		objSize  = 2048
+		accesses = 30
+	)
+	return Scenario{
+		Name:        "load",
+		Description: "mixed read/write working set across three nodes",
+		Build: func(seed int64, traced bool) (*Run, error) {
+			c, err := newCluster(seed, traced, nil)
+			if err != nil {
+				return nil, err
+			}
+			home := c.Node(2)
+			objs := make([]oid.ID, objects)
+			for i := range objs {
+				o, err := home.CreateObject(objSize)
+				if err != nil {
+					return nil, err
+				}
+				fill(o, byte(0x11*i))
+				objs[i] = o.ID()
+			}
+			c.Run()
+			k := New(c)
+			drive := func() error {
+				const (
+					interAccess = 100 * netsim.Microsecond
+					maxAttempts = 6
+					retryDelay  = 200 * netsim.Microsecond
+				)
+				for w := 0; w < 2; w++ {
+					node := c.Node(w)
+					var issue func(i int)
+					issue = func(i int) {
+						if i >= accesses {
+							return
+						}
+						obj := objs[(i+w)%objects]
+						finish := func() { c.Sim.Schedule(interAccess, func() { issue(i + 1) }) }
+						var attempt func(kk int)
+						attempt = func(kk int) {
+							retry := func(err error) bool {
+								if err != nil && kk+1 < maxAttempts {
+									c.Sim.Schedule(retryDelay<<kk, func() { attempt(kk + 1) })
+									return true
+								}
+								return false
+							}
+							switch i % 3 {
+							case 0:
+								node.ReadRef(object.Global{Obj: obj, Off: 4}, 16, func(_ []byte, err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							case 1:
+								node.Coherence.WriteAtCB(obj, uint64(1600+16*w), []byte("load-scenario-w"), func(err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							default:
+								node.Coherence.AcquireSharedCB(obj, func(_ *object.Object, err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							}
+						}
+						attempt(0)
+					}
+					issue(0)
+				}
+				c.Run()
+				k.CheckNow()
+				return nil
+			}
+			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
+		},
+	}
+}

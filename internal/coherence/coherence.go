@@ -16,6 +16,8 @@ package coherence
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"repro/internal/discovery"
 	"repro/internal/future"
@@ -55,16 +57,68 @@ type Counters struct {
 	StaleRetries    uint64
 	NotFoundServed  uint64
 	DeniedServed    uint64
+	NotHomeServed   uint64
 	Releases        uint64
 }
 
 type dirEntry struct {
 	sharers map[wire.StationID]bool
+	// regEpoch counts registrations per sharer. Invalidation removes
+	// a sharer only when its ack arrives (never on send), and only if
+	// the sharer has not re-registered since the invalidate went out —
+	// a re-acquire can overtake the ack, and an unconditional deferred
+	// delete would wipe the fresh registration.
+	regEpoch map[wire.StationID]uint64
+}
+
+// add registers a sharer, bumping its registration epoch so pending
+// deferred removals from earlier invalidation rounds become stale.
+func (d *dirEntry) add(st wire.StationID) {
+	d.sharers[st] = true
+	d.regEpoch[st]++
 }
 
 type fetchState struct {
-	re  memproto.Reassembler
-	cbs []func(*object.Object, error)
+	re       memproto.Reassembler
+	cbs      []func(*object.Object, error)
+	want     memproto.Perm // permission the caller asked for
+	perm     memproto.Perm // highest permission the grant carried
+	started  netsim.Time   // when the fetch was initiated
+	watchdog *netsim.Timer
+}
+
+// fetchStallTimeout bounds the gap between fragments of a partially
+// received grant. Every other fetch phase is bounded by request
+// timeouts, but once the grant response has landed the remaining
+// stream has no requester-side timer — and the home's fragment
+// retransmissions give up after the transport retry budget, so a
+// mid-stream fragment lost for good would otherwise hang the fetch
+// (and every coalesced caller) forever. No progress for this long
+// fails the fetch with a retryable error instead.
+const fetchStallTimeout = 10 * netsim.Millisecond
+
+// newFetch registers an in-flight fetch. The stall watchdog is armed
+// lazily, on the first partial reassembly progress (armStall), so
+// single-fragment fetches never schedule one.
+func (n *Node) newFetch(obj oid.ID, want memproto.Perm, cb func(*object.Object, error)) {
+	n.fetches[obj] = &fetchState{
+		cbs:     []func(*object.Object, error){cb},
+		want:    want,
+		started: n.sim.Now(),
+	}
+}
+
+// armStall (re)arms the reassembly stall watchdog after progress.
+func (n *Node) armStall(obj oid.ID, fs *fetchState) {
+	if fs.watchdog != nil {
+		fs.watchdog.Stop()
+	}
+	fs.watchdog = n.sim.AfterFunc(fetchStallTimeout, func() {
+		if n.fetches[obj] != fs { // completed, or a successor fetch
+			return
+		}
+		n.finishFetch(obj, nil, fmt.Errorf("%w: object transfer stalled", ErrMaxRetries))
+	})
 }
 
 // Node is one host's coherence engine.
@@ -77,6 +131,7 @@ type Node struct {
 	directory map[oid.ID]*dirEntry
 	fetches   map[oid.ID]*fetchState
 	releases  map[releaseKey]*memproto.Reassembler
+	granted   map[oid.ID]memproto.Perm
 
 	tracer   *trace.Recorder
 	observer OpObserver
@@ -106,6 +161,7 @@ func NewNode(ep *transport.Endpoint, st *store.Store, res discovery.Resolver) *N
 		directory: make(map[oid.ID]*dirEntry),
 		fetches:   make(map[oid.ID]*fetchState),
 		releases:  make(map[releaseKey]*memproto.Reassembler),
+		granted:   make(map[oid.ID]memproto.Perm),
 	}
 }
 
@@ -113,8 +169,26 @@ func NewNode(ep *transport.Endpoint, st *store.Store, res discovery.Resolver) *N
 // sampled trace root whose context rides the wire to every hop.
 func (n *Node) SetTracer(r *trace.Recorder) { n.tracer = r }
 
-// SetOpObserver installs the per-op completion hook (nil to disable).
+// SetOpObserver installs the per-op completion hook (nil to disable),
+// replacing any observer already present.
 func (n *Node) SetOpObserver(fn OpObserver) { n.observer = fn }
+
+// AddOpObserver chains fn after any installed observer, so independent
+// listeners (workload counters, the invariant checker) compose instead
+// of clobbering each other.
+func (n *Node) AddOpObserver(fn OpObserver) {
+	if fn == nil {
+		return
+	}
+	if prev := n.observer; prev != nil {
+		n.observer = func(op string, err error) {
+			prev(op, err)
+			fn(op, err)
+		}
+		return
+	}
+	n.observer = fn
+}
 
 // Counters returns a copy of the statistics.
 func (n *Node) Counters() Counters { return n.counters }
@@ -129,7 +203,10 @@ func (n *Node) Store() *store.Store { return n.store }
 func (n *Node) dir(obj oid.ID) *dirEntry {
 	d, ok := n.directory[obj]
 	if !ok {
-		d = &dirEntry{sharers: make(map[wire.StationID]bool)}
+		d = &dirEntry{
+			sharers:  make(map[wire.StationID]bool),
+			regEpoch: make(map[wire.StationID]uint64),
+		}
 		n.directory[obj] = d
 	}
 	return d
@@ -150,7 +227,56 @@ func (n *Node) AddSharer(obj oid.ID, st wire.StationID) {
 	if st == n.ep.Station() {
 		return
 	}
-	n.dir(obj).sharers[st] = true
+	n.dir(obj).add(st)
+}
+
+// SharerSet returns the directory's recorded copy holders of a home
+// object, sorted for deterministic iteration. The directory may
+// over-approximate (an evicted copy lingers until the next
+// invalidation round); it must never under-approximate a live copy.
+func (n *Node) SharerSet(obj oid.ID) []wire.StationID {
+	d, ok := n.directory[obj]
+	if !ok {
+		return nil
+	}
+	out := make([]wire.StationID, 0, len(d.sharers))
+	for st := range d.sharers {
+		out = append(out, st)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// GrantedPerm reports the coherence permission this node holds on its
+// cached copy of obj: PermNone when no copy is present (never granted,
+// invalidated, or silently evicted). Home copies report PermNone —
+// authority is not a grant.
+func (n *Node) GrantedPerm(obj oid.ID) memproto.Perm {
+	p, ok := n.granted[obj]
+	if !ok || !n.store.Contains(obj) {
+		return memproto.PermNone
+	}
+	return p
+}
+
+// PendingFetch describes one in-flight object fetch.
+type PendingFetch struct {
+	Obj   oid.ID
+	Since netsim.Time
+}
+
+// PendingFetches lists in-flight fetches sorted by object ID — the
+// checker's input for the no-fetch-outstanding-past-bound invariant.
+func (n *Node) PendingFetches() []PendingFetch {
+	if len(n.fetches) == 0 {
+		return nil
+	}
+	out := make([]PendingFetch, 0, len(n.fetches))
+	for id, f := range n.fetches {
+		out = append(out, PendingFetch{Obj: id, Since: f.started})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj.Less(out[j].Obj) })
+	return out
 }
 
 // Reset abandons all coherence state — directory, in-flight fetches
@@ -161,6 +287,7 @@ func (n *Node) Reset() {
 	n.directory = make(map[oid.ID]*dirEntry)
 	n.fetches = make(map[oid.ID]*fetchState)
 	n.releases = make(map[releaseKey]*memproto.Reassembler)
+	n.granted = make(map[oid.ID]memproto.Perm)
 }
 
 // send transmits a memory-protocol message unreliably.
@@ -266,7 +393,7 @@ func (n *Node) AcquireSharedCB(obj oid.ID, cb func(*object.Object, error)) {
 		f.cbs = append(f.cbs, cb)
 		return
 	}
-	n.fetches[obj] = &fetchState{cbs: []func(*object.Object, error){cb}}
+	n.newFetch(obj, memproto.PermShared, cb)
 	n.counters.RemoteAcquires++
 	n.acquireAttempt(obj, memproto.PermShared, 1, sp.Ctx())
 }
@@ -322,12 +449,16 @@ func (n *Node) grantFragment(obj oid.ID, m *memproto.Msg) {
 	}
 	push := *m
 	push.Op = memproto.OpObjectPush
+	if m.Perm > f.perm {
+		f.perm = m.Perm // the grant response names the permission
+	}
 	done, err := f.re.Add(&push)
 	if err != nil {
 		n.finishFetch(obj, nil, err)
 		return
 	}
 	if !done {
+		n.armStall(obj, f)
 		return
 	}
 	o, err := object.FromBytes(obj, f.re.Bytes())
@@ -339,6 +470,10 @@ func (n *Node) grantFragment(obj oid.ID, m *memproto.Msg) {
 		n.finishFetch(obj, nil, err)
 		return
 	}
+	if f.perm == memproto.PermNone {
+		f.perm = memproto.PermShared
+	}
+	n.granted[obj] = f.perm
 	n.finishFetch(obj, o, nil)
 }
 
@@ -348,6 +483,9 @@ func (n *Node) finishFetch(obj oid.ID, o *object.Object, err error) {
 		return
 	}
 	delete(n.fetches, obj)
+	if f.watchdog != nil {
+		f.watchdog.Stop()
+	}
 	for _, cb := range f.cbs {
 		cb(o, err)
 	}
@@ -378,6 +516,7 @@ func (n *Node) AcquireExclusiveCB(obj oid.ID, cb func(*object.Object, error)) {
 	// A shared copy is not enough — refetch with exclusive
 	// permission so the home demotes other sharers.
 	n.store.Invalidate(obj)
+	delete(n.granted, obj)
 	if f, pending := n.fetches[obj]; pending {
 		// A shared fetch is in flight; piggyback (the grant permission
 		// races, but single-threaded simulation keeps this ordered —
@@ -386,7 +525,7 @@ func (n *Node) AcquireExclusiveCB(obj oid.ID, cb func(*object.Object, error)) {
 		f.cbs = append(f.cbs, cb)
 		return
 	}
-	n.fetches[obj] = &fetchState{cbs: []func(*object.Object, error){cb}}
+	n.newFetch(obj, memproto.PermExclusive, cb)
 	n.counters.RemoteAcquires++
 	n.acquireAttempt(obj, memproto.PermExclusive, 1, sp.Ctx())
 }
@@ -452,6 +591,7 @@ func (n *Node) WriteAtCB(obj oid.ID, off uint64, data []byte, cb func(error)) {
 		func(rm *memproto.Msg) {
 			// Our own cached copy (if any) is now stale.
 			n.store.Invalidate(obj)
+			delete(n.granted, obj)
 			cb(nil)
 		})
 }
@@ -553,6 +693,12 @@ func (n *Node) ReleaseCB(obj oid.ID, cb func(error)) {
 				cb(err)
 				return
 			}
+			if rm.Status == memproto.StatusOK && n.granted[obj] == memproto.PermExclusive {
+				// The pushed bytes are now the home's newest version;
+				// our retained copy is clean again, so the exclusive
+				// grant demotes to shared.
+				n.granted[obj] = memproto.PermShared
+			}
 			cb(rm.Status.Err())
 		})
 	})
@@ -566,7 +712,12 @@ func (n *Node) InvalidateSharers(obj oid.ID) {
 }
 
 // invalidateSharers sends OpInvalidate to every directory sharer
-// except skip.
+// except skip. A sharer leaves the set only when its InvalidateAck
+// arrives: removing it on send would let a lost invalidate (past the
+// transport's retry budget) leave a stale copy the directory no
+// longer covers. Keeping unacked sharers means the directory may
+// over-approximate but never under-approximates — the next write
+// re-invalidates whoever is left.
 func (n *Node) invalidateSharers(obj oid.ID, skip wire.StationID) {
 	d, ok := n.directory[obj]
 	if !ok {
@@ -578,13 +729,14 @@ func (n *Node) invalidateSharers(obj oid.ID, skip wire.StationID) {
 		}
 		n.counters.InvalidatesSent++
 		st := st
+		epoch := d.regEpoch[st]
 		n.request(wire.Header{Type: wire.MsgMem, Dst: st, Object: obj},
 			&memproto.Msg{Op: memproto.OpInvalidate},
-			func(*wire.Header, *memproto.Msg, error) {})
-	}
-	d.sharers = make(map[wire.StationID]bool)
-	if skip != 0 {
-		d.sharers[skip] = true
+			func(_ *wire.Header, _ *memproto.Msg, err error) {
+				if err == nil && d.regEpoch[st] == epoch {
+					delete(d.sharers, st)
+				}
+			})
 	}
 }
 
@@ -613,6 +765,25 @@ func (n *Node) HandleFrame(h *wire.Header, payload []byte) bool {
 	case memproto.OpInvalidate:
 		n.counters.InvalidatesRecv++
 		n.store.Invalidate(h.Object)
+		delete(n.granted, h.Object)
+		if f, ok := n.fetches[h.Object]; ok && f.re.Started() {
+			// The invalidate outran straggler fragments of an
+			// in-flight grant (only possible when a lost fragment's
+			// retransmission is still pending — fresh frames can't
+			// overtake on FIFO links). Whatever has been reassembled
+			// is stale as of this invalidate: completing it would
+			// install a copy the home no longer tracks. Drop the
+			// partial transfer and re-acquire; a late old-version
+			// fragment landing in the fresh reassembler is caught by
+			// its version check and retried by the caller.
+			f.re = memproto.Reassembler{}
+			f.perm = memproto.PermNone
+			if f.watchdog != nil {
+				f.watchdog.Stop()
+				f.watchdog = nil
+			}
+			n.acquireAttempt(h.Object, f.want, 1, trace.Ctx{})
+		}
 		n.respond(h, &memproto.Msg{Op: memproto.OpInvalidateAck, Status: memproto.StatusOK})
 	}
 	return true
@@ -689,13 +860,25 @@ func (n *Node) serveAcquire(h *wire.Header, m *memproto.Msg) {
 		n.respond(h, &memproto.Msg{Op: memproto.OpGrant, Status: memproto.StatusDenied})
 		return
 	}
-	if e.Home {
-		d := n.dir(h.Object)
-		if m.Perm == memproto.PermExclusive {
-			n.invalidateSharers(h.Object, h.Src)
+	// Only the home grants copies: a grant creates retained state the
+	// home's directory must cover, and a cached holder has no way to
+	// register the new sharer there — a copy it granted could never be
+	// invalidated. One-shot reads may be served from any copy; grants
+	// may not. NACK so the requester rediscovers (discovery prefers
+	// the authoritative holder while it is alive).
+	if !e.Home {
+		if n.silentMiss(h) {
+			return
 		}
-		d.sharers[h.Src] = true
+		n.counters.NotHomeServed++
+		n.respond(h, &memproto.Msg{Op: memproto.OpGrant, Status: memproto.StatusConflict})
+		return
 	}
+	d := n.dir(h.Object)
+	if m.Perm == memproto.PermExclusive {
+		n.invalidateSharers(h.Object, h.Src)
+	}
+	d.add(h.Src)
 	n.counters.GrantsServed++
 	raw := e.Obj.CloneBytes()
 	frags := memproto.Fragment(raw, e.Version, 0)

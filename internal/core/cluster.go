@@ -98,6 +98,28 @@ type Config struct {
 	// off means no frame ever carries wire.FlagTraced, so runs are
 	// bit-identical to a build without tracing).
 	Trace trace.Config
+	// Check configures the protocol invariant checker (zero = off;
+	// off means internal/check installs nothing, so runs are
+	// bit-identical to a build without checking).
+	Check CheckConfig
+}
+
+// CheckConfig enables and tunes the internal/check invariant checker.
+// It lives here (not in internal/check) so core carries no dependency
+// on the checker; check.New reads it back via Cluster.CheckConfig.
+type CheckConfig struct {
+	// Enabled turns invariant evaluation on.
+	Enabled bool
+	// MaxViolations caps recorded violations per run (default 32).
+	MaxViolations int
+	// FetchBound is the longest an object fetch may stay outstanding
+	// before the per-op scan flags it (default 20ms, comfortably past
+	// the coherence stall watchdog).
+	FetchBound netsim.Duration
+	// SkipContent disables the byte-exact copy-divergence digests —
+	// for very large stores where hashing every object per scan is
+	// too slow.
+	SkipContent bool
 }
 
 func (c *Config) fill() {
@@ -118,6 +140,12 @@ func (c *Config) fill() {
 	}
 	if c.ControllerInstallDelay == 0 {
 		c.ControllerInstallDelay = 20 * netsim.Microsecond
+	}
+	if c.Check.MaxViolations == 0 {
+		c.Check.MaxViolations = 32
+	}
+	if c.Check.FetchBound == 0 {
+		c.Check.FetchBound = 20 * netsim.Millisecond
 	}
 }
 
@@ -289,6 +317,10 @@ func (c *Cluster) RunFor(d netsim.Duration) { c.Sim.RunFor(d) }
 
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// CheckConfig returns the cluster's invariant-checker configuration
+// (defaults filled).
+func (c *Cluster) CheckConfig() CheckConfig { return c.cfg.Check }
 
 // NewID allocates a fresh object ID.
 func (c *Cluster) NewID() oid.ID { return c.gen.New() }

@@ -74,6 +74,7 @@ func (n *Node) initResolver(cfg Config) {
 	switch cfg.Scheme {
 	case SchemeE2E:
 		e2e := discovery.NewE2E(n.EP, n.Store.Contains)
+		e2e.SetAuthority(n.Store.IsHome)
 		if cfg.DiscoveryTimeout != 0 {
 			e2e.SetTimeout(cfg.DiscoveryTimeout)
 		}
@@ -87,6 +88,7 @@ func (n *Node) initResolver(cfg Config) {
 		n.Resolver = n.cc
 	case SchemeHybrid:
 		e2e := discovery.NewE2E(n.EP, n.Store.Contains)
+		e2e.SetAuthority(n.Store.IsHome)
 		if cfg.DiscoveryTimeout != 0 {
 			e2e.SetTimeout(cfg.DiscoveryTimeout)
 		}

@@ -57,6 +57,15 @@ var pools = func() [len(bufClasses)]*sync.Pool {
 	return ps
 }()
 
+// liveBufs counts buffers with at least one outstanding reference.
+// The invariant checker compares it across quiescent points: a drained
+// simulation must return every frame buffer it took.
+var liveBufs atomic.Int64
+
+// LiveBufs reports the number of buffers currently held live (acquired
+// by GetBuf and not yet fully released).
+func LiveBufs() int64 { return liveBufs.Load() }
+
 // Buf is a reference-counted frame buffer. See the package comment
 // for the ownership rules.
 type Buf struct {
@@ -68,6 +77,7 @@ type Buf struct {
 // GetBuf returns a buffer of length n with one reference, drawn from
 // the pool when a capacity class fits.
 func GetBuf(n int) *Buf {
+	liveBufs.Add(1)
 	for i, size := range bufClasses {
 		if n <= size {
 			b := pools[i].Get().(*Buf)
@@ -96,6 +106,7 @@ func (b *Buf) Retain() { b.refs.Add(1) }
 func (b *Buf) Release() {
 	switch n := b.refs.Add(-1); {
 	case n == 0:
+		liveBufs.Add(-1)
 		if b.pool != nil {
 			b.b = b.b[:0]
 			b.pool.Put(b)

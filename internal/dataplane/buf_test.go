@@ -1,0 +1,22 @@
+package dataplane
+
+import "testing"
+
+func TestLiveBufsBalance(t *testing.T) {
+	base := LiveBufs()
+	b1 := GetBuf(100)
+	b2 := GetBuf(1 << 20) // over the largest class: unpooled path
+	if got := LiveBufs(); got != base+2 {
+		t.Fatalf("LiveBufs = %d, want %d", got, base+2)
+	}
+	b1.Retain()
+	b1.Release()
+	if got := LiveBufs(); got != base+2 {
+		t.Fatalf("LiveBufs after retain/release = %d, want %d", got, base+2)
+	}
+	b1.Release()
+	b2.Release()
+	if got := LiveBufs(); got != base {
+		t.Fatalf("LiveBufs after full release = %d, want %d", got, base)
+	}
+}

@@ -93,27 +93,45 @@ type Counters struct {
 
 // E2E is the decentralized destination-cache resolver.
 type E2E struct {
-	ep  *transport.Endpoint
-	has func(oid.ID) bool
+	ep   *transport.Endpoint
+	has  func(oid.ID) bool
+	auth func(oid.ID) bool
 
 	cache    map[oid.ID]wire.StationID
 	timeout  netsim.Duration
+	fallback netsim.Duration
 	retries  int
 	tracer   *trace.Recorder
 	counters Counters
 }
 
+// DefaultFallbackDelay is how long a host holding only a cached
+// (non-authoritative) copy waits before answering a DISCOVER. The
+// authoritative holder answers immediately, so when it is alive its
+// reply wins the race and requests converge on it; when it is dead or
+// unreachable the delayed reply keeps the object discoverable.
+const DefaultFallbackDelay = 100 * netsim.Microsecond
+
 // NewE2E creates an E2E resolver over ep. has answers whether this
 // host currently holds an object (so it can respond to DISCOVERs).
 func NewE2E(ep *transport.Endpoint, has func(oid.ID) bool) *E2E {
 	return &E2E{
-		ep:      ep,
-		has:     has,
-		cache:   make(map[oid.ID]wire.StationID),
-		timeout: 2 * netsim.Millisecond,
-		retries: 2,
+		ep:       ep,
+		has:      has,
+		cache:    make(map[oid.ID]wire.StationID),
+		timeout:  2 * netsim.Millisecond,
+		fallback: DefaultFallbackDelay,
+		retries:  2,
 	}
 }
+
+// SetAuthority installs a predicate telling whether this host holds
+// the authoritative copy of an object. When set, DISCOVERs for objects
+// held only as cached copies are answered after the fallback delay
+// instead of immediately — coherence requests that retain state
+// (acquires) must reach the home, so discovery must prefer it while it
+// is alive. When unset every copy answers immediately.
+func (e *E2E) SetAuthority(fn func(oid.ID) bool) { e.auth = fn }
 
 // SetTimeout overrides the per-broadcast discovery timeout.
 func (e *E2E) SetTimeout(d netsim.Duration) { e.timeout = d }
@@ -142,6 +160,13 @@ func (e *E2E) HandleFrame(h *wire.Header, payload []byte) bool {
 		return false
 	}
 	if e.has != nil && e.has(h.Object) {
+		if e.auth != nil && !e.auth(h.Object) {
+			req := *h
+			e.ep.Sim().Schedule(e.fallback, func() {
+				e.ep.Respond(&req, wire.Header{Type: wire.MsgDiscoverReply, Object: req.Object}, nil)
+			})
+			return true
+		}
 		e.ep.Respond(h, wire.Header{Type: wire.MsgDiscoverReply, Object: h.Object}, nil)
 	}
 	return true

@@ -457,3 +457,37 @@ func TestLoadSweepShape(t *testing.T) {
 		}
 	}
 }
+
+func TestInvariantCheckSmoke(t *testing.T) {
+	// The CI configuration must be clean, and the buggy self-test must
+	// not be: E10's pass criterion in both directions.
+	rows, err := InvariantCheck(CheckConfig{Seed: 7, Smoke: true, MaxRuns: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("smoke sweep covers fig2+faults, got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Clean {
+			t.Fatalf("smoke scenario %s violated invariants under %s:\n%s",
+				r.Scenario, r.Schedule, r.Report)
+		}
+	}
+	buggy, err := InvariantCheck(CheckConfig{
+		Seed: 7, Scenarios: []string{"fig2"}, MaxRuns: 60, Buggy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buggy[0].Clean {
+		t.Fatal("buggy self-test found no violation")
+	}
+	rep, err := CheckReplay(buggy[0].Scenario, 7, buggy[0].Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fixed protocol still violates under replayed %s", buggy[0].Schedule)
+	}
+}

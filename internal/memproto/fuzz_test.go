@@ -53,3 +53,52 @@ func FuzzReassembler(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReassemblerSequence drives multi-fragment transfers through
+// adversarial delivery — shuffled order with per-fragment duplication —
+// and checks completion fires exactly when every distinct fragment has
+// landed, never early on duplicate bytes.
+func FuzzReassemblerSequence(f *testing.F) {
+	f.Add(uint16(5000), uint16(512), uint64(1), uint64(0))
+	f.Add(uint16(3000), uint16(1024), uint64(7), uint64(5))
+	f.Add(uint16(100), uint16(0), uint64(42), ^uint64(0))
+
+	f.Fuzz(func(t *testing.T, size, maxData uint16, perm, dupMask uint64) {
+		raw := make([]byte, int(size))
+		for i := range raw {
+			raw[i] = byte(i*13 + 7)
+		}
+		frags := Fragment(raw, 9, int(maxData))
+		order := make([]int, len(frags))
+		for i := range order {
+			order[i] = i
+		}
+		state := perm
+		for i := len(order) - 1; i > 0; i-- {
+			state = state*6364136223846793005 + 1442695040888963407
+			j := int(state % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		var r Reassembler
+		seen := make(map[int]bool, len(frags))
+		for _, idx := range order {
+			copies := 1
+			if dupMask&(1<<(uint(idx)%64)) != 0 {
+				copies = 2
+			}
+			for k := 0; k < copies; k++ {
+				done, err := r.Add(&frags[idx])
+				if err != nil {
+					t.Fatalf("Add(frag %d): %v", idx, err)
+				}
+				seen[idx] = true
+				if done != (len(seen) == len(frags)) {
+					t.Fatalf("done=%v with %d/%d distinct fragments", done, len(seen), len(frags))
+				}
+			}
+		}
+		if !bytes.Equal(r.Bytes(), raw) {
+			t.Fatal("reassembly mismatch")
+		}
+	})
+}

@@ -267,13 +267,65 @@ func Fragment(raw []byte, version uint64, maxData int) []Msg {
 	return out
 }
 
+// legacyAccounting reverts Reassembler.Add to the pre-fix behavior:
+// duplicate fragment bytes count toward completion and version skew is
+// silently accepted. It exists solely so the invariant checker can
+// demonstrate it catches the bugs the fixed accounting removed; see
+// SetLegacyAccounting.
+var legacyAccounting bool
+
+// SetLegacyAccounting toggles the buggy pre-fix reassembly accounting
+// (duplicate-byte completion, silent version mixing) and returns the
+// previous setting. Only the checker's self-test should ever enable it.
+func SetLegacyAccounting(v bool) bool {
+	prev := legacyAccounting
+	legacyAccounting = v
+	return prev
+}
+
+// frRange is a covered byte span [start, end) of a transfer.
+type frRange struct{ start, end uint64 }
+
 // Reassembler collects OpObjectPush fragments into a whole object.
+// Completion is judged by covered byte ranges, so duplicated or
+// overlapping fragments cannot complete a transfer that still has
+// holes, and fragments carrying a different object version than the
+// transfer's first fragment are rejected.
 type Reassembler struct {
 	buf      []byte
 	received uint64
+	ranges   []frRange // sorted, non-overlapping covered spans
 	total    uint64
 	started  bool
 	version  uint64
+}
+
+// cover marks [start, end) as received, merging it into the sorted
+// non-overlapping range list, and returns the count of newly covered
+// bytes (0 for a pure duplicate).
+func (r *Reassembler) cover(start, end uint64) uint64 {
+	if start >= end {
+		return 0
+	}
+	// Ranges strictly before the new span stay; [i, j) overlap or abut.
+	i := 0
+	for i < len(r.ranges) && r.ranges[i].end < start {
+		i++
+	}
+	merged := frRange{start, end}
+	var overlap uint64
+	j := i
+	for ; j < len(r.ranges) && r.ranges[j].start <= end; j++ {
+		rg := r.ranges[j]
+		if lo, hi := max(start, rg.start), min(end, rg.end); hi > lo {
+			overlap += hi - lo
+		}
+		merged.start = min(merged.start, rg.start)
+		merged.end = max(merged.end, rg.end)
+	}
+	// Inner append allocates, so the splice never clobbers r.ranges[j:].
+	r.ranges = append(r.ranges[:i], append([]frRange{merged}, r.ranges[j:]...)...)
+	return (end - start) - overlap
 }
 
 // Add ingests a fragment. It returns true when the transfer is
@@ -291,11 +343,18 @@ func (r *Reassembler) Add(m *Msg) (bool, error) {
 	if m.TotalLen != r.total {
 		return false, fmt.Errorf("memproto: fragment total %d != transfer total %d", m.TotalLen, r.total)
 	}
+	if !legacyAccounting && m.Version != r.version {
+		return false, fmt.Errorf("memproto: fragment version %d != transfer version %d", m.Version, r.version)
+	}
 	if m.FragOffset+uint64(len(m.Data)) > r.total {
 		return false, fmt.Errorf("memproto: fragment [%d,+%d) beyond total %d", m.FragOffset, len(m.Data), r.total)
 	}
 	copy(r.buf[m.FragOffset:], m.Data)
-	r.received += uint64(len(m.Data))
+	if legacyAccounting {
+		r.received += uint64(len(m.Data))
+	} else {
+		r.received += r.cover(m.FragOffset, m.FragOffset+uint64(len(m.Data)))
+	}
 	return r.received >= r.total, nil
 }
 
@@ -304,3 +363,6 @@ func (r *Reassembler) Bytes() []byte { return r.buf }
 
 // Version returns the version carried by the transfer.
 func (r *Reassembler) Version() uint64 { return r.version }
+
+// Started reports whether any fragment has been ingested.
+func (r *Reassembler) Started() bool { return r.started }

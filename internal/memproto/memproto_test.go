@@ -215,6 +215,113 @@ func TestReassemblerErrors(t *testing.T) {
 	}
 }
 
+func TestReassemblerDuplicateFragments(t *testing.T) {
+	raw := make([]byte, 3000)
+	for i := range raw {
+		raw[i] = byte(i * 7)
+	}
+	frags := Fragment(raw, 4, 1024) // 1024 + 1024 + 952
+	if len(frags) != 3 {
+		t.Fatalf("fragment count = %d", len(frags))
+	}
+	var r Reassembler
+	// Three copies of fragment 0 sum past TotalLen but cover 1024 bytes:
+	// the transfer must not complete.
+	for i := 0; i < 3; i++ {
+		done, err := r.Add(&frags[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Fatal("duplicate bytes completed a transfer with holes")
+		}
+	}
+	if done, err := r.Add(&frags[1]); err != nil || done {
+		t.Fatalf("after frag 1: done=%v err=%v", done, err)
+	}
+	done, err := r.Add(&frags[2])
+	if err != nil || !done {
+		t.Fatalf("after frag 2: done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(r.Bytes(), raw) {
+		t.Fatal("reassembly mismatch")
+	}
+}
+
+func TestReassemblerOverlappingFragments(t *testing.T) {
+	raw := make([]byte, 1000)
+	for i := range raw {
+		raw[i] = byte(i * 3)
+	}
+	mk := func(off, end int) *Msg {
+		return &Msg{Op: OpObjectPush, TotalLen: 1000, FragOffset: uint64(off), Data: raw[off:end]}
+	}
+	var r Reassembler
+	// [0,600) + [100,500) overlap entirely inside: 900 bytes summed but
+	// only 600 covered.
+	if done, _ := r.Add(mk(0, 600)); done {
+		t.Fatal("done early")
+	}
+	if done, _ := r.Add(mk(100, 500)); done {
+		t.Fatal("interior overlap completed transfer with a hole")
+	}
+	// [400,1000) overlaps the front span and closes the hole.
+	done, err := r.Add(mk(400, 1000))
+	if err != nil || !done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(r.Bytes(), raw) {
+		t.Fatal("reassembly mismatch")
+	}
+}
+
+func TestReassemblerVersionSkew(t *testing.T) {
+	raw := make([]byte, 2048)
+	frags := Fragment(raw, 1, 1024)
+	var r Reassembler
+	if _, err := r.Add(&frags[0]); err != nil {
+		t.Fatal(err)
+	}
+	skewed := frags[1]
+	skewed.Version = 2
+	if _, err := r.Add(&skewed); err == nil {
+		t.Fatal("accepted fragment from a different object version")
+	}
+	// The matching-version fragment still completes the transfer.
+	if done, err := r.Add(&frags[1]); err != nil || !done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+}
+
+// TestLegacyAccountingReproducesBugs pins the pre-fix behavior the
+// invariant checker is built to catch: under legacy accounting,
+// duplicates complete hole-y transfers and version skew passes silently.
+func TestLegacyAccountingReproducesBugs(t *testing.T) {
+	prev := SetLegacyAccounting(true)
+	defer SetLegacyAccounting(prev)
+	raw := make([]byte, 3000)
+	frags := Fragment(raw, 1, 1024)
+	var r Reassembler
+	var done bool
+	for i := 0; i < 3; i++ {
+		var err error
+		done, err = r.Add(&frags[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !done {
+		t.Fatal("legacy accounting should complete on duplicate bytes")
+	}
+	var r2 Reassembler
+	r2.Add(&frags[0])
+	skewed := frags[1]
+	skewed.Version = 9
+	if _, err := r2.Add(&skewed); err != nil {
+		t.Fatal("legacy accounting should accept version skew")
+	}
+}
+
 func TestPropertyFragmentReassemble(t *testing.T) {
 	f := func(data []byte, maxData uint16) bool {
 		frags := Fragment(data, 3, int(maxData))

@@ -93,6 +93,28 @@ type TraceFunc func(ev TraceEvent)
 type FrameSpanHook func(from, to string, fr Frame, sent Time,
 	arrival Time, queued, tx Duration, dropped bool)
 
+// FrameControl directs targeted perturbation of one frame in flight.
+// The zero value leaves the frame untouched.
+type FrameControl struct {
+	// Drop discards the frame as if lost on the link.
+	Drop bool
+	// Dup delivers a second copy of the frame DupDelay after the first
+	// arrival (0 = back-to-back). The duplicate counts as a sent frame.
+	Dup      bool
+	DupDelay Duration
+	// Delay postpones delivery without occupying the transmitter —
+	// in-network queueing beyond the link's own serialization.
+	Delay Duration
+}
+
+// FrameControlHook inspects every frame that reaches a live link —
+// after routing and the link's own loss draw, so installing a hook
+// that returns the zero FrameControl keeps runs bit-identical — and
+// returns targeted perturbations (drop/duplicate/delay). The schedule
+// explorer uses this to probe delivery orders the random seed alone
+// would never produce. The hook must not mutate fr or draw randomness.
+type FrameControlHook func(from, to string, fr Frame) FrameControl
+
 // TraceEvent describes one frame hop for debugging and tests.
 type TraceEvent struct {
 	At      Time
@@ -111,6 +133,7 @@ type Network struct {
 	stats    Stats
 	trace    TraceFunc
 	spanHook FrameSpanHook
+	ctlHook  FrameControlHook
 }
 
 type devState struct {
@@ -139,6 +162,10 @@ func (n *Network) SetTrace(fn TraceFunc) { n.trace = fn }
 // disable). Unlike SetTrace it fires at send time with the computed
 // queueing/serialization split, so span intervals are exact.
 func (n *Network) SetFrameSpanHook(fn FrameSpanHook) { n.spanHook = fn }
+
+// SetFrameControlHook installs a per-frame perturbation hook (nil to
+// disable). It composes with SetTrace and SetFrameSpanHook.
+func (n *Network) SetFrameControlHook(fn FrameControlHook) { n.ctlHook = fn }
 
 // Stats returns a copy of the frame counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -301,8 +328,21 @@ func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 	l.busy[dir] = start.Add(txDelay)
 	arrival := l.busy[dir].Add(l.cfg.Latency)
 
-	// Loss.
-	if l.cfg.DropRate > 0 && n.sim.Rand().Float64() < l.cfg.DropRate {
+	// Loss. The random draw happens before the control hook is
+	// consulted so targeted perturbations never shift the seeded
+	// stream consumed by later frames.
+	lost := l.cfg.DropRate > 0 && n.sim.Rand().Float64() < l.cfg.DropRate
+	var ctl FrameControl
+	if n.ctlHook != nil {
+		ctl = n.ctlHook(s.name, n.devices[dst.dev].name, fr)
+	}
+	if ctl.Drop {
+		lost = true
+	}
+	if ctl.Delay > 0 {
+		arrival = arrival.Add(ctl.Delay)
+	}
+	if lost {
 		n.stats.FramesDropped++
 		if n.trace != nil {
 			n.trace(TraceEvent{At: now, From: s.name, To: n.devices[dst.dev].name,
@@ -326,6 +366,20 @@ func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 		kind: evDeliver, net: n, dev: dst.dev, port: dst.port,
 		fromName: s.name, fr: fr, buf: buf,
 	})
+	if ctl.Dup {
+		n.stats.FramesSent++
+		if buf != nil {
+			buf.Retain()
+		}
+		dupAt := arrival
+		if ctl.DupDelay > 0 {
+			dupAt = dupAt.Add(ctl.DupDelay)
+		}
+		n.sim.scheduleFrame(dupAt, event{
+			kind: evDeliver, net: n, dev: dst.dev, port: dst.port,
+			fromName: s.name, fr: fr, buf: buf,
+		})
+	}
 }
 
 // SendBufAfter is SendBuf delayed by d — the closure-free path for

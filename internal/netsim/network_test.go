@@ -342,3 +342,101 @@ func BenchmarkFrameDelivery(b *testing.B) {
 		sim.Run()
 	}
 }
+
+func TestFrameControlDrop(t *testing.T) {
+	sim, net, a, b := twoHosts(t, LinkConfig{})
+	delivered := 0
+	b.OnFrame = func(Frame) { delivered++ }
+	count := 0
+	net.SetFrameControlHook(func(from, to string, fr Frame) FrameControl {
+		count++
+		return FrameControl{Drop: count == 2} // drop only the second frame
+	})
+	rb := &refBuf{refs: 1}
+	a.Send(Frame("one"))
+	a.SendBuf(Frame("two"), rb)
+	a.Send(Frame("three"))
+	sim.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2", delivered)
+	}
+	if net.Stats().FramesDropped != 1 {
+		t.Fatalf("stats = %+v", net.Stats())
+	}
+	if rb.refs != 0 || rb.released != 1 {
+		t.Fatalf("dropped frame's buffer: refs=%d released=%d", rb.refs, rb.released)
+	}
+}
+
+func TestFrameControlDup(t *testing.T) {
+	sim, net, a, b := twoHosts(t, LinkConfig{Latency: 10 * Microsecond})
+	var arrivals []Time
+	b.OnFrame = func(Frame) { arrivals = append(arrivals, sim.Now()) }
+	net.SetFrameControlHook(func(from, to string, fr Frame) FrameControl {
+		return FrameControl{Dup: true, DupDelay: 3 * Microsecond}
+	})
+	rb := &refBuf{refs: 1}
+	a.SendBuf(Frame("x"), rb)
+	sim.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v, want 2 deliveries", arrivals)
+	}
+	if arrivals[0] != Time(10*Microsecond) || arrivals[1] != Time(13*Microsecond) {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	// One Retain for the duplicate, both deliveries release.
+	if rb.refs != 0 {
+		t.Fatalf("buffer refs = %d after dup delivery", rb.refs)
+	}
+	st := net.Stats()
+	if st.FramesSent != 2 || st.FramesDelivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFrameControlDelayReorders(t *testing.T) {
+	sim, net, a, b := twoHosts(t, LinkConfig{Latency: 10 * Microsecond})
+	var order []string
+	b.OnFrame = func(fr Frame) { order = append(order, string(fr)) }
+	net.SetFrameControlHook(func(from, to string, fr Frame) FrameControl {
+		if string(fr) == "first" {
+			return FrameControl{Delay: 5 * Microsecond}
+		}
+		return FrameControl{}
+	})
+	a.Send(Frame("first"))
+	a.Send(Frame("second"))
+	sim.Run()
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("order = %v, want [second first]", order)
+	}
+}
+
+func TestFrameControlZeroValueNoPerturbation(t *testing.T) {
+	// An installed hook returning the zero FrameControl must leave the
+	// run bit-identical — including the seeded loss stream.
+	run := func(hook bool) []Time {
+		sim, net, a, b := twoHosts(t, LinkConfig{Latency: 3 * Microsecond, DropRate: 0.3})
+		if hook {
+			net.SetFrameControlHook(func(string, string, Frame) FrameControl {
+				return FrameControl{}
+			})
+		}
+		var arrivals []Time
+		b.OnFrame = func(Frame) { arrivals = append(arrivals, sim.Now()) }
+		for i := 0; i < 50; i++ {
+			a.Send(make(Frame, 100))
+		}
+		sim.Run()
+		return arrivals
+	}
+	base, hooked := run(false), run(true)
+	if len(base) != len(hooked) {
+		t.Fatalf("delivery count changed: %d vs %d", len(base), len(hooked))
+	}
+	for i := range base {
+		if base[i] != hooked[i] {
+			t.Fatalf("arrival %d changed: %v vs %v", i, base[i], hooked[i])
+		}
+	}
+}

@@ -153,12 +153,34 @@ func (s *Store) GetEntry(id oid.ID) (*Entry, error) {
 	return e, nil
 }
 
+// PeekEntry returns the full entry without touching LRU order — for
+// observers (the invariant checker) that must not perturb eviction
+// behavior.
+func (s *Store) PeekEntry(id oid.ID) (*Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	}
+	return e, nil
+}
+
 // Contains reports presence without touching LRU order.
 func (s *Store) Contains(id oid.ID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.objects[id]
 	return ok
+}
+
+// IsHome reports whether this store holds the authoritative copy,
+// without touching LRU order.
+func (s *Store) IsHome(id oid.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	return ok && e.Home
 }
 
 // Version returns the stored copy's version, or 0 with ErrNotFound.

@@ -319,3 +319,26 @@ func BenchmarkStoreGet(b *testing.B) {
 		}
 	}
 }
+
+func TestPeekEntryDoesNotPerturbLRU(t *testing.T) {
+	// With GetEntry, touching a would promote it and c's arrival would
+	// evict b. PeekEntry must leave a as the LRU victim.
+	s := New(8192)
+	a, b, c := mkObj(t, 4096), mkObj(t, 4096), mkObj(t, 4096)
+	s.Put(a, 1, false)
+	s.Put(b, 1, false)
+	e, err := s.PeekEntry(a.ID())
+	if err != nil || e.Obj.ID() != a.ID() || e.Version != 1 {
+		t.Fatalf("PeekEntry: %+v, %v", e, err)
+	}
+	s.Put(c, 1, false)
+	if s.Contains(a.ID()) {
+		t.Fatal("PeekEntry promoted a in LRU order")
+	}
+	if !s.Contains(b.ID()) {
+		t.Fatal("b evicted; LRU order perturbed")
+	}
+	if _, err := s.PeekEntry(a.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("PeekEntry missing: %v", err)
+	}
+}

@@ -152,7 +152,7 @@ func (t *ClusterTarget) Warm() {
 	}
 	coh.ReadAt(t.code.Obj, ioOff, 1)
 	t.cl.Run()
-	coh.SetOpObserver(func(_ string, err error) {
+	coh.AddOpObserver(func(_ string, err error) {
 		t.counters.CoherenceOps++
 		if err != nil {
 			t.counters.CoherenceErrs++
