@@ -20,7 +20,11 @@
 //	gaspbench check         E10: protocol invariant checker — explore
 //	                        delivery perturbations per scenario; exits
 //	                        nonzero on any invariant violation
-//	gaspbench all           everything above (except trace, load, check)
+//	gaspbench realbench     E11: the identical stack on the simulator
+//	                        vs real UDP sockets, side by side (RTT
+//	                        classes + a short Poisson sweep)
+//	gaspbench all           everything above (except trace, load,
+//	                        check, realbench)
 //
 // The check subcommand takes its own flags after the command word:
 //
@@ -37,8 +41,17 @@
 //	-accesses N   accesses per sweep point for fig2/fig3 (default 2000)
 //	-quick        reduced workloads (CI-speed)
 //	-csv          machine-readable output for plotting
-//	-smoke        CI-scale load sweep (load only)
+//	-smoke        CI-scale run (load; fig2 under realnet; realbench)
 //	-out FILE     load report path (load only, default BENCH_load.json)
+//	-backend B    cluster backend: sim (default) or realnet — real
+//	              localhost UDP sockets on the wall clock. Only fig2
+//	              (E2E side) runs under realnet; sim-only experiments
+//	              refuse it with the reason. realbench always runs
+//	              both backends.
+//
+// The realbench subcommand takes its own flags after the command word:
+//
+//	gaspbench realbench -smoke -cpuprofile real.pprof
 package main
 
 import (
@@ -46,28 +59,55 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/memproto"
 )
 
 var (
-	seed     = flag.Int64("seed", 42, "random seed")
-	accesses = flag.Int("accesses", 2000, "accesses per sweep point")
-	quick    = flag.Bool("quick", false, "reduced workloads")
-	csvOut   = flag.Bool("csv", false, "CSV output for plotting")
-	smoke    = flag.Bool("smoke", false, "CI-scale load sweep (load only)")
-	loadOut  = flag.String("out", "BENCH_load.json", "load report path (load only)")
+	seed        = flag.Int64("seed", 42, "random seed")
+	accesses    = flag.Int("accesses", 2000, "accesses per sweep point")
+	quick       = flag.Bool("quick", false, "reduced workloads")
+	csvOut      = flag.Bool("csv", false, "CSV output for plotting")
+	smoke       = flag.Bool("smoke", false, "CI-scale run (load, fig2 under realnet, realbench)")
+	loadOut     = flag.String("out", "BENCH_load.json", "load report path (load only)")
+	backendName = flag.String("backend", "sim", "cluster backend: sim (deterministic simulator) or realnet (localhost UDP sockets)")
 )
+
+// backendKind maps -backend; exits on junk.
+func backendKind() core.BackendKind {
+	switch *backendName {
+	case "sim":
+		return core.BackendSim
+	case "realnet":
+		return core.BackendRealnet
+	default:
+		fmt.Fprintf(os.Stderr, "gaspbench: unknown -backend %q (want sim or realnet)\n", *backendName)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+// simOnly refuses -backend realnet for experiments that depend on
+// simulator machinery, naming the reason.
+func simOnly(cmd, why string) error {
+	if backendKind() == core.BackendRealnet {
+		return fmt.Errorf("%s is sim-only: %s (run without -backend realnet)", cmd, why)
+	}
+	return nil
+}
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|realbench|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	// check takes its own flags after the command word (the replay
-	// command a violation report prints is in that form).
-	if flag.NArg() < 1 || (flag.Arg(0) != "check" && flag.NArg() != 1) {
+	// check and realbench take their own flags after the command word
+	// (for check, the replay command a violation report prints is in
+	// that form).
+	if flag.NArg() < 1 ||
+		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,43 +115,64 @@ func main() {
 		*accesses = 300
 	}
 	cmd := flag.Arg(0)
+	// Reasons each sim-only experiment cannot run over real sockets;
+	// fig2 and realbench take -backend, capacity is a closed-form model.
+	simOnlyReasons := map[string]string{
+		"fig3":          "it replays scripted object moves on the simulator's event loop",
+		"rendezvous":    "strategy runs are steered by virtual-time scheduling",
+		"serialization": "CPU costs are modeled as virtual-time delays",
+		"ablations":     "loss injection and switch-table scripting are simulated",
+		"scale":         "it programs simulated switch fabrics at varying sizes",
+		"faults":        "E8 injects crashes and link flaps into the simulated network",
+		"trace":         "span capture depends on deterministic virtual timestamps",
+		"load":          "E9's saturation sweep replays seeded schedules on virtual time",
+		"check":         "E10 explores deterministic delivery schedules",
+		"all":           "the suite includes sim-only experiments",
+	}
 	var err error
-	switch cmd {
-	case "fig2":
-		err = runFig2()
-	case "fig3":
-		err = runFig3()
-	case "capacity":
-		err = runCapacity()
-	case "rendezvous":
-		err = runRendezvous()
-	case "serialization":
-		err = runSerialization()
-	case "ablations":
-		err = runAblations()
-	case "scale":
-		err = runScale()
-	case "faults":
-		err = runFaults()
-	case "trace":
-		err = runTrace()
-	case "load":
-		err = runLoad()
-	case "check":
-		err = runCheck(flag.Args()[1:])
-	case "all":
-		for _, f := range []func() error{
-			runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
-			runAblations, runScale, runFaults, runLoad,
-		} {
-			if err = f(); err != nil {
-				break
+	if why, ok := simOnlyReasons[cmd]; ok {
+		err = simOnly(cmd, why)
+	}
+	if err == nil {
+		switch cmd {
+		case "fig2":
+			err = runFig2()
+		case "fig3":
+			err = runFig3()
+		case "capacity":
+			err = runCapacity()
+		case "rendezvous":
+			err = runRendezvous()
+		case "serialization":
+			err = runSerialization()
+		case "ablations":
+			err = runAblations()
+		case "scale":
+			err = runScale()
+		case "faults":
+			err = runFaults()
+		case "trace":
+			err = runTrace()
+		case "load":
+			err = runLoad()
+		case "check":
+			err = runCheck(flag.Args()[1:])
+		case "realbench":
+			err = runRealbench(flag.Args()[1:])
+		case "all":
+			for _, f := range []func() error{
+				runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
+				runAblations, runScale, runFaults, runLoad,
+			} {
+				if err = f(); err != nil {
+					break
+				}
+				fmt.Println()
 			}
-			fmt.Println()
+		default:
+			flag.Usage()
+			os.Exit(2)
 		}
-	default:
-		flag.Usage()
-		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gaspbench:", err)
@@ -120,14 +181,24 @@ func main() {
 }
 
 func runFig2() error {
-	rows, err := experiments.Figure2(experiments.Fig2Config{
+	cfg := experiments.Fig2Config{
 		Seed:             *seed,
 		AccessesPerPoint: *accesses,
-	})
+		Backend:          backendKind(),
+	}
+	title := "Figure 2: RTT vs % accesses to new objects (E2E vs Controller)"
+	if cfg.Backend == core.BackendRealnet {
+		title = "Figure 2 over real UDP sockets (E2E only; controller columns n/a)"
+		if *smoke || *quick {
+			cfg.AccessesPerPoint = 60
+			cfg.Points = []int{0, 30, 60}
+		}
+	}
+	rows, err := experiments.Figure2(cfg)
 	if err != nil {
 		return err
 	}
-	t := newTable("Figure 2: RTT vs % accesses to new objects (E2E vs Controller)",
+	t := newTable(title,
 		"pct_new", "ctrl_mean_us", "ctrl_p99_us", "e2e_mean_us", "e2e_p99_us", "bcast_per_100acc")
 	for _, r := range rows {
 		t.row(r.PctNew, r.ControllerMeanUS, r.ControllerP99US,
@@ -376,6 +447,50 @@ func runAblations() error {
 		t6.row(r.Mode, r.Objects, r.RulesPerSw, r.InstallFailed, r.Successes, r.Failures, r.MeanUS)
 	}
 	t6.print(*csvOut)
+	return nil
+}
+
+// runRealbench dispatches E11 from its own flag set: the identical
+// measurement program on the simulator and over real UDP sockets,
+// side by side.
+func runRealbench(args []string) error {
+	fs := flag.NewFlagSet("realbench", flag.ExitOnError)
+	var (
+		rseed    = fs.Int64("seed", *seed, "seed (population layout, sweep schedule)")
+		rsmoke   = fs.Bool("smoke", *smoke || *quick, "CI scale: fewer samples, one sweep rate")
+		rprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the realnet run to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.Realbench(experiments.RealbenchConfig{
+		Seed:       *rseed,
+		Smoke:      *rsmoke,
+		CPUProfile: *rprofile,
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("E11: identical stack on the simulator vs real UDP sockets (loopback)",
+		"class", "sim_mean_us", "sim_p99_us", "real_mean_us", "real_p99_us", "delta_mean_us")
+	for _, r := range res.Rows {
+		t.row(r.Label, fmt.Sprintf("%.1f", r.SimMeanUS), fmt.Sprintf("%.1f", r.SimP99US),
+			fmt.Sprintf("%.1f", r.RealMeanUS), fmt.Sprintf("%.1f", r.RealP99US),
+			fmt.Sprintf("%.1f", r.DeltaMeanUS()))
+	}
+	t.print(*csvOut)
+	fmt.Println()
+	t2 := newTable("E11: Poisson sweep, goodput and tail on both backends",
+		"rate_per_s", "sim_goodput", "real_goodput", "sim_p99_us", "real_p99_us")
+	for _, r := range res.Sweep {
+		t2.row(fmt.Sprintf("%.0f", r.RatePerSec),
+			fmt.Sprintf("%.0f", r.SimGoodput), fmt.Sprintf("%.0f", r.RealGoodput),
+			fmt.Sprintf("%.1f", r.SimP99US), fmt.Sprintf("%.1f", r.RealP99US))
+	}
+	t2.print(*csvOut)
+	if *rprofile != "" {
+		fmt.Printf("wrote realnet CPU profile to %s\n", *rprofile)
+	}
 	return nil
 }
 

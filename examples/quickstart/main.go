@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/object"
@@ -81,9 +83,13 @@ func main() {
 		object.Global{Obj: code.ID()},
 		[]object.Global{{Obj: greetings.ID()}},
 		core.WithComputeWork(0.0001), core.WithResultSize(128))
-	cluster.Run() // drain the virtual clock; the future resolves inside
 
-	res, err := future.Result()
+	// Await resolves the future on whichever backend the cluster runs:
+	// under the simulator it pumps the virtual clock; over real sockets
+	// (core.BackendRealnet) it blocks until the reply datagram lands.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := core.Await(ctx, cluster, future)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,11 +19,11 @@ import (
 	"slices"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/discovery"
 	"repro/internal/future"
 	"repro/internal/gasperr"
 	"repro/internal/memproto"
-	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/oid"
 	"repro/internal/store"
@@ -83,8 +83,8 @@ type fetchState struct {
 	cbs      []func(*object.Object, error)
 	want     memproto.Perm // permission the caller asked for
 	perm     memproto.Perm // highest permission the grant carried
-	started  netsim.Time   // when the fetch was initiated
-	watchdog *netsim.Timer
+	started  backend.Time  // when the fetch was initiated
+	watchdog backend.Timer
 }
 
 // fetchStallTimeout bounds the gap between fragments of a partially
@@ -95,7 +95,7 @@ type fetchState struct {
 // mid-stream fragment lost for good would otherwise hang the fetch
 // (and every coalesced caller) forever. No progress for this long
 // fails the fetch with a retryable error instead.
-const fetchStallTimeout = 10 * netsim.Millisecond
+const fetchStallTimeout = 10 * backend.Millisecond
 
 // newFetch registers an in-flight fetch. The stall watchdog is armed
 // lazily, on the first partial reassembly progress (armStall), so
@@ -104,7 +104,7 @@ func (n *Node) newFetch(obj oid.ID, want memproto.Perm, cb func(*object.Object, 
 	n.fetches[obj] = &fetchState{
 		cbs:     []func(*object.Object, error){cb},
 		want:    want,
-		started: n.sim.Now(),
+		started: n.clock.Now(),
 	}
 }
 
@@ -113,7 +113,7 @@ func (n *Node) armStall(obj oid.ID, fs *fetchState) {
 	if fs.watchdog != nil {
 		fs.watchdog.Stop()
 	}
-	fs.watchdog = n.sim.AfterFunc(fetchStallTimeout, func() {
+	fs.watchdog = n.clock.AfterFunc(fetchStallTimeout, func() {
 		if n.fetches[obj] != fs { // completed, or a successor fetch
 			return
 		}
@@ -126,7 +126,7 @@ type Node struct {
 	ep       *transport.Endpoint
 	store    *store.Store
 	resolver discovery.Resolver
-	sim      *netsim.Sim
+	clock    backend.Clock
 
 	directory map[oid.ID]*dirEntry
 	fetches   map[oid.ID]*fetchState
@@ -150,6 +150,18 @@ type releaseKey struct {
 	obj oid.ID
 }
 
+// maxFragData sizes grant fragments to the endpoint's link MTU so
+// whole-object transfers fit real datagrams. 0 (no link limit — the
+// simulator) selects memproto.MaxFragData, which keeps seeded sim
+// runs bit-identical to the pre-seam fragmenter.
+func (n *Node) maxFragData() int {
+	mtu := n.ep.MTU()
+	if mtu <= 0 {
+		return 0
+	}
+	return memproto.FragDataFor(mtu - wire.TracedHeaderSize)
+}
+
 // NewNode creates a coherence engine over an endpoint, a local store,
 // and a resolver.
 func NewNode(ep *transport.Endpoint, st *store.Store, res discovery.Resolver) *Node {
@@ -157,7 +169,7 @@ func NewNode(ep *transport.Endpoint, st *store.Store, res discovery.Resolver) *N
 		ep:        ep,
 		store:     st,
 		resolver:  res,
-		sim:       ep.Sim(),
+		clock:     ep.Clock(),
 		directory: make(map[oid.ID]*dirEntry),
 		fetches:   make(map[oid.ID]*fetchState),
 		releases:  make(map[releaseKey]*memproto.Reassembler),
@@ -262,7 +274,7 @@ func (n *Node) GrantedPerm(obj oid.ID) memproto.Perm {
 // PendingFetch describes one in-flight object fetch.
 type PendingFetch struct {
 	Obj   oid.ID
-	Since netsim.Time
+	Since backend.Time
 }
 
 // PendingFetches lists in-flight fetches sorted by object ID — the
@@ -661,7 +673,7 @@ func (n *Node) ReleaseCB(obj oid.ID, cb func(error)) {
 	}
 	n.counters.Releases++
 	raw := e.Obj.CloneBytes()
-	frags := memproto.Fragment(raw, e.Version, 0)
+	frags := memproto.Fragment(raw, e.Version, n.maxFragData())
 	tc := sp.Ctx()
 	n.resolver.ResolveCtx(obj, tc, func(r discovery.Result, err error) {
 		if err != nil {
@@ -881,7 +893,7 @@ func (n *Node) serveAcquire(h *wire.Header, m *memproto.Msg) {
 	d.add(h.Src)
 	n.counters.GrantsServed++
 	raw := e.Obj.CloneBytes()
-	frags := memproto.Fragment(raw, e.Version, 0)
+	frags := memproto.Fragment(raw, e.Version, n.maxFragData())
 	// First fragment answers the request; the rest stream after it.
 	first := frags[0]
 	first.Op = memproto.OpGrant

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/discovery"
 	"repro/internal/netsim"
 	"repro/internal/object"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/p4sim"
 	"repro/internal/placement"
 	"repro/internal/prefetch"
+	"repro/internal/realnet"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -57,9 +59,38 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
 
+// BackendKind selects which backend.Clock/Link implementation a
+// cluster runs on.
+type BackendKind int
+
+// Backends.
+const (
+	// BackendSim runs on the deterministic discrete-event simulator
+	// (virtual time, bit-identical per seed). The default.
+	BackendSim BackendKind = iota
+	// BackendRealnet runs the identical stack over localhost UDP
+	// sockets on wall-clock time. E2E discovery only (there is no
+	// simulated fabric to program), and runs are not deterministic.
+	BackendRealnet
+)
+
+// String names the backend.
+func (b BackendKind) String() string {
+	switch b {
+	case BackendSim:
+		return "sim"
+	case BackendRealnet:
+		return "realnet"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
 // Config describes a cluster.
 type Config struct {
-	// Seed drives every random source (fully deterministic runs).
+	// Backend selects the execution backend (default BackendSim).
+	Backend BackendKind
+	// Seed drives every random source (fully deterministic runs; the
+	// realnet backend still uses it for ID generation).
 	Seed int64
 	// NumNodes is the host count (default 3, like §4).
 	NumNodes int
@@ -156,14 +187,24 @@ type objMeta struct {
 	home wire.StationID
 }
 
-// Cluster is a simulated deployment.
+// Cluster is a deployment on either backend.
 type Cluster struct {
 	cfg Config
 
+	// Clock is the backend clock every node runs on: the simulator
+	// under BackendSim, wall time under BackendRealnet.
+	Clock backend.Clock
+
+	// Sim and Net are the simulator and its fabric — nil under
+	// BackendRealnet. Code that manipulates them directly (fault
+	// injection, switch table inspection) is sim-only.
 	Sim      *netsim.Sim
 	Net      *netsim.Network
 	Switches []*p4sim.Switch
 	Nodes    []*Node
+
+	// rn is the realnet backend — nil under BackendSim.
+	rn *realnet.Cluster
 
 	// Controller is non-nil under SchemeController/SchemeHybrid.
 	Controller     *discovery.Controller
@@ -184,11 +225,21 @@ type Cluster struct {
 // controllerStation is the controller's well-known station ID.
 const controllerStation wire.StationID = 1000
 
-// NewCluster builds the topology: one core switch, NumLeaves leaf
-// switches, nodes attached round-robin to leaves, and (for controller
-// schemes) a controller host on the core switch.
+// NewCluster builds a cluster on the configured backend. Under
+// BackendSim this is the §4 evaluation topology: one core switch,
+// NumLeaves leaf switches, nodes attached round-robin to leaves, and
+// (for controller schemes) a controller host on the core switch.
+// Under BackendRealnet the same nodes bind localhost UDP sockets in a
+// full mesh instead (see cluster_realnet.go).
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg.fill()
+	if cfg.Backend == BackendRealnet {
+		return newRealnetCluster(cfg)
+	}
+	return newSimCluster(cfg)
+}
+
+func newSimCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:       cfg,
 		Sim:       netsim.NewSim(cfg.Seed),
@@ -247,6 +298,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		n.Host = host
 		c.Nodes = append(c.Nodes, n)
 	}
 
@@ -297,6 +349,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for _, n := range c.Nodes {
 		n.initResolver(cfg)
 	}
+	c.Clock = c.Sim
 	return c, nil
 }
 
@@ -309,11 +362,46 @@ func (c *Cluster) RegisterAll(symbol string, fn Func) {
 	}
 }
 
-// Run drains the event loop.
-func (c *Cluster) Run() { c.Sim.Run() }
+// Run drains the event loop. Sim-only: wall time cannot be drained —
+// under BackendRealnet use RunFor (which sleeps) or Await on futures.
+func (c *Cluster) Run() {
+	if c.Sim == nil {
+		panic("core: Run is sim-only; under BackendRealnet wait with RunFor or Await")
+	}
+	c.Sim.Run()
+}
 
-// RunFor advances virtual time by d.
-func (c *Cluster) RunFor(d netsim.Duration) { c.Sim.RunFor(d) }
+// RunFor advances virtual time by d under the simulator, or sleeps d
+// of wall time under realnet (deliveries and timers proceed
+// underneath).
+func (c *Cluster) RunFor(d netsim.Duration) {
+	if c.Sim != nil {
+		c.Sim.RunFor(d)
+		return
+	}
+	c.rn.Sleep(d)
+}
+
+// Close releases backend resources (realnet sockets and reader
+// goroutines). A sim cluster needs no teardown; Close is always safe
+// to defer.
+func (c *Cluster) Close() error {
+	if c.rn != nil {
+		return c.rn.Close()
+	}
+	return nil
+}
+
+// Exec runs fn serialized with every node's upcalls — the safe entry
+// point for harness code that touches node state. Under the
+// simulator, upcalls only run inside Run/RunFor, so fn runs inline.
+func (c *Cluster) Exec(fn func()) {
+	if c.rn == nil {
+		fn()
+		return
+	}
+	c.Nodes[0].Link.Exec(fn)
+}
 
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
@@ -428,6 +516,9 @@ func (c *Cluster) PromoteReplica(obj oid.ID, node *Node) error {
 // node was home for, so a recovery orchestrator can promote surviving
 // replicas. Crashing an already-down node is a no-op.
 func (c *Cluster) CrashNode(i int) []oid.ID {
+	if c.Net == nil {
+		panic("core: CrashNode is sim-only (realnet has no injectable link failures)")
+	}
 	n := c.Nodes[i]
 	if n.down {
 		return nil
@@ -450,6 +541,9 @@ func (c *Cluster) CrashNode(i int) []oid.ID {
 // objects it was home for stay lost until promoted elsewhere or
 // re-created. Restarting a live node is a no-op.
 func (c *Cluster) RestartNode(i int) {
+	if c.Net == nil {
+		panic("core: RestartNode is sim-only")
+	}
 	n := c.Nodes[i]
 	if !n.down {
 		return
@@ -461,7 +555,7 @@ func (c *Cluster) RestartNode(i int) {
 
 // Stats is a cluster-wide counter snapshot.
 type Stats struct {
-	Network  netsim.Stats
+	Network  backend.NetStats
 	Switches []p4sim.Counters
 	// FrameDrops counts frames that reached an endpoint's mux but no
 	// handler claimed (unknown or unhandled message types), summed over
@@ -472,7 +566,7 @@ type Stats struct {
 
 // Stats snapshots cluster-wide counters.
 func (c *Cluster) Stats() Stats {
-	s := Stats{Network: c.Net.Stats()}
+	s := Stats{Network: c.netStats()}
 	for _, sw := range c.Switches {
 		s.Switches = append(s.Switches, sw.Counters())
 	}
@@ -485,9 +579,21 @@ func (c *Cluster) Stats() Stats {
 	return s
 }
 
+// netStats reads the backend's frame counters.
+func (c *Cluster) netStats() backend.NetStats {
+	if c.Net != nil {
+		return c.Net.Stats()
+	}
+	return c.rn.Stats()
+}
+
 // ResetStats zeroes network, switch, and mux counters.
 func (c *Cluster) ResetStats() {
-	c.Net.ResetStats()
+	if c.Net != nil {
+		c.Net.ResetStats()
+	} else {
+		c.rn.ResetStats()
+	}
 	for _, sw := range c.Switches {
 		sw.ResetCounters()
 	}
@@ -505,7 +611,7 @@ func (c *Cluster) ResetStats() {
 // Callers (the workload harness, benchmarks) layer their own
 // counters into the same registry before snapshotting.
 func (c *Cluster) AddTelemetry(r *telemetry.Registry) {
-	r.Add("net", c.Net.Stats())
+	r.Add("net", c.netStats())
 	for _, sw := range c.Switches {
 		r.Add("switch", sw.Counters())
 	}

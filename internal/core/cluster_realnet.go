@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/oid"
+	"repro/internal/placement"
+	"repro/internal/realnet"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// newRealnetCluster builds the same node stack as newSimCluster over
+// localhost UDP sockets: no switches, no controller, a full mesh of
+// per-node sockets routed on the wire destination station. Only the
+// E2E discovery scheme works (it is destination-routed; the
+// controller schemes program a fabric that does not exist here), and
+// sim-only machinery (loss injection, the invariant checker) is
+// refused up front rather than left to misbehave.
+func newRealnetCluster(cfg Config) (*Cluster, error) {
+	if cfg.Scheme != SchemeE2E {
+		return nil, fmt.Errorf("core: realnet backend supports only the e2e discovery scheme (got %s): controller schemes program simulated switch tables", cfg.Scheme)
+	}
+	if cfg.DropRate != 0 {
+		return nil, fmt.Errorf("core: realnet backend cannot inject link loss (DropRate=%v); real sockets drop on their own terms", cfg.DropRate)
+	}
+	if cfg.Check.Enabled {
+		return nil, fmt.Errorf("core: the invariant checker is sim-only (it explores deterministic schedules); disable Check under the realnet backend")
+	}
+
+	// Wall-clock runs see kernel scheduling jitter the sim's 5µs-scale
+	// defaults were never meant for: where the caller left timeouts at
+	// their defaults, substitute realnet-scale ones. Explicit settings
+	// are honored.
+	if cfg.Transport.RetransmitTimeout == 0 {
+		cfg.Transport.RetransmitTimeout = 2 * backend.Millisecond
+	}
+	if cfg.Transport.RetryBudget == 0 {
+		cfg.Transport.RetryBudget = 250 * backend.Millisecond
+	}
+	if cfg.Transport.RequestTimeout == 0 {
+		cfg.Transport.RequestTimeout = 50 * backend.Millisecond
+	}
+	if cfg.DiscoveryTimeout == 0 {
+		cfg.DiscoveryTimeout = 50 * backend.Millisecond
+	}
+
+	rn := realnet.NewCluster()
+	c := &Cluster{
+		cfg:       cfg,
+		rn:        rn,
+		Clock:     rn.Clock(),
+		gen:       oid.NewSeededGenerator(cfg.Seed + 1),
+		meta:      make(map[oid.ID]*objMeta),
+		Placement: placement.NewEngine(),
+	}
+	for i := 0; i < cfg.NumNodes; i++ {
+		st := wire.StationID(i + 1)
+		link, err := rn.NewLink(fmt.Sprintf("node%d", i), st)
+		if err != nil {
+			rn.Close()
+			return nil, err
+		}
+		n, err := newNode(c, link, st)
+		if err != nil {
+			rn.Close()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	c.Tracer = trace.NewRecorder(c.Clock, cfg.Trace)
+	for _, n := range c.Nodes {
+		n.initResolver(cfg)
+	}
+	rn.Start()
+	return c, nil
+}

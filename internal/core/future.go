@@ -1,9 +1,39 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/future"
 	"repro/internal/object"
 )
+
+// Await blocks until f resolves, honoring ctx cancellation and
+// deadlines, and works on both backends:
+//
+//   - Under the simulator it pumps the event loop one event at a time
+//     until the future resolves, so unrelated queued work is not
+//     drained. If the simulation quiesces without resolving f, the
+//     operation can never complete and ErrNotReady is returned.
+//   - Under realnet it parks on the future; completions arrive from
+//     socket-reader upcalls on their own goroutines.
+//
+// This is the bridge that lets one program — issue, await, use the
+// value — run unchanged over virtual and wall time.
+func Await[T any](ctx context.Context, c *Cluster, f *Future[T]) (T, error) {
+	if c.Sim != nil {
+		for !f.Done() {
+			if err := ctx.Err(); err != nil {
+				var zero T
+				return zero, err
+			}
+			if !c.Sim.Step() {
+				break // quiesced unresolved: Result reports ErrNotReady
+			}
+		}
+		return f.Result()
+	}
+	return f.Await(ctx)
+}
 
 // ErrNotReady reports that a future's Result was read before the
 // simulation resolved it.

@@ -416,7 +416,7 @@ func (n *Node) Invoke(code object.Global, args []object.Global,
 func (n *Node) invokeResolved(code object.Global, args []object.Global,
 	o *invokeOpts, cb func(InvokeResult, error)) {
 
-	start := n.Sim().Now()
+	start := n.Clock().Now()
 	sp := n.cluster.Tracer.StartRoot("op:invoke")
 	var attemptFn func(attempt int)
 	attemptFn = func(attempt int) {
@@ -425,10 +425,10 @@ func (n *Node) invokeResolved(code object.Global, args []object.Global,
 				// Exponential backoff between attempts; stale resolver
 				// state was already invalidated by the failing layer.
 				wait := o.retryBackoff << attempt
-				n.Sim().Schedule(wait, func() { attemptFn(attempt + 1) })
+				n.Clock().Schedule(wait, func() { attemptFn(attempt + 1) })
 				return
 			}
-			res.Elapsed = n.Sim().Now().Sub(start)
+			res.Elapsed = n.Clock().Now().Sub(start)
 			if err == nil && o.replicas > 0 {
 				n.seedReplicas(args, o.replicas)
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/coherence"
 	"repro/internal/discovery"
 	"repro/internal/netsim"
@@ -20,8 +21,12 @@ import (
 type Node struct {
 	cluster *Cluster
 	Station wire.StationID
-	Host    *netsim.Host
-	EP      *transport.Endpoint
+	// Link is the node's backend attachment (always set).
+	Link backend.Link
+	// Host is the simulated NIC — nil under BackendRealnet. Sim-only
+	// machinery (fault injection, topology surgery) goes through it.
+	Host *netsim.Host
+	EP   *transport.Endpoint
 
 	Store     *store.Store
 	Resolver  discovery.Resolver
@@ -53,12 +58,12 @@ func (n *Node) Down() bool { return n.down }
 
 // newNode wires a node's endpoint and store; resolver wiring happens
 // in initResolver after the controller exists.
-func newNode(c *Cluster, host *netsim.Host, st wire.StationID) (*Node, error) {
+func newNode(c *Cluster, link backend.Link, st wire.StationID) (*Node, error) {
 	n := &Node{
 		cluster:     c,
 		Station:     st,
-		Host:        host,
-		EP:          transport.NewEndpoint(host, st, c.cfg.Transport),
+		Link:        link,
+		EP:          transport.NewEndpoint(link, st, c.cfg.Transport),
 		Store:       store.New(c.storeBudget()),
 		Registry:    NewRegistry(),
 		ComputeRate: 1,
@@ -144,8 +149,12 @@ func (n *Node) SetLoadProfile(rate, load float64) {
 // Cluster returns the owning cluster.
 func (n *Node) Cluster() *Cluster { return n.cluster }
 
-// Sim returns the virtual clock.
+// Sim returns the virtual clock — nil under BackendRealnet (sim-only
+// callers; backend-neutral code uses Clock).
 func (n *Node) Sim() *netsim.Sim { return n.cluster.Sim }
+
+// Clock returns the backend clock the node runs on.
+func (n *Node) Clock() backend.Clock { return n.EP.Clock() }
 
 // CreateObject allocates a fresh object homed at this node, announces
 // it, and registers it with the metadata service.

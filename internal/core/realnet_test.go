@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/future"
+	"repro/internal/object"
+)
+
+// TestRealnetEndToEnd runs the identical coherence/discovery stack
+// over real localhost UDP sockets: create an object on one node, read
+// and write it from another, awaiting each future on wall time.
+func TestRealnetEndToEnd(t *testing.T) {
+	c, err := NewCluster(Config{Backend: BackendRealnet, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var g object.Global
+	c.Exec(func() {
+		o, err := c.Node(1).CreateObject(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g = object.Global{Obj: o.ID()}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wf *future.Future[struct{}]
+	c.Exec(func() {
+		wf = c.Node(0).Coherence.WriteAt(g.Obj, object.HeaderSize, []byte("over real sockets"))
+	})
+	if _, err := Await(ctx, c, wf); err != nil {
+		t.Fatalf("write over UDP: %v", err)
+	}
+
+	var rf *future.Future[[]byte]
+	c.Exec(func() {
+		rf = c.Node(2).Coherence.ReadAt(g.Obj, object.HeaderSize, 17)
+	})
+	got, err := Await(ctx, c, rf)
+	if err != nil {
+		t.Fatalf("read over UDP: %v", err)
+	}
+	if string(got) != "over real sockets" {
+		t.Fatalf("read %q", got)
+	}
+
+	st := c.Stats()
+	if st.Network.FramesSent == 0 || st.Network.FramesDelivered == 0 {
+		t.Fatalf("no frames crossed the sockets: %+v", st.Network)
+	}
+}
+
+// TestRealnetRefusesSimOnlyConfig pins the clear-error contract for
+// configurations that only make sense on the simulator.
+func TestRealnetRefusesSimOnlyConfig(t *testing.T) {
+	cases := []Config{
+		{Backend: BackendRealnet, Scheme: SchemeController},
+		{Backend: BackendRealnet, Scheme: SchemeHybrid},
+		{Backend: BackendRealnet, DropRate: 0.1},
+		{Backend: BackendRealnet, Check: CheckConfig{Enabled: true}},
+	}
+	for i, cfg := range cases {
+		if _, err := NewCluster(cfg); err == nil {
+			t.Errorf("case %d: sim-only config accepted under realnet", i)
+		}
+	}
+}

@@ -20,14 +20,35 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/gasperr"
-	"repro/internal/netsim"
 	"repro/internal/oid"
-	"repro/internal/p4sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// ProgrammableSwitch is the control plane's view of a fabric switch:
+// a device whose object and station routing tables the controller can
+// program. internal/p4sim's Switch implements it; the interface keeps
+// this package independent of any one fabric implementation.
+type ProgrammableSwitch interface {
+	backend.Device
+	// InstallObjectRoute maps an object key to an egress port.
+	InstallObjectRoute(key wire.Value, port int) error
+	// InstallStationRoute maps a station ID to an egress port.
+	InstallStationRoute(st wire.StationID, port int) error
+}
+
+// Topology answers connectivity questions about the fabric so the
+// controller can compute routes. *netsim.Network implements it.
+type Topology interface {
+	// NumPorts returns the number of ports dev was registered with.
+	NumPorts(dev backend.Device) int
+	// Peer returns the device and port on the far side of (dev, port)'s
+	// link, if connected.
+	Peer(dev backend.Device, port int) (backend.Device, int, bool)
+}
 
 // ErrNotFound reports that no host answered for an object. It wraps
 // gasperr.ErrNotFound so callers can classify without importing this
@@ -98,8 +119,8 @@ type E2E struct {
 	auth func(oid.ID) bool
 
 	cache    map[oid.ID]wire.StationID
-	timeout  netsim.Duration
-	fallback netsim.Duration
+	timeout  backend.Duration
+	fallback backend.Duration
 	retries  int
 	tracer   *trace.Recorder
 	counters Counters
@@ -110,7 +131,7 @@ type E2E struct {
 // authoritative holder answers immediately, so when it is alive its
 // reply wins the race and requests converge on it; when it is dead or
 // unreachable the delayed reply keeps the object discoverable.
-const DefaultFallbackDelay = 100 * netsim.Microsecond
+const DefaultFallbackDelay = 100 * backend.Microsecond
 
 // NewE2E creates an E2E resolver over ep. has answers whether this
 // host currently holds an object (so it can respond to DISCOVERs).
@@ -119,7 +140,7 @@ func NewE2E(ep *transport.Endpoint, has func(oid.ID) bool) *E2E {
 		ep:       ep,
 		has:      has,
 		cache:    make(map[oid.ID]wire.StationID),
-		timeout:  2 * netsim.Millisecond,
+		timeout:  2 * backend.Millisecond,
 		fallback: DefaultFallbackDelay,
 		retries:  2,
 	}
@@ -134,7 +155,7 @@ func NewE2E(ep *transport.Endpoint, has func(oid.ID) bool) *E2E {
 func (e *E2E) SetAuthority(fn func(oid.ID) bool) { e.auth = fn }
 
 // SetTimeout overrides the per-broadcast discovery timeout.
-func (e *E2E) SetTimeout(d netsim.Duration) { e.timeout = d }
+func (e *E2E) SetTimeout(d backend.Duration) { e.timeout = d }
 
 // SetRetries overrides the rebroadcast count after a lost discovery
 // (broadcasts are unacknowledged, so loss is recovered ARP-style by
@@ -162,7 +183,7 @@ func (e *E2E) HandleFrame(h *wire.Header, payload []byte) bool {
 	if e.has != nil && e.has(h.Object) {
 		if e.auth != nil && !e.auth(h.Object) {
 			req := *h
-			e.ep.Sim().Schedule(e.fallback, func() {
+			e.ep.Clock().Schedule(e.fallback, func() {
 				e.ep.Respond(&req, wire.Header{Type: wire.MsgDiscoverReply, Object: req.Object}, nil)
 			})
 			return true
@@ -252,13 +273,13 @@ func (e *E2E) Reset() { e.cache = make(map[oid.ID]wire.StationID) }
 // ANNOUNCE messages and programs object→port rules into every switch.
 type Controller struct {
 	ep       *transport.Endpoint
-	switches []*p4sim.Switch
+	switches []ProgrammableSwitch
 	// routes[sw][station] is the egress port on sw toward station.
-	routes map[*p4sim.Switch]map[wire.StationID]int
+	routes map[ProgrammableSwitch]map[wire.StationID]int
 	// installDelay models rule-compilation and switch-programming
 	// latency on the (out-of-band) control channel.
-	installDelay netsim.Duration
-	sim          *netsim.Sim
+	installDelay backend.Duration
+	clock        backend.Clock
 	tracer       *trace.Recorder
 
 	objects  map[oid.ID]wire.StationID
@@ -271,18 +292,18 @@ type Controller struct {
 
 // NewController creates a controller bound to ep. installDelay is the
 // time from receiving an announcement to rules being active.
-func NewController(ep *transport.Endpoint, installDelay netsim.Duration) *Controller {
+func NewController(ep *transport.Endpoint, installDelay backend.Duration) *Controller {
 	return &Controller{
 		ep:           ep,
-		routes:       make(map[*p4sim.Switch]map[wire.StationID]int),
+		routes:       make(map[ProgrammableSwitch]map[wire.StationID]int),
 		installDelay: installDelay,
-		sim:          ep.Sim(),
+		clock:        ep.Clock(),
 		objects:      make(map[oid.ID]wire.StationID),
 	}
 }
 
 // AddSwitch registers a switch the controller programs.
-func (c *Controller) AddSwitch(sw *p4sim.Switch) {
+func (c *Controller) AddSwitch(sw ProgrammableSwitch) {
 	c.switches = append(c.switches, sw)
 	if c.routes[sw] == nil {
 		c.routes[sw] = make(map[wire.StationID]int)
@@ -309,13 +330,13 @@ func (c *Controller) Objects() int { return len(c.objects) }
 // ComputeRoutes BFSes the topology from every station's host to fill
 // each switch's station routing (used both for rule installation and
 // to pre-program station tables so replies unicast).
-func (c *Controller) ComputeRoutes(net *netsim.Network, stations map[wire.StationID]netsim.Device) error {
+func (c *Controller) ComputeRoutes(net Topology, stations map[wire.StationID]backend.Device) error {
 	for _, sw := range c.switches {
 		if c.routes[sw] == nil {
 			c.routes[sw] = make(map[wire.StationID]int)
 		}
 	}
-	swSet := make(map[netsim.Device]*p4sim.Switch, len(c.switches))
+	swSet := make(map[backend.Device]ProgrammableSwitch, len(c.switches))
 	for _, sw := range c.switches {
 		swSet[sw] = sw
 	}
@@ -323,9 +344,9 @@ func (c *Controller) ComputeRoutes(net *netsim.Network, stations map[wire.Statio
 		// BFS outward from the host; the first port by which a switch
 		// is reached points back toward the host.
 		type hop struct {
-			dev netsim.Device
+			dev backend.Device
 		}
-		visited := map[netsim.Device]bool{hostDev: true}
+		visited := map[backend.Device]bool{hostDev: true}
 		queue := []hop{{hostDev}}
 		for len(queue) > 0 {
 			cur := queue[0]
@@ -438,7 +459,7 @@ func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 		c.objects[obj] = owner
 		req := *h
 		sp := c.installSpan(&req)
-		c.sim.Schedule(c.installDelay, func() {
+		c.clock.Schedule(c.installDelay, func() {
 			status := c.installObject(obj, owner)
 			sp.SetAttr("status", installStatus(status))
 			sp.End()
@@ -458,7 +479,7 @@ func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 			return true
 		}
 		sp := c.installSpan(&req)
-		c.sim.Schedule(c.installDelay, func() {
+		c.clock.Schedule(c.installDelay, func() {
 			status := c.installObject(obj, owner)
 			sp.SetAttr("status", installStatus(status))
 			sp.End()
@@ -504,7 +525,7 @@ type ControllerClient struct {
 	// next Resolve re-locates through the controller instead of
 	// trusting the fabric.
 	stale         map[oid.ID]bool
-	locateTimeout netsim.Duration
+	locateTimeout backend.Duration
 	locateRetries int
 	tracer        *trace.Recorder
 }
@@ -518,7 +539,7 @@ func NewControllerClient(ep *transport.Endpoint, controller wire.StationID) *Con
 		acked:         make(map[oid.ID]bool),
 		failed:        make(map[oid.ID]bool),
 		stale:         make(map[oid.ID]bool),
-		locateTimeout: 2 * netsim.Millisecond,
+		locateTimeout: 2 * backend.Millisecond,
 		locateRetries: 2,
 	}
 }

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/future"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// E11 (realbench): the backend-seam payoff measured. The identical
+// coherence/discovery/dataplane stack runs twice — once on the
+// deterministic simulator, once over real localhost UDP sockets on
+// wall-clock time — doing the same work: E1's warm/cold read RTTs and
+// a short E9-style Poisson load sweep. The sim-vs-real deltas bound
+// how much of the stack's measured cost is protocol (identical on
+// both sides) versus kernel socket path, syscalls, and scheduling
+// jitter (real side only).
+//
+// Methodology caveats: realnet numbers are loopback (no wire, no NIC,
+// MTU 65507), the harness serializes all upcalls on one mutex, and
+// Await wakeups add goroutine-scheduling latency to every sample —
+// treat real-side absolute values as an upper bound on protocol cost
+// over loopback, not a datacenter prediction.
+
+// RealbenchConfig configures E11.
+type RealbenchConfig struct {
+	// Seed drives population layout and the sweep generators.
+	Seed int64
+	// Accesses is the per-class (warm/cold) RTT sample count
+	// (default 400).
+	Accesses int
+	// WarmPool / ObjectSize / ReadBytes shape the population
+	// (defaults 64 / 4096 / 64).
+	WarmPool   int
+	ObjectSize int
+	ReadBytes  int
+	// SweepRates is the offered-load ladder for the short E9 sweep in
+	// ops/sec (default 2000, 8000; nil-able via Smoke).
+	SweepRates []float64
+	// Measure is each sweep point's window (default 200ms).
+	Measure netsim.Duration
+	// Smoke shrinks everything for CI (fewer samples, one rate).
+	Smoke bool
+	// CPUProfile, when non-empty, writes a pprof CPU profile of the
+	// realnet measurement (the hot path: sockets, mux, coherence) to
+	// this file.
+	CPUProfile string
+}
+
+func (c *RealbenchConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Accesses == 0 {
+		c.Accesses = 400
+	}
+	if c.WarmPool == 0 {
+		c.WarmPool = 64
+	}
+	if c.ObjectSize == 0 {
+		c.ObjectSize = 4096
+	}
+	if c.ReadBytes == 0 {
+		c.ReadBytes = 64
+	}
+	if c.SweepRates == nil {
+		c.SweepRates = []float64{2000, 8000}
+	}
+	if c.Measure == 0 {
+		c.Measure = 200 * netsim.Millisecond
+	}
+	if c.Smoke {
+		c.Accesses = 40
+		c.SweepRates = []float64{2000}
+		c.Measure = 60 * netsim.Millisecond
+	}
+}
+
+// RealbenchRow is one RTT class measured on both backends (µs).
+type RealbenchRow struct {
+	Label      string
+	SimMeanUS  float64
+	SimP99US   float64
+	RealMeanUS float64
+	RealP99US  float64
+}
+
+// DeltaMeanUS is the real-minus-sim mean RTT: the kernel path's toll.
+func (r RealbenchRow) DeltaMeanUS() float64 {
+	return r.RealMeanUS - r.SimMeanUS
+}
+
+// RealbenchSweepRow is one offered-load point on both backends.
+type RealbenchSweepRow struct {
+	RatePerSec  float64
+	SimGoodput  float64
+	RealGoodput float64
+	SimP99US    float64
+	RealP99US   float64
+}
+
+// RealbenchResult aggregates E11.
+type RealbenchResult struct {
+	Rows  []RealbenchRow
+	Sweep []RealbenchSweepRow
+}
+
+// benchSide is one backend's measurements.
+type benchSide struct {
+	warm, cold *telemetry.Histogram
+	sweep      []RealbenchSweepRow // real/sim slots filled by caller
+}
+
+// Realbench runs E11: the same measurement program on both backends.
+func Realbench(cfg RealbenchConfig) (*RealbenchResult, error) {
+	cfg.fill()
+	sim, err := realbenchSide(core.BackendSim, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("realbench sim side: %w", err)
+	}
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return nil, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	real, err := realbenchSide(core.BackendRealnet, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("realbench realnet side: %w", err)
+	}
+	res := &RealbenchResult{
+		Rows: []RealbenchRow{
+			{Label: "warm-read", SimMeanUS: sim.warm.Mean(), SimP99US: sim.warm.Quantile(0.99),
+				RealMeanUS: real.warm.Mean(), RealP99US: real.warm.Quantile(0.99)},
+			{Label: "cold-read", SimMeanUS: sim.cold.Mean(), SimP99US: sim.cold.Quantile(0.99),
+				RealMeanUS: real.cold.Mean(), RealP99US: real.cold.Quantile(0.99)},
+		},
+	}
+	for i, rate := range cfg.SweepRates {
+		res.Sweep = append(res.Sweep, RealbenchSweepRow{
+			RatePerSec:  rate,
+			SimGoodput:  sim.sweep[i].SimGoodput,
+			SimP99US:    sim.sweep[i].SimP99US,
+			RealGoodput: real.sweep[i].RealGoodput,
+			RealP99US:   real.sweep[i].RealP99US,
+		})
+	}
+	return res, nil
+}
+
+// realbenchSide runs the whole measurement program on one backend
+// through the backend-neutral API only: futures, Await, Exec, the
+// cluster clock. The two sides differ in a single Config field.
+func realbenchSide(bk core.BackendKind, cfg RealbenchConfig) (*benchSide, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	cl, err := core.NewCluster(core.Config{
+		Backend: bk,
+		Seed:    cfg.Seed,
+		Scheme:  core.SchemeE2E,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	tgt, err := workload.NewClusterTarget(cl, workload.ClusterConfig{
+		WarmPool:   cfg.WarmPool,
+		ColdPool:   cfg.Accesses,
+		ObjectSize: cfg.ObjectSize,
+		IOSize:     cfg.ReadBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tgt.WarmCtx(ctx); err != nil {
+		return nil, err
+	}
+
+	side := &benchSide{warm: telemetry.NewHistogram(), cold: telemetry.NewHistogram()}
+
+	// E1: sequential closed-loop RTTs, one outstanding op, measured on
+	// the cluster clock (virtual or wall).
+	measure := func(op workload.Op, hist *telemetry.Histogram) error {
+		var f *future.Future[struct{}]
+		var start netsim.Time
+		cl.Exec(func() {
+			var complete func(struct{}, error)
+			f, complete = future.New[struct{}]()
+			start = cl.Clock.Now()
+			tgt.Issue(op, func(err error) { complete(struct{}{}, err) })
+		})
+		if _, err := core.Await(ctx, cl, f); err != nil {
+			return err
+		}
+		hist.Observe(cl.Clock.Now().Sub(start).Microseconds())
+		return nil
+	}
+	for i := 0; i < cfg.Accesses; i++ {
+		if err := measure(workload.Op{Kind: workload.OpRead, Key: i}, side.warm); err != nil {
+			return nil, fmt.Errorf("warm read %d: %w", i, err)
+		}
+	}
+	for i := 0; i < cfg.Accesses; i++ {
+		if err := measure(workload.Op{Kind: workload.OpRead, Cold: true, Key: i}, side.cold); err != nil {
+			return nil, fmt.Errorf("cold read %d: %w", i, err)
+		}
+	}
+
+	// Short E9 sweep: Poisson arrivals at each rate, reads only.
+	const warmup = 20 * netsim.Millisecond
+	for i, rate := range cfg.SweepRates {
+		run := workload.New(cl.Clock, tgt, workload.Config{
+			Seed:           cfg.Seed + int64(i+1)*101,
+			Arrival:        workload.ArrivalConfig{Kind: workload.ArrivalPoisson, RatePerSec: rate},
+			Mix:            workload.Mix{ReadPct: 100},
+			Warmup:         warmup,
+			Measure:        cfg.Measure,
+			MaxOutstanding: 64,
+		})
+		cl.Exec(run.Start)
+		if bk == core.BackendSim {
+			cl.Run()
+		} else {
+			// Sleep out the window plus a drain margin; in-flight ops
+			// complete underneath.
+			cl.RunFor(warmup + cfg.Measure + 100*netsim.Millisecond)
+		}
+		var res workload.Result
+		cl.Exec(func() { res = run.Result() })
+		side.sweep = append(side.sweep, RealbenchSweepRow{
+			RatePerSec:  rate,
+			SimGoodput:  res.GoodputPerSec(),
+			RealGoodput: res.GoodputPerSec(),
+			SimP99US:    res.Latency.P99,
+			RealP99US:   res.Latency.P99,
+		})
+	}
+	return side, nil
+}

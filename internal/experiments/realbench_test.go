@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestRealbenchSmoke runs E11 end to end in smoke mode: both backends,
+// warm+cold RTT classes, one sweep point. Realnet wall-clock numbers
+// are noisy, so assertions are structural (samples exist, goodput is
+// positive) with only very generous sanity bounds.
+func TestRealbenchSmoke(t *testing.T) {
+	res, err := Realbench(RealbenchConfig{Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.SimMeanUS <= 0 || r.RealMeanUS <= 0 {
+			t.Errorf("%s: non-positive mean RTT: sim %.1f real %.1f",
+				r.Label, r.SimMeanUS, r.RealMeanUS)
+		}
+		if r.SimP99US < r.SimMeanUS*0.5 || r.RealP99US < r.RealMeanUS*0.5 {
+			t.Errorf("%s: p99 below half the mean: %+v", r.Label, r)
+		}
+	}
+	if len(res.Sweep) != 1 {
+		t.Fatalf("sweep rows = %d, want 1", len(res.Sweep))
+	}
+	sw := res.Sweep[0]
+	if sw.SimGoodput <= 0 || sw.RealGoodput <= 0 {
+		t.Errorf("non-positive goodput: %+v", sw)
+	}
+}

@@ -206,7 +206,14 @@ type Injector struct {
 }
 
 // NewInjector creates an injector for c. Arm schedules the script.
+// Fault injection is sim-only: it crashes simulated hosts, forces
+// link state, and wipes simulated switch tables — none of which exist
+// under the realnet backend, so a realnet cluster is refused loudly
+// here rather than nil-panicking at Arm time.
 func NewInjector(c *core.Cluster, cfg Config) *Injector {
+	if c.Sim == nil || c.Net == nil {
+		panic("fault: injection is sim-only (crashes, link state, and table wipes act on the simulated network); use a BackendSim cluster")
+	}
 	cfg.fill()
 	return &Injector{cluster: c, cfg: cfg}
 }

@@ -1,33 +1,47 @@
 // Package future provides the promise half of the repo's async APIs:
-// a single-threaded Future[T] resolved by the discrete-event
-// simulation. It sits below core so that any layer with a callback
-// API (coherence, rpc, core) can return futures without an import
-// cycle.
+// a Future[T] resolved by whichever backend the stack runs on. It
+// sits below core so that any layer with a callback API (coherence,
+// rpc, core) can return futures without an import cycle.
+//
+// Futures are safe for concurrent use: under the simulator everything
+// is single-threaded and the locking is uncontended overhead, but
+// under the realnet backend completions arrive from reader-goroutine
+// upcalls while a harness goroutine blocks in Await.
 package future
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // ErrNotReady reports that a future's Result was read before the
-// simulation resolved it.
+// backend resolved it.
 var ErrNotReady = errors.New("future: not resolved yet")
 
 // Future is a promise-style handle on an asynchronous result: the
-// value-returning alternative to the cb(...) continuation forms. The
-// simulation is single-threaded on a virtual clock, so a Future never
-// blocks — it resolves during Cluster.Run (or any Sim.Run variant),
-// and Result is read afterwards:
+// value-returning alternative to the cb(...) continuation forms.
+//
+// Under the simulator a Future never blocks — it resolves during
+// Cluster.Run (or any Sim.Run variant), and Result is read
+// afterwards:
 //
 //	f := node.Coherence.AcquireShared(obj)
 //	cluster.Run()
 //	o, err := f.Result()
 //
-// Then chains work onto resolution without waiting for it, mirroring
-// the continuation style when composition is needed.
+// Under a wall-clock backend there is no "run until quiet" to lean
+// on; Await blocks the calling goroutine until resolution, a context
+// deadline, or cancellation. Then chains work onto resolution without
+// waiting for it, mirroring the continuation style when composition
+// is needed.
 type Future[T any] struct {
-	done bool
-	val  T
-	err  error
-	subs []func(T, error)
+	mu    sync.Mutex
+	done  bool
+	val   T
+	err   error
+	subs  []func(T, error)
+	ready chan struct{} // lazily made by the first Await
 }
 
 // New creates an unresolved future and the completion function that
@@ -46,25 +60,39 @@ func Resolved[T any](v T, err error) *Future[T] {
 }
 
 func (f *Future[T]) complete(v T, err error) {
+	f.mu.Lock()
 	if f.done {
+		f.mu.Unlock()
 		return
 	}
 	f.done = true
 	f.val, f.err = v, err
 	subs := f.subs
 	f.subs = nil
+	if f.ready != nil {
+		close(f.ready)
+	}
+	// Callbacks run outside the lock so a subscriber may chain another
+	// Then (or Await) on this same future without self-deadlocking.
+	f.mu.Unlock()
 	for _, fn := range subs {
 		fn(v, err)
 	}
 }
 
 // Done reports whether the future has resolved.
-func (f *Future[T]) Done() bool { return f.done }
+func (f *Future[T]) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
 
 // Result returns the resolved value or error. Reading before
 // resolution returns ErrNotReady (with a zero value): run the
-// simulation first.
+// simulation (or Await) first.
 func (f *Future[T]) Result() (T, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if !f.done {
 		var zero T
 		return zero, ErrNotReady
@@ -85,6 +113,8 @@ func (f *Future[T]) MustResult() T {
 // Err returns the resolution error: ErrNotReady before resolution,
 // then whatever the operation produced (nil on success).
 func (f *Future[T]) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if !f.done {
 		return ErrNotReady
 	}
@@ -94,10 +124,46 @@ func (f *Future[T]) Err() error {
 // Then runs fn when the future resolves (immediately if it already
 // has). Multiple callbacks run in registration order.
 func (f *Future[T]) Then(fn func(T, error)) *Future[T] {
+	f.mu.Lock()
 	if f.done {
-		fn(f.val, f.err)
+		v, err := f.val, f.err
+		f.mu.Unlock()
+		fn(v, err)
 		return f
 	}
 	f.subs = append(f.subs, fn)
+	f.mu.Unlock()
 	return f
+}
+
+// Await blocks until the future resolves or ctx ends, returning the
+// resolution (or ctx.Err with a zero value). This is the wall-clock
+// waiting primitive: completions arrive from another goroutine's
+// upcall. Under the simulator nothing advances the clock while a bare
+// Await blocks — use core.Await, which pumps the event loop.
+func (f *Future[T]) Await(ctx context.Context) (T, error) {
+	f.mu.Lock()
+	if f.done {
+		v, err := f.val, f.err
+		f.mu.Unlock()
+		return v, err
+	}
+	if f.ready == nil {
+		f.ready = make(chan struct{})
+	}
+	ch := f.ready
+	f.mu.Unlock()
+	select {
+	case <-ch:
+		return f.Result()
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// Wait is Await without cancellation — the legacy blocking form, kept
+// as a shim. Prefer Await with a context carrying a deadline.
+func (f *Future[T]) Wait() (T, error) {
+	return f.Await(context.Background())
 }

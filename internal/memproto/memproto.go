@@ -235,6 +235,21 @@ func (m *Msg) Unmarshal(b []byte) error {
 	return nil
 }
 
+// FragDataFor returns the largest fragment Data length whose encoded
+// message fits in frameMax bytes (the room a link leaves for the
+// memproto payload after the GASP header). Results are clamped to
+// [1, MaxFragData].
+func FragDataFor(frameMax int) int {
+	n := frameMax - headerSize
+	if n > MaxFragData {
+		return MaxFragData
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 // MaxFragData is the largest Data slice that fits a single GASP frame
 // alongside this header.
 const MaxFragData = 64*1024 - headerSize

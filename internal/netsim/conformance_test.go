@@ -1,0 +1,38 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/backend/conformance"
+	"repro/internal/netsim"
+)
+
+// TestBackendConformance runs the shared backend contract suite
+// against the simulator: two hosts on a direct link with the default
+// sim-scale latency.
+func TestBackendConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.Fixture {
+		sim := netsim.NewSim(1)
+		net := netsim.NewNetwork(sim)
+		a, err := netsim.NewHost(net, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := netsim.NewHost(net, "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Connect(a, 0, b, 0, netsim.LinkConfig{
+			Latency:    2 * netsim.Microsecond,
+			BitsPerSec: 10_000_000_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return &conformance.Fixture{
+			A: a, B: b,
+			StA: 1, StB: 2,
+			Settle: func(d backend.Duration) { sim.RunFor(d) },
+		}
+	})
+}

@@ -3,37 +3,32 @@ package netsim
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/backend"
 )
 
-// Frame is a raw layer-2 frame. Frames cross links as bytes — devices
-// must parse them — so serialization costs are honest.
+// Frame is a raw layer-2 frame (alias of the backend seam's Frame).
+// Frames cross links as bytes — devices must parse them — so
+// serialization costs are honest.
 //
 // Frames pass through the network zero-copy: once handed to Send the
 // bytes are shared by every in-flight hop and must not be mutated.
 // Receivers borrow the frame for the duration of Recv; anything kept
 // longer must be copied (or retained, for pooled frames — see
 // FrameBuffer).
-type Frame []byte
+type Frame = backend.Frame
 
-// Device is anything attachable to the network: a host NIC or a switch.
-// Recv is called synchronously from the event loop when a frame arrives
-// on one of the device's ports.
-type Device interface {
-	// DevName identifies the device in traces.
-	DevName() string
-	// Recv handles a frame arriving on local port index port.
-	Recv(port int, fr Frame)
-}
+// Device is anything attachable to the network: a host NIC or a switch
+// (alias of backend.Device). Recv is called synchronously from the
+// event loop when a frame arrives on one of the device's ports.
+type Device = backend.Device
 
 // FrameBuffer is implemented by recyclable frame buffers (see
-// internal/dataplane). SendBuf consumes one reference per call: the
-// network releases it when the frame is dropped, or after the final
-// delivery upcall returns, so a buffer returns to its pool only after
-// its last in-flight hop.
-type FrameBuffer interface {
-	Retain()
-	Release()
-}
+// internal/dataplane; alias of backend.FrameBuffer). SendBuf consumes
+// one reference per call: the network releases it when the frame is
+// dropped, or after the final delivery upcall returns, so a buffer
+// returns to its pool only after its last in-flight hop.
+type FrameBuffer = backend.FrameBuffer
 
 // BufReceiver is a Device that participates in buffer ownership:
 // when a frame carries a FrameBuffer, RecvBuf is called instead of
@@ -74,13 +69,9 @@ type link struct {
 	down bool
 }
 
-// Stats aggregates network-wide frame counters.
-type Stats struct {
-	FramesSent      uint64
-	FramesDelivered uint64
-	FramesDropped   uint64
-	BytesDelivered  uint64
-}
+// Stats aggregates network-wide frame counters (alias of
+// backend.NetStats so both backends report one shape).
+type Stats = backend.NetStats
 
 // TraceFunc observes every frame delivery attempt.
 type TraceFunc func(ev TraceEvent)
@@ -448,3 +439,20 @@ func (h *Host) SendBuf(fr Frame, buf FrameBuffer) { h.net.SendBuf(h, 0, fr, buf)
 
 // Network returns the network the host is attached to.
 func (h *Host) Network() *Network { return h.net }
+
+// SetOnFrame implements backend.Link by installing the receive upcall.
+func (h *Host) SetOnFrame(fn func(fr Frame)) { h.OnFrame = fn }
+
+// Clock implements backend.Link: a sim host's timers run on the
+// simulator's virtual clock.
+func (h *Host) Clock() backend.Clock { return h.net.sim }
+
+// Exec implements backend.Link. The simulation is single-threaded and
+// Exec is only legal from outside the event context, so fn runs
+// inline.
+func (h *Host) Exec(fn func()) { fn() }
+
+// MTU implements backend.Link: simulated links carry frames of any
+// size in one piece. Returning 0 (no limit) keeps fragment sizing —
+// and with it every seeded run — bit-identical to the pre-seam code.
+func (h *Host) MTU() int { return 0 }

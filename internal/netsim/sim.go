@@ -9,35 +9,27 @@
 package netsim
 
 import (
-	"fmt"
 	"math/rand"
+
+	"repro/internal/backend"
 )
 
 // Time is a virtual timestamp in nanoseconds since simulation start.
-type Time int64
+// It is an alias for the backend seam's Time so values flow across
+// the interface without conversion.
+type Time = backend.Time
 
-// Duration is a span of virtual time in nanoseconds.
-type Duration int64
+// Duration is a span of virtual time in nanoseconds (alias of the
+// backend seam's Duration).
+type Duration = backend.Duration
 
-// Convenient duration units.
+// Convenient duration units, re-exported from the backend seam.
 const (
-	Nanosecond  Duration = 1
-	Microsecond Duration = 1000 * Nanosecond
-	Millisecond Duration = 1000 * Microsecond
-	Second      Duration = 1000 * Millisecond
+	Nanosecond  = backend.Nanosecond
+	Microsecond = backend.Microsecond
+	Millisecond = backend.Millisecond
+	Second      = backend.Second
 )
-
-// Add offsets a Time by a Duration.
-func (t Time) Add(d Duration) Time { return t + Time(d) }
-
-// Sub returns the Duration between two Times.
-func (t Time) Sub(u Time) Duration { return Duration(t - u) }
-
-// Microseconds returns d in (possibly fractional) microseconds.
-func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
-
-// String formats the duration in microseconds for harness output.
-func (d Duration) String() string { return fmt.Sprintf("%.2fµs", d.Microseconds()) }
 
 // event is one queued occurrence. Events are stored by value in the
 // heap so the steady-state event flow allocates nothing; the two
@@ -182,8 +174,10 @@ func (t *Timer) Stop() bool {
 	return !was
 }
 
-// AfterFunc schedules fn after d and returns a Timer that can cancel it.
-func (s *Sim) AfterFunc(d Duration, fn func()) *Timer {
+// AfterFunc schedules fn after d and returns a Timer that can cancel
+// it. The concrete type is *netsim.Timer; the backend.Timer return
+// type is what lets *Sim satisfy backend.Clock.
+func (s *Sim) AfterFunc(d Duration, fn func()) backend.Timer {
 	t := &Timer{}
 	s.Schedule(d, func() {
 		if !t.stopped {
@@ -222,6 +216,18 @@ func (s *Sim) RunFor(d Duration) uint64 { return s.RunUntil(s.now.Add(d)) }
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return s.events.Len() }
+
+// Step processes the single earliest pending event, reporting whether
+// one existed. It is the primitive core.Await pumps while blocking on
+// a future under the sim backend: progress one event at a time until
+// the future resolves, without draining unrelated work.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	s.step()
+	return true
+}
 
 func (s *Sim) step() {
 	e := s.pop()

@@ -1,0 +1,35 @@
+package realnet_test
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/backend/conformance"
+	"repro/internal/realnet"
+)
+
+// TestBackendConformance runs the shared backend contract suite over
+// real loopback UDP sockets: the same FIFO, refcount, and timer
+// guarantees the simulator provides, now under the race detector with
+// genuine reader-goroutine concurrency.
+func TestBackendConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) *conformance.Fixture {
+		rn := realnet.NewCluster()
+		a, err := rn.NewLink("a", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rn.NewLink("b", 2)
+		if err != nil {
+			rn.Close()
+			t.Fatal(err)
+		}
+		rn.Start()
+		return &conformance.Fixture{
+			A: a, B: b,
+			StA: 1, StB: 2,
+			Settle: func(d backend.Duration) { rn.Sleep(d) },
+			Close:  func() { rn.Close() },
+		}
+	})
+}

@@ -15,7 +15,7 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/netsim"
+	"repro/internal/backend"
 	"repro/internal/serde"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -329,7 +329,7 @@ func (c *Client) Call(dst wire.StationID, method string, args []byte, cb func([]
 // CallWithTimeout is Call with an explicit response deadline (0 scales
 // the default with argument size).
 func (c *Client) CallWithTimeout(dst wire.StationID, method string, args []byte,
-	timeout netsim.Duration, cb func([]byte, error)) {
+	timeout backend.Duration, cb func([]byte, error)) {
 	c.CallCtx(dst, method, args, timeout, trace.Ctx{}, cb)
 }
 
@@ -338,7 +338,7 @@ func (c *Client) CallWithTimeout(dst wire.StationID, method string, args []byte,
 // Invoke's RPC leg nests inside the invoke root); a zero tc makes the
 // call its own sampled root.
 func (c *Client) CallCtx(dst wire.StationID, method string, args []byte,
-	timeout netsim.Duration, tc trace.Ctx, cb func([]byte, error)) {
+	timeout backend.Duration, tc trace.Ctx, cb func([]byte, error)) {
 
 	var sp *trace.Span
 	if tc.Traced() {
@@ -409,8 +409,8 @@ func (c *Client) CallCtx(dst wire.StationID, method string, args []byte,
 
 // requestTimeoutFor scales the request deadline with transfer size so
 // chunked megabyte calls do not spuriously time out.
-func requestTimeoutFor(n int) netsim.Duration {
-	base := 20 * netsim.Millisecond
-	per := netsim.Duration(n/chunkData) * 5 * netsim.Millisecond
+func requestTimeoutFor(n int) backend.Duration {
+	base := 20 * backend.Millisecond
+	per := backend.Duration(n/chunkData) * 5 * backend.Millisecond
 	return base + per
 }

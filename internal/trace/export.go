@@ -7,7 +7,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/netsim"
+	"repro/internal/backend"
 )
 
 // chromeEvent is one Chrome trace-event ("X" complete events), the
@@ -156,7 +156,7 @@ func WriteTree(w io.Writer, spans []*Span, traceID uint64) {
 // span kind.
 type BreakdownRow struct {
 	Label string
-	Dur   netsim.Duration
+	Dur   backend.Duration
 	Pct   float64
 	Count int // spans of this kind inside the root interval
 }
@@ -195,7 +195,7 @@ func Breakdown(spans []*Span, root *Span) []BreakdownRow {
 	}
 
 	// Boundary sweep over the elementary intervals inside the root.
-	cuts := []netsim.Time{root.Start, root.Finish}
+	cuts := []backend.Time{root.Start, root.Finish}
 	for _, a := range within {
 		if a.s.Start > root.Start && a.s.Start < root.Finish {
 			cuts = append(cuts, a.s.Start)
@@ -206,8 +206,8 @@ func Breakdown(spans []*Span, root *Span) []BreakdownRow {
 	}
 	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
 
-	attributed := make([]netsim.Duration, numKinds)
-	var host netsim.Duration
+	attributed := make([]backend.Duration, numKinds)
+	var host backend.Duration
 	for i := 0; i+1 < len(cuts); i++ {
 		lo, hi := cuts[i], cuts[i+1]
 		if hi <= lo {
@@ -230,7 +230,7 @@ func Breakdown(spans []*Span, root *Span) []BreakdownRow {
 	}
 
 	total := root.Duration()
-	pct := func(d netsim.Duration) float64 {
+	pct := func(d backend.Duration) float64 {
 		if total == 0 {
 			return 0
 		}

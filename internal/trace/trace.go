@@ -1,5 +1,5 @@
 // Package trace is the causal, cross-hop tracing substrate: spans
-// recorded against the netsim virtual clock, with trace context
+// recorded against the backend clock, with trace context
 // carried in the GASP wire header (wire.FlagTraced + the 24-byte
 // header extension) so a single operation's span tree covers
 // transport sends, every switch hop, link traversal, retransmissions,
@@ -16,7 +16,7 @@
 package trace
 
 import (
-	"repro/internal/netsim"
+	"repro/internal/backend"
 	"repro/internal/wire"
 )
 
@@ -82,8 +82,8 @@ type Span struct {
 	Parent uint64
 	Kind   Kind
 	Name   string
-	Start  netsim.Time
-	Finish netsim.Time
+	Start  backend.Time
+	Finish backend.Time
 	Attrs  []Attr
 
 	rec  *Recorder
@@ -125,7 +125,7 @@ func (c Ctx) Inject(h *wire.Header) {
 // Recorder collects spans for one cluster. A nil *Recorder is valid
 // and records nothing.
 type Recorder struct {
-	sim     *netsim.Sim
+	clock   backend.Clock
 	cfg     Config
 	nextID  uint64
 	ops     uint64 // root-operation counter for sampling
@@ -136,21 +136,21 @@ type Recorder struct {
 // NewRecorder builds a recorder reading time from sim. Returns nil
 // when cfg disables sampling, so wiring code can treat "tracing off"
 // and "no recorder" identically.
-func NewRecorder(sim *netsim.Sim, cfg Config) *Recorder {
+func NewRecorder(clock backend.Clock, cfg Config) *Recorder {
 	if cfg.SampleEvery <= 0 {
 		return nil
 	}
 	if cfg.MaxSpans <= 0 {
 		cfg.MaxSpans = DefaultMaxSpans
 	}
-	return &Recorder{sim: sim, cfg: cfg}
+	return &Recorder{clock: clock, cfg: cfg}
 }
 
 // Enabled reports whether the recorder records anything.
 func (r *Recorder) Enabled() bool { return r != nil }
 
 // now reads the virtual clock.
-func (r *Recorder) now() netsim.Time { return r.sim.Now() }
+func (r *Recorder) now() backend.Time { return r.clock.Now() }
 
 // alloc registers a span, honoring the retention bound.
 func (r *Recorder) alloc(s *Span) *Span {
@@ -200,7 +200,7 @@ func (r *Recorder) StartSpan(ctx Ctx, kind Kind, name string) *Span {
 // StartSpanAt is StartSpan with an explicit start time, for hops
 // whose interval is known analytically (link occupancy, pipeline
 // delay) rather than bracketed by callbacks.
-func (r *Recorder) StartSpanAt(ctx Ctx, kind Kind, name string, start netsim.Time) *Span {
+func (r *Recorder) StartSpanAt(ctx Ctx, kind Kind, name string, start backend.Time) *Span {
 	s := r.StartSpan(ctx, kind, name)
 	if s != nil {
 		s.Start = start
@@ -243,15 +243,16 @@ func (r *Recorder) Reset() {
 	r.dropped = 0
 }
 
-// LinkHook returns a netsim frame hook recording a link-traversal
+// LinkHook returns a frame-span hook recording a link-traversal
 // span for every traced frame, decomposed into queueing, serialization
 // and propagation time via attributes. Install with
 // Network.SetFrameSpanHook.
-func (r *Recorder) LinkHook() netsim.FrameSpanHook {
+func (r *Recorder) LinkHook() func(from, to string, fr backend.Frame,
+	sent, arrival backend.Time, queued, tx backend.Duration, dropped bool) {
 	if r == nil {
 		return nil
 	}
-	return func(from, to string, fr netsim.Frame, sent, arrival netsim.Time, queued, tx netsim.Duration, dropped bool) {
+	return func(from, to string, fr backend.Frame, sent, arrival backend.Time, queued, tx backend.Duration, dropped bool) {
 		traceID, spanID, _, ok := wire.TraceContext(fr)
 		if !ok {
 			return
@@ -291,7 +292,7 @@ func (s *Span) End() {
 }
 
 // EndAt closes the span at an explicit time.
-func (s *Span) EndAt(t netsim.Time) {
+func (s *Span) EndAt(t backend.Time) {
 	if s == nil || !s.open {
 		return
 	}
@@ -308,7 +309,7 @@ func (s *Span) SetAttr(key, val string) {
 }
 
 // Duration returns Finish - Start (zero for nil or open spans).
-func (s *Span) Duration() netsim.Duration {
+func (s *Span) Duration() backend.Duration {
 	if s == nil || s.open {
 		return 0
 	}

@@ -11,15 +11,17 @@
 //   - request/response matching: a request's sequence number routes the
 //     response back to a callback, with an overall timeout.
 //
-// Everything runs on the simulator's virtual clock.
+// Everything runs on the backend seam's clock — virtual under the
+// simulator, wall time under realnet — with no direct dependency on
+// either implementation.
 package transport
 
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/dataplane"
 	"repro/internal/gasperr"
-	"repro/internal/netsim"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -39,11 +41,11 @@ type Config struct {
 	// retransmission multiplies the deadline by Backoff, up to
 	// MaxRetransmitTimeout. Large frames extend every deadline by
 	// PerByteTimeout each.
-	RetransmitTimeout netsim.Duration
+	RetransmitTimeout backend.Duration
 	// PerByteTimeout scales the ack deadline with frame size so jumbo
 	// frames are not retransmitted while still serializing (default
 	// 10ns/byte ≈ a conservative 0.8 Gb/s path).
-	PerByteTimeout netsim.Duration
+	PerByteTimeout backend.Duration
 	// Backoff is the multiplier applied to the retransmit interval
 	// after every unacknowledged attempt (default 2.0; use 1 for a
 	// constant interval).
@@ -51,23 +53,23 @@ type Config struct {
 	// MaxRetransmitTimeout caps the backed-off interval so a long
 	// outage doesn't push probes arbitrarily far apart (default 16×
 	// the initial interval).
-	MaxRetransmitTimeout netsim.Duration
+	MaxRetransmitTimeout backend.Duration
 	// RetryBudget bounds the total time a reliable frame may spend
 	// unacknowledged, replacing the old fixed retry count. Once the
 	// budget elapses the frame fails with ErrRetriesOut (default 5ms,
 	// which fits five attempts of the default backoff schedule).
-	RetryBudget netsim.Duration
+	RetryBudget backend.Duration
 	// RequestTimeout is the default request/response deadline
 	// (default 5ms).
-	RequestTimeout netsim.Duration
+	RequestTimeout backend.Duration
 }
 
 func (c *Config) fill() {
 	if c.RetransmitTimeout == 0 {
-		c.RetransmitTimeout = 200 * netsim.Microsecond
+		c.RetransmitTimeout = 200 * backend.Microsecond
 	}
 	if c.PerByteTimeout == 0 {
-		c.PerByteTimeout = 10 * netsim.Nanosecond
+		c.PerByteTimeout = 10 * backend.Nanosecond
 	}
 	if c.Backoff < 1 {
 		c.Backoff = 2.0
@@ -76,10 +78,10 @@ func (c *Config) fill() {
 		c.MaxRetransmitTimeout = 16 * c.RetransmitTimeout
 	}
 	if c.RetryBudget == 0 {
-		c.RetryBudget = 5 * netsim.Millisecond
+		c.RetryBudget = 5 * backend.Millisecond
 	}
 	if c.RequestTimeout == 0 {
-		c.RequestTimeout = 5 * netsim.Millisecond
+		c.RequestTimeout = 5 * backend.Millisecond
 	}
 }
 
@@ -107,18 +109,18 @@ type Counters struct {
 type Handler func(h *wire.Header, payload []byte)
 
 type pendingFrame struct {
-	frame    netsim.Frame
+	frame    backend.Frame
 	buf      *dataplane.Buf // reference held until acked or retried out
 	retries  int
-	interval netsim.Duration // current backed-off retransmit interval
-	deadline netsim.Time     // first-send time + RetryBudget
-	timer    *netsim.Timer
+	interval backend.Duration // current backed-off retransmit interval
+	deadline backend.Time     // first-send time + RetryBudget
+	timer    backend.Timer
 	done     func(error)
 	span     *trace.Span // send span, open until acked or retried out
 }
 
 type pendingReq struct {
-	timer *netsim.Timer
+	timer backend.Timer
 	cb    func(*wire.Header, []byte, error)
 }
 
@@ -129,10 +131,10 @@ type dedupKey struct {
 
 const dedupCapacity = 8192
 
-// Endpoint is a station's transport instance bound to a netsim host.
+// Endpoint is a station's transport instance bound to a backend link.
 type Endpoint struct {
-	sim     *netsim.Sim
-	host    *netsim.Host
+	clock   backend.Clock
+	link    backend.Link
 	station wire.StationID
 	cfg     Config
 
@@ -152,13 +154,13 @@ type Endpoint struct {
 	counters Counters
 }
 
-// NewEndpoint binds a transport endpoint to host, claiming its OnFrame
-// callback.
-func NewEndpoint(host *netsim.Host, station wire.StationID, cfg Config) *Endpoint {
+// NewEndpoint binds a transport endpoint to a backend link, claiming
+// its receive upcall.
+func NewEndpoint(link backend.Link, station wire.StationID, cfg Config) *Endpoint {
 	cfg.fill()
 	e := &Endpoint{
-		sim:      host.Network().Sim(),
-		host:     host,
+		clock:    link.Clock(),
+		link:     link,
 		station:  station,
 		cfg:      cfg,
 		mux:      dataplane.NewMux(),
@@ -167,15 +169,23 @@ func NewEndpoint(host *netsim.Host, station wire.StationID, cfg Config) *Endpoin
 		seen:     make(map[dedupKey]struct{}, dedupCapacity),
 		seenRing: make([]dedupKey, dedupCapacity),
 	}
-	host.OnFrame = e.onFrame
+	link.SetOnFrame(e.onFrame)
 	return e
 }
 
 // Station returns the endpoint's station ID.
 func (e *Endpoint) Station() wire.StationID { return e.station }
 
-// Sim returns the clock the endpoint runs on.
-func (e *Endpoint) Sim() *netsim.Sim { return e.sim }
+// Clock returns the clock the endpoint runs on.
+func (e *Endpoint) Clock() backend.Clock { return e.clock }
+
+// Link returns the backend link the endpoint is bound to.
+func (e *Endpoint) Link() backend.Link { return e.link }
+
+// MTU returns the largest frame the endpoint's link carries in one
+// piece (0 = no limit). Layers that fragment large transfers size
+// their fragments to it.
+func (e *Endpoint) MTU() int { return e.link.MTU() }
 
 // Counters returns a copy of the endpoint statistics.
 func (e *Endpoint) Counters() Counters { return e.counters }
@@ -252,7 +262,7 @@ func (e *Endpoint) Send(h wire.Header, payload []byte) (uint64, error) {
 		e.counters.Broadcasts++
 	}
 	e.counters.FramesSent++
-	e.host.SendBuf(buf.Bytes(), buf)
+	e.link.SendBuf(buf.Bytes(), buf)
 	// Fire and forget: the send span marks the handoff instant.
 	sp.End()
 	return h.Seq, nil
@@ -278,7 +288,7 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 		frame:    buf.Bytes(),
 		buf:      buf,
 		interval: e.cfg.RetransmitTimeout,
-		deadline: e.sim.Now().Add(e.cfg.RetryBudget),
+		deadline: e.clock.Now().Add(e.cfg.RetryBudget),
 		done:     done,
 		span:     sp,
 	}
@@ -288,7 +298,7 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 	// The pending entry keeps the caller's reference for retransmission;
 	// each SendBuf consumes one of its own.
 	buf.Retain()
-	e.host.SendBuf(p.frame, buf)
+	e.link.SendBuf(p.frame, buf)
 	e.armRetransmit(h.Seq, p)
 	return h.Seq, nil
 }
@@ -297,12 +307,12 @@ func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
 	// The wait covers this frame's own serialization plus the unacked
 	// bytes already queued ahead of it.
 	wait := p.interval +
-		netsim.Duration(len(p.frame)+e.inflightBytes)*e.cfg.PerByteTimeout
-	p.timer = e.sim.AfterFunc(wait, func() {
+		backend.Duration(len(p.frame)+e.inflightBytes)*e.cfg.PerByteTimeout
+	p.timer = e.clock.AfterFunc(wait, func() {
 		if _, live := e.pending[seq]; !live {
 			return
 		}
-		if e.sim.Now() >= p.deadline {
+		if e.clock.Now() >= p.deadline {
 			delete(e.pending, seq)
 			e.inflightBytes -= len(p.frame)
 			done := p.done
@@ -323,9 +333,9 @@ func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
 				fmt.Sprintf("rtx#%d", p.retries))
 		}
 		p.buf.Retain()
-		e.host.SendBuf(p.frame, p.buf)
+		e.link.SendBuf(p.frame, p.buf)
 		// Exponential backoff: widen the probe interval up to the cap.
-		p.interval = netsim.Duration(float64(p.interval) * e.cfg.Backoff)
+		p.interval = backend.Duration(float64(p.interval) * e.cfg.Backoff)
 		if p.interval > e.cfg.MaxRetransmitTimeout {
 			p.interval = e.cfg.MaxRetransmitTimeout
 		}
@@ -336,7 +346,7 @@ func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
 // Request sends a (reliable) request and routes the matching response
 // (FlagResponse with Ack == request seq) to cb. timeout 0 selects the
 // configured default. cb receives ErrTimeout if no response arrives.
-func (e *Endpoint) Request(h wire.Header, payload []byte, timeout netsim.Duration,
+func (e *Endpoint) Request(h wire.Header, payload []byte, timeout backend.Duration,
 	cb func(resp *wire.Header, payload []byte, err error)) (uint64, error) {
 
 	if timeout == 0 {
@@ -354,7 +364,7 @@ func (e *Endpoint) Request(h wire.Header, payload []byte, timeout netsim.Duratio
 	}
 	e.counters.RequestsSent++
 	req := &pendingReq{cb: cb}
-	req.timer = e.sim.AfterFunc(timeout, func() {
+	req.timer = e.clock.AfterFunc(timeout, func() {
 		if _, live := e.requests[seq]; !live {
 			return
 		}
@@ -387,7 +397,7 @@ func (e *Endpoint) Respond(req *wire.Header, h wire.Header, payload []byte) erro
 }
 
 // onFrame is the receive path.
-func (e *Endpoint) onFrame(fr netsim.Frame) {
+func (e *Endpoint) onFrame(fr backend.Frame) {
 	var h wire.Header
 	if err := h.DecodeFrom(fr); err != nil {
 		e.counters.ParseDrops++
@@ -428,7 +438,7 @@ func (e *Endpoint) onFrame(fr netsim.Frame) {
 		ack := wire.Header{Type: wire.MsgAck, Src: e.station, Dst: h.Src, Ack: h.Seq}
 		if buf, err := dataplane.EncodeFrame(&ack, nil); err == nil {
 			e.counters.AcksSent++
-			e.host.SendBuf(buf.Bytes(), buf)
+			e.link.SendBuf(buf.Bytes(), buf)
 		}
 	}
 

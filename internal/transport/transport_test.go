@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/gasperr"
 	"repro/internal/netsim"
 	"repro/internal/wire"
@@ -277,7 +278,7 @@ func TestCountersReset(t *testing.T) {
 	if a.Counters() != (Counters{}) {
 		t.Fatal("ResetCounters")
 	}
-	if a.Station() != 1 || a.Sim() != sim {
+	if a.Station() != 1 || a.Clock() != backend.Clock(sim) {
 		t.Fatal("accessors")
 	}
 }

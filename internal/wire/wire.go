@@ -333,6 +333,17 @@ func Payload(fr []byte) []byte {
 	return fr[hdrLen:end]
 }
 
+// PeekDst extracts the destination station from a frame without a
+// full header decode — the per-frame fast path a backend uses to route
+// (the realnet UDP backend picks the peer socket from it). ok is
+// false for frames too short to carry a header.
+func PeekDst(fr []byte) (StationID, bool) {
+	if len(fr) < HeaderSize {
+		return 0, false
+	}
+	return StationID(binary.BigEndian.Uint64(fr[24:32])), true
+}
+
 // TraceContext extracts the trace extension from a frame without a
 // full header decode — the per-hop fast path for switch and link
 // instrumentation. ok is false for untraced or too-short frames.

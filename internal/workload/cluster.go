@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/future"
 	"repro/internal/object"
 	"repro/internal/telemetry"
 )
@@ -86,7 +88,14 @@ const ioOff = object.HeaderSize + object.FOTEntrySize*dataFOTCap
 // NewClusterTarget builds the object population: warm and cold pools
 // homed round-robin on the non-driver nodes, plus one code object.
 // Call Warm before starting the runner.
-func NewClusterTarget(cl *core.Cluster, cfg ClusterConfig) (*ClusterTarget, error) {
+func NewClusterTarget(cl *core.Cluster, cfg ClusterConfig) (t *ClusterTarget, err error) {
+	// Population setup mutates node stores; under realnet that must be
+	// serialized with socket upcalls (inline no-op under the sim).
+	cl.Exec(func() { t, err = newClusterTarget(cl, cfg) })
+	return t, err
+}
+
+func newClusterTarget(cl *core.Cluster, cfg ClusterConfig) (*ClusterTarget, error) {
 	cfg.fill()
 	if cfg.Driver < 0 || cfg.Driver >= len(cl.Nodes) {
 		return nil, fmt.Errorf("workload: driver index %d out of range", cfg.Driver)
@@ -152,7 +161,36 @@ func (t *ClusterTarget) Warm() {
 	}
 	coh.ReadAt(t.code.Obj, ioOff, 1)
 	t.cl.Run()
-	coh.AddOpObserver(func(_ string, err error) {
+	t.observe()
+}
+
+// WarmCtx is Warm for backends without a drainable event loop: the
+// same pre-discovery reads are issued and then awaited with ctx. It
+// works on both backends (core.Await pumps the simulator), but the
+// sim experiments keep calling Warm so their seeded runs stay
+// bit-identical.
+func (t *ClusterTarget) WarmCtx(ctx context.Context) error {
+	var fs []*future.Future[[]byte]
+	t.cl.Exec(func() {
+		coh := t.driver.Coherence
+		for _, g := range t.warm {
+			fs = append(fs, coh.ReadAt(g.Obj, ioOff, 1))
+		}
+		fs = append(fs, coh.ReadAt(t.code.Obj, ioOff, 1))
+	})
+	for _, f := range fs {
+		if _, err := core.Await(ctx, t.cl, f); err != nil {
+			return fmt.Errorf("workload: warm read: %w", err)
+		}
+	}
+	t.cl.Exec(t.observe)
+	return nil
+}
+
+// observe installs the per-op completion counter (after warmup, so
+// warm traffic stays out of the counters).
+func (t *ClusterTarget) observe() {
+	t.driver.Coherence.AddOpObserver(func(_ string, err error) {
 		t.counters.CoherenceOps++
 		if err != nil {
 			t.counters.CoherenceErrs++

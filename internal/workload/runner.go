@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"repro/internal/backend"
 	"repro/internal/netsim"
 	"repro/internal/telemetry"
 )
@@ -33,15 +34,16 @@ type Config struct {
 	MaxOutstanding int
 }
 
-// Runner drives a Target with the configured workload on the virtual
-// clock. Create with New, call Start, then drain the simulation
-// (e.g. Cluster.Run) and read Result.
+// Runner drives a Target with the configured workload on the backend
+// clock — virtual or wall. Create with New, call Start, then drain
+// the simulation (e.g. Cluster.Run) or sleep out the window
+// (realnet), and read Result.
 type Runner struct {
-	sim *netsim.Sim
-	tgt Target
-	cfg Config
-	gen *Gen
-	rec *Recorder
+	clock backend.Clock
+	tgt   Target
+	cfg   Config
+	gen   *Gen
+	rec   *Recorder
 
 	counters    Counters
 	outstanding int
@@ -54,13 +56,13 @@ type Runner struct {
 }
 
 // New builds a runner; Start begins issuing.
-func New(sim *netsim.Sim, tgt Target, cfg Config) *Runner {
+func New(clock backend.Clock, tgt Target, cfg Config) *Runner {
 	cfg.Arrival.fill()
 	r := &Runner{
-		sim: sim,
-		tgt: tgt,
-		cfg: cfg,
-		gen: NewGen(cfg.Seed, cfg.Mix, cfg.Keys),
+		clock: clock,
+		tgt:   tgt,
+		cfg:   cfg,
+		gen:   NewGen(cfg.Seed, cfg.Mix, cfg.Keys),
 	}
 	r.tickFn = r.tick
 	r.clientFn = r.clientOp
@@ -72,32 +74,32 @@ func New(sim *netsim.Sim, tgt Target, cfg Config) *Runner {
 // in-flight and queued ops run to completion (and still record
 // against their intended times).
 func (r *Runner) Start() {
-	start := r.sim.Now()
+	start := r.clock.Now()
 	mStart := start.Add(r.cfg.Warmup)
 	r.rec = newRecorder(mStart, mStart.Add(r.cfg.Measure))
 	r.issueEnd = mStart.Add(r.cfg.Measure)
 	if r.cfg.Arrival.Kind == ArrivalClosed {
 		for i := 0; i < r.cfg.Arrival.Clients; i++ {
-			r.sim.Schedule(0, r.clientFn)
+			r.clock.Schedule(0, r.clientFn)
 		}
 		return
 	}
-	r.sim.Schedule(0, r.tickFn)
+	r.clock.Schedule(0, r.tickFn)
 }
 
 // tick is one open/Poisson arrival: generate, dispatch, re-arm.
 func (r *Runner) tick() {
-	now := r.sim.Now()
+	now := r.clock.Now()
 	if now >= r.issueEnd {
 		return
 	}
 	r.dispatch(r.gen.Next(now))
-	r.sim.Schedule(r.cfg.Arrival.gap(r.gen.Rand()), r.tickFn)
+	r.clock.Schedule(r.cfg.Arrival.gap(r.gen.Rand()), r.tickFn)
 }
 
 // clientOp is one closed-loop client issuing its next op.
 func (r *Runner) clientOp() {
-	now := r.sim.Now()
+	now := r.clock.Now()
 	if now >= r.issueEnd {
 		return
 	}
@@ -141,7 +143,7 @@ func (r *Runner) issue(op Op) {
 
 func (r *Runner) complete(op Op, err error) {
 	r.outstanding--
-	now := r.sim.Now()
+	now := r.clock.Now()
 	if r.rec.inWindow(op.Intended) {
 		if err != nil {
 			r.counters.OpsFailed++
@@ -165,7 +167,7 @@ func (r *Runner) complete(op Op, err error) {
 		r.issue(next)
 	}
 	if r.cfg.Arrival.Kind == ArrivalClosed {
-		r.sim.Schedule(r.cfg.Arrival.Think, r.clientFn)
+		r.clock.Schedule(r.cfg.Arrival.Think, r.clientFn)
 	}
 }
 
