@@ -10,7 +10,11 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/coherence"
 	"repro/internal/experiments"
+	"repro/internal/oid"
+	"repro/internal/placement"
+	"repro/internal/wire"
 )
 
 // BenchmarkFigure2_E2E_vs_Controller regenerates Figure 2 at three
@@ -213,6 +217,71 @@ func BenchmarkAblationCRDT_Merge(b *testing.B) {
 	}
 	b.ReportMetric(float64(rows[0].Lost), "naive-lost")
 	b.ReportMetric(float64(rows[1].Lost), "merge-lost")
+}
+
+// millionIDs is the shared 10^6-object ID population for the scale
+// microbenchmarks, generated once per test binary.
+var millionIDs = func() []oid.ID {
+	gen := oid.NewSeededGenerator(42)
+	ids := make([]oid.ID, 1_000_000)
+	for i := range ids {
+		ids[i] = gen.New()
+	}
+	return ids
+}()
+
+func benchStations(n int) []wire.StationID {
+	sts := make([]wire.StationID, n)
+	for i := range sts {
+		sts[i] = wire.StationID(i + 1)
+	}
+	return sts
+}
+
+// BenchmarkSharder_Map measures shard→home resolution over 10^6
+// object IDs — the operation every sharded-scheme access performs in
+// place of a discovery broadcast or controller round trip. It must
+// stay alloc-free: one allocation per lookup at a million objects is
+// a gigabyte of garbage per generation.
+func BenchmarkSharder_Map(b *testing.B) {
+	s := placement.NewSharder(256, benchStations(104))
+	ids := millionIDs
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = s.HomeOf(ids[0])
+	}); allocs != 0 {
+		b.Fatalf("Sharder.HomeOf allocates %.0f times per op, want 0", allocs)
+	}
+	b.ResetTimer()
+	var sink wire.StationID
+	for i := 0; i < b.N; i++ {
+		sink ^= s.HomeOf(ids[i%len(ids)])
+	}
+	_ = sink
+	b.ReportMetric(float64(s.Shards()), "shards")
+}
+
+// BenchmarkDirectory_Lookup measures sharer lookups against a
+// directory tracking 10^6 objects, and pins the compact
+// representation's per-object cost. Lookups must not allocate.
+func BenchmarkDirectory_Lookup(b *testing.B) {
+	d := coherence.NewDirectory()
+	ids := millionIDs
+	for i, id := range ids {
+		d.Add(id, wire.StationID(i%64+1))
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		_ = d.Sharers(ids[0])
+		_, _ = d.Epoch(ids[0], 1)
+	}); allocs != 0 {
+		b.Fatalf("Directory lookup allocates %.0f times per op, want 0", allocs)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += d.Sharers(ids[i%len(ids)])
+	}
+	_ = sink
+	b.ReportMetric(float64(d.Bytes())/float64(d.Len()), "bytes/object")
 }
 
 // BenchmarkFaultRecovery_Crash measures E8 recovery from a home-node

@@ -107,7 +107,7 @@ func main() {
 	// (for check, the replay command a violation report prints is in
 	// that form).
 	if flag.NArg() < 1 ||
-		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.NArg() != 1) {
+		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.Arg(0) != "scale" && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -148,7 +148,7 @@ func main() {
 		case "ablations":
 			err = runAblations()
 		case "scale":
-			err = runScale()
+			err = runScale(flag.Args()[1:])
 		case "faults":
 			err = runFaults()
 		case "trace":
@@ -162,7 +162,7 @@ func main() {
 		case "all":
 			for _, f := range []func() error{
 				runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
-				runAblations, runScale, runFaults, runLoad,
+				runAblations, func() error { return runScale(nil) }, runFaults, runLoad,
 			} {
 				if err = f(); err != nil {
 					break
@@ -277,8 +277,20 @@ func runSerialization() error {
 	return nil
 }
 
-func runScale() error {
-	rows, err := experiments.ScaleTradeoff(experiments.ScaleConfig{Seed: *seed})
+// runScale prints E7 (the small-scale state-vs-traffic tradeoff) and
+// then runs E12, the million-object sharded sweep, writing
+// BENCH_scale.json. Flags follow the command word.
+func runScale(args []string) error {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	var (
+		sseed  = fs.Int64("seed", *seed, "seed (population layout, Zipf schedule)")
+		ssmoke = fs.Bool("smoke", *smoke || *quick, "CI scale: 10^4 objects, small fabrics")
+		sout   = fs.String("out", "BENCH_scale.json", "E12 report path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.ScaleTradeoff(experiments.ScaleConfig{Seed: *sseed})
 	if err != nil {
 		return err
 	}
@@ -288,6 +300,43 @@ func runScale() error {
 		t.row(r.Scheme, r.Nodes, r.ObjectRules, r.FabricFramesPerAccess, r.MeanUS)
 	}
 	t.print(*csvOut)
+	fmt.Println()
+
+	rep, err := experiments.ScaleSweep(experiments.ScaleSweepConfig{
+		Seed:  *sseed,
+		Smoke: *ssmoke,
+	})
+	if err != nil {
+		return err
+	}
+	t2 := newTable("E12: sharded homes + aggregated rules at scale (directory bytes, switch rates, knee)",
+		"mode", "nodes", "objects", "rules", "rule_cap", "dir_bytes_per_obj",
+		"lookup_ns", "hit_rate", "punts", "floods", "evictions", "ops_per_s", "mean_us", "failed")
+	for _, r := range rep.Rows {
+		t2.row(r.Mode, r.Nodes, r.Objects, r.FilterRulesTotal, r.FilterCapacityEach,
+			fmt.Sprintf("%.1f", r.DirectoryBytesPerObj), fmt.Sprintf("%.1f", r.SharderLookupNS),
+			fmt.Sprintf("%.3f", r.HitRate), r.MissPunts, r.MissFloods, r.Evictions,
+			fmt.Sprintf("%.0f", r.ThroughputOpsPerSec), fmt.Sprintf("%.1f", r.MeanUS), r.Failed)
+	}
+	t2.print(*csvOut)
+	if !*csvOut {
+		for _, k := range rep.Knees {
+			fmt.Printf("   knee (%s, %d nodes): %d objects at %.0f ops/s — %s\n",
+				k.Mode, k.Nodes, k.KneeObjects, k.Throughput, k.Reason)
+		}
+	}
+	// Stamped outside the run so same-seed report bodies stay
+	// comparable (sharder_lookup_ns_per_op is wall clock, all else is
+	// virtual-time deterministic).
+	rep.GeneratedAt = nowRFC3339()
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*sout, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *sout)
 	return nil
 }
 

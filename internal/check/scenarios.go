@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/oid"
+	"repro/internal/p4sim"
 	"repro/internal/trace"
 )
 
@@ -35,7 +36,7 @@ type Scenario struct {
 // Scenarios returns the built-in scenario set, in the order the
 // checker experiment (E10) sweeps them.
 func Scenarios() []Scenario {
-	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario()}
+	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario(), EvictScenario()}
 }
 
 // ScenarioByName finds a built-in scenario.
@@ -248,6 +249,126 @@ func FaultsScenario() Scenario {
 				c.Run()
 				k.CheckNow()
 				return nil
+			}
+			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
+		},
+	}
+}
+
+// EvictScenario runs the sharded-home scheme under a filter-table
+// budget far too small for its shard rules: with LRU eviction and punt
+// fallback, acquires whose shard rule has been displaced must detour
+// through the shard manager mid-operation. The coherence invariants
+// (single-home, directory-coverage, single-exclusive) must survive the
+// punt path exactly as they do the resident fast path — a punt is a
+// re-route, never a re-home.
+func EvictScenario() Scenario {
+	const (
+		objSize     = 4096
+		objsPerNode = 3
+		accesses    = 12
+		// filterBudget leaves room for ~9 ternary rules; the 4-node,
+		// 64-shard map needs several times that even after sibling-
+		// prefix aggregation, so rules cycle through the tables and
+		// every run takes at least one punt.
+		filterBudget = 1024
+	)
+	return Scenario{
+		Name:        "evict",
+		Description: "sharded homes under a 1KiB filter budget: evicted shard rules punt mid-acquire",
+		Build: func(seed int64, traced bool) (*Run, error) {
+			c, err := newCluster(seed, traced, func(cfg *core.Config) {
+				cfg.Scheme = core.SchemeSharded
+				cfg.NumNodes = 4
+				cfg.FilterTableMemory = filterBudget
+				cfg.TableEviction = p4sim.EvictLRU
+				cfg.ObjectMiss = p4sim.MissPunt
+			})
+			if err != nil {
+				return nil, err
+			}
+			var objs []oid.ID
+			for ni, n := range c.Nodes {
+				for j := 0; j < objsPerNode; j++ {
+					id, ok := c.NewIDHomedAt(n.Station)
+					if !ok {
+						return nil, fmt.Errorf("check: station %d owns no shards", n.Station)
+					}
+					o, err := object.New(id, objSize, 0)
+					if err != nil {
+						return nil, err
+					}
+					fill(o, byte(0x21*ni+j))
+					if err := n.AdoptObjectLite(o); err != nil {
+						return nil, err
+					}
+					objs = append(objs, o.ID())
+				}
+			}
+			c.Run() // drain announcements: setup quiesces here
+			k := New(c)
+			drive := func() error {
+				const (
+					interAccess = 120 * netsim.Microsecond
+					maxAttempts = 6
+					retryDelay  = 250 * netsim.Microsecond
+				)
+				var driveErr error
+				for w := 0; w < 2; w++ {
+					node := c.Node(w)
+					var issue func(i int)
+					issue = func(i int) {
+						if i >= accesses {
+							return
+						}
+						// Stride past the reader's own homes so every
+						// access crosses the fabric and needs its shard
+						// rule resident (or a punt).
+						obj := objs[(w*objsPerNode+objsPerNode+i)%len(objs)]
+						finish := func() { c.Sim.Schedule(interAccess, func() { issue(i + 1) }) }
+						var attempt func(kk int)
+						attempt = func(kk int) {
+							retry := func(err error) bool {
+								if err != nil && kk+1 < maxAttempts {
+									c.Sim.Schedule(retryDelay<<kk, func() { attempt(kk + 1) })
+									return true
+								}
+								return false
+							}
+							switch i % 3 {
+							case 0:
+								node.Coherence.AcquireSharedCB(obj, func(_ *object.Object, err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							case 1:
+								node.Coherence.WriteAtCB(obj, uint64(1800+16*w), []byte("evict-scenario-w"), func(err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							default:
+								node.ReadRef(object.Global{Obj: obj, Off: 8}, 16, func(_ []byte, err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							}
+						}
+						attempt(0)
+					}
+					issue(0)
+				}
+				c.Run()
+				k.CheckNow()
+				// Nominal runs must actually exercise the punt path;
+				// under adversarial schedules the explorer tolerates
+				// this error (only safety violations count).
+				if driveErr == nil && c.ShardPunts() == 0 {
+					driveErr = fmt.Errorf("check: no shard-manager punt under a %d-byte filter budget", filterBudget)
+				}
+				return driveErr
 			}
 			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
 		},

@@ -16,7 +16,6 @@ package coherence
 
 import (
 	"fmt"
-	"slices"
 	"sort"
 
 	"repro/internal/backend"
@@ -59,23 +58,6 @@ type Counters struct {
 	DeniedServed    uint64
 	NotHomeServed   uint64
 	Releases        uint64
-}
-
-type dirEntry struct {
-	sharers map[wire.StationID]bool
-	// regEpoch counts registrations per sharer. Invalidation removes
-	// a sharer only when its ack arrives (never on send), and only if
-	// the sharer has not re-registered since the invalidate went out —
-	// a re-acquire can overtake the ack, and an unconditional deferred
-	// delete would wipe the fresh registration.
-	regEpoch map[wire.StationID]uint64
-}
-
-// add registers a sharer, bumping its registration epoch so pending
-// deferred removals from earlier invalidation rounds become stale.
-func (d *dirEntry) add(st wire.StationID) {
-	d.sharers[st] = true
-	d.regEpoch[st]++
 }
 
 type fetchState struct {
@@ -128,7 +110,7 @@ type Node struct {
 	resolver discovery.Resolver
 	clock    backend.Clock
 
-	directory map[oid.ID]*dirEntry
+	directory *Directory
 	fetches   map[oid.ID]*fetchState
 	releases  map[releaseKey]*memproto.Reassembler
 	granted   map[oid.ID]memproto.Perm
@@ -170,7 +152,7 @@ func NewNode(ep *transport.Endpoint, st *store.Store, res discovery.Resolver) *N
 		store:     st,
 		resolver:  res,
 		clock:     ep.Clock(),
-		directory: make(map[oid.ID]*dirEntry),
+		directory: NewDirectory(),
 		fetches:   make(map[oid.ID]*fetchState),
 		releases:  make(map[releaseKey]*memproto.Reassembler),
 		granted:   make(map[oid.ID]memproto.Perm),
@@ -211,25 +193,14 @@ func (n *Node) ResetCounters() { n.counters = Counters{} }
 // Store returns the node's object store.
 func (n *Node) Store() *store.Store { return n.store }
 
-// dir returns (creating) the directory entry for a home object.
-func (n *Node) dir(obj oid.ID) *dirEntry {
-	d, ok := n.directory[obj]
-	if !ok {
-		d = &dirEntry{
-			sharers:  make(map[wire.StationID]bool),
-			regEpoch: make(map[wire.StationID]uint64),
-		}
-		n.directory[obj] = d
-	}
-	return d
-}
+// Directory exposes the node's sharer directory (read-mostly: the
+// checker and telemetry inspect it; mutation stays inside this
+// package's protocol handlers).
+func (n *Node) Directory() *Directory { return n.directory }
 
 // Sharers reports the directory's copy holders for a home object.
 func (n *Node) Sharers(obj oid.ID) int {
-	if d, ok := n.directory[obj]; ok {
-		return len(d.sharers)
-	}
-	return 0
+	return n.directory.Sharers(obj)
 }
 
 // AddSharer records st as a copy holder of a home object — used to
@@ -239,7 +210,7 @@ func (n *Node) AddSharer(obj oid.ID, st wire.StationID) {
 	if st == n.ep.Station() {
 		return
 	}
-	n.dir(obj).add(st)
+	n.directory.Add(obj, st)
 }
 
 // SharerSet returns the directory's recorded copy holders of a home
@@ -247,16 +218,7 @@ func (n *Node) AddSharer(obj oid.ID, st wire.StationID) {
 // over-approximate (an evicted copy lingers until the next
 // invalidation round); it must never under-approximate a live copy.
 func (n *Node) SharerSet(obj oid.ID) []wire.StationID {
-	d, ok := n.directory[obj]
-	if !ok {
-		return nil
-	}
-	out := make([]wire.StationID, 0, len(d.sharers))
-	for st := range d.sharers {
-		out = append(out, st)
-	}
-	slices.Sort(out)
-	return out
+	return n.directory.SharerSet(obj)
 }
 
 // GrantedPerm reports the coherence permission this node holds on its
@@ -296,7 +258,7 @@ func (n *Node) PendingFetches() []PendingFetch {
 // callbacks are dropped without being invoked (their continuations
 // died with the process).
 func (n *Node) Reset() {
-	n.directory = make(map[oid.ID]*dirEntry)
+	n.directory.Reset()
 	n.fetches = make(map[oid.ID]*fetchState)
 	n.releases = make(map[releaseKey]*memproto.Reassembler)
 	n.granted = make(map[oid.ID]memproto.Perm)
@@ -731,25 +693,19 @@ func (n *Node) InvalidateSharers(obj oid.ID) {
 // over-approximate but never under-approximates — the next write
 // re-invalidates whoever is left.
 func (n *Node) invalidateSharers(obj oid.ID, skip wire.StationID) {
-	d, ok := n.directory[obj]
-	if !ok {
-		return
-	}
-	for st := range d.sharers {
+	n.directory.ForEach(obj, func(st wire.StationID, epoch uint64) {
 		if st == skip {
-			continue
+			return
 		}
 		n.counters.InvalidatesSent++
-		st := st
-		epoch := d.regEpoch[st]
 		n.request(wire.Header{Type: wire.MsgMem, Dst: st, Object: obj},
 			&memproto.Msg{Op: memproto.OpInvalidate},
 			func(_ *wire.Header, _ *memproto.Msg, err error) {
-				if err == nil && d.regEpoch[st] == epoch {
-					delete(d.sharers, st)
+				if err == nil {
+					n.directory.Remove(obj, st, epoch)
 				}
 			})
-	}
+	})
 }
 
 // --- responder side ---
@@ -886,11 +842,10 @@ func (n *Node) serveAcquire(h *wire.Header, m *memproto.Msg) {
 		n.respond(h, &memproto.Msg{Op: memproto.OpGrant, Status: memproto.StatusConflict})
 		return
 	}
-	d := n.dir(h.Object)
 	if m.Perm == memproto.PermExclusive {
 		n.invalidateSharers(h.Object, h.Src)
 	}
-	d.add(h.Src)
+	n.directory.Add(h.Object, h.Src)
 	n.counters.GrantsServed++
 	raw := e.Obj.CloneBytes()
 	frags := memproto.Fragment(raw, e.Version, n.maxFragData())

@@ -1,0 +1,106 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/oid"
+	"repro/internal/wire"
+)
+
+func TestDirectoryAddRemoveEpochGuard(t *testing.T) {
+	d := NewDirectory()
+	obj := oid.ID{Hi: 1, Lo: 2}
+	d.Add(obj, 5)
+	e1, ok := d.Epoch(obj, 5)
+	if !ok {
+		t.Fatal("sharer 5 not recorded")
+	}
+	// Re-registration bumps the epoch: a deferred removal captured at
+	// e1 must now be a no-op.
+	d.Add(obj, 5)
+	if d.Remove(obj, 5, e1) {
+		t.Fatal("Remove succeeded with a stale epoch")
+	}
+	if d.Sharers(obj) != 1 {
+		t.Fatalf("Sharers = %d, want 1", d.Sharers(obj))
+	}
+	e2, _ := d.Epoch(obj, 5)
+	if e2 == e1 {
+		t.Fatal("re-registration did not bump the epoch")
+	}
+	if !d.Remove(obj, 5, e2) {
+		t.Fatal("Remove failed with the current epoch")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after last sharer left, want 0 (entry recycled)", d.Len())
+	}
+}
+
+func TestDirectoryEpochsNeverAliasAcrossRecycle(t *testing.T) {
+	d := NewDirectory()
+	obj := oid.ID{Hi: 9}
+	// Two invalidation rounds capture the same epoch; the first ack
+	// removes the sharer (entry recycled), the sharer re-registers,
+	// and the second, late ack must NOT remove the fresh registration.
+	d.Add(obj, 7)
+	captured, _ := d.Epoch(obj, 7)
+	if !d.Remove(obj, 7, captured) {
+		t.Fatal("first ack should remove")
+	}
+	d.Add(obj, 7) // re-acquire overtakes the second ack
+	if d.Remove(obj, 7, captured) {
+		t.Fatal("late ack from before recycling removed a fresh registration")
+	}
+	if d.Sharers(obj) != 1 {
+		t.Fatalf("Sharers = %d, want 1", d.Sharers(obj))
+	}
+}
+
+func TestDirectoryPoolingAndBytes(t *testing.T) {
+	d := NewDirectory()
+	var ids []oid.ID
+	for i := 0; i < 100; i++ {
+		id := oid.ID{Hi: uint64(i + 1)}
+		ids = append(ids, id)
+		d.Add(id, wire.StationID(1+i%3))
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	if got, min := d.Bytes(), 100*dirEntryOverheadBytes+100*dirSlotBytes; got < min {
+		t.Fatalf("Bytes = %d, want >= %d", got, min)
+	}
+	for _, id := range ids {
+		st := d.SharerSet(id)[0]
+		ep, _ := d.Epoch(id, st)
+		d.Remove(id, st, ep)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", d.Len())
+	}
+	if len(d.free) != 100 {
+		t.Fatalf("free pool = %d, want 100", len(d.free))
+	}
+	before := len(d.free)
+	d.Add(ids[0], 1)
+	if len(d.free) != before-1 {
+		t.Fatal("Add did not reuse a pooled entry")
+	}
+}
+
+func TestDirectoryForEachOrderAndSharerSet(t *testing.T) {
+	d := NewDirectory()
+	obj := oid.ID{Lo: 3}
+	d.Add(obj, 9)
+	d.Add(obj, 4)
+	d.Add(obj, 6)
+	var order []wire.StationID
+	d.ForEach(obj, func(st wire.StationID, _ uint64) { order = append(order, st) })
+	if len(order) != 3 || order[0] != 9 || order[1] != 4 || order[2] != 6 {
+		t.Fatalf("ForEach order = %v, want registration order [9 4 6]", order)
+	}
+	set := d.SharerSet(obj)
+	if len(set) != 3 || set[0] != 4 || set[1] != 6 || set[2] != 9 {
+		t.Fatalf("SharerSet = %v, want sorted [4 6 9]", set)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/p4sim"
 	"repro/internal/placement"
 	"repro/internal/prefetch"
+	"repro/internal/pubsub"
 	"repro/internal/realnet"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -44,6 +45,11 @@ const (
 	SchemeController
 	// SchemeHybrid uses controller fast path with E2E fallback.
 	SchemeHybrid
+	// SchemeSharded derives each object's home from its ID through a
+	// rendezvous-hash sharder; the fabric routes on aggregated
+	// shard-prefix rules, so switch state scales with the shard count
+	// — not the object count (ROADMAP item 2, §3.2 at scale).
+	SchemeSharded
 )
 
 // String names the scheme.
@@ -55,6 +61,8 @@ func (s Scheme) String() string {
 		return "controller"
 	case SchemeHybrid:
 		return "hybrid"
+	case SchemeSharded:
+		return "sharded"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
@@ -108,6 +116,26 @@ type Config struct {
 	// ObjectTableMemory overrides switch object-table SRAM
 	// (0 = default model, negative = unlimited).
 	ObjectTableMemory int
+	// Shards is the shard count for SchemeSharded, rounded up to a
+	// power of two (default 64). More shards spread load finer but
+	// cost more aggregated rules.
+	Shards int
+	// FilterTableMemory is the SRAM budget for the filter table
+	// holding SchemeSharded's aggregated shard rules (0 = default
+	// model, negative = unlimited).
+	FilterTableMemory int
+	// TableEviction selects the switch-table eviction policy (object
+	// and shard-filter tables). Zero value keeps the historical
+	// reject-at-capacity behavior.
+	TableEviction p4sim.EvictionPolicy
+	// ObjectMiss selects the switch fallback for object-routed frames
+	// that miss (drop/flood/punt). Zero value drops, as before.
+	ObjectMiss p4sim.MissPolicy
+	// SeenCapacity/RegCacheCapacity bound the switches' register-
+	// backed broadcast dedup filter and reply cache (0 = defaults);
+	// E12 shrinks them to model small-register switches.
+	SeenCapacity     int
+	RegCacheCapacity int
 	// StoreBudget bounds each node's store (0 = unlimited).
 	StoreBudget int
 	// EnablePrefetch turns on the reachability prefetcher.
@@ -172,6 +200,9 @@ func (c *Config) fill() {
 	if c.ControllerInstallDelay == 0 {
 		c.ControllerInstallDelay = 20 * netsim.Microsecond
 	}
+	if c.Shards == 0 {
+		c.Shards = 64
+	}
 	if c.Check.MaxViolations == 0 {
 		c.Check.MaxViolations = 32
 	}
@@ -213,6 +244,18 @@ type Cluster struct {
 
 	// Placement is the shared rendezvous engine.
 	Placement *placement.Engine
+
+	// Sharder is the shard→home map under SchemeSharded (nil
+	// otherwise).
+	Sharder *placement.Sharder
+
+	// stationRoutes is each switch's egress port toward each station,
+	// kept under SchemeSharded for the shard manager's reinstalls.
+	stationRoutes   map[discovery.ProgrammableSwitch]map[wire.StationID]int
+	shardsByStation map[wire.StationID][]int
+	homedSeq        uint64
+	shardMgr        *netsim.Host
+	shardPunts      uint64
 
 	// Tracer records causal spans when Config.Trace enables sampling
 	// (nil otherwise — a nil recorder is valid and records nothing).
@@ -257,7 +300,11 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 	swCfg := p4sim.SwitchConfig{
 		PipelineDelay:     cfg.PipelineDelay,
 		ObjectTableMemory: cfg.ObjectTableMemory,
-		LearnStations:     cfg.Scheme != SchemeController,
+		LearnStations:     cfg.Scheme != SchemeController && cfg.Scheme != SchemeSharded,
+		ObjectEviction:    cfg.TableEviction,
+		ObjectMiss:        cfg.ObjectMiss,
+		SeenCapacity:      cfg.SeenCapacity,
+		RegCacheCapacity:  cfg.RegCacheCapacity,
 	}
 
 	// Core switch: NumLeaves downlinks + 1 controller port.
@@ -267,10 +314,14 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 	}
 	c.Switches = append(c.Switches, coreSw)
 
-	// Leaf switches: 1 uplink + enough host ports.
+	// Leaf switches: 1 uplink + enough host ports. Under the sharded
+	// scheme a leaf's punts climb the uplink toward the core, whose
+	// CPU port hosts the shard manager.
+	leafCfg := swCfg
+	leafCfg.PuntUplink = cfg.Scheme == SchemeSharded
 	hostsPerLeaf := (cfg.NumNodes + cfg.NumLeaves - 1) / cfg.NumLeaves
 	for i := 0; i < cfg.NumLeaves; i++ {
-		leaf, err := p4sim.NewSwitch(c.Net, fmt.Sprintf("leaf%d", i), hostsPerLeaf+1, swCfg)
+		leaf, err := p4sim.NewSwitch(c.Net, fmt.Sprintf("leaf%d", i), hostsPerLeaf+1, leafCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -330,6 +381,16 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 		c.controllerEP = ep
 	}
 
+	// Sharded scheme: homes are a pure function of the ID, so the
+	// fabric is programmed once, up front — station tables for unicast
+	// plus aggregated shard-prefix rules for object-routed frames —
+	// and a shard manager on the core CPU port restores evicted rules.
+	if cfg.Scheme == SchemeSharded {
+		if err := c.wireSharded(cfg, stations, coreSw, link); err != nil {
+			return nil, err
+		}
+	}
+
 	// Tracing: one recorder spans the whole cluster, so a single
 	// operation's spans line up across requester, switches, links and
 	// responder on the shared virtual clock.
@@ -351,6 +412,130 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 	}
 	c.Clock = c.Sim
 	return c, nil
+}
+
+// wireSharded programs the fabric for SchemeSharded: it builds the
+// rendezvous sharder over the node stations, installs station tables
+// on every switch (the unicast reply path), compiles each switch's
+// aggregated shard-prefix rules into a filter table, and attaches a
+// shard manager to the core switch's CPU port to serve punts.
+func (c *Cluster) wireSharded(cfg Config, stations map[wire.StationID]netsim.Device,
+	coreSw *p4sim.Switch, link netsim.LinkConfig) error {
+	members := make([]wire.StationID, len(c.Nodes))
+	for i, n := range c.Nodes {
+		members[i] = n.Station
+	}
+	c.Sharder = placement.NewSharder(cfg.Shards, members)
+	c.shardsByStation = c.Sharder.Assignments()
+
+	progSwitches := make([]discovery.ProgrammableSwitch, len(c.Switches))
+	for i, sw := range c.Switches {
+		progSwitches[i] = sw
+	}
+	routes, err := discovery.ComputeStationRoutes(c.Net, progSwitches, stations)
+	if err != nil {
+		return err
+	}
+	c.stationRoutes = routes
+	for _, sw := range c.Switches {
+		for st, port := range routes[sw] {
+			if err := sw.InstallStationRoute(st, port); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Per-switch shard rules: shard s forwards toward Home(s). The
+	// rules land in the filter table (consulted before the object
+	// table), under their own SRAM budget and eviction policy.
+	for _, sw := range c.Switches {
+		var shardRoutes []pubsub.ShardRoute
+		for s := 0; s < c.Sharder.Shards(); s++ {
+			port, ok := routes[sw][c.Sharder.Home(s)]
+			if !ok {
+				return fmt.Errorf("core: switch %s has no route to shard %d home", sw.DevName(), s)
+			}
+			shardRoutes = append(shardRoutes, pubsub.ShardRoute{
+				Prefix: c.Sharder.Prefix(s),
+				Action: p4sim.Action{Type: p4sim.ActForward, Port: port},
+			})
+		}
+		ft, err := pubsub.NewFilterTable(sw.DevName()+"/shard", p4sim.TableConfig{
+			MemoryBytes: cfg.FilterTableMemory,
+			Eviction:    cfg.TableEviction,
+		})
+		if err != nil {
+			return err
+		}
+		if err := pubsub.CompileShardRoutes(ft, pubsub.AggregateRoutes(shardRoutes)); err != nil {
+			return err
+		}
+		sw.SetFilterTable(ft)
+	}
+
+	// Shard manager: a raw host (not a transport endpoint — it must
+	// not ack frames it relays) on the core CPU port. Object-routed
+	// frames whose shard rule was evicted punt here; the manager
+	// reinstalls the rule on every switch and forwards the frame to
+	// its home by station address.
+	mgr, err := netsim.NewHost(c.Net, "shardmgr")
+	if err != nil {
+		return err
+	}
+	if err := c.Net.Connect(mgr, 0, coreSw, cfg.NumLeaves, link); err != nil {
+		return err
+	}
+	c.shardMgr = mgr
+	mgr.SetOnFrame(func(fr netsim.Frame) {
+		var h wire.Header
+		if err := h.DecodeFrom(fr); err != nil {
+			return
+		}
+		if h.Flags&wire.FlagRouteOnObject == 0 || h.Dst != wire.StationAny {
+			return
+		}
+		c.shardPunts++
+		shard := c.Sharder.ShardOf(h.Object)
+		route := pubsub.ShardRoute{Prefix: c.Sharder.Prefix(shard)}
+		for _, sw := range c.Switches {
+			ft := sw.FilterTable()
+			port, ok := c.stationRoutes[sw][c.Sharder.Home(shard)]
+			if ft == nil || !ok {
+				continue
+			}
+			route.Action = p4sim.Action{Type: p4sim.ActForward, Port: port}
+			// Best-effort: under EvictNone a full table keeps rejecting
+			// and the frame still reaches its home via the rewrite below.
+			_ = pubsub.InstallShardRoute(ft, route)
+		}
+		h.Dst = c.Sharder.Home(shard)
+		h.Flags &^= wire.FlagRouteOnObject
+		out, err := wire.Encode(&h, wire.Payload(fr))
+		if err != nil {
+			return
+		}
+		mgr.Send(out)
+	})
+	return nil
+}
+
+// ShardPunts reports how many object-routed frames the shard manager
+// has served after a shard-rule miss punted them to the CPU port.
+func (c *Cluster) ShardPunts() uint64 { return c.shardPunts }
+
+// NewIDHomedAt allocates a fresh object ID whose sharded home is the
+// given station (SchemeSharded only; it panics without a sharder).
+// The ID is drawn from one of the station's shards round-robin, so
+// fabric routing and resolver agree on placement with no metadata. It
+// returns false when rendezvous assigned the station no shards (possible
+// when shards < stations) — no ID can home there.
+func (c *Cluster) NewIDHomedAt(st wire.StationID) (oid.ID, bool) {
+	shards := c.shardsByStation[st]
+	if len(shards) == 0 {
+		return oid.ID{}, false
+	}
+	c.homedSeq++
+	return c.gen.NewInPrefix(c.Sharder.Prefix(shards[c.homedSeq%uint64(len(shards))])), true
 }
 
 // RegisterAll installs fn under symbol in every node's registry —
@@ -628,12 +813,42 @@ func (c *Cluster) AddTelemetry(r *telemetry.Registry) {
 		if n.cc != nil {
 			r.Add("discovery", n.cc.Counters())
 		}
+		if n.sharded != nil {
+			r.Add("discovery", n.sharded.Counters())
+		}
 		r.Add("rpc_client", n.RPCClient.Counters())
 		r.Add("rpc_server", n.RPCServer.Counters())
 	}
 	if c.controllerEP != nil {
 		r.Add("transport", c.controllerEP.Counters())
 		r.Add("mux", c.controllerEP.Mux().Stats())
+	}
+	// Directory footprint: how much coherence-directory state the
+	// cluster carries per object is the headline scale metric (E12).
+	var dirEntries, dirBytes uint64
+	for _, n := range c.Nodes {
+		d := n.Coherence.Directory()
+		dirEntries += uint64(d.Len())
+		dirBytes += uint64(d.Bytes())
+	}
+	r.Set("coherence.directory_entries", dirEntries)
+	r.Set("coherence.directory_bytes", dirBytes)
+	if c.Sharder != nil {
+		r.Set("sharded.shards", uint64(c.Sharder.Shards()))
+		r.Set("sharded.punts_served", c.shardPunts)
+		var fallbacks, evictions uint64
+		for _, n := range c.Nodes {
+			if n.sharded != nil {
+				fallbacks += uint64(n.sharded.DirectFallbacks())
+			}
+		}
+		for _, sw := range c.Switches {
+			if ft := sw.FilterTable(); ft != nil {
+				evictions += ft.Evictions()
+			}
+		}
+		r.Set("sharded.direct_fallbacks", fallbacks)
+		r.Set("sharded.filter_evictions", evictions)
 	}
 	if c.Tracer != nil {
 		r.Set("trace.spans", uint64(len(c.Tracer.Spans())))

@@ -39,8 +39,9 @@ type Node struct {
 	RPCClient *rpc.Client
 
 	// e2e is the discovery responder (nil under pure controller).
-	e2e *discovery.E2E
-	cc  *discovery.ControllerClient
+	e2e     *discovery.E2E
+	cc      *discovery.ControllerClient
+	sharded *discovery.Sharded
 
 	// ComputeRate and Load feed the placement engine.
 	ComputeRate float64
@@ -103,6 +104,11 @@ func (n *Node) initResolver(cfg Config) {
 		n.e2e = e2e
 		n.cc = discovery.NewControllerClient(n.EP, controllerStation)
 		n.Resolver = discovery.NewHybrid(n.cc, e2e)
+	case SchemeSharded:
+		// Per-node instance: the demoted-to-direct set is local soft
+		// state, but the sharder itself is shared and immutable.
+		n.sharded = discovery.NewSharded(n.cluster.Sharder)
+		n.Resolver = n.sharded
 	}
 	n.Coherence = coherence.NewNode(n.EP, n.Store, n.Resolver)
 	if tr := n.cluster.Tracer; tr != nil {
@@ -177,6 +183,18 @@ func (n *Node) AdoptObject(o *object.Object) error {
 	}
 	n.Resolver.Announce(o.ID())
 	n.cluster.registerMeta(o.ID(), o.Size(), n.Station)
+	return nil
+}
+
+// AdoptObjectLite homes a pre-built object without registering it with
+// the cluster metadata service — the million-object population path,
+// where per-object harness maps would dominate memory. Lite objects
+// cannot be moved or replicated via cluster metadata operations.
+func (n *Node) AdoptObjectLite(o *object.Object) error {
+	if err := n.Store.Put(o, 1, true); err != nil {
+		return err
+	}
+	n.Resolver.Announce(o.ID())
 	return nil
 }
 

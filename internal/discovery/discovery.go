@@ -331,45 +331,16 @@ func (c *Controller) Objects() int { return len(c.objects) }
 // each switch's station routing (used both for rule installation and
 // to pre-program station tables so replies unicast).
 func (c *Controller) ComputeRoutes(net Topology, stations map[wire.StationID]backend.Device) error {
-	for _, sw := range c.switches {
+	routes, err := ComputeStationRoutes(net, c.switches, stations)
+	if err != nil {
+		return err
+	}
+	for sw, m := range routes {
 		if c.routes[sw] == nil {
 			c.routes[sw] = make(map[wire.StationID]int)
 		}
-	}
-	swSet := make(map[backend.Device]ProgrammableSwitch, len(c.switches))
-	for _, sw := range c.switches {
-		swSet[sw] = sw
-	}
-	for st, hostDev := range stations {
-		// BFS outward from the host; the first port by which a switch
-		// is reached points back toward the host.
-		type hop struct {
-			dev backend.Device
-		}
-		visited := map[backend.Device]bool{hostDev: true}
-		queue := []hop{{hostDev}}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			n := net.NumPorts(cur.dev)
-			for p := 0; p < n; p++ {
-				peer, peerPort, ok := net.Peer(cur.dev, p)
-				if !ok || visited[peer] {
-					continue
-				}
-				visited[peer] = true
-				if sw, isSw := swSet[peer]; isSw {
-					// peerPort on sw leads back toward the host.
-					c.routes[sw][st] = peerPort
-				}
-				queue = append(queue, hop{peer})
-			}
-		}
-		// Sanity: every switch must have a route to every station.
-		for _, sw := range c.switches {
-			if _, ok := c.routes[sw][st]; !ok {
-				return fmt.Errorf("discovery: switch %s has no route to %s", sw.DevName(), st)
-			}
+		for st, port := range m {
+			c.routes[sw][st] = port
 		}
 	}
 	return nil

@@ -33,7 +33,70 @@ type SwitchConfig struct {
 	// scheme of §3.2, trading per-object precision for one rule per
 	// prefix.
 	ObjectLPM bool
+	// ObjectEviction selects what the object table does at SRAM
+	// capacity: reject installs (EvictNone, the default), or recycle
+	// entries LRU/CLOCK-style so a hot working set stays resident
+	// under table pressure.
+	ObjectEviction EvictionPolicy
+	// ObjectMiss selects the fallback for object-routed frames that
+	// miss the object table and carry no concrete destination
+	// (Dst == StationAny): drop (default; sender times out and
+	// rediscovers), flood, or punt to the controller CPU port. The
+	// choice is the measured flood-vs-punt tradeoff of E12.
+	ObjectMiss MissPolicy
+	// SeenCapacity bounds the broadcast dedup filter (a P4 register
+	// array); 0 selects DefaultSeenCapacity.
+	SeenCapacity int
+	// RegCacheCapacity bounds the at-most-once register reply cache;
+	// 0 selects DefaultRegCacheCapacity. E12 shrinks both to model
+	// small-register switches.
+	RegCacheCapacity int
+	// PuntUplink redirects ActToController out port 0 (the uplink in a
+	// leaf-spine fabric) instead of the local CPU port, so punts from
+	// edge switches climb toward the switch whose CPU port hosts the
+	// shard manager.
+	PuntUplink bool
 }
+
+// MissPolicy selects the object-table miss fallback for frames with
+// no concrete destination station.
+type MissPolicy uint8
+
+// Miss policies.
+const (
+	// MissDrop discards the frame (the pre-existing behavior and the
+	// zero value): the sender's timeout drives rediscovery.
+	MissDrop MissPolicy = iota
+	// MissFlood floods the frame like unknown unicast. Every miss
+	// costs fabric bandwidth on all ports, but the object is found in
+	// one round trip.
+	MissFlood
+	// MissPunt forwards the frame to the controller CPU port, which
+	// can reinstall the rule and forward — slower per miss, no
+	// fabric-wide amplification.
+	MissPunt
+)
+
+// String names the miss policy.
+func (p MissPolicy) String() string {
+	switch p {
+	case MissDrop:
+		return "drop"
+	case MissFlood:
+		return "flood"
+	case MissPunt:
+		return "punt"
+	}
+	return fmt.Sprintf("miss(%d)", uint8(p))
+}
+
+// Default capacities for the switch's register-backed structures.
+const (
+	// DefaultSeenCapacity bounds the broadcast dedup filter.
+	DefaultSeenCapacity = 8192
+	// DefaultRegCacheCapacity bounds the register reply cache.
+	DefaultRegCacheCapacity = 4096
+)
 
 // Counters aggregates switch data-plane statistics.
 type Counters struct {
@@ -50,6 +113,8 @@ type Counters struct {
 	LearnFailures uint64 // station table full
 	RegisterOps   uint64 // in-switch atomic operations served
 	FilterHits    uint64 // packet-subscription filter matches
+	MissFloods    uint64 // object-table misses resolved by flooding
+	MissPunts     uint64 // object-table misses punted to the controller
 }
 
 // Switch is a store-and-forward device running a fixed object-routing
@@ -98,6 +163,12 @@ func NewSwitch(net *netsim.Network, name string, numPorts int, cfg SwitchConfig)
 	if cfg.PipelineDelay == 0 {
 		cfg.PipelineDelay = netsim.Microsecond
 	}
+	if cfg.SeenCapacity <= 0 {
+		cfg.SeenCapacity = DefaultSeenCapacity
+	}
+	if cfg.RegCacheCapacity <= 0 {
+		cfg.RegCacheCapacity = DefaultRegCacheCapacity
+	}
 	objField := wire.FieldObject
 	if cfg.ObjectKeyBits64 {
 		// A 64-bit key mode: match on the source-station-width field
@@ -111,7 +182,7 @@ func NewSwitch(net *netsim.Network, name string, numPorts int, cfg SwitchConfig)
 		objKind = MatchLPM
 	}
 	objTable, err := NewTable(name+"/obj", []Key{{Field: objField, Kind: objKind}},
-		TableConfig{MemoryBytes: cfg.ObjectTableMemory})
+		TableConfig{MemoryBytes: cfg.ObjectTableMemory, Eviction: cfg.ObjectEviction})
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +194,8 @@ func NewSwitch(net *netsim.Network, name string, numPorts int, cfg SwitchConfig)
 	sw := &Switch{
 		name: name, net: net, cfg: cfg,
 		objTable: objTable, stationTable: stTable,
-		seen:     make(map[bcastKey]struct{}, seenCapacity),
-		seenRing: make([]bcastKey, seenCapacity),
+		seen:     make(map[bcastKey]struct{}, cfg.SeenCapacity),
+		seenRing: make([]bcastKey, cfg.SeenCapacity),
 	}
 	if err := net.AddDevice(sw, numPorts); err != nil {
 		return nil, err
@@ -266,9 +337,6 @@ type bcastKey struct {
 	typ wire.MsgType
 }
 
-// seenCapacity bounds the dedup filter (models a P4 register array).
-const seenCapacity = 8192
-
 // dupBroadcast records the frame and reports whether it was already
 // seen (i.e., it is re-entering this switch through a topology loop).
 func (sw *Switch) dupBroadcast(h *wire.Header) bool {
@@ -281,7 +349,7 @@ func (sw *Switch) dupBroadcast(h *wire.Header) bool {
 		delete(sw.seen, old)
 	}
 	sw.seenRing[sw.seenNext] = k
-	sw.seenNext = (sw.seenNext + 1) % seenCapacity
+	sw.seenNext = (sw.seenNext + 1) % sw.cfg.SeenCapacity
 	sw.seen[k] = struct{}{}
 	return false
 }
@@ -322,11 +390,30 @@ func (sw *Switch) decide(h *wire.Header, sp *trace.Span) Action {
 			sw.OnMiss(&hh)
 		}
 		// An object-routed frame with no concrete destination cannot
-		// fall back to station forwarding: drop it (the sender times
-		// out and rediscovers). Flooding unknown object traffic would
-		// not scale in a real fabric.
+		// fall back to station forwarding. The configured miss policy
+		// decides its fate: drop (sender times out and rediscovers),
+		// flood (finds the object at fabric-bandwidth cost), or punt
+		// to the controller CPU port.
 		if h.Dst == wire.StationAny {
-			return Action{Type: ActDrop}
+			switch sw.cfg.ObjectMiss {
+			case MissFlood:
+				// Miss-floods go through the dedup filter so a frame
+				// flooded back to this switch (e.g. over a parallel
+				// punt link) cannot storm.
+				if sw.dupBroadcast(h) {
+					sp.SetAttr("action", "miss-flood-dup")
+					return Action{Type: ActDrop}
+				}
+				sw.counters.MissFloods++
+				sp.SetAttr("action", "miss-flood")
+				return Action{Type: ActFlood}
+			case MissPunt:
+				sw.counters.MissPunts++
+				sp.SetAttr("action", "miss-punt")
+				return Action{Type: ActToController}
+			default:
+				return Action{Type: ActDrop}
+			}
 		}
 	}
 	if act, ok := sw.stationTable.Lookup(h); ok {
@@ -373,8 +460,12 @@ func (sw *Switch) emit(ingress int, fr netsim.Frame, buf netsim.FrameBuffer, act
 		}
 	case ActToController:
 		sw.counters.ToController++
-		// The CPU port is conventionally the highest-numbered port.
+		// The CPU port is conventionally the highest-numbered port;
+		// edge switches may instead punt up their uplink.
 		cpu := sw.net.NumPorts(sw) - 1
+		if sw.cfg.PuntUplink {
+			cpu = 0
+		}
 		if cpu != ingress && sw.net.Connected(sw, cpu) {
 			send(cpu)
 		}

@@ -99,6 +99,11 @@ type Entry struct {
 	Match    []KeyValue
 	Priority int // higher wins among ternary/LPM entries
 	Action   Action
+
+	// Eviction bookkeeping (unused under EvictNone).
+	key        string // exact-map key; "" for ternary/LPM entries
+	prev, next *Entry // recency ring links
+	ref        bool   // CLOCK reference bit
 }
 
 // SRAM capacity model. Exact-match tables on Tofino-class hardware
@@ -129,11 +134,45 @@ var (
 	ErrBadEntry  = errors.New("p4sim: entry does not match table key schema")
 )
 
+// EvictionPolicy selects what a full table does with a new entry.
+type EvictionPolicy uint8
+
+// Eviction policies.
+const (
+	// EvictNone rejects inserts at capacity (ErrTableFull) — the
+	// pre-existing behavior and the zero value.
+	EvictNone EvictionPolicy = iota
+	// EvictLRU evicts the least-recently-hit entry.
+	EvictLRU
+	// EvictCLOCK approximates LRU with a reference bit and a sweeping
+	// hand — the cheap-to-implement-in-hardware variant.
+	EvictCLOCK
+)
+
+// String names the eviction policy.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictNone:
+		return "none"
+	case EvictLRU:
+		return "lru"
+	case EvictCLOCK:
+		return "clock"
+	}
+	return fmt.Sprintf("evict(%d)", uint8(p))
+}
+
 // TableConfig configures a table's resources.
 type TableConfig struct {
 	// MemoryBytes is the SRAM budget; 0 selects DefaultTableMemory,
 	// negative means unlimited.
 	MemoryBytes int
+	// Eviction selects the at-capacity policy. The zero value
+	// (EvictNone) keeps the historical reject-with-ErrTableFull
+	// behavior; LRU/CLOCK instead evict a victim to admit the new
+	// entry, modeling a switch whose control plane recycles SRAM
+	// under object-table pressure (§3.2).
+	Eviction EvictionPolicy
 }
 
 // Table is a single match-action table.
@@ -148,6 +187,13 @@ type Table struct {
 
 	entryCost int
 	capacity  int
+
+	// Recency ring for LRU/CLOCK: a circular doubly-linked list
+	// through every installed entry, sentinel at ring. front
+	// (ring.next) is most recently used, back (ring.prev) least.
+	ring      Entry
+	hand      *Entry // CLOCK sweep cursor
+	evictions uint64
 }
 
 // NewTable creates a table with the given key schema.
@@ -241,7 +287,106 @@ func (t *Table) validate(e *Entry) error {
 	return nil
 }
 
+// --- recency ring (LRU/CLOCK bookkeeping) ---
+
+func (t *Table) evicting() bool { return t.cfg.Eviction != EvictNone }
+
+func (t *Table) ringInit() {
+	if t.ring.next == nil {
+		t.ring.next = &t.ring
+		t.ring.prev = &t.ring
+	}
+}
+
+func (t *Table) ringPushFront(e *Entry) {
+	t.ringInit()
+	e.prev = &t.ring
+	e.next = t.ring.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (t *Table) ringRemove(e *Entry) {
+	if e.prev == nil {
+		return
+	}
+	if t.hand == e {
+		t.hand = e.next
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// touch records a hit on e for the eviction policy: LRU moves it to
+// the ring front, CLOCK sets its reference bit.
+func (t *Table) touch(e *Entry) {
+	switch t.cfg.Eviction {
+	case EvictLRU:
+		t.ringRemove(e)
+		t.ringPushFront(e)
+	case EvictCLOCK:
+		e.ref = true
+	}
+}
+
+// victim selects the entry to evict: the ring back for LRU, the first
+// unreferenced entry under the sweeping hand for CLOCK (clearing
+// reference bits as it passes). Returns nil when the table is empty.
+func (t *Table) victim() *Entry {
+	t.ringInit()
+	if t.ring.next == &t.ring {
+		return nil
+	}
+	if t.cfg.Eviction == EvictLRU {
+		return t.ring.prev
+	}
+	h := t.hand
+	if h == nil || h == &t.ring {
+		h = t.ring.next
+	}
+	for {
+		if h == &t.ring { // skip the sentinel
+			h = h.next
+			continue
+		}
+		if !h.ref {
+			t.hand = h.next
+			return h
+		}
+		h.ref = false
+		h = h.next
+	}
+}
+
+// evictOne removes the policy's victim from the table; it reports
+// whether an entry was evicted.
+func (t *Table) evictOne() bool {
+	v := t.victim()
+	if v == nil {
+		return false
+	}
+	t.ringRemove(v)
+	if v.key != "" {
+		delete(t.exact, v.key)
+	} else {
+		for i, e := range t.scan {
+			if e == v {
+				t.scan = append(t.scan[:i], t.scan[i+1:]...)
+				break
+			}
+		}
+	}
+	t.evictions++
+	return true
+}
+
+// Evictions returns the count of entries evicted by the policy.
+func (t *Table) Evictions() uint64 { return t.evictions }
+
 // Insert installs an entry, replacing an identical-match exact entry.
+// At capacity, EvictNone fails with ErrTableFull; LRU/CLOCK evict a
+// victim to make room.
 func (t *Table) Insert(e Entry) error {
 	if err := t.validate(&e); err != nil {
 		return err
@@ -249,20 +394,34 @@ func (t *Table) Insert(e Entry) error {
 	if t.exactOnly {
 		key := t.exactKey(e.Match)
 		if _, exists := t.exact[key]; !exists && t.Full() {
-			return fmt.Errorf("%w: %q at %d entries", ErrTableFull, t.name, t.Len())
+			if !t.evicting() || !t.evictOne() {
+				return fmt.Errorf("%w: %q at %d entries", ErrTableFull, t.name, t.Len())
+			}
 		}
 		ec := e
+		ec.key = key
+		if old, exists := t.exact[key]; exists && t.evicting() {
+			t.ringRemove(old)
+		}
 		t.exact[key] = &ec
+		if t.evicting() {
+			t.ringPushFront(&ec)
+		}
 		return nil
 	}
 	if t.Full() {
-		return fmt.Errorf("%w: %q at %d entries", ErrTableFull, t.name, t.Len())
+		if !t.evicting() || !t.evictOne() {
+			return fmt.Errorf("%w: %q at %d entries", ErrTableFull, t.name, t.Len())
+		}
 	}
 	ec := e
 	t.scan = append(t.scan, &ec)
 	sort.SliceStable(t.scan, func(i, j int) bool {
 		return t.scan[i].Priority > t.scan[j].Priority
 	})
+	if t.evicting() {
+		t.ringPushFront(&ec)
+	}
 	return nil
 }
 
@@ -271,7 +430,8 @@ func (t *Table) Insert(e Entry) error {
 func (t *Table) Delete(match []KeyValue) bool {
 	if t.exactOnly {
 		key := t.exactKey(match)
-		if _, ok := t.exact[key]; ok {
+		if e, ok := t.exact[key]; ok {
+			t.ringRemove(e)
 			delete(t.exact, key)
 			return true
 		}
@@ -279,6 +439,7 @@ func (t *Table) Delete(match []KeyValue) bool {
 	}
 	for i, e := range t.scan {
 		if matchEqual(e.Match, match) {
+			t.ringRemove(e)
 			t.scan = append(t.scan[:i], t.scan[i+1:]...)
 			return true
 		}
@@ -302,6 +463,8 @@ func matchEqual(a, b []KeyValue) bool {
 func (t *Table) Clear() {
 	t.exact = make(map[string]*Entry)
 	t.scan = nil
+	t.ring.next, t.ring.prev = &t.ring, &t.ring
+	t.hand = nil
 }
 
 // maxStackKeys bounds the key components a lookup can hold on the
@@ -326,6 +489,9 @@ func (t *Table) Lookup(h *wire.Header) (Action, bool) {
 			b = append(b, tmp[:]...)
 		}
 		if e, ok := t.exact[string(b)]; ok {
+			if t.evicting() {
+				t.touch(e)
+			}
 			return e.Action, true
 		}
 		return Action{}, false
@@ -352,12 +518,18 @@ func (t *Table) lookupSlow(h *wire.Header) (Action, bool) {
 			b = append(b, tmp[:]...)
 		}
 		if e, ok := t.exact[string(b)]; ok {
+			if t.evicting() {
+				t.touch(e)
+			}
 			return e.Action, true
 		}
 		return Action{}, false
 	}
 	for _, e := range t.scan {
 		if t.entryMatches(e, vals) {
+			if t.evicting() {
+				t.touch(e)
+			}
 			return e.Action, true
 		}
 	}

@@ -1,0 +1,114 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/oid"
+	"repro/internal/wire"
+)
+
+func TestSharderDeterministicAndCovering(t *testing.T) {
+	stations := []wire.StationID{3, 1, 2, 7}
+	a := NewSharder(64, stations)
+	b := NewSharder(64, []wire.StationID{7, 2, 1, 3}) // different order, same set
+	if a.Shards() != 64 {
+		t.Fatalf("Shards() = %d, want 64", a.Shards())
+	}
+	gen := oid.NewSeededGenerator(1)
+	for i := 0; i < 10000; i++ {
+		id := gen.New()
+		ha, hb := a.HomeOf(id), b.HomeOf(id)
+		if ha != hb {
+			t.Fatalf("membership order changed assignment: %v vs %v for %v", ha, hb, id)
+		}
+		found := false
+		for _, st := range stations {
+			if st == ha {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("HomeOf(%v) = %d not in membership", id, ha)
+		}
+		shard := a.ShardOf(id)
+		if !a.Prefix(shard).Matches(id) {
+			t.Fatalf("Prefix(%d) does not cover %v", shard, id)
+		}
+		if a.Home(shard) != ha {
+			t.Fatalf("Home(ShardOf(id)) != HomeOf(id)")
+		}
+	}
+}
+
+func TestSharderRoundsUpToPowerOfTwo(t *testing.T) {
+	s := NewSharder(33, []wire.StationID{1, 2})
+	if s.Shards() != 64 {
+		t.Fatalf("Shards() = %d, want 64", s.Shards())
+	}
+	s = NewSharder(0, []wire.StationID{1})
+	if s.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", s.Shards())
+	}
+	if s.ShardOf(oid.ID{Hi: ^uint64(0), Lo: ^uint64(0)}) != 0 {
+		t.Fatalf("single-shard ShardOf must be 0")
+	}
+}
+
+func TestSharderBalance(t *testing.T) {
+	stations := make([]wire.StationID, 16)
+	for i := range stations {
+		stations[i] = wire.StationID(i + 1)
+	}
+	s := NewSharder(1024, stations)
+	counts := make(map[wire.StationID]int)
+	for shard := 0; shard < s.Shards(); shard++ {
+		counts[s.Home(shard)]++
+	}
+	mean := float64(s.Shards()) / float64(len(stations))
+	for st, c := range counts {
+		if float64(c) < mean*0.5 || float64(c) > mean*1.8 {
+			t.Errorf("station %d owns %d shards, mean %.1f — badly unbalanced", st, c, mean)
+		}
+	}
+}
+
+// TestSharderMinimalReassignment checks the rendezvous property:
+// removing one station only moves the shards it owned.
+func TestSharderMinimalReassignment(t *testing.T) {
+	stations := []wire.StationID{1, 2, 3, 4, 5, 6, 7, 8}
+	full := NewSharder(512, stations)
+	without := NewSharder(512, stations[:7]) // drop station 8
+	moved := 0
+	for shard := 0; shard < full.Shards(); shard++ {
+		if full.Home(shard) == 8 {
+			continue // must move somewhere
+		}
+		if full.Home(shard) != without.Home(shard) {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d shards not owned by the removed station were reassigned", moved)
+	}
+}
+
+func TestSharderPrefixesPartitionSpace(t *testing.T) {
+	s := NewSharder(16, []wire.StationID{1, 2, 3})
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		id := oid.ID{Hi: rnd.Uint64(), Lo: rnd.Uint64()}
+		matches := 0
+		for shard := 0; shard < s.Shards(); shard++ {
+			if s.Prefix(shard).Matches(id) {
+				matches++
+				if shard != s.ShardOf(id) {
+					t.Fatalf("id %v matched prefix of shard %d but ShardOf = %d", id, shard, s.ShardOf(id))
+				}
+			}
+		}
+		if matches != 1 {
+			t.Fatalf("id %v matched %d shard prefixes, want exactly 1", id, matches)
+		}
+	}
+}

@@ -101,6 +101,27 @@ func newKeyPicker(cfg KeyConfig) *keyPicker {
 	return p
 }
 
+// Keys is the exported face of the key-popularity sampler, for
+// experiments (E12) that drive the generator outside the sweep runner.
+// The Zipf CDF is precomputed once — at a 10^6-key population that is
+// the difference between one binary search per op and one million
+// pow() calls per op.
+type Keys struct {
+	p   *keyPicker
+	rng *rand.Rand
+}
+
+// NewKeys builds a seeded sampler over cfg's distribution.
+func NewKeys(cfg KeyConfig, seed int64) *Keys {
+	return &Keys{p: newKeyPicker(cfg), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick draws one key. now only matters for KeyHotShift.
+func (k *Keys) Pick(now netsim.Time) int { return k.p.pick(k.rng, now) }
+
+// Population reports the key-space size after defaulting.
+func (k *Keys) Population() int { return k.p.cfg.Population }
+
 // pick draws one key; now drives the hot-set rotation.
 func (p *keyPicker) pick(rng *rand.Rand, now netsim.Time) int {
 	n := p.cfg.Population
