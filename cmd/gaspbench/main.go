@@ -23,8 +23,12 @@
 //	gaspbench realbench     E11: the identical stack on the simulator
 //	                        vs real UDP sockets, side by side (RTT
 //	                        classes + a short Poisson sweep)
+//	gaspbench raft          E13: replicated control plane — election
+//	                        time, commit latency, and availability
+//	                        under a leader-kill sweep per replica
+//	                        count; writes BENCH_raft.json
 //	gaspbench all           everything above (except trace, load,
-//	                        check, realbench)
+//	                        check, realbench, raft)
 //
 // The check subcommand takes its own flags after the command word:
 //
@@ -99,7 +103,7 @@ func simOnly(cmd, why string) error {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|realbench|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|realbench|raft|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -107,7 +111,7 @@ func main() {
 	// (for check, the replay command a violation report prints is in
 	// that form).
 	if flag.NArg() < 1 ||
-		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.Arg(0) != "scale" && flag.NArg() != 1) {
+		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.Arg(0) != "scale" && flag.Arg(0) != "raft" && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,6 +131,7 @@ func main() {
 		"trace":         "span capture depends on deterministic virtual timestamps",
 		"load":          "E9's saturation sweep replays seeded schedules on virtual time",
 		"check":         "E10 explores deterministic delivery schedules",
+		"raft":          "E13 crashes and revives control-plane replicas on the simulated fabric",
 		"all":           "the suite includes sim-only experiments",
 	}
 	var err error
@@ -159,6 +164,8 @@ func main() {
 			err = runCheck(flag.Args()[1:])
 		case "realbench":
 			err = runRealbench(flag.Args()[1:])
+		case "raft":
+			err = runRaft(flag.Args()[1:])
 		case "all":
 			for _, f := range []func() error{
 				runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
@@ -539,6 +546,57 @@ func runRealbench(args []string) error {
 	t2.print(*csvOut)
 	if *rprofile != "" {
 		fmt.Printf("wrote realnet CPU profile to %s\n", *rprofile)
+	}
+	return nil
+}
+
+// runRaft dispatches E13 from its own flag set: the replicated
+// control plane swept over replica counts, writing BENCH_raft.json.
+func runRaft(args []string) error {
+	fs := flag.NewFlagSet("raft", flag.ExitOnError)
+	var (
+		rseed  = fs.Int64("seed", *seed, "seed (election jitter, ID allocation)")
+		rsmoke = fs.Bool("smoke", *smoke || *quick, "CI scale: replica counts {1,3}, fewer ops/kills")
+		rout   = fs.String("out", "BENCH_raft.json", "E13 report path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := experiments.RaftBench(experiments.RaftConfig{
+		Seed:  *rseed,
+		Smoke: *rsmoke,
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("E13: replicated control plane — election, commit latency, leader-kill availability",
+		"replicas", "election_us", "commit_mean_us", "commit_p99_us", "reelect_mean_us",
+		"sweep_ops", "failed", "avail_pct", "redirects", "elections", "committed", "lost")
+	lost := 0
+	for _, r := range rep.Rows {
+		t.row(r.Replicas, fmt.Sprintf("%.1f", r.ElectionUS),
+			fmt.Sprintf("%.1f", r.CommitMeanUS), fmt.Sprintf("%.1f", r.CommitP99US),
+			fmt.Sprintf("%.1f", r.ReElectionMeanUS), r.SweepOps, r.SweepFailed,
+			fmt.Sprintf("%.1f", r.AvailabilityPct), r.Redirects, r.Elections,
+			r.Committed, r.Lost)
+		if r.Replicas > 1 {
+			lost += r.Lost
+		}
+	}
+	t.print(*csvOut)
+	// Stamped outside the run so same-seed report bodies stay
+	// byte-identical.
+	rep.GeneratedAt = nowRFC3339()
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*rout, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *rout)
+	if lost > 0 {
+		return fmt.Errorf("raft: %d acknowledged announce(s) lost across replicated rows", lost)
 	}
 	return nil
 }

@@ -99,6 +99,32 @@ type Clock interface {
 	AfterFunc(d Duration, fn func()) Timer
 }
 
+// DaemonClock is optionally implemented by clocks that distinguish
+// background housekeeping timers — work that perpetually re-arms
+// itself, like consensus heartbeats and election timeouts — from
+// foreground work. The simulator's drain loop (netsim.Sim.Run) stops
+// when only daemon events remain, so a forever-ticking protocol
+// cannot wedge "run until quiescent" callers; daemon timers still
+// fire normally while foreground activity keeps time advancing. A
+// wall clock needs no such distinction and simply does not implement
+// the interface.
+type DaemonClock interface {
+	Clock
+	// AfterFuncDaemon is AfterFunc for background housekeeping.
+	AfterFuncDaemon(d Duration, fn func()) Timer
+}
+
+// AfterFuncDaemon schedules fn on c as a daemon timer when c supports
+// the distinction, and as an ordinary timer otherwise. Protocol code
+// with perpetual timers should arm them through this helper so the
+// same implementation runs on both backends.
+func AfterFuncDaemon(c Clock, d Duration, fn func()) Timer {
+	if dc, ok := c.(DaemonClock); ok {
+		return dc.AfterFuncDaemon(d, fn)
+	}
+	return c.AfterFunc(d, fn)
+}
+
 // Link is one node's attachment to the network: the seam the
 // transport endpoint binds to.
 type Link interface {

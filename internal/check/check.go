@@ -104,6 +104,11 @@ type Checker struct {
 	// copy while the home is already a version ahead.
 	digests map[oid.ID]map[uint64]uint64
 
+	// raftCommitted is the checker's own durable record of every
+	// committed control-plane log entry it has ever observed — the
+	// ground truth for the committed-never-lost invariant.
+	raftCommitted map[uint64]raftEntryRec
+
 	seen       map[vioKey]bool
 	violations []Violation
 	counters   Counters
@@ -116,11 +121,12 @@ type Checker struct {
 // initial home digests.
 func New(c *core.Cluster) *Checker {
 	k := &Checker{
-		c:          c,
-		cfg:        c.CheckConfig(),
-		maxVersion: make(map[oid.ID]uint64),
-		digests:    make(map[oid.ID]map[uint64]uint64),
-		seen:       make(map[vioKey]bool),
+		c:             c,
+		cfg:           c.CheckConfig(),
+		maxVersion:    make(map[oid.ID]uint64),
+		digests:       make(map[oid.ID]map[uint64]uint64),
+		raftCommitted: make(map[uint64]raftEntryRec),
+		seen:          make(map[vioKey]bool),
 	}
 	if !k.cfg.Enabled {
 		return k
@@ -148,6 +154,7 @@ func (k *Checker) CheckNow() {
 		return
 	}
 	k.scan(true)
+	k.ScanRaft()
 }
 
 // Epoch resets the version-history state (max versions and content

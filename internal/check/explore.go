@@ -167,7 +167,15 @@ func (in *injector) hook(from, _ string, fr netsim.Frame) netsim.FrameControl {
 		return netsim.FrameControl{}
 	}
 	var h wire.Header
-	if h.DecodeFrom(fr) != nil || h.Type != wire.MsgMem {
+	if h.DecodeFrom(fr) != nil {
+		return netsim.FrameControl{}
+	}
+	// Memory-protocol frames are the classic target; consensus frames
+	// (votes, appends) join the index so the raft scenario's explorer
+	// runs can lose an election or sever a replication step. Other
+	// types pass untouched, keeping legacy scenario frame indices
+	// stable.
+	if h.Type != wire.MsgMem && h.Type != wire.MsgRaft {
 		return netsim.FrameControl{}
 	}
 	key := frameKey{h.Src, h.Seq}

@@ -36,7 +36,7 @@ type Scenario struct {
 // Scenarios returns the built-in scenario set, in the order the
 // checker experiment (E10) sweeps them.
 func Scenarios() []Scenario {
-	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario(), EvictScenario()}
+	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario(), EvictScenario(), RaftScenario()}
 }
 
 // ScenarioByName finds a built-in scenario.
@@ -369,6 +369,110 @@ func EvictScenario() Scenario {
 					driveErr = fmt.Errorf("check: no shard-manager punt under a %d-byte filter budget", filterBudget)
 				}
 				return driveErr
+			}
+			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
+		},
+	}
+}
+
+// RaftScenario drives the replicated control plane through its
+// canonical fault: the consensus leader is killed early — so the
+// explorer's frame window covers the election — while hosts keep
+// announcing fresh objects and re-locating stale ones, and the deposed
+// replica later restarts and replays its log. The raft invariants
+// (one leader per term, committed-never-lost, applied-prefix
+// agreement) are scanned at quiescence alongside the coherence set.
+func RaftScenario() Scenario {
+	const (
+		objSize   = 2048
+		setupObjs = 3
+		crashAt   = 100 * netsim.Microsecond
+		restartAt = 2500 * netsim.Microsecond
+		accesses  = 10
+		interOp   = 200 * netsim.Microsecond
+		catchUp   = 8 * netsim.Millisecond
+	)
+	return Scenario{
+		Name:        "raft",
+		Description: "replicated control plane: leader kill + replica restart under announces and locates",
+		Build: func(seed int64, traced bool) (*Run, error) {
+			c, err := newCluster(seed, traced, func(cfg *core.Config) {
+				cfg.Scheme = core.SchemeControllerHA
+				cfg.ControllerReplicas = 3
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := c.AwaitControlLeader(50 * netsim.Millisecond); !ok {
+				return nil, fmt.Errorf("check: no control-plane leader elected")
+			}
+			home, reader := c.Node(1), c.Node(0)
+			setup := make([]oid.ID, setupObjs)
+			for i := range setup {
+				o, err := home.CreateObject(objSize)
+				if err != nil {
+					return nil, err
+				}
+				fill(o, byte(0x51*(i+1)))
+				setup[i] = o.ID()
+			}
+			c.Run() // announcements commit through the leader; setup quiesces
+			k := New(c)
+			drive := func() error {
+				inj := fault.NewInjector(c, fault.Config{})
+				inj.Arm(fault.NewSchedule().
+					CrashLeader(crashAt).
+					RestartController(restartAt, -1))
+				var acked []oid.ID
+				for i := 0; i < accesses; i++ {
+					i := i
+					c.Sim.Schedule(netsim.Duration(i)*interOp, func() {
+						if i%2 == 0 {
+							// Announce a fresh object: a proposal that must
+							// commit through whatever leader exists (or
+							// emerges) — the client follows redirects.
+							o, err := object.New(c.NewID(), objSize, 0)
+							if err != nil || home.Store.Put(o, 1, true) != nil {
+								return
+							}
+							fill(o, byte(0x91+i))
+							home.Discovery().AnnounceCB(o.ID(), func(err error) {
+								if err == nil {
+									acked = append(acked, o.ID())
+								}
+							})
+							return
+						}
+						// Re-locate a setup object through the control
+						// plane (the stale mark forces a MsgLocate).
+						obj := setup[i%setupObjs]
+						reader.Resolver.Invalidate(obj)
+						reader.ReadRef(object.Global{Obj: obj, Off: 8}, 16, func([]byte, error) {})
+					})
+				}
+				c.Run()
+				// Foreground work has drained; daemon heartbeats now walk
+				// the restarted replica's log back to the leader's.
+				c.Sim.RunFor(catchUp)
+				var finalErr error
+				reader.Resolver.Invalidate(setup[0])
+				reader.ReadRef(object.Global{Obj: setup[0], Off: 8}, 16, func(_ []byte, err error) { finalErr = err })
+				c.Run()
+				k.CheckNow()
+				if finalErr != nil {
+					return fmt.Errorf("check: post-heal locate failed: %w", finalErr)
+				}
+				// Every acknowledged announce committed; none may be lost.
+				lead := c.LeaderController()
+				if lead == nil {
+					return fmt.Errorf("check: no control-plane leader after heal")
+				}
+				for _, obj := range acked {
+					if owner, ok := lead.Lookup(obj); !ok || owner != home.Station {
+						return fmt.Errorf("check: acknowledged announce of %s lost after failover", obj.Short())
+					}
+				}
+				return nil
 			}
 			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
 		},

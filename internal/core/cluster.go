@@ -50,6 +50,12 @@ const (
 	// shard-prefix rules, so switch state scales with the shard count
 	// — not the object count (ROADMAP item 2, §3.2 at scale).
 	SchemeSharded
+	// SchemeControllerHA replicates the controller scheme's control
+	// plane across ControllerReplicas stations with raft consensus:
+	// announcements commit to a replicated log before switch rules
+	// install, and clients follow leader redirects, so killing the
+	// leader mid-run loses no committed state (ROADMAP item 1).
+	SchemeControllerHA
 )
 
 // String names the scheme.
@@ -63,6 +69,8 @@ func (s Scheme) String() string {
 		return "hybrid"
 	case SchemeSharded:
 		return "sharded"
+	case SchemeControllerHA:
+		return "controller-ha"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
@@ -151,6 +159,12 @@ type Config struct {
 	DiscoveryRetries int
 	// ControllerInstallDelay models rule programming (default 20µs).
 	ControllerInstallDelay netsim.Duration
+	// ControllerReplicas is the control-plane replica count under
+	// SchemeControllerHA (default 3; other schemes ignore it).
+	ControllerReplicas int
+	// ControllerElectionTimeout is the raft base election timeout for
+	// SchemeControllerHA (0 = raft's default).
+	ControllerElectionTimeout netsim.Duration
 	// DropRate injects loss on every link.
 	DropRate float64
 	// Trace configures causal span recording (zero = tracing off;
@@ -200,6 +214,9 @@ func (c *Config) fill() {
 	if c.ControllerInstallDelay == 0 {
 		c.ControllerInstallDelay = 20 * netsim.Microsecond
 	}
+	if c.ControllerReplicas == 0 {
+		c.ControllerReplicas = 3
+	}
 	if c.Shards == 0 {
 		c.Shards = 64
 	}
@@ -237,10 +254,17 @@ type Cluster struct {
 	// rn is the realnet backend — nil under BackendSim.
 	rn *realnet.Cluster
 
-	// Controller is non-nil under SchemeController/SchemeHybrid.
-	Controller     *discovery.Controller
-	controllerNode *netsim.Host
-	controllerEP   *transport.Endpoint
+	// Controllers holds every control-plane replica: one under
+	// SchemeController/SchemeHybrid, ControllerReplicas under
+	// SchemeControllerHA, empty otherwise. Controller aliases the
+	// first replica for the single-controller callers.
+	Controllers     []*discovery.Controller
+	Controller      *discovery.Controller
+	controllerNodes []*netsim.Host
+	controllerNode  *netsim.Host
+	controllerEPs   []*transport.Endpoint
+	controllerEP    *transport.Endpoint
+	ctrlDown        []bool
 
 	// Placement is the shared rendezvous engine.
 	Placement *placement.Engine
@@ -300,15 +324,21 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 	swCfg := p4sim.SwitchConfig{
 		PipelineDelay:     cfg.PipelineDelay,
 		ObjectTableMemory: cfg.ObjectTableMemory,
-		LearnStations:     cfg.Scheme != SchemeController && cfg.Scheme != SchemeSharded,
-		ObjectEviction:    cfg.TableEviction,
-		ObjectMiss:        cfg.ObjectMiss,
-		SeenCapacity:      cfg.SeenCapacity,
-		RegCacheCapacity:  cfg.RegCacheCapacity,
+		LearnStations: cfg.Scheme != SchemeController && cfg.Scheme != SchemeSharded &&
+			cfg.Scheme != SchemeControllerHA,
+		ObjectEviction:   cfg.TableEviction,
+		ObjectMiss:       cfg.ObjectMiss,
+		SeenCapacity:     cfg.SeenCapacity,
+		RegCacheCapacity: cfg.RegCacheCapacity,
 	}
 
-	// Core switch: NumLeaves downlinks + 1 controller port.
-	coreSw, err := p4sim.NewSwitch(c.Net, "core", cfg.NumLeaves+1, swCfg)
+	// Core switch: NumLeaves downlinks + one port per control-plane
+	// replica (a single port for everything but SchemeControllerHA).
+	ctrlPorts := 1
+	if cfg.Scheme == SchemeControllerHA {
+		ctrlPorts = cfg.ControllerReplicas
+	}
+	coreSw, err := p4sim.NewSwitch(c.Net, "core", cfg.NumLeaves+ctrlPorts, swCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -353,32 +383,65 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 		c.Nodes = append(c.Nodes, n)
 	}
 
-	// Controller.
-	if cfg.Scheme == SchemeController || cfg.Scheme == SchemeHybrid {
-		ch, err := netsim.NewHost(c.Net, "controller")
-		if err != nil {
-			return nil, err
+	// Control plane: one replica for the classic controller schemes,
+	// ControllerReplicas raft-replicated ones for SchemeControllerHA.
+	if cfg.Scheme == SchemeController || cfg.Scheme == SchemeHybrid ||
+		cfg.Scheme == SchemeControllerHA {
+		ctrlStations := c.controllerStations()
+		// Hosts first, so every replica's route computation sees the
+		// complete station map (including its peers).
+		for i, st := range ctrlStations {
+			name := "controller"
+			if i > 0 {
+				name = fmt.Sprintf("controller-%d", i)
+			}
+			ch, err := netsim.NewHost(c.Net, name)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Net.Connect(ch, 0, coreSw, cfg.NumLeaves+i, link); err != nil {
+				return nil, err
+			}
+			stations[st] = ch
+			c.controllerNodes = append(c.controllerNodes, ch)
 		}
-		if err := c.Net.Connect(ch, 0, coreSw, cfg.NumLeaves, link); err != nil {
-			return nil, err
+		for i, st := range ctrlStations {
+			ep := transport.NewEndpoint(c.controllerNodes[i], st, cfg.Transport)
+			opts := []discovery.ControllerOption{
+				discovery.WithInstallDelay(cfg.ControllerInstallDelay),
+			}
+			if len(ctrlStations) > 1 {
+				opts = append(opts,
+					discovery.WithReplicas(ctrlStations...),
+					discovery.WithElectionTimeout(cfg.ControllerElectionTimeout),
+					discovery.WithSeed(uint64(cfg.Seed)))
+			}
+			ctrl := discovery.NewController(ep, opts...)
+			for _, sw := range c.Switches {
+				ctrl.AddSwitch(sw)
+			}
+			if err := ctrl.ComputeRoutes(c.Net, stations); err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				// Station tables are identical from every replica's view;
+				// program them once.
+				if err := ctrl.ProgramStationTables(); err != nil {
+					return nil, err
+				}
+			}
+			ep.Mux().Handle(wire.MsgAnnounce, ctrl.HandleFrame)
+			ep.Mux().Handle(wire.MsgLocate, ctrl.HandleFrame)
+			if rn := ctrl.Raft(); rn != nil {
+				ep.Mux().Handle(wire.MsgRaft, rn.HandleFrame)
+			}
+			c.Controllers = append(c.Controllers, ctrl)
+			c.controllerEPs = append(c.controllerEPs, ep)
 		}
-		c.controllerNode = ch
-		ep := transport.NewEndpoint(ch, controllerStation, cfg.Transport)
-		ctrl := discovery.NewController(ep, cfg.ControllerInstallDelay)
-		for _, sw := range c.Switches {
-			ctrl.AddSwitch(sw)
-		}
-		stations[controllerStation] = ch
-		if err := ctrl.ComputeRoutes(c.Net, stations); err != nil {
-			return nil, err
-		}
-		if err := ctrl.ProgramStationTables(); err != nil {
-			return nil, err
-		}
-		ep.Mux().Handle(wire.MsgAnnounce, ctrl.HandleFrame)
-		ep.Mux().Handle(wire.MsgLocate, ctrl.HandleFrame)
-		c.Controller = ctrl
-		c.controllerEP = ep
+		c.Controller = c.Controllers[0]
+		c.controllerNode = c.controllerNodes[0]
+		c.controllerEP = c.controllerEPs[0]
+		c.ctrlDown = make([]bool, len(c.Controllers))
 	}
 
 	// Sharded scheme: homes are a pure function of the ID, so the
@@ -400,9 +463,9 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 		for _, sw := range c.Switches {
 			sw.SetTracer(c.Tracer)
 		}
-		if c.Controller != nil {
-			c.Controller.SetTracer(c.Tracer)
-			c.controllerEP.SetTracer(c.Tracer)
+		for i, ctrl := range c.Controllers {
+			ctrl.SetTracer(c.Tracer)
+			c.controllerEPs[i].SetTracer(c.Tracer)
 		}
 	}
 
@@ -758,8 +821,8 @@ func (c *Cluster) Stats() Stats {
 	for _, n := range c.Nodes {
 		s.FrameDrops += n.EP.Mux().Stats().Dropped
 	}
-	if c.controllerEP != nil {
-		s.FrameDrops += c.controllerEP.Mux().Stats().Dropped
+	for _, ep := range c.controllerEPs {
+		s.FrameDrops += ep.Mux().Stats().Dropped
 	}
 	return s
 }
@@ -785,8 +848,8 @@ func (c *Cluster) ResetStats() {
 	for _, n := range c.Nodes {
 		n.EP.Mux().ResetStats()
 	}
-	if c.controllerEP != nil {
-		c.controllerEP.Mux().ResetStats()
+	for _, ep := range c.controllerEPs {
+		ep.Mux().ResetStats()
 	}
 }
 
@@ -819,9 +882,28 @@ func (c *Cluster) AddTelemetry(r *telemetry.Registry) {
 		r.Add("rpc_client", n.RPCClient.Counters())
 		r.Add("rpc_server", n.RPCServer.Counters())
 	}
-	if c.controllerEP != nil {
-		r.Add("transport", c.controllerEP.Counters())
-		r.Add("mux", c.controllerEP.Mux().Stats())
+	for _, ep := range c.controllerEPs {
+		r.Add("transport", ep.Counters())
+		r.Add("mux", ep.Mux().Stats())
+	}
+	// Consensus state of the replicated control plane: term and commit
+	// index are cluster-wide maxima, election counts cluster-wide sums.
+	if rafts := c.RaftNodes(); len(rafts) > 0 {
+		var term, commit, elections, leaderChanges uint64
+		for _, rn := range rafts {
+			if t := rn.Term(); t > term {
+				term = t
+			}
+			if ci := rn.CommitIndex(); ci > commit {
+				commit = ci
+			}
+			elections += rn.Counters().ElectionsStarted
+			leaderChanges += rn.Counters().BecameLeader
+		}
+		r.Set("raft.term", term)
+		r.Set("raft.commit_index", commit)
+		r.Set("raft.elections_total", elections)
+		r.Set("raft.leader_changes_total", leaderChanges)
 	}
 	// Directory footprint: how much coherence-directory state the
 	// cluster carries per object is the headline scale metric (E12).

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+)
+
+// awaitLeaderIdx elects (or finds) the control-plane leader, fatally
+// failing the test on timeout.
+func awaitLeaderIdx(t *testing.T, c *Cluster) int {
+	t.Helper()
+	if _, ok := c.AwaitControlLeader(100 * netsim.Millisecond); !ok {
+		t.Fatal("no control-plane leader elected")
+	}
+	return c.ControlLeaderIndex()
+}
+
+func TestControllerHATopology(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeControllerHA})
+	if got := len(c.Controllers); got != 3 {
+		t.Fatalf("controllers = %d (default ControllerReplicas)", got)
+	}
+	if got := len(c.RaftNodes()); got != 3 {
+		t.Fatalf("raft nodes = %d", got)
+	}
+	if c.Controller != c.Controllers[0] {
+		t.Fatal("singular Controller alias should be replica 0")
+	}
+	for i, ctrl := range c.Controllers {
+		if got := len(ctrl.Membership()); got != 3 {
+			t.Fatalf("replica %d membership = %d", i, got)
+		}
+	}
+	// The degenerate single-replica configuration must not build a
+	// consensus node at all.
+	single := newTestCluster(t, Config{Scheme: SchemeControllerHA, ControllerReplicas: 1})
+	if got := len(single.RaftNodes()); got != 0 {
+		t.Fatalf("1-replica cluster has %d raft nodes (want none)", got)
+	}
+	if single.Controllers[0].Raft() != nil {
+		t.Fatal("degenerate controller carries a raft node")
+	}
+}
+
+// TestControllerHAFailover is the tentpole's acceptance path: announce
+// through the consensus leader, kill it, and verify a follower
+// promotes, committed state survives byte-for-byte, and a restarted
+// replica replays its log back into agreement.
+func TestControllerHAFailover(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeControllerHA})
+	leadIdx := awaitLeaderIdx(t, c)
+
+	home, reader := c.Node(1), c.Node(0)
+	objs := make([]oid.ID, 4)
+	for i := range objs {
+		o, err := home.CreateObject(2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[i] = o.ID()
+	}
+	c.Run()
+	for _, obj := range objs {
+		if !home.Discovery().Announced(obj) {
+			t.Fatalf("announce of %s not acked", obj.Short())
+		}
+	}
+	committed := c.RaftNodes()[leadIdx].CommitIndex()
+	if committed == 0 {
+		t.Fatal("no committed entries after announces")
+	}
+
+	// Kill the leader; a follower must promote.
+	c.CrashController(leadIdx)
+	newIdx := awaitLeaderIdx(t, c)
+	if newIdx == leadIdx {
+		t.Fatalf("crashed replica %d still leads", newIdx)
+	}
+
+	// Zero committed loss: the new leader serves every record.
+	lead := c.LeaderController()
+	for _, obj := range objs {
+		owner, ok := lead.Lookup(obj)
+		if !ok || owner != home.Station {
+			t.Fatalf("committed announce of %s lost after failover (ok=%v owner=%d)", obj.Short(), ok, owner)
+		}
+	}
+
+	// A stale-marked read re-locates through the new leader.
+	reader.Resolver.Invalidate(objs[0])
+	readOK := false
+	reader.ReadRef(object.Global{Obj: objs[0], Off: 8}, 16, func(_ []byte, err error) { readOK = err == nil })
+	c.Run()
+	if !readOK {
+		t.Fatal("post-failover locate+read failed")
+	}
+
+	// The restarted replica replays its log back into agreement.
+	c.RestartController(leadIdx)
+	c.RunFor(10 * netsim.Millisecond) // daemon heartbeats walk it forward
+	revived := c.RaftNodes()[leadIdx]
+	leadNode := c.RaftNodes()[newIdx]
+	if revived.LastApplied() < committed {
+		t.Fatalf("revived replica applied %d < %d committed before the crash", revived.LastApplied(), committed)
+	}
+	for idx := uint64(1); idx <= committed; idx++ {
+		lt, ld, lok := leadNode.EntryInfo(idx)
+		rt, rd, rok := revived.EntryInfo(idx)
+		if !lok || !rok || lt != rt || ld != rd {
+			t.Fatalf("entry %d diverges after restart: leader(%d,%#x,%v) revived(%d,%#x,%v)",
+				idx, lt, ld, lok, rt, rd, rok)
+		}
+	}
+	for _, obj := range objs {
+		owner, ok := c.Controllers[leadIdx].Lookup(obj)
+		if !ok || owner != home.Station {
+			t.Fatalf("revived replica's replayed state misses %s", obj.Short())
+		}
+	}
+}
+
+func TestControllerHATelemetryKeys(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeControllerHA})
+	awaitLeaderIdx(t, c)
+	owner := c.Node(0)
+	if _, err := owner.CreateObject(4096); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	snap := c.Telemetry()
+	for _, key := range []string{
+		"raft.term",
+		"raft.commit_index",
+		"raft.elections_total",
+		"raft.leader_changes_total",
+	} {
+		if _, ok := snap.Get(key); !ok {
+			t.Fatalf("telemetry snapshot missing %q", key)
+		}
+	}
+	if snap.Value("raft.term") < 1 {
+		t.Fatalf("raft.term = %d", snap.Value("raft.term"))
+	}
+	if snap.Value("raft.commit_index") < 1 {
+		t.Fatalf("raft.commit_index = %d", snap.Value("raft.commit_index"))
+	}
+	if snap.Value("raft.leader_changes_total") < 1 {
+		t.Fatalf("raft.leader_changes_total = %d", snap.Value("raft.leader_changes_total"))
+	}
+	// Unreplicated schemes must not grow raft gauges.
+	plain := newTestCluster(t, Config{Scheme: SchemeController})
+	if _, ok := plain.Telemetry().Get("raft.term"); ok {
+		t.Fatal("unreplicated controller exports raft telemetry")
+	}
+}

@@ -89,8 +89,9 @@ func (n *Node) initResolver(cfg Config) {
 		}
 		n.e2e = e2e
 		n.Resolver = e2e
-	case SchemeController:
-		n.cc = discovery.NewControllerClient(n.EP, controllerStation)
+	case SchemeController, SchemeControllerHA:
+		n.cc = discovery.NewControllerClient(n.EP,
+			discovery.WithControllers(n.cluster.controllerStations()...))
 		n.Resolver = n.cc
 	case SchemeHybrid:
 		e2e := discovery.NewE2E(n.EP, n.Store.Contains)
@@ -102,7 +103,8 @@ func (n *Node) initResolver(cfg Config) {
 			e2e.SetRetries(cfg.DiscoveryRetries)
 		}
 		n.e2e = e2e
-		n.cc = discovery.NewControllerClient(n.EP, controllerStation)
+		n.cc = discovery.NewControllerClient(n.EP,
+			discovery.WithControllers(n.cluster.controllerStations()...))
 		n.Resolver = discovery.NewHybrid(n.cc, e2e)
 	case SchemeSharded:
 		// Per-node instance: the demoted-to-direct set is local soft
@@ -154,6 +156,11 @@ func (n *Node) SetLoadProfile(rate, load float64) {
 
 // Cluster returns the owning cluster.
 func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Discovery returns the node's controller client — nil under schemes
+// that resolve without a control plane. Benchmarks and scenarios use
+// it for acknowledged announces (AnnounceCB) and redirect counters.
+func (n *Node) Discovery() *discovery.ControllerClient { return n.cc }
 
 // Sim returns the virtual clock — nil under BackendRealnet (sim-only
 // callers; backend-neutral code uses Clock).

@@ -1,0 +1,355 @@
+// ControlPlane: the replicated-controller redesign. The controller's
+// object→station map becomes a state machine replicated with
+// internal/raft; MsgAnnounce and MsgLocate become proposals to and
+// reads from the consensus leader. A single controller is the
+// degenerate one-replica case of the same API — no raft node, no
+// extra frames, byte-identical behavior to the original design.
+package discovery
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/oid"
+	"repro/internal/raft"
+	"repro/internal/wire"
+)
+
+// Op is a state-machine command kind.
+type Op byte
+
+// Control-plane operations.
+const (
+	// OpAnnounce records Object as owned by Owner.
+	OpAnnounce Op = 1
+	// OpForget drops every object owned by Owner (its host crashed).
+	OpForget Op = 2
+)
+
+// Command is one control-plane state-machine transition. Commands are
+// idempotent (map put / bulk delete), which is what makes raft's
+// replay-on-restart and ambiguous-proposal semantics safe.
+type Command struct {
+	Op     Op
+	Object oid.ID
+	Owner  wire.StationID
+}
+
+// cmdLen is the encoded size: op byte, object ID, owner station.
+const cmdLen = 1 + oid.Size + wire.StationIDSize
+
+func (cmd Command) encode() []byte {
+	b := make([]byte, cmdLen)
+	b[0] = byte(cmd.Op)
+	cmd.Object.PutBytes(b[1:])
+	binary.BigEndian.PutUint64(b[1+oid.Size:], uint64(cmd.Owner))
+	return b
+}
+
+func decodeCommand(p []byte) (Command, error) {
+	if len(p) != cmdLen {
+		return Command{}, fmt.Errorf("discovery: bad command length %d", len(p))
+	}
+	obj, err := oid.FromBytes(p[1:])
+	if err != nil {
+		return Command{}, err
+	}
+	return Command{
+		Op:     Op(p[0]),
+		Object: obj,
+		Owner:  wire.StationID(binary.BigEndian.Uint64(p[1+oid.Size:])),
+	}, nil
+}
+
+// ControlPlane is the controller's service API, independent of how —
+// or whether — it is replicated. The Controller implements it in both
+// the degenerate single-replica mode (Propose applies synchronously)
+// and the raft-replicated mode (Propose commits through consensus).
+type ControlPlane interface {
+	// Propose submits a state-machine command; done (optional) fires
+	// once it is applied, or with an error wrapping
+	// gasperr.ErrNotLeader if this replica cannot commit it.
+	Propose(cmd Command, done func(error))
+	// Lookup reads the applied state: the recorded owner of obj.
+	Lookup(obj oid.ID) (wire.StationID, bool)
+	// Leader returns the station this replica believes leads (itself,
+	// when unreplicated), and whether any leader is known.
+	Leader() (wire.StationID, bool)
+	// Membership lists every control-plane replica's station.
+	Membership() []wire.StationID
+}
+
+// notLeaderStatus is the reply status byte a follower replica sends
+// for MsgAnnounce/MsgLocate; the payload carries the believed
+// leader's station (0 when unknown) for client redirect.
+const notLeaderStatus byte = 2
+
+// --- Controller options ---
+
+// ControllerOption configures NewController.
+type ControllerOption func(*Controller)
+
+// WithInstallDelay sets the modeled rule-compilation and
+// switch-programming latency.
+func WithInstallDelay(d backend.Duration) ControllerOption {
+	return func(c *Controller) { c.installDelay = d }
+}
+
+// WithReplicas declares the full control-plane replica set (this
+// replica's own station included). More than one station turns on
+// raft replication; exactly one (or omitting the option) is the
+// degenerate unreplicated controller.
+func WithReplicas(stations ...wire.StationID) ControllerOption {
+	return func(c *Controller) { c.replicas = stations }
+}
+
+// WithElectionTimeout sets the raft base election timeout (each
+// arming draws from [T, 2T)).
+func WithElectionTimeout(d backend.Duration) ControllerOption {
+	return func(c *Controller) { c.electionTimeout = d }
+}
+
+// WithHeartbeat sets the raft leader heartbeat period.
+func WithHeartbeat(d backend.Duration) ControllerOption {
+	return func(c *Controller) { c.heartbeat = d }
+}
+
+// WithSeed perturbs the raft election-jitter PRNG.
+func WithSeed(seed uint64) ControllerOption {
+	return func(c *Controller) { c.seed = seed }
+}
+
+// --- ControlPlane implementation ---
+
+// Propose implements ControlPlane.
+func (c *Controller) Propose(cmd Command, done func(error)) {
+	if c.raft == nil {
+		c.applyCommand(0, cmd.encode())
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	c.raft.Propose(cmd.encode(), func(_ uint64, err error) {
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Lookup implements ControlPlane.
+func (c *Controller) Lookup(obj oid.ID) (wire.StationID, bool) {
+	owner, ok := c.objects[obj]
+	return owner, ok
+}
+
+// Leader implements ControlPlane.
+func (c *Controller) Leader() (wire.StationID, bool) {
+	if c.raft == nil {
+		return c.ep.Station(), true
+	}
+	return c.raft.Leader()
+}
+
+// IsLeader reports whether this replica can currently commit
+// proposals.
+func (c *Controller) IsLeader() bool {
+	if c.raft == nil {
+		return true
+	}
+	return c.raft.Running() && c.raft.State() == raft.Leader
+}
+
+// Membership implements ControlPlane.
+func (c *Controller) Membership() []wire.StationID {
+	if len(c.replicas) == 0 {
+		return []wire.StationID{c.ep.Station()}
+	}
+	out := make([]wire.StationID, len(c.replicas))
+	copy(out, c.replicas)
+	return out
+}
+
+// Raft exposes the consensus node (nil for the degenerate
+// single-replica controller) for fault injection and invariant
+// checking.
+func (c *Controller) Raft() *raft.Node { return c.raft }
+
+// applyCommand is the raft Apply hook — and, unreplicated, the direct
+// execution path: every committed command mutates the object map
+// here, so all replicas converge on the same applied state.
+func (c *Controller) applyCommand(_ uint64, p []byte) {
+	cmd, err := decodeCommand(p)
+	if err != nil {
+		return
+	}
+	switch cmd.Op {
+	case OpAnnounce:
+		c.objects[cmd.Object] = cmd.Owner
+	case OpForget:
+		for obj, owner := range c.objects {
+			if owner == cmd.Owner {
+				delete(c.objects, obj)
+			}
+		}
+	}
+}
+
+// onLeaderChange reinstalls every applied object's switch rules when
+// this replica wins an election: rules driven by the previous leader
+// may be missing or stale, and rule-programming is idempotent.
+func (c *Controller) onLeaderChange(_ wire.StationID, self bool) {
+	if self {
+		c.ReinstallAll()
+	}
+}
+
+// Crash models this replica's process dying: the raft node loses its
+// volatile state (the log and term survive, as if persisted) and the
+// applied object map — rebuilt by log replay — is discarded. The
+// caller is expected to also cut the replica's link.
+func (c *Controller) Crash() {
+	if c.raft != nil {
+		c.raft.Stop()
+	}
+	c.objects = make(map[oid.ID]wire.StationID)
+}
+
+// Restart revives a crashed replica as a follower; catching up on the
+// log replays every committed command into the fresh object map.
+func (c *Controller) Restart() {
+	if c.raft != nil {
+		c.raft.Restart()
+	}
+}
+
+// respondNotLeader answers a client request that reached a follower:
+// status byte then the believed leader's station (0 if unknown).
+func (c *Controller) respondNotLeader(req *wire.Header, ackType wire.MsgType) {
+	reply := make([]byte, 1+wire.StationIDSize)
+	reply[0] = notLeaderStatus
+	if l, ok := c.Leader(); ok && l != c.ep.Station() {
+		binary.BigEndian.PutUint64(reply[1:], uint64(l))
+	}
+	c.ep.Respond(req, wire.Header{Type: ackType, Object: req.Object}, reply)
+}
+
+// handleAnnounceHA is the replicated-mode announce path: the
+// ownership record must commit through raft before rules install and
+// the ack releases the announcing host.
+func (c *Controller) handleAnnounceHA(h *wire.Header) bool {
+	req := *h
+	if !c.IsLeader() {
+		c.respondNotLeader(&req, wire.MsgAnnounceAck)
+		return true
+	}
+	c.counters.Announces++
+	obj, owner := req.Object, req.Src
+	sp := c.installSpan(&req)
+	c.raft.Propose(Command{Op: OpAnnounce, Object: obj, Owner: owner}.encode(),
+		func(_ uint64, err error) {
+			if err != nil {
+				// Deposed mid-proposal: the entry may still commit under
+				// the next leader (and the command is idempotent); tell
+				// the client to re-announce there.
+				sp.SetAttr("status", "not-leader")
+				sp.End()
+				c.respondNotLeader(&req, wire.MsgAnnounceAck)
+				return
+			}
+			c.clock.Schedule(c.installDelay, func() {
+				status := c.installObject(obj, owner)
+				sp.SetAttr("status", installStatus(status))
+				sp.End()
+				c.ep.Respond(&req, wire.Header{Type: wire.MsgAnnounceAck, Object: obj}, []byte{status})
+			})
+		})
+	return true
+}
+
+// handleLocateHA is the replicated-mode locate path: a linearizable-
+// enough read of the applied map at the leader (followers redirect).
+func (c *Controller) handleLocateHA(h *wire.Header) bool {
+	req := *h
+	if !c.IsLeader() {
+		c.respondNotLeader(&req, wire.MsgLocateReply)
+		return true
+	}
+	obj := req.Object
+	owner, known := c.objects[obj]
+	if !known {
+		c.ep.Respond(&req, wire.Header{Type: wire.MsgLocateReply, Object: obj}, []byte{1})
+		return true
+	}
+	sp := c.installSpan(&req)
+	c.clock.Schedule(c.installDelay, func() {
+		status := c.installObject(obj, owner)
+		sp.SetAttr("status", installStatus(status))
+		sp.End()
+		reply := make([]byte, locateReplyLen)
+		reply[0] = status
+		binary.BigEndian.PutUint64(reply[1:], uint64(owner))
+		c.ep.Respond(&req, wire.Header{Type: wire.MsgLocateReply, Object: obj}, reply)
+	})
+	return true
+}
+
+// --- ControllerClient options ---
+
+// ClientOption configures NewControllerClient.
+type ClientOption func(*ControllerClient)
+
+// WithControllers sets the control-plane membership the client
+// announces and locates against. With one station the client behaves
+// exactly like the original single-controller design; with several it
+// follows leader redirects and rotates on timeouts, retrying
+// announces that land on followers.
+func WithControllers(stations ...wire.StationID) ClientOption {
+	return func(cc *ControllerClient) {
+		cc.controllers = stations
+		if len(stations) > 1 {
+			// Announce redirects/timeouts are retried; the budget walks
+			// the full membership a few times so one full election fits
+			// inside it. Unreplicated keeps the original fire-once path.
+			cc.announceRetries = 3 * len(stations)
+			cc.locateRetries = 3 * len(stations)
+		}
+	}
+}
+
+// Controllers returns the membership list the client targets.
+func (cc *ControllerClient) Controllers() []wire.StationID {
+	out := make([]wire.StationID, len(cc.controllers))
+	copy(out, cc.controllers)
+	return out
+}
+
+// Redirects reports how many not-leader replies and membership
+// rotations the client has followed.
+func (cc *ControllerClient) Redirects() uint64 { return cc.redirects }
+
+// rotate moves to the next membership entry (no-op unreplicated).
+func (cc *ControllerClient) rotate() {
+	if len(cc.controllers) > 1 {
+		cc.cur = (cc.cur + 1) % len(cc.controllers)
+	}
+}
+
+// redirect follows a not-leader reply's hint, falling back to
+// rotation when the follower did not know a leader either.
+func (cc *ControllerClient) redirect(payload []byte) {
+	cc.redirects++
+	if len(payload) >= 1+wire.StationIDSize {
+		hint := wire.StationID(binary.BigEndian.Uint64(payload[1:]))
+		if hint != 0 {
+			for i, st := range cc.controllers {
+				if st == hint {
+					cc.cur = i
+					return
+				}
+			}
+		}
+	}
+	cc.rotate()
+}

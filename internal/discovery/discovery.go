@@ -23,6 +23,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/gasperr"
 	"repro/internal/oid"
+	"repro/internal/raft"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -271,6 +272,9 @@ func (e *E2E) Reset() { e.cache = make(map[oid.ID]wire.StationID) }
 
 // Controller is the SDN control plane: it learns object locations from
 // ANNOUNCE messages and programs object→port rules into every switch.
+// With WithReplicas it is one replica of a raft-replicated control
+// plane; without, the same code runs as the degenerate single replica
+// (no consensus node, no extra frames).
 type Controller struct {
 	ep       *transport.Endpoint
 	switches []ProgrammableSwitch
@@ -282,6 +286,15 @@ type Controller struct {
 	clock        backend.Clock
 	tracer       *trace.Recorder
 
+	// Replication (empty/nil for the degenerate single controller).
+	replicas        []wire.StationID
+	electionTimeout backend.Duration
+	heartbeat       backend.Duration
+	seed            uint64
+	raft            *raft.Node
+
+	// objects is the applied state machine: in replicated mode it is
+	// only ever mutated by applyCommand, so replicas converge.
 	objects  map[oid.ID]wire.StationID
 	counters struct {
 		Announces       uint64
@@ -290,16 +303,31 @@ type Controller struct {
 	}
 }
 
-// NewController creates a controller bound to ep. installDelay is the
-// time from receiving an announcement to rules being active.
-func NewController(ep *transport.Endpoint, installDelay backend.Duration) *Controller {
-	return &Controller{
-		ep:           ep,
-		routes:       make(map[ProgrammableSwitch]map[wire.StationID]int),
-		installDelay: installDelay,
-		clock:        ep.Clock(),
-		objects:      make(map[oid.ID]wire.StationID),
+// NewController creates a controller bound to ep. Replication, the
+// rule-install delay, and raft timing are set through options; the
+// zero-option controller is the original unreplicated design.
+func NewController(ep *transport.Endpoint, opts ...ControllerOption) *Controller {
+	c := &Controller{
+		ep:      ep,
+		routes:  make(map[ProgrammableSwitch]map[wire.StationID]int),
+		clock:   ep.Clock(),
+		objects: make(map[oid.ID]wire.StationID),
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if len(c.replicas) > 1 {
+		c.raft = raft.New(raft.Config{
+			Peers:           c.replicas,
+			EP:              ep,
+			ElectionTimeout: c.electionTimeout,
+			Heartbeat:       c.heartbeat,
+			Seed:            c.seed,
+			Apply:           c.applyCommand,
+			OnLeaderChange:  c.onLeaderChange,
+		})
+	}
+	return c
 }
 
 // AddSwitch registers a switch the controller programs.
@@ -409,13 +437,13 @@ func sortedObjects(m map[oid.ID]wire.StationID) []oid.ID {
 }
 
 // Forget drops ownership records for objects owned by station st (the
-// station crashed and its objects are gone until re-announced).
+// station crashed and its objects are gone until re-announced). In
+// replicated mode the forget is itself a command — every replica must
+// drop the records, not just the one that noticed the crash — so it
+// routes through Propose (a follower quietly declines; the caller
+// retries against the leader).
 func (c *Controller) Forget(st wire.StationID) {
-	for obj, owner := range c.objects {
-		if owner == st {
-			delete(c.objects, obj)
-		}
-	}
+	c.Propose(Command{Op: OpForget, Owner: st}, nil)
 }
 
 // HandleFrame consumes MsgAnnounce (record ownership, program object
@@ -425,6 +453,9 @@ func (c *Controller) Forget(st wire.StationID) {
 func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 	switch h.Type {
 	case wire.MsgAnnounce:
+		if c.raft != nil {
+			return c.handleAnnounceHA(h)
+		}
 		c.counters.Announces++
 		obj, owner := h.Object, h.Src
 		c.objects[obj] = owner
@@ -440,6 +471,9 @@ func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 		})
 		return true
 	case wire.MsgLocate:
+		if c.raft != nil {
+			return c.handleLocateHA(h)
+		}
 		obj := h.Object
 		req := *h
 		owner, known := c.objects[obj]
@@ -484,10 +518,17 @@ func installStatus(status byte) string {
 // --- Controller client (host side) ---
 
 // ControllerClient is a host's resolver under the controller scheme.
+// It targets one station of the control-plane membership at a time,
+// following leader redirects and rotating on timeouts when the
+// control plane is replicated.
 type ControllerClient struct {
-	ep         *transport.Endpoint
-	controller wire.StationID
-	counters   Counters
+	ep *transport.Endpoint
+	// controllers is the membership list; cur indexes the replica
+	// currently believed to lead.
+	controllers []wire.StationID
+	cur         int
+	redirects   uint64
+	counters    Counters
 	// acked tracks objects whose announcement completed; failed
 	// tracks objects the switch tables could not fully hold.
 	acked  map[oid.ID]bool
@@ -495,24 +536,35 @@ type ControllerClient struct {
 	// stale marks objects whose route-on-object delivery failed; the
 	// next Resolve re-locates through the controller instead of
 	// trusting the fabric.
-	stale         map[oid.ID]bool
-	locateTimeout backend.Duration
-	locateRetries int
-	tracer        *trace.Recorder
+	stale           map[oid.ID]bool
+	locateTimeout   backend.Duration
+	locateRetries   int
+	announceRetries int
+	// retryDelay spaces retries after a not-leader reply with no
+	// usable hint, so a client does not spin while an election runs.
+	retryDelay backend.Duration
+	tracer     *trace.Recorder
 }
 
-// NewControllerClient creates a client that announces to the
-// controller station.
-func NewControllerClient(ep *transport.Endpoint, controller wire.StationID) *ControllerClient {
-	return &ControllerClient{
+// NewControllerClient creates a client for the control plane named by
+// WithControllers (required: at least one station).
+func NewControllerClient(ep *transport.Endpoint, opts ...ClientOption) *ControllerClient {
+	cc := &ControllerClient{
 		ep:            ep,
-		controller:    controller,
 		acked:         make(map[oid.ID]bool),
 		failed:        make(map[oid.ID]bool),
 		stale:         make(map[oid.ID]bool),
 		locateTimeout: 2 * backend.Millisecond,
 		locateRetries: 2,
+		retryDelay:    100 * backend.Microsecond,
 	}
+	for _, opt := range opts {
+		opt(cc)
+	}
+	if len(cc.controllers) == 0 {
+		panic("discovery: NewControllerClient needs WithControllers")
+	}
+	return cc
 }
 
 // Counters returns a copy of the statistics.
@@ -524,19 +576,50 @@ func (cc *ControllerClient) ResetCounters() { cc.counters = Counters{} }
 // SetTracer attaches a span recorder for traced resolutions.
 func (cc *ControllerClient) SetTracer(r *trace.Recorder) { cc.tracer = r }
 
-// Announce implements Resolver: notify the controller (reliable
+// Announce implements Resolver: notify the control plane (reliable
 // request; the ack confirms rules are active).
-func (cc *ControllerClient) Announce(obj oid.ID) {
+func (cc *ControllerClient) Announce(obj oid.ID) { cc.AnnounceCB(obj, nil) }
+
+// AnnounceCB is Announce with completion feedback: cb (optional)
+// fires once with nil when the announcement is acknowledged — under a
+// replicated control plane, after the record committed — or with the
+// final error once the retry budget is spent.
+func (cc *ControllerClient) AnnounceCB(obj oid.ID, cb func(error)) {
 	cc.counters.Announces++
+	cc.announce(obj, 0, cb)
+}
+
+func (cc *ControllerClient) announce(obj oid.ID, attempt int, cb func(error)) {
 	cc.ep.Request(
-		wire.Header{Type: wire.MsgAnnounce, Dst: cc.controller, Object: obj},
+		wire.Header{Type: wire.MsgAnnounce, Dst: cc.controllers[cc.cur], Object: obj},
 		nil, 0,
 		func(resp *wire.Header, payload []byte, err error) {
-			if err == nil {
-				cc.acked[obj] = true
-				if len(payload) > 0 && payload[0] != 0 {
-					cc.failed[obj] = true
+			delay := backend.Duration(0)
+			if err == nil && len(payload) > 0 && payload[0] == notLeaderStatus {
+				// A follower answered: aim at the leader it named (or
+				// the next replica) and give an election time to settle.
+				cc.redirect(payload)
+				err = fmt.Errorf("discovery: announce %s: %w", obj.Short(), gasperr.ErrNotLeader)
+				delay = cc.retryDelay
+			} else if err != nil {
+				cc.rotate()
+			}
+			if err != nil {
+				if attempt < cc.announceRetries {
+					cc.ep.Clock().Schedule(delay, func() { cc.announce(obj, attempt+1, cb) })
+					return
 				}
+				if cb != nil {
+					cb(err)
+				}
+				return
+			}
+			cc.acked[obj] = true
+			if len(payload) > 0 && payload[0] != 0 {
+				cc.failed[obj] = true
+			}
+			if cb != nil {
+				cb(nil)
 			}
 		})
 }
@@ -577,21 +660,38 @@ func (cc *ControllerClient) ResolveCtx(obj oid.ID, tc trace.Ctx, cb func(Result,
 	cb(Result{RouteOnObject: true, CacheHit: true}, nil)
 }
 
-// locate asks the controller where obj lives and waits for its rules
-// to be re-installed, retrying on timeout.
+// locate asks the control plane where obj lives and waits for its
+// rules to be re-installed, retrying on timeout. Under a replicated
+// control plane a timeout also rotates to the next replica, and a
+// not-leader reply redirects to the leader the follower named — this
+// is what lets a client re-discover a moved control plane instead of
+// being pinned to one hardcoded station.
 func (cc *ControllerClient) locate(obj oid.ID, attempt int, sp *trace.Span, cb func(Result, error)) {
 	cc.counters.Relocates++
-	hdr := wire.Header{Type: wire.MsgLocate, Dst: cc.controller, Object: obj}
+	hdr := wire.Header{Type: wire.MsgLocate, Dst: cc.controllers[cc.cur], Object: obj}
 	sp.Ctx().Inject(&hdr)
 	_, err := cc.ep.Request(hdr, nil, cc.locateTimeout,
 		func(resp *wire.Header, payload []byte, err error) {
 			if err != nil {
+				cc.rotate()
 				if attempt < cc.locateRetries {
 					cc.locate(obj, attempt+1, sp, cb)
 					return
 				}
 				cc.counters.Failures++
 				cb(Result{}, fmt.Errorf("%w: %s (%v)", ErrNotFound, obj.Short(), err))
+				return
+			}
+			if len(payload) >= 1 && payload[0] == notLeaderStatus {
+				cc.redirect(payload)
+				if attempt < cc.locateRetries {
+					cc.ep.Clock().Schedule(cc.retryDelay, func() {
+						cc.locate(obj, attempt+1, sp, cb)
+					})
+					return
+				}
+				cc.counters.Failures++
+				cb(Result{}, fmt.Errorf("discovery: locate %s: %w", obj.Short(), gasperr.ErrNotLeader))
 				return
 			}
 			if len(payload) < 1 || payload[0] != 0 {

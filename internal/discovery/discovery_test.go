@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -199,7 +200,7 @@ func controllerFabric(t *testing.T) (*netsim.Sim, *netsim.Network, []*p4sim.Swit
 		t.Fatal(err)
 	}
 	ctrlNode := &node{host: ch, ep: transport.NewEndpoint(ch, 100, transport.Config{}), owns: map[oid.ID]bool{}}
-	ctrl := NewController(ctrlNode.ep, 10*netsim.Microsecond)
+	ctrl := NewController(ctrlNode.ep, WithInstallDelay(10*netsim.Microsecond))
 	for _, sw := range sws {
 		ctrl.AddSwitch(sw)
 	}
@@ -236,7 +237,7 @@ func TestComputeRoutesStationUnicast(t *testing.T) {
 func TestControllerAnnounceInstallsRoutes(t *testing.T) {
 	sim, _, sws, nodes, ctrl, _ := controllerFabric(t)
 	b := nodes[1]
-	cc := NewControllerClient(b.ep, 100)
+	cc := NewControllerClient(b.ep, WithControllers(100))
 	obj := gen.New()
 	b.owns[obj] = true
 	cc.Announce(obj)
@@ -270,7 +271,7 @@ func TestControllerAnnounceInstallsRoutes(t *testing.T) {
 
 func TestControllerClientResolveImmediate(t *testing.T) {
 	_, _, _, nodes, _, _ := controllerFabric(t)
-	cc := NewControllerClient(nodes[0].ep, 100)
+	cc := NewControllerClient(nodes[0].ep, WithControllers(100))
 	var got Result
 	called := false
 	cc.Resolve(gen.New(), func(r Result, err error) { got, called = r, true })
@@ -291,8 +292,8 @@ func TestControllerClientResolveImmediate(t *testing.T) {
 func TestControllerReannounceAfterMoveRedirects(t *testing.T) {
 	sim, _, _, nodes, _, _ := controllerFabric(t)
 	b, c := nodes[1], nodes[2]
-	ccB := NewControllerClient(b.ep, 100)
-	ccC := NewControllerClient(c.ep, 100)
+	ccB := NewControllerClient(b.ep, WithControllers(100))
+	ccC := NewControllerClient(c.ep, WithControllers(100))
 	obj := gen.New()
 	ccB.Announce(obj)
 	sim.Run()
@@ -313,7 +314,7 @@ func TestHybridFallsBackAfterInvalidate(t *testing.T) {
 	sim, _, _, nodes, _, _ := controllerFabric(t)
 	a, b := nodes[0], nodes[1]
 	e2eA := NewE2E(a.ep, a.has)
-	ccA := NewControllerClient(a.ep, 100)
+	ccA := NewControllerClient(a.ep, WithControllers(100))
 	hy := NewHybrid(ccA, e2eA)
 
 	e2eB := NewE2E(b.ep, b.has)
@@ -374,18 +375,126 @@ func TestControllerInstallFailureWhenTableFull(t *testing.T) {
 	ch, _ := netsim.NewHost(net, "ctrl")
 	net.Connect(ch, 0, sw, 1, netsim.LinkConfig{Latency: netsim.Microsecond})
 	ctrlEp := transport.NewEndpoint(ch, 100, transport.Config{})
-	ctrl := NewController(ctrlEp, 0)
+	ctrl := NewController(ctrlEp)
 	ctrl.AddSwitch(sw)
 	if err := ctrl.ComputeRoutes(net, map[wire.StationID]netsim.Device{1: h0, 100: ch}); err != nil {
 		t.Fatal(err)
 	}
 	ctrlEp.SetHandler(func(h *wire.Header, p []byte) { ctrl.HandleFrame(h, p) })
-	cc := NewControllerClient(hostEp, 100)
+	cc := NewControllerClient(hostEp, WithControllers(100))
 	for i := 0; i < 3; i++ {
 		cc.Announce(gen.New())
 	}
 	sim.Run()
 	if ctrl.InstallFailures() == 0 {
 		t.Fatal("expected install failures with full table")
+	}
+}
+
+// TestClientFollowsLeaderRedirect is the regression test for the
+// hardcoded-controller-station bug: a client whose first membership
+// entry is a follower must follow the not-leader reply's hint to the
+// leader — for announces and for locates — rather than retrying the
+// same station forever.
+func TestClientFollowsLeaderRedirect(t *testing.T) {
+	sim, _, _, nodes := starFabric(t, 4, p4sim.SwitchConfig{LearnStations: true})
+	follower, leaderNode := nodes[2], nodes[3] // stations 3 and 4
+
+	// Station 4 is a real (degenerate, always-leading) controller;
+	// station 3 plays a deposed follower that knows the leader.
+	ctrl := NewController(leaderNode.ep)
+	leaderNode.ep.SetHandler(func(h *wire.Header, p []byte) { ctrl.HandleFrame(h, p) })
+	follower.ep.SetHandler(func(h *wire.Header, p []byte) {
+		if h.Type != wire.MsgAnnounce && h.Type != wire.MsgLocate {
+			return
+		}
+		ack := wire.MsgAnnounceAck
+		if h.Type == wire.MsgLocate {
+			ack = wire.MsgLocateReply
+		}
+		reply := make([]byte, 1+wire.StationIDSize)
+		reply[0] = notLeaderStatus
+		binary.BigEndian.PutUint64(reply[1:], uint64(leaderNode.ep.Station()))
+		follower.ep.Respond(h, wire.Header{Type: ack, Object: h.Object}, reply)
+	})
+
+	// The announcing client starts at the follower.
+	a := nodes[0]
+	ccA := NewControllerClient(a.ep, WithControllers(3, 4))
+	obj := gen.New()
+	a.owns[obj] = true
+	var announceErr error
+	ccA.AnnounceCB(obj, func(err error) { announceErr = err })
+	sim.Run()
+	if announceErr != nil {
+		t.Fatalf("announce through redirect: %v", announceErr)
+	}
+	if !ccA.Announced(obj) {
+		t.Fatal("announce not acked after redirect")
+	}
+	if ccA.Redirects() == 0 {
+		t.Fatal("client claims it never followed a redirect")
+	}
+	if ctrl.Objects() != 1 {
+		t.Fatalf("leader recorded %d objects", ctrl.Objects())
+	}
+
+	// A second client locates through the same redirect.
+	b := nodes[1]
+	ccB := NewControllerClient(b.ep, WithControllers(3, 4))
+	ccB.Invalidate(obj) // stale mark forces a MsgLocate
+	var got Result
+	var locErr error
+	ccB.Resolve(obj, func(r Result, err error) { got, locErr = r, err })
+	sim.Run()
+	if locErr != nil {
+		t.Fatalf("locate through redirect: %v", locErr)
+	}
+	if !got.RouteOnObject {
+		t.Fatalf("locate result = %+v (want route-on-object)", got)
+	}
+	if ccB.Redirects() == 0 {
+		t.Fatal("locate never followed a redirect")
+	}
+
+	// Membership accessor reflects the configured replica set.
+	if ms := ccA.Controllers(); len(ms) != 2 || ms[0] != 3 || ms[1] != 4 {
+		t.Fatalf("Controllers() = %v", ms)
+	}
+}
+
+// TestClientRotatesWhenLeaderUnknown: a follower that does not know a
+// leader (hint 0) forces membership rotation instead of a wedge.
+func TestClientRotatesWhenLeaderUnknown(t *testing.T) {
+	sim, _, _, nodes := starFabric(t, 4, p4sim.SwitchConfig{LearnStations: true})
+	clueless, leaderNode := nodes[2], nodes[3]
+
+	ctrl := NewController(leaderNode.ep)
+	leaderNode.ep.SetHandler(func(h *wire.Header, p []byte) { ctrl.HandleFrame(h, p) })
+	clueless.ep.SetHandler(func(h *wire.Header, p []byte) {
+		if h.Type != wire.MsgAnnounce {
+			return
+		}
+		// Not leader, and no idea who is: an all-zero hint.
+		reply := make([]byte, 1+wire.StationIDSize)
+		reply[0] = notLeaderStatus
+		clueless.ep.Respond(h, wire.Header{Type: wire.MsgAnnounceAck, Object: h.Object}, reply)
+	})
+
+	a := nodes[0]
+	cc := NewControllerClient(a.ep, WithControllers(3, 4))
+	obj := gen.New()
+	a.owns[obj] = true
+	var announceErr error
+	cc.AnnounceCB(obj, func(err error) { announceErr = err })
+	sim.Run()
+	if announceErr != nil {
+		t.Fatalf("announce after rotation: %v", announceErr)
+	}
+	if !cc.Announced(obj) {
+		t.Fatal("announce not acked after rotation")
+	}
+	if ctrl.Objects() != 1 {
+		t.Fatalf("leader recorded %d objects", ctrl.Objects())
 	}
 }

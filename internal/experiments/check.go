@@ -19,7 +19,7 @@ type CheckConfig struct {
 	// MaxRuns bounds scenario executions per exploration (default:
 	// the explorer's own 200; Smoke lowers it).
 	MaxRuns int
-	// Smoke is the CI configuration: fig2 + faults + evict only,
+	// Smoke is the CI configuration: fig2 + faults + evict + raft,
 	// reduced run budget. The build fails if this sweep is not clean.
 	Smoke bool
 	// Buggy restores the legacy fragment-reassembly accounting
@@ -32,7 +32,7 @@ type CheckConfig struct {
 func (c *CheckConfig) fill() {
 	if c.Smoke {
 		if c.Scenarios == nil {
-			c.Scenarios = []string{"fig2", "faults", "evict"}
+			c.Scenarios = []string{"fig2", "faults", "evict", "raft"}
 		}
 		if c.MaxRuns == 0 {
 			c.MaxRuns = 60

@@ -22,6 +22,12 @@ const (
 	FaultFlap FaultClass = "flap"
 	// FaultWipe clears every switch's match-action tables.
 	FaultWipe FaultClass = "wipe"
+	// FaultCtrlKill fail-stops the control plane's consensus leader
+	// and revives it later — the HA scheme's canonical fault. Opt-in
+	// (not in the default class sweep: it needs SchemeControllerHA,
+	// and each access re-locates through the control plane so the
+	// fault is actually on the access path).
+	FaultCtrlKill FaultClass = "ctrlkill"
 )
 
 // FaultsConfig tunes the fault-recovery experiment.
@@ -90,6 +96,12 @@ const faultAt = 3 * netsim.Millisecond
 // bridge it.
 const flapLen = 2 * netsim.Millisecond
 
+// ctrlHealLen is how long the killed consensus leader stays down in
+// FaultCtrlKill — comfortably past an election, so the sweep measures
+// a genuine failover (a follower promotes and serves) rather than the
+// old leader's return.
+const ctrlHealLen = 3 * netsim.Millisecond
+
 // FaultRecovery is E8, the fault-injection experiment: §5 claims the
 // data-centric model can "mask failures" — replicated objects keep
 // their identity across a home's death, the network re-learns routes,
@@ -133,6 +145,12 @@ func faultRun(cfg FaultsConfig, scheme core.Scheme, class FaultClass) (FaultsRow
 	})
 	if err != nil {
 		return FaultsRow{}, err
+	}
+	if scheme == core.SchemeControllerHA {
+		// Announcements need a consensus leader; elect before setup.
+		if _, ok := c.AwaitControlLeader(100 * netsim.Millisecond); !ok {
+			return FaultsRow{}, fmt.Errorf("no control-plane leader elected")
+		}
 	}
 	home, replica, reader := c.Node(1), c.Node(2), c.Node(0)
 
@@ -179,6 +197,8 @@ func faultRun(cfg FaultsConfig, scheme core.Scheme, class FaultClass) (FaultsRow
 		sched.FlapLink(faultAt, 1, flapLen)
 	case FaultWipe:
 		sched.WipeTables(faultAt, -1)
+	case FaultCtrlKill:
+		sched.CrashLeader(faultAt).RestartController(faultAt+ctrlHealLen, -1)
 	default:
 		return FaultsRow{}, fmt.Errorf("unknown fault class %q", class)
 	}
@@ -209,6 +229,11 @@ func faultRun(cfg FaultsConfig, scheme core.Scheme, class FaultClass) (FaultsRow
 		preRtx := totalRetransmits(c)
 		var attempt func(k int)
 		attempt = func(k int) {
+			if class == FaultCtrlKill {
+				// Put the control plane on the access path: a stale mark
+				// forces each attempt to re-locate through the leader.
+				reader.Resolver.Invalidate(obj)
+			}
 			reader.ReadRef(object.Global{Obj: obj, Off: off + 8}, 13, func(_ []byte, err error) {
 				if err != nil {
 					if k+1 < maxAttempts {

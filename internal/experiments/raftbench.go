@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/telemetry"
+)
+
+// RaftConfig tunes E13, the replicated-control-plane benchmark: how
+// long elections take, what consensus costs an announce, and what a
+// leader-kill sweep does to control-plane availability, per replica
+// count. Everything runs on virtual time; same-seed reports are
+// byte-identical (GeneratedAt aside).
+type RaftConfig struct {
+	// Seed drives all randomness (election jitter, ID allocation).
+	Seed int64
+	// Smoke is the CI scale: replica counts {1, 3}, fewer ops/kills.
+	Smoke bool
+	// Replicas are the control-plane sizes swept (default {1, 3, 5};
+	// 1 is the degenerate unreplicated controller — the baseline).
+	Replicas []int
+	// Ops is the closed-loop operation count per phase (default 40).
+	Ops int
+	// Kills is how many leader-kill rounds the availability sweep
+	// runs (default 3).
+	Kills int
+}
+
+func (c *RaftConfig) fill() {
+	if c.Replicas == nil {
+		if c.Smoke {
+			c.Replicas = []int{1, 3}
+		} else {
+			c.Replicas = []int{1, 3, 5}
+		}
+	}
+	if c.Ops == 0 {
+		c.Ops = 40
+		if c.Smoke {
+			c.Ops = 24
+		}
+	}
+	if c.Kills == 0 {
+		c.Kills = 3
+		if c.Smoke {
+			c.Kills = 2
+		}
+	}
+}
+
+// RaftRow is one replica count's measurements.
+type RaftRow struct {
+	Replicas int `json:"replicas"`
+	// ElectionUS is virtual time from cluster start to the first
+	// leader (0 for the degenerate single controller).
+	ElectionUS float64 `json:"election_us"`
+	// CommitMeanUS/CommitP99US are announce acknowledgment latencies
+	// under a stable leader: client request + raft commit + modeled
+	// rule install.
+	CommitMeanUS float64 `json:"commit_mean_us"`
+	CommitP99US  float64 `json:"commit_p99_us"`
+	// ReElectionMeanUS averages kill-to-new-leader time over the
+	// sweep's successful re-elections (0 when none completed — the
+	// one-replica control plane only returns when its process does).
+	ReElectionMeanUS float64 `json:"reelection_mean_us"`
+	// SweepOps/SweepFailed: closed-loop operations riding through the
+	// kill sweep and how many exhausted their retry budget.
+	SweepOps    int `json:"sweep_ops"`
+	SweepFailed int `json:"sweep_failed"`
+	// AvailabilityPct is the sweep's success rate.
+	AvailabilityPct float64 `json:"availability_pct"`
+	// Redirects counts not-leader replies and rotations clients
+	// followed across the whole run.
+	Redirects uint64 `json:"redirects"`
+	// Elections/LeaderChanges aggregate the raft counters (0 for the
+	// degenerate controller).
+	Elections     uint64 `json:"elections"`
+	LeaderChanges uint64 `json:"leader_changes"`
+	// Committed is the leader's final commit index.
+	Committed uint64 `json:"committed"`
+	// Lost counts acknowledged announces absent from the post-heal
+	// leader's state — committed-entry loss, the number that must be
+	// zero for every replicated row. (The one-replica baseline loses
+	// its whole map on a crash; that is the point of the comparison.)
+	Lost int `json:"lost"`
+}
+
+// RaftReport is the E13 artifact (BENCH_raft.json).
+type RaftReport struct {
+	SchemaVersion int       `json:"schema_version"`
+	GeneratedAt   string    `json:"generated_at,omitempty"`
+	Seed          int64     `json:"seed"`
+	Smoke         bool      `json:"smoke"`
+	Rows          []RaftRow `json:"rows"`
+}
+
+// JSON renders the report with stable key order.
+func (r *RaftReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RaftBench runs E13: per replica count, elect, commit under a stable
+// leader, then kill the leader repeatedly under closed-loop load.
+func RaftBench(cfg RaftConfig) (*RaftReport, error) {
+	cfg.fill()
+	rep := &RaftReport{SchemaVersion: 1, Seed: cfg.Seed, Smoke: cfg.Smoke}
+	for _, k := range cfg.Replicas {
+		row, err := raftRun(cfg, k)
+		if err != nil {
+			return nil, fmt.Errorf("%d replicas: %w", k, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+const (
+	raftObjSize = 2048
+	// raftKillAt is when each sweep round's leader dies, relative to
+	// the round's first operation.
+	raftKillAt = 150 * netsim.Microsecond
+	// raftHealAt is when the killed replica returns.
+	raftHealAt = 2 * netsim.Millisecond
+	// raftCatchUp bounds the post-round daemon-heartbeat drain that
+	// walks the revived replica's log forward.
+	raftCatchUp = 8 * netsim.Millisecond
+)
+
+func raftRun(cfg RaftConfig, replicas int) (RaftRow, error) {
+	c, err := core.NewCluster(core.Config{
+		Seed:               cfg.Seed,
+		Scheme:             core.SchemeControllerHA,
+		ControllerReplicas: replicas,
+	})
+	if err != nil {
+		return RaftRow{}, err
+	}
+	row := RaftRow{Replicas: replicas}
+
+	// Phase 0: initial election.
+	if _, ok := c.AwaitControlLeader(100 * netsim.Millisecond); !ok {
+		return RaftRow{}, fmt.Errorf("no leader within 100ms")
+	}
+	row.ElectionUS = us(c.Sim.Now().Sub(netsim.Time(0)))
+
+	// Phase 1: commit latency under a stable leader — closed-loop
+	// acknowledged announces from one host.
+	home := c.Node(1)
+	commit := telemetry.NewHistogram()
+	var acked []oid.ID
+	announce := func(next func(err error)) {
+		o, err := object.New(c.NewID(), raftObjSize, 0)
+		if err != nil {
+			next(err)
+			return
+		}
+		if err := home.Store.Put(o, 1, true); err != nil {
+			next(err)
+			return
+		}
+		id := o.ID()
+		home.Discovery().AnnounceCB(id, func(err error) {
+			if err == nil {
+				acked = append(acked, id)
+			}
+			next(err)
+		})
+	}
+	err = runToCompletion(c, cfg.Ops, func(i int, next func()) {
+		start := c.Sim.Now()
+		announce(func(err error) {
+			if err == nil {
+				commit.Observe(us(c.Sim.Now().Sub(start)))
+			}
+			next()
+		})
+	})
+	if err != nil {
+		return RaftRow{}, err
+	}
+	s := commit.Summarize()
+	row.CommitMeanUS, row.CommitP99US = s.Mean, s.P99
+
+	// Phase 2: the availability sweep. Each round kills the sitting
+	// leader a moment after its closed-loop load starts, revives it
+	// later, and lets daemon heartbeats catch the revived log up
+	// before the next round.
+	reader := c.Node(0)
+	reelect := telemetry.NewHistogram()
+	const (
+		interOp     = 100 * netsim.Microsecond
+		maxAttempts = 8
+		retryDelay  = 250 * netsim.Microsecond
+		pollEvery   = 50 * netsim.Microsecond
+		maxPolls    = 200
+	)
+	for round := 0; round < cfg.Kills; round++ {
+		c.Sim.Schedule(raftKillAt, func() {
+			idx := c.ControlLeaderIndex()
+			if idx < 0 {
+				return
+			}
+			c.CrashController(idx)
+			killed := c.Sim.Now()
+			polls := 0
+			var poll func()
+			poll = func() {
+				if c.LeaderController() != nil {
+					reelect.Observe(us(c.Sim.Now().Sub(killed)))
+					return
+				}
+				if polls++; polls < maxPolls {
+					c.Sim.Schedule(pollEvery, poll)
+				}
+			}
+			poll()
+			c.Sim.Schedule(raftHealAt, func() { c.RestartController(idx) })
+		})
+		err = runToCompletion(c, cfg.Ops, func(i int, next func()) {
+			row.SweepOps++
+			finish := func(err error) {
+				if err != nil {
+					row.SweepFailed++
+				}
+				c.Sim.Schedule(interOp, next)
+			}
+			if i%2 == 0 {
+				announce(finish)
+				return
+			}
+			// Re-locate an announced object through the control plane:
+			// the stale mark forces a MsgLocate, which follows leader
+			// redirects.
+			obj := acked[(round+i)%len(acked)]
+			var attempt func(k int)
+			attempt = func(k int) {
+				reader.Resolver.Invalidate(obj)
+				reader.ReadRef(object.Global{Obj: obj, Off: 8}, 16, func(_ []byte, err error) {
+					if err != nil && k+1 < maxAttempts {
+						c.Sim.Schedule(retryDelay<<k, func() { attempt(k + 1) })
+						return
+					}
+					finish(err)
+				})
+			}
+			attempt(0)
+		})
+		if err != nil {
+			return RaftRow{}, err
+		}
+		c.Sim.RunFor(raftCatchUp)
+	}
+	if row.SweepOps > 0 {
+		row.AvailabilityPct = 100 * float64(row.SweepOps-row.SweepFailed) / float64(row.SweepOps)
+	}
+	row.ReElectionMeanUS = reelect.Summarize().Mean
+
+	// Post-heal verification: every acknowledged announce must still
+	// be in the leading replica's applied state.
+	lead, ok := c.AwaitControlLeader(50 * netsim.Millisecond)
+	if !ok {
+		return RaftRow{}, fmt.Errorf("no leader after the kill sweep")
+	}
+	for _, obj := range acked {
+		if owner, found := lead.Lookup(obj); !found || owner != home.Station {
+			row.Lost++
+		}
+	}
+	for _, n := range c.Nodes {
+		if cc := n.Discovery(); cc != nil {
+			row.Redirects += cc.Redirects()
+		}
+	}
+	for _, rn := range c.RaftNodes() {
+		ctr := rn.Counters()
+		row.Elections += ctr.ElectionsStarted
+		row.LeaderChanges += ctr.BecameLeader
+		if rn.CommitIndex() > row.Committed {
+			row.Committed = rn.CommitIndex()
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRaftBenchSmoke runs E13 at CI scale: the degenerate single
+// controller plus a 3-replica group. The replicated row must survive
+// every leader kill with zero acknowledged announces lost; the
+// baseline row documents why replication exists (its crash wipes the
+// map) and is not asserted on.
+func TestRaftBenchSmoke(t *testing.T) {
+	rep, err := RaftBench(RaftConfig{Seed: 42, Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		t.Logf("replicas=%d election=%.1fµs commit=%.1f/%.1fµs reelect=%.1fµs avail=%.1f%% redirects=%d elections=%d committed=%d lost=%d",
+			r.Replicas, r.ElectionUS, r.CommitMeanUS, r.CommitP99US,
+			r.ReElectionMeanUS, r.AvailabilityPct, r.Redirects, r.Elections, r.Committed, r.Lost)
+	}
+	base, ha := rep.Rows[0], rep.Rows[1]
+	if base.Replicas != 1 || ha.Replicas != 3 {
+		t.Fatalf("unexpected replica counts %d/%d", base.Replicas, ha.Replicas)
+	}
+	if base.ElectionUS != 0 || base.Elections != 0 {
+		t.Errorf("degenerate controller should not elect (election=%.1f, elections=%d)", base.ElectionUS, base.Elections)
+	}
+	if ha.ElectionUS <= 0 {
+		t.Errorf("replicated control plane reported no election time")
+	}
+	if ha.Lost != 0 {
+		t.Errorf("replicated row lost %d acknowledged announces", ha.Lost)
+	}
+	if ha.SweepFailed > 0 {
+		t.Errorf("replicated sweep failed %d/%d ops", ha.SweepFailed, ha.SweepOps)
+	}
+	if ha.LeaderChanges < uint64(1+2) { // initial election + one per kill round
+		t.Errorf("expected at least 3 leader changes, got %d", ha.LeaderChanges)
+	}
+}
+
+// TestFaultRecoveryCtrlKill is the E8 acceptance case for the HA
+// control plane: the consensus leader dies mid-workload while every
+// access re-locates through the control plane; a follower promotes
+// and no access may fail.
+func TestFaultRecoveryCtrlKill(t *testing.T) {
+	rows, err := FaultRecovery(FaultsConfig{
+		Seed:     42,
+		Accesses: 120,
+		Schemes:  []core.Scheme{core.SchemeControllerHA},
+		Classes:  []FaultClass{FaultCtrlKill},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	t.Logf("scheme=%s fault=%s failed=%d degraded=%d recovery=%.1fµs mean=%.1fµs",
+		r.Scheme, r.Fault, r.Failures, r.DegradedAccesses, r.RecoveryUS, r.Latency.Mean)
+	if r.Failures != 0 {
+		t.Errorf("%d accesses failed across the leader kill", r.Failures)
+	}
+	if r.RecoveryUS <= 0 {
+		t.Errorf("no recovery time recorded")
+	}
+}

@@ -42,6 +42,13 @@ const (
 	KindDegrade
 	// KindTableWipe clears a switch's match-action tables.
 	KindTableWipe
+	// KindCtrlCrash fail-stops a control-plane replica (Node is the
+	// replica index; -1 targets whichever replica leads at fire time).
+	KindCtrlCrash
+	// KindCtrlRestart revives a crashed control-plane replica (Node is
+	// the replica index; -1 revives the last one this injector
+	// crashed).
+	KindCtrlRestart
 )
 
 // String names the kind.
@@ -59,6 +66,10 @@ func (k Kind) String() string {
 		return "degrade"
 	case KindTableWipe:
 		return "table-wipe"
+	case KindCtrlCrash:
+		return "ctrl-crash"
+	case KindCtrlRestart:
+		return "ctrl-restart"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -136,6 +147,27 @@ func (s *Schedule) WipeTables(at netsim.Duration, sw int) *Schedule {
 	return s
 }
 
+// CrashController scripts a fail-stop of control-plane replica
+// (index into Cluster.Controllers) at offset at.
+func (s *Schedule) CrashController(at netsim.Duration, replica int) *Schedule {
+	s.events = append(s.events, Event{At: at, Kind: KindCtrlCrash, Node: replica})
+	return s
+}
+
+// CrashLeader scripts a fail-stop of whichever control-plane replica
+// leads when the event fires — the canonical HA availability fault.
+func (s *Schedule) CrashLeader(at netsim.Duration) *Schedule {
+	return s.CrashController(at, -1)
+}
+
+// RestartController scripts a crashed control-plane replica's return
+// at offset at (-1 revives the injector's most recent control-plane
+// crash).
+func (s *Schedule) RestartController(at netsim.Duration, replica int) *Schedule {
+	s.events = append(s.events, Event{At: at, Kind: KindCtrlRestart, Node: replica})
+	return s
+}
+
 // Events returns the script sorted by time (stable, so same-time
 // events keep insertion order).
 func (s *Schedule) Events() []Event {
@@ -203,6 +235,10 @@ type Injector struct {
 	log        []Record
 	promotions int
 	lost       []oid.ID
+	// lastCtrlCrashed remembers the most recent KindCtrlCrash target
+	// so a RestartController(-1) pairs with a CrashLeader whose actual
+	// victim was only decided at fire time.
+	lastCtrlCrashed int
 }
 
 // NewInjector creates an injector for c. Arm schedules the script.
@@ -235,12 +271,11 @@ func (inj *Injector) fire(ev Event) {
 	case KindCrash:
 		homed := c.CrashNode(ev.Node)
 		inj.record("crash", fmt.Sprintf("node%d down, %d home objects at risk", ev.Node, len(homed)))
-		// The controller's liveness detection sees the port die and
+		// The control plane's liveness detection sees the port die and
 		// drops ownership records, so locates fail fast instead of
-		// routing into a black hole.
-		if c.Controller != nil {
-			c.Controller.Forget(c.Nodes[ev.Node].Station)
-		}
+		// routing into a black hole. Under a replicated control plane
+		// the forget commits through the current leader.
+		c.ForgetStation(c.Nodes[ev.Node].Station)
 		if inj.cfg.PromotionDelay < 0 {
 			inj.lost = append(inj.lost, homed...)
 			return
@@ -270,13 +305,39 @@ func (inj *Injector) fire(ev Event) {
 		inj.record("table-wipe", fmt.Sprintf("%d switch table(s) cleared", wiped))
 		if c.Controller != nil && inj.cfg.RepairDelay >= 0 {
 			c.Sim.Schedule(inj.cfg.RepairDelay, func() {
-				// The controller replays station routes first (so
-				// replies unicast again), then object rules.
-				c.Controller.ProgramStationTables()
-				n := c.Controller.ReinstallAll()
+				// The leading replica replays station routes first (so
+				// replies unicast again), then object rules. With no
+				// leader mid-election, the next leader's ReinstallAll
+				// covers the wipe anyway.
+				lead := c.LeaderController()
+				if lead == nil {
+					inj.record("repair-skip", "no control-plane leader")
+					return
+				}
+				lead.ProgramStationTables()
+				n := lead.ReinstallAll()
 				inj.record("repair", fmt.Sprintf("controller reinstalled %d object(s)", n))
 			})
 		}
+	case KindCtrlCrash:
+		idx := ev.Node
+		if idx < 0 {
+			idx = c.ControlLeaderIndex()
+			if idx < 0 {
+				inj.record("ctrl-crash-skip", "no control-plane leader to kill")
+				return
+			}
+		}
+		c.CrashController(idx)
+		inj.lastCtrlCrashed = idx
+		inj.record("ctrl-crash", fmt.Sprintf("controller replica %d down", idx))
+	case KindCtrlRestart:
+		idx := ev.Node
+		if idx < 0 {
+			idx = inj.lastCtrlCrashed
+		}
+		c.RestartController(idx)
+		inj.record("ctrl-restart", fmt.Sprintf("controller replica %d up", idx))
 	}
 }
 

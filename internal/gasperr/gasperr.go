@@ -6,7 +6,7 @@
 //
 //	if errors.Is(err, gasperr.ErrUnreachable) { retryElsewhere() }
 //
-// The taxonomy is deliberately small — four classes cover every
+// The taxonomy is deliberately small — five classes cover every
 // recoverable failure the fault engine injects:
 //
 //   - ErrNotFound: the object (or route, or directory entry) does not
@@ -19,6 +19,9 @@
 //     re-discovery may succeed.
 //   - ErrTableFull: an in-network match-action table has no free
 //     capacity. Falling back to an end-to-end path is the remedy.
+//   - ErrNotLeader: a replicated control plane rejected a proposal
+//     because this replica is not the leader. Redirecting to the
+//     leader (or retrying after an election settles) succeeds.
 package gasperr
 
 import "errors"
@@ -32,10 +35,13 @@ var (
 	ErrUnreachable = errors.New("peer unreachable")
 	// ErrTableFull reports that a switch match-action table is at capacity.
 	ErrTableFull = errors.New("table full")
+	// ErrNotLeader reports that a replicated control-plane request
+	// reached a follower; the caller should redirect to the leader.
+	ErrNotLeader = errors.New("not the leader")
 )
 
 // Class returns the sentinel that err wraps, or nil if err belongs to
-// none of the four classes. Useful for bucketing failures in metrics.
+// none of the five classes. Useful for bucketing failures in metrics.
 func Class(err error) error {
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -46,13 +52,18 @@ func Class(err error) error {
 		return ErrUnreachable
 	case errors.Is(err, ErrTableFull):
 		return ErrTableFull
+	case errors.Is(err, ErrNotLeader):
+		return ErrNotLeader
 	}
 	return nil
 }
 
 // Retryable reports whether the failure class is worth retrying after
 // backoff and/or re-discovery. ErrNotFound is terminal: the object is
-// gone, not late.
+// gone, not late. ErrNotLeader is retryable by construction — the
+// client redirects to the leader the reply names (or waits out an
+// election) and proposes again.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrUnreachable)
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrUnreachable) ||
+		errors.Is(err, ErrNotLeader)
 }

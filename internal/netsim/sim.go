@@ -41,6 +41,13 @@ type event struct {
 	seq uint64
 	fn  func() // nil for inline frame events
 
+	// daemon marks background housekeeping (e.g. consensus heartbeat
+	// and election timers) that perpetually re-arms itself: Run treats
+	// a queue holding only daemon events as drained, so foreground
+	// workloads still run to completion. Daemon events fire normally
+	// whenever foreground work keeps the clock advancing.
+	daemon bool
+
 	// Inline frame event (when net is non-nil): evDeliver hands fr to
 	// dev, evSend transmits fr out of dev's port.
 	kind     uint8
@@ -73,6 +80,9 @@ func (h eventHeap) less(i, j int) bool {
 }
 
 func (s *Sim) push(e event) {
+	if !e.daemon {
+		s.foreground++
+	}
 	h := append(s.events, e)
 	i := len(h) - 1
 	for i > 0 {
@@ -89,6 +99,9 @@ func (s *Sim) push(e event) {
 func (s *Sim) pop() event {
 	h := s.events
 	top := h[0]
+	if !top.daemon {
+		s.foreground--
+	}
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = event{} // drop fn/frame references for the GC
@@ -119,6 +132,10 @@ type Sim struct {
 	seq    uint64
 	events eventHeap
 	rng    *rand.Rand
+
+	// foreground counts queued non-daemon events — Run's stop
+	// condition, so perpetual daemon timers cannot wedge a drain.
+	foreground int
 
 	processed uint64
 }
@@ -188,11 +205,33 @@ func (s *Sim) AfterFunc(d Duration, fn func()) backend.Timer {
 	return t
 }
 
-// Run processes events until the queue is empty, returning the number
-// processed.
+// AfterFuncDaemon is AfterFunc for background housekeeping that
+// re-arms itself forever (consensus heartbeats, election timeouts).
+// Daemon timers fire normally while foreground work keeps the
+// simulation advancing, but Run does not wait for them: a queue
+// holding only daemon events counts as drained. This implements
+// backend.DaemonClock.
+func (s *Sim) AfterFuncDaemon(d Duration, fn func()) backend.Timer {
+	t := &Timer{}
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	s.push(event{at: s.now.Add(d), seq: s.seq, daemon: true, fn: func() {
+		if !t.stopped {
+			t.stopped = true
+			fn()
+		}
+	}})
+	return t
+}
+
+// Run processes events until no foreground event remains (daemon
+// housekeeping timers do not count — see AfterFuncDaemon), returning
+// the number processed.
 func (s *Sim) Run() uint64 {
 	start := s.processed
-	for s.events.Len() > 0 {
+	for s.foreground > 0 {
 		s.step()
 	}
 	return s.processed - start

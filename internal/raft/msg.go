@@ -1,0 +1,178 @@
+package raft
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Raft message kinds, carried as the first payload byte of a
+// wire.MsgRaft frame. The frame header's Src/Dst are the replica
+// stations, so the payload only carries protocol state.
+const (
+	rmsgVote        byte = 1 // RequestVote: candidate solicits a vote
+	rmsgVoteReply   byte = 2 // VoteReply: grant or refusal
+	rmsgAppend      byte = 3 // AppendEntries: replication + heartbeat
+	rmsgAppendReply byte = 4 // AppendReply: match index or conflict hint
+)
+
+// maxAppendEntries bounds how many log entries one AppendEntries
+// frame carries; catch-up of a longer gap takes several rounds.
+const maxAppendEntries = 8
+
+// voteMsg is RequestVote (the candidate is the frame's Src).
+type voteMsg struct {
+	term         uint64
+	lastLogIndex uint64
+	lastLogTerm  uint64
+}
+
+// voteReplyMsg answers a RequestVote.
+type voteReplyMsg struct {
+	term    uint64
+	granted bool
+}
+
+// appendMsg is AppendEntries: prevLogIndex/prevLogTerm anchor the
+// consistency check, leaderCommit advances the follower's commit
+// index, entries may be empty (pure heartbeat).
+type appendMsg struct {
+	term         uint64
+	prevLogIndex uint64
+	prevLogTerm  uint64
+	leaderCommit uint64
+	entries      []Entry
+}
+
+// appendReplyMsg answers an AppendEntries. On success matchIndex is
+// the last index now known replicated at the follower; on failure it
+// is the follower's last log index — the leader's back-off hint.
+type appendReplyMsg struct {
+	term       uint64
+	success    bool
+	matchIndex uint64
+}
+
+func encodeVote(m voteMsg) []byte {
+	b := make([]byte, 1+3*8)
+	b[0] = rmsgVote
+	binary.BigEndian.PutUint64(b[1:], m.term)
+	binary.BigEndian.PutUint64(b[9:], m.lastLogIndex)
+	binary.BigEndian.PutUint64(b[17:], m.lastLogTerm)
+	return b
+}
+
+func decodeVote(p []byte) (voteMsg, error) {
+	if len(p) != 1+3*8 {
+		return voteMsg{}, fmt.Errorf("raft: bad RequestVote length %d", len(p))
+	}
+	return voteMsg{
+		term:         binary.BigEndian.Uint64(p[1:]),
+		lastLogIndex: binary.BigEndian.Uint64(p[9:]),
+		lastLogTerm:  binary.BigEndian.Uint64(p[17:]),
+	}, nil
+}
+
+func encodeVoteReply(m voteReplyMsg) []byte {
+	b := make([]byte, 1+8+1)
+	b[0] = rmsgVoteReply
+	binary.BigEndian.PutUint64(b[1:], m.term)
+	if m.granted {
+		b[9] = 1
+	}
+	return b
+}
+
+func decodeVoteReply(p []byte) (voteReplyMsg, error) {
+	if len(p) != 1+8+1 {
+		return voteReplyMsg{}, fmt.Errorf("raft: bad VoteReply length %d", len(p))
+	}
+	return voteReplyMsg{
+		term:    binary.BigEndian.Uint64(p[1:]),
+		granted: p[9] == 1,
+	}, nil
+}
+
+func encodeAppend(m appendMsg) []byte {
+	size := 1 + 4*8 + 2
+	for _, e := range m.entries {
+		size += 8 + 2 + len(e.Cmd)
+	}
+	b := make([]byte, size)
+	b[0] = rmsgAppend
+	binary.BigEndian.PutUint64(b[1:], m.term)
+	binary.BigEndian.PutUint64(b[9:], m.prevLogIndex)
+	binary.BigEndian.PutUint64(b[17:], m.prevLogTerm)
+	binary.BigEndian.PutUint64(b[25:], m.leaderCommit)
+	binary.BigEndian.PutUint16(b[33:], uint16(len(m.entries)))
+	off := 35
+	for _, e := range m.entries {
+		binary.BigEndian.PutUint64(b[off:], e.Term)
+		binary.BigEndian.PutUint16(b[off+8:], uint16(len(e.Cmd)))
+		copy(b[off+10:], e.Cmd)
+		off += 10 + len(e.Cmd)
+	}
+	return b
+}
+
+func decodeAppend(p []byte) (appendMsg, error) {
+	if len(p) < 1+4*8+2 {
+		return appendMsg{}, fmt.Errorf("raft: short AppendEntries length %d", len(p))
+	}
+	m := appendMsg{
+		term:         binary.BigEndian.Uint64(p[1:]),
+		prevLogIndex: binary.BigEndian.Uint64(p[9:]),
+		prevLogTerm:  binary.BigEndian.Uint64(p[17:]),
+		leaderCommit: binary.BigEndian.Uint64(p[25:]),
+	}
+	count := int(binary.BigEndian.Uint16(p[33:]))
+	off := 35
+	for i := 0; i < count; i++ {
+		if len(p) < off+10 {
+			return appendMsg{}, fmt.Errorf("raft: truncated entry %d", i)
+		}
+		term := binary.BigEndian.Uint64(p[off:])
+		clen := int(binary.BigEndian.Uint16(p[off+8:]))
+		off += 10
+		if len(p) < off+clen {
+			return appendMsg{}, fmt.Errorf("raft: truncated entry %d command", i)
+		}
+		cmd := make([]byte, clen)
+		copy(cmd, p[off:off+clen])
+		off += clen
+		m.entries = append(m.entries, Entry{Term: term, Cmd: cmd})
+	}
+	return m, nil
+}
+
+func encodeAppendReply(m appendReplyMsg) []byte {
+	b := make([]byte, 1+8+1+8)
+	b[0] = rmsgAppendReply
+	binary.BigEndian.PutUint64(b[1:], m.term)
+	if m.success {
+		b[9] = 1
+	}
+	binary.BigEndian.PutUint64(b[10:], m.matchIndex)
+	return b
+}
+
+func decodeAppendReply(p []byte) (appendReplyMsg, error) {
+	if len(p) != 1+8+1+8 {
+		return appendReplyMsg{}, fmt.Errorf("raft: bad AppendReply length %d", len(p))
+	}
+	return appendReplyMsg{
+		term:       binary.BigEndian.Uint64(p[1:]),
+		success:    p[9] == 1,
+		matchIndex: binary.BigEndian.Uint64(p[10:]),
+	}, nil
+}
+
+// send transmits one raft message to peer as an unreliable MsgRaft
+// frame. Raft is its own retransmission scheme — every heartbeat
+// re-offers whatever the follower is missing — so the transport's
+// reliable path (acks, retransmit timers) would only add traffic.
+func (n *Node) send(peer wire.StationID, payload []byte) {
+	n.ctr.FramesSent++
+	_, _ = n.ep.Send(wire.Header{Type: wire.MsgRaft, Dst: peer}, payload)
+}

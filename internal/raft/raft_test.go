@@ -1,0 +1,383 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/gasperr"
+	"repro/internal/netsim"
+	"repro/internal/p4sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// tnode is one replica under test: host, endpoint, raft node, and the
+// applied state machine (index → command) it builds.
+type tnode struct {
+	host    *netsim.Host
+	n       *Node
+	applied map[uint64]string
+}
+
+// newCluster builds k replicas on a star fabric (learning switch, 5µs
+// links) with stations 1..k, raft nodes started.
+func newCluster(t *testing.T, k int, seed int64) (*netsim.Sim, *netsim.Network, []*tnode) {
+	t.Helper()
+	sim := netsim.NewSim(seed)
+	net := netsim.NewNetwork(sim)
+	sw, err := p4sim.NewSwitch(net, "sw", k, p4sim.SwitchConfig{LearnStations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]wire.StationID, k)
+	for i := range peers {
+		peers[i] = wire.StationID(i + 1)
+	}
+	nodes := make([]*tnode, k)
+	for i := 0; i < k; i++ {
+		h, err := netsim.NewHost(net, fmt.Sprintf("r%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Connect(h, 0, sw, i, netsim.LinkConfig{Latency: 5 * netsim.Microsecond}); err != nil {
+			t.Fatal(err)
+		}
+		ep := transport.NewEndpoint(h, peers[i], transport.Config{})
+		tn := &tnode{host: h, applied: make(map[uint64]string)}
+		tn.n = New(Config{
+			Peers: peers,
+			EP:    ep,
+			Seed:  uint64(seed),
+			Apply: func(idx uint64, cmd []byte) { tn.applied[idx] = string(cmd) },
+		})
+		ep.Mux().Handle(wire.MsgRaft, tn.n.HandleFrame)
+		nodes[i] = tn
+	}
+	return sim, net, nodes
+}
+
+// runUntil advances the simulation in 100µs slices until cond holds
+// or limit elapses. Raft's timers are daemon events, so tests advance
+// virtual time explicitly rather than draining with sim.Run.
+func runUntil(sim *netsim.Sim, limit netsim.Duration, cond func() bool) bool {
+	deadline := sim.Now().Add(limit)
+	for sim.Now() < deadline {
+		if cond() {
+			return true
+		}
+		sim.RunFor(100 * netsim.Microsecond)
+	}
+	return cond()
+}
+
+// liveLeaders returns the running replicas currently in the Leader role.
+func liveLeaders(nodes []*tnode) []*tnode {
+	var out []*tnode
+	for _, tn := range nodes {
+		if tn.n.Running() && tn.n.State() == Leader {
+			out = append(out, tn)
+		}
+	}
+	return out
+}
+
+// awaitLeader runs until exactly one live leader exists and returns it.
+func awaitLeader(t *testing.T, sim *netsim.Sim, nodes []*tnode) *tnode {
+	t.Helper()
+	if !runUntil(sim, 50*netsim.Millisecond, func() bool { return len(liveLeaders(nodes)) == 1 }) {
+		t.Fatalf("no single leader after 50ms; leaders = %d", len(liveLeaders(nodes)))
+	}
+	return liveLeaders(nodes)[0]
+}
+
+// checkTermsLedUnique verifies election safety: across all replicas,
+// no term was ever won by two different stations.
+func checkTermsLedUnique(t *testing.T, nodes []*tnode) {
+	t.Helper()
+	winner := make(map[uint64]wire.StationID)
+	for _, tn := range nodes {
+		for _, term := range tn.n.TermsLed() {
+			if prev, ok := winner[term]; ok && prev != tn.n.ID() {
+				t.Fatalf("term %d led by both station %d and station %d", term, prev, tn.n.ID())
+			}
+			winner[term] = tn.n.ID()
+		}
+	}
+}
+
+// propose submits cmd to the leader and runs until every running
+// replica has applied it.
+func propose(t *testing.T, sim *netsim.Sim, nodes []*tnode, leader *tnode, cmd string) uint64 {
+	t.Helper()
+	var idx uint64
+	var perr error
+	done := false
+	leader.n.Propose([]byte(cmd), func(i uint64, err error) { idx, perr, done = i, err, true })
+	ok := runUntil(sim, 20*netsim.Millisecond, func() bool {
+		if !done {
+			return false
+		}
+		for _, tn := range nodes {
+			if tn.n.Running() && tn.n.LastApplied() < idx {
+				return false
+			}
+		}
+		return true
+	})
+	if perr != nil {
+		t.Fatalf("propose %q: %v", cmd, perr)
+	}
+	if !ok {
+		t.Fatalf("propose %q: not applied everywhere after 20ms", cmd)
+	}
+	return idx
+}
+
+func TestElectionElectsSingleLeader(t *testing.T) {
+	sim, _, nodes := newCluster(t, 3, 42)
+	leader := awaitLeader(t, sim, nodes)
+	// Let heartbeats settle, then every replica must agree on who leads.
+	sim.RunFor(2 * netsim.Millisecond)
+	for _, tn := range nodes {
+		l, ok := tn.n.Leader()
+		if !ok || l != leader.n.ID() {
+			t.Fatalf("station %d believes leader=%d (known=%v), want %d",
+				tn.n.ID(), l, ok, leader.n.ID())
+		}
+		if tn.n.Term() != leader.n.Term() {
+			t.Fatalf("station %d at term %d, leader at %d", tn.n.ID(), tn.n.Term(), leader.n.Term())
+		}
+	}
+	checkTermsLedUnique(t, nodes)
+	if got := leader.n.Counters().BecameLeader; got == 0 {
+		t.Fatal("leader counter BecameLeader = 0")
+	}
+}
+
+func TestElectionSafetyAcrossPartition(t *testing.T) {
+	sim, net, nodes := newCluster(t, 3, 7)
+	first := awaitLeader(t, sim, nodes)
+
+	// Isolate the leader: the majority side must elect a successor
+	// while the old leader, unable to reach a quorum, keeps its role
+	// in the stale term.
+	net.SetLinkDown(first.host, 0, true)
+	rest := make([]*tnode, 0, 2)
+	for _, tn := range nodes {
+		if tn != first {
+			rest = append(rest, tn)
+		}
+	}
+	second := awaitLeader(t, sim, rest)
+	if second.n.Term() <= first.n.TermsLed()[len(first.n.TermsLed())-1] {
+		t.Fatalf("successor term %d not beyond deposed leader's", second.n.Term())
+	}
+
+	// Heal: the old leader must step down on first contact with the
+	// higher term, leaving exactly one leader.
+	net.SetLinkDown(first.host, 0, false)
+	if !runUntil(sim, 50*netsim.Millisecond, func() bool {
+		return len(liveLeaders(nodes)) == 1 && first.n.State() == Follower
+	}) {
+		t.Fatalf("cluster did not converge to one leader after heal")
+	}
+	checkTermsLedUnique(t, nodes)
+}
+
+func TestReplicationAndFollowerCatchUp(t *testing.T) {
+	sim, net, nodes := newCluster(t, 3, 11)
+	leader := awaitLeader(t, sim, nodes)
+	propose(t, sim, nodes, leader, "a")
+	propose(t, sim, nodes, leader, "b")
+
+	// Partition one follower; the quorum of two keeps committing.
+	var lagger *tnode
+	for _, tn := range nodes {
+		if tn != leader {
+			lagger = tn
+			break
+		}
+	}
+	net.SetLinkDown(lagger.host, 0, true)
+	live := make([]*tnode, 0, 2)
+	for _, tn := range nodes {
+		if tn != lagger {
+			live = append(live, tn)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		propose(t, sim, live, leader, fmt.Sprintf("c%d", i))
+	}
+
+	// Heal. The lagger may have started elections while isolated and
+	// pushed the term up, deposing the leader — any single leader with
+	// full catch-up is acceptable; log matching is what's under test.
+	net.SetLinkDown(lagger.host, 0, false)
+	final := awaitLeader(t, sim, nodes)
+	want := final.n.LastApplied()
+	if !runUntil(sim, 50*netsim.Millisecond, func() bool {
+		for _, tn := range nodes {
+			if tn.n.LastApplied() < want {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatalf("lagger did not catch up to applied index %d (at %d)", want, lagger.n.LastApplied())
+	}
+
+	// Log matching: identical (term, digest) at every applied index.
+	for i := uint64(1); i <= want; i++ {
+		refTerm, refDig, ok := final.n.EntryInfo(i)
+		if !ok {
+			t.Fatalf("leader missing entry %d", i)
+		}
+		for _, tn := range nodes {
+			term, dig, ok := tn.n.EntryInfo(i)
+			if !ok || term != refTerm || dig != refDig {
+				t.Fatalf("station %d entry %d = (term %d, %x, %v), leader has (term %d, %x)",
+					tn.n.ID(), i, term, dig, ok, refTerm, refDig)
+			}
+		}
+	}
+	// Applied state machines agree, and every proposed command landed.
+	for _, tn := range nodes {
+		for i := uint64(1); i <= want; i++ {
+			if tn.applied[i] != final.applied[i] {
+				t.Fatalf("station %d applied[%d] = %q, leader %q", tn.n.ID(), i, tn.applied[i], final.applied[i])
+			}
+		}
+	}
+	got := make(map[string]bool)
+	for _, cmd := range final.applied {
+		got[cmd] = true
+	}
+	for _, cmd := range []string{"a", "b", "c0", "c1", "c2", "c3"} {
+		if !got[cmd] {
+			t.Fatalf("committed command %q lost; applied = %v", cmd, final.applied)
+		}
+	}
+	checkTermsLedUnique(t, nodes)
+}
+
+func TestProposeOnFollowerFailsNotLeader(t *testing.T) {
+	sim, _, nodes := newCluster(t, 3, 3)
+	leader := awaitLeader(t, sim, nodes)
+	var follower *tnode
+	for _, tn := range nodes {
+		if tn != leader {
+			follower = tn
+			break
+		}
+	}
+	var gotErr error
+	called := false
+	follower.n.Propose([]byte("x"), func(_ uint64, err error) { gotErr, called = err, true })
+	if !called {
+		t.Fatal("follower Propose must fail synchronously")
+	}
+	if !errors.Is(gotErr, ErrNotLeader) || !errors.Is(gotErr, gasperr.ErrNotLeader) {
+		t.Fatalf("err = %v, want ErrNotLeader wrapping gasperr.ErrNotLeader", gotErr)
+	}
+}
+
+func TestCrashRestartReplaysLog(t *testing.T) {
+	sim, net, nodes := newCluster(t, 3, 19)
+	first := awaitLeader(t, sim, nodes)
+	propose(t, sim, nodes, first, "pre1")
+	propose(t, sim, nodes, first, "pre2")
+
+	// Crash the leader: raft volatile state gone, link cut.
+	first.n.Stop()
+	net.SetLinkDown(first.host, 0, true)
+	first.applied = make(map[uint64]string) // owner discards the state machine too
+	if first.n.CommitIndex() != 0 || first.n.LastApplied() != 0 {
+		t.Fatal("Stop must clear volatile commit/applied cursors")
+	}
+
+	rest := make([]*tnode, 0, 2)
+	for _, tn := range nodes {
+		if tn != first {
+			rest = append(rest, tn)
+		}
+	}
+	second := awaitLeader(t, sim, rest)
+	propose(t, sim, rest, second, "post1")
+
+	// Revive: the replayed log must rebuild the full state machine —
+	// entries applied before the crash included.
+	net.SetLinkDown(first.host, 0, false)
+	first.n.Restart()
+	want := second.n.LastApplied()
+	if !runUntil(sim, 50*netsim.Millisecond, func() bool { return first.n.LastApplied() >= want }) {
+		t.Fatalf("restarted replica applied %d, want >= %d", first.n.LastApplied(), want)
+	}
+	for i := uint64(1); i <= want; i++ {
+		if first.applied[i] != second.applied[i] {
+			t.Fatalf("replayed applied[%d] = %q, want %q", i, first.applied[i], second.applied[i])
+		}
+	}
+	checkTermsLedUnique(t, nodes)
+}
+
+// TestCommitOnlyCurrentTerm white-boxes the §5.4.2 rule: a leader
+// must not advance the commit index over an old-term entry by
+// counting replicas, even when that entry sits on a quorum; the entry
+// commits only transitively, once a current-term entry above it does.
+func TestCommitOnlyCurrentTerm(t *testing.T) {
+	_, _, nodes := newCluster(t, 3, 1)
+	n := nodes[0].n // stations are 1 (self), 2, 3
+
+	n.state = Leader
+	n.currentTerm = 3
+	n.log = []Entry{{Term: 1, Cmd: []byte("old")}}
+	n.matchIndex[2] = 1 // old-term entry is on a quorum (self + station 2)
+
+	n.advanceCommit()
+	if n.commitIndex != 0 {
+		t.Fatalf("commitIndex = %d; old-term entry must not commit by counting", n.commitIndex)
+	}
+
+	// A current-term entry on a quorum commits, and the old entry
+	// beneath it commits transitively.
+	n.log = append(n.log, Entry{Term: 3, Cmd: []byte("new")})
+	n.matchIndex[2] = 2
+	n.advanceCommit()
+	if n.commitIndex != 2 {
+		t.Fatalf("commitIndex = %d, want 2", n.commitIndex)
+	}
+	if nodes[0].applied[1] != "old" || nodes[0].applied[2] != "new" {
+		t.Fatalf("applied = %v", nodes[0].applied)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	v := voteMsg{term: 9, lastLogIndex: 4, lastLogTerm: 2}
+	if got, err := decodeVote(encodeVote(v)); err != nil || got != v {
+		t.Fatalf("vote round trip: %+v, %v", got, err)
+	}
+	vr := voteReplyMsg{term: 9, granted: true}
+	if got, err := decodeVoteReply(encodeVoteReply(vr)); err != nil || got != vr {
+		t.Fatalf("vote reply round trip: %+v, %v", got, err)
+	}
+	a := appendMsg{term: 7, prevLogIndex: 3, prevLogTerm: 2, leaderCommit: 3,
+		entries: []Entry{{Term: 7, Cmd: []byte("hello")}, {Term: 7}}}
+	got, err := decodeAppend(encodeAppend(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.term != a.term || got.prevLogIndex != a.prevLogIndex ||
+		got.prevLogTerm != a.prevLogTerm || got.leaderCommit != a.leaderCommit ||
+		len(got.entries) != 2 || string(got.entries[0].Cmd) != "hello" ||
+		got.entries[1].Term != 7 || len(got.entries[1].Cmd) != 0 {
+		t.Fatalf("append round trip: %+v", got)
+	}
+	ar := appendReplyMsg{term: 7, success: true, matchIndex: 5}
+	if got, err := decodeAppendReply(encodeAppendReply(ar)); err != nil || got != ar {
+		t.Fatalf("append reply round trip: %+v, %v", got, err)
+	}
+	if _, err := decodeAppend([]byte{rmsgAppend, 0, 0}); err == nil {
+		t.Fatal("short AppendEntries must fail to decode")
+	}
+}

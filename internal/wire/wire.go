@@ -112,6 +112,9 @@ const (
 	// MsgLocateReply answers a MsgLocate with the owner's station and
 	// confirms the object's fabric rules have been re-installed.
 	MsgLocateReply
+	// MsgRaft carries control-plane consensus traffic (RequestVote,
+	// AppendEntries and their replies) between controller replicas.
+	MsgRaft
 
 	msgTypeCount
 )
@@ -123,7 +126,7 @@ const NumMsgTypes = int(msgTypeCount)
 var msgNames = [...]string{
 	"invalid", "hello", "announce", "announce-ack", "discover",
 	"discover-reply", "mem", "ack", "rpc", "ctrl", "locate",
-	"locate-reply",
+	"locate-reply", "raft",
 }
 
 // String names the message type.
