@@ -27,8 +27,12 @@
 //	                        time, commit latency, and availability
 //	                        under a leader-kill sweep per replica
 //	                        count; writes BENCH_raft.json
+//	gaspbench inc           E14: in-network computation on/off pairs —
+//	                        switch-resident object cache, multicast
+//	                        invalidation, ack aggregation; writes
+//	                        BENCH_inc.json
 //	gaspbench all           everything above (except trace, load,
-//	                        check, realbench, raft)
+//	                        check, realbench, raft, inc)
 //
 // The check subcommand takes its own flags after the command word:
 //
@@ -103,7 +107,7 @@ func simOnly(cmd, why string) error {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|realbench|raft|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|realbench|raft|inc|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -111,7 +115,7 @@ func main() {
 	// (for check, the replay command a violation report prints is in
 	// that form).
 	if flag.NArg() < 1 ||
-		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.Arg(0) != "scale" && flag.Arg(0) != "raft" && flag.NArg() != 1) {
+		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.Arg(0) != "scale" && flag.Arg(0) != "raft" && flag.Arg(0) != "inc" && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -132,6 +136,7 @@ func main() {
 		"load":          "E9's saturation sweep replays seeded schedules on virtual time",
 		"check":         "E10 explores deterministic delivery schedules",
 		"raft":          "E13 crashes and revives control-plane replicas on the simulated fabric",
+		"inc":           "E14 programs INC engines into simulated switch pipelines",
 		"all":           "the suite includes sim-only experiments",
 	}
 	var err error
@@ -166,6 +171,8 @@ func main() {
 			err = runRealbench(flag.Args()[1:])
 		case "raft":
 			err = runRaft(flag.Args()[1:])
+		case "inc":
+			err = runInc(flag.Args()[1:])
 		case "all":
 			for _, f := range []func() error{
 				runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
@@ -310,8 +317,9 @@ func runScale(args []string) error {
 	fmt.Println()
 
 	rep, err := experiments.ScaleSweep(experiments.ScaleSweepConfig{
-		Seed:  *sseed,
-		Smoke: *ssmoke,
+		Seed:      *sseed,
+		Smoke:     *ssmoke,
+		WallNanos: wallNanos,
 	})
 	if err != nil {
 		return err
@@ -598,6 +606,63 @@ func runRaft(args []string) error {
 	if lost > 0 {
 		return fmt.Errorf("raft: %d acknowledged announce(s) lost across replicated rows", lost)
 	}
+	return nil
+}
+
+// runInc dispatches E14 from its own flag set: each in-network
+// computation feature measured as an on/off pair over the same seeded
+// workload, writing BENCH_inc.json.
+func runInc(args []string) error {
+	fs := flag.NewFlagSet("inc", flag.ExitOnError)
+	var (
+		iseed  = fs.Int64("seed", *seed, "seed (Zipf read stream, sharer rounds)")
+		ismoke = fs.Bool("smoke", *smoke || *quick, "CI scale: fewer reads and rounds")
+		iout   = fs.String("out", "BENCH_inc.json", "E14 report path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := experiments.IncSweep(experiments.IncSweepConfig{
+		Seed:  *iseed,
+		Smoke: *ismoke,
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("E14 (cache): Zipf reads with and without the in-switch object cache",
+		"cache", "reads", "mean_us", "p50_us", "p99_us", "switch_hits", "hit_rate")
+	for _, r := range rep.Cache {
+		t.row(r.Enabled, r.Reads, fmt.Sprintf("%.1f", r.MeanUS), fmt.Sprintf("%.1f", r.P50US),
+			fmt.Sprintf("%.1f", r.P99US), r.CacheHits, fmt.Sprintf("%.2f", r.HitRate))
+	}
+	t.print(*csvOut)
+	fmt.Println()
+	t2 := newTable("E14 (mcast): invalidation rounds with and without multicast fan-out",
+		"mcast", "sharers", "rounds", "home_inv_frames", "frames_saved", "replicated", "fallbacks")
+	for _, r := range rep.Mcast {
+		t2.row(r.Enabled, r.Sharers, r.Rounds, r.HomeInvFrames, r.FramesSaved,
+			r.Replicated, r.Fallbacks)
+	}
+	t2.print(*csvOut)
+	fmt.Println()
+	t3 := newTable("E14 (agg): the same rounds with and without in-network ack aggregation",
+		"agg", "sharers", "rounds", "acks_at_home", "acks_coalesced", "agg_acks_sent", "agg_timeouts")
+	for _, r := range rep.Agg {
+		t3.row(r.Enabled, r.Sharers, r.Rounds, r.AcksAtHome, r.AcksCoalesced,
+			r.AggAcksSent, r.AggTimeouts)
+	}
+	t3.print(*csvOut)
+	// Stamped outside the run so same-seed report bodies stay
+	// byte-identical.
+	rep.GeneratedAt = nowRFC3339()
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*iout, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *iout)
 	return nil
 }
 

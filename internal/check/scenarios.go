@@ -36,7 +36,7 @@ type Scenario struct {
 // Scenarios returns the built-in scenario set, in the order the
 // checker experiment (E10) sweeps them.
 func Scenarios() []Scenario {
-	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario(), EvictScenario(), RaftScenario()}
+	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario(), EvictScenario(), RaftScenario(), IncAggDeadSharerScenario()}
 }
 
 // ScenarioByName finds a built-in scenario.
@@ -560,6 +560,104 @@ func LoadScenario() Scenario {
 				}
 				c.Run()
 				k.CheckNow()
+				return nil
+			}
+			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
+		},
+	}
+}
+
+// IncAggDeadSharerScenario is the ack-aggregation adversary: a sharer
+// dies holding a shared copy, then the home multicasts an invalidation
+// over the full (now stale) sharer set. The aggregating switch must
+// flush only the acks it really received — if it ever fabricated the
+// dead sharer's ack, the home would drop the directory entry for a
+// copy it never confirmed dead, and a revived holder could serve
+// stale bytes. The baseline run asserts the honest path end to end:
+// switch flush by timeout, home-side fallback for the silent member,
+// live members still coalesced.
+func IncAggDeadSharerScenario() Scenario {
+	const (
+		objSize = 2048
+		sharers = 4
+	)
+	return Scenario{
+		Name:        "inc-agg-dead-sharer",
+		Description: "sharer crash during multicast invalidation with in-switch ack aggregation",
+		Build: func(seed int64, traced bool) (*Run, error) {
+			c, err := newCluster(seed, traced, func(cfg *core.Config) {
+				cfg.Scheme = core.SchemeController
+				cfg.NumNodes = sharers + 1
+				cfg.IncMcast = true
+				cfg.IncAckAgg = true
+			})
+			if err != nil {
+				return nil, err
+			}
+			home := c.Node(0)
+			o, err := home.CreateObject(objSize)
+			if err != nil {
+				return nil, err
+			}
+			fill(o, 0x6B)
+			obj := o.ID()
+			c.Run()
+			warm := 0
+			for s := 1; s <= sharers; s++ {
+				c.Node(s).Coherence.AcquireSharedCB(obj, func(_ *object.Object, err error) {
+					if err == nil {
+						warm++
+					}
+				})
+			}
+			c.Run() // setup quiesces: every sharer holds a copy
+			if warm != sharers {
+				return nil, fmt.Errorf("check: %d/%d sharers acquired", warm, sharers)
+			}
+			k := New(c)
+			drive := func() error {
+				// The last sharer dies silently; the home's directory
+				// still names it, so both multicast rounds cover it.
+				c.CrashNode(sharers)
+				var writeErr error
+				home.Coherence.WriteAtCB(obj, o.HeapBase(), []byte("inc-dead-sharer"), func(err error) {
+					writeErr = err
+				})
+				c.Run()
+				// Round two: the survivors re-acquire (indexable memory
+				// traffic for the explorer) and the home invalidates the
+				// same stale sharer set again, reusing the group.
+				for s := 1; s < sharers; s++ {
+					c.Node(s).Coherence.AcquireSharedCB(obj, func(*object.Object, error) {})
+				}
+				c.Run()
+				home.Coherence.WriteAtCB(obj, o.HeapBase(), []byte("inc-round-two!"), func(error) {})
+				c.Run()
+				k.CheckNow()
+				if writeErr != nil {
+					return fmt.Errorf("check: invalidating write: %w", writeErr)
+				}
+				// Baseline-only expectations (the explorer ignores Drive
+				// errors and judges perturbed runs by the invariants).
+				inc := home.Coherence.IncCounters()
+				if inc.McastInvSent != 2 {
+					return fmt.Errorf("check: %d multicast invalidations, want 2", inc.McastInvSent)
+				}
+				if inc.McastTimeouts < 2 || inc.FallbackInvalidates < 2 {
+					return fmt.Errorf("check: dead sharer's ack fabricated (timeouts=%d fallbacks=%d)",
+						inc.McastTimeouts, inc.FallbackInvalidates)
+				}
+				var flushed, coalesced uint64
+				for _, eng := range c.IncEngines {
+					flushed += eng.Counters().AggTimeouts
+					coalesced += eng.Counters().AcksCoalesced
+				}
+				if flushed < 2 {
+					return fmt.Errorf("check: aggregation flushed %d rounds by timeout, want 2", flushed)
+				}
+				if coalesced < 2*(sharers-1) {
+					return fmt.Errorf("check: only %d live acks coalesced, want %d", coalesced, 2*(sharers-1))
+				}
 				return nil
 			}
 			return &Run{Cluster: c, Checker: k, Drive: drive}, nil

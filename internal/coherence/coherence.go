@@ -118,6 +118,16 @@ type Node struct {
 	tracer   *trace.Recorder
 	observer OpObserver
 	counters Counters
+
+	// In-network computation (inc.go): home-side multicast
+	// invalidation rounds and the installed-group cache. All nil/zero
+	// until SetIncConfig enables the paths.
+	incCfg       IncConfig
+	incCounters  IncCounters
+	incGroups    map[string]*incGroup
+	incNextGroup uint64
+	incOps       map[uint64]*incPending
+	incNextOp    uint64
 }
 
 // OpObserver receives the name and outcome of every public operation
@@ -262,6 +272,15 @@ func (n *Node) Reset() {
 	n.fetches = make(map[oid.ID]*fetchState)
 	n.releases = make(map[releaseKey]*memproto.Reassembler)
 	n.granted = make(map[oid.ID]memproto.Perm)
+	if n.incOps != nil {
+		for _, p := range n.incOps {
+			if p.timer != nil {
+				p.timer.Stop()
+			}
+		}
+		n.incOps = make(map[uint64]*incPending)
+		n.incGroups = make(map[string]*incGroup)
+	}
 }
 
 // send transmits a memory-protocol message unreliably.
@@ -693,19 +712,45 @@ func (n *Node) InvalidateSharers(obj oid.ID) {
 // over-approximate but never under-approximates — the next write
 // re-invalidates whoever is left.
 func (n *Node) invalidateSharers(obj oid.ID, skip wire.StationID) {
+	var members []wire.StationID
+	var epochs []uint64
 	n.directory.ForEach(obj, func(st wire.StationID, epoch uint64) {
 		if st == skip {
 			return
 		}
-		n.counters.InvalidatesSent++
-		n.request(wire.Header{Type: wire.MsgMem, Dst: st, Object: obj},
-			&memproto.Msg{Op: memproto.OpInvalidate},
-			func(_ *wire.Header, _ *memproto.Msg, err error) {
-				if err == nil {
-					n.directory.Remove(obj, st, epoch)
-				}
-			})
+		members = append(members, st)
+		epochs = append(epochs, epoch)
 	})
+	// In-network multicast: one group invalidate replaces the
+	// per-sharer fan-out when there is a fan-out to replace.
+	if n.incCfg.Mcast && n.incCfg.Installer != nil &&
+		len(members) > 1 && len(members) <= n.incCfg.MaxGroup {
+		sortMembers(members, epochs)
+		n.mcastInvalidate(obj, members, epochs)
+		return
+	}
+	if n.incCfg.Purge {
+		// No invalidate may traverse the caching switch (zero or one
+		// sharer, or an oversized set handled classically below) — the
+		// explicit purge keeps the in-switch cache coherent anyway.
+		n.sendPurge(obj)
+	}
+	for i, st := range members {
+		n.classicInvalidate(obj, st, epochs[i])
+	}
+}
+
+// classicInvalidate is the original per-sharer reliable invalidate;
+// also the fallback for multicast members whose ack never arrived.
+func (n *Node) classicInvalidate(obj oid.ID, st wire.StationID, epoch uint64) {
+	n.counters.InvalidatesSent++
+	n.request(wire.Header{Type: wire.MsgMem, Dst: st, Object: obj},
+		&memproto.Msg{Op: memproto.OpInvalidate},
+		func(_ *wire.Header, _ *memproto.Msg, err error) {
+			if err == nil {
+				n.directory.Remove(obj, st, epoch)
+			}
+		})
 }
 
 // --- responder side ---

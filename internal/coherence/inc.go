@@ -1,0 +1,313 @@
+package coherence
+
+import (
+	"sort"
+
+	"repro/internal/backend"
+	"repro/internal/memproto"
+	"repro/internal/oid"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Home-side support for in-network computation (internal/inc): the
+// home invalidates a whole sharer set with one multicast frame the
+// switches replicate, absorbs (possibly switch-aggregated) acks, and
+// falls back to the classic per-sharer reliable invalidate for any
+// member whose ack never arrives — a dead sharer is detected, never
+// papered over. With the in-switch cache on, local home mutations
+// additionally emit a purge frame so the first-hop cache evicts even
+// when no invalidate would traverse it.
+
+// GroupInstaller installs a multicast group on the fabric — the
+// control-plane round trip (implemented by discovery.ControllerClient
+// through the replicated ControlPlane).
+type GroupInstaller interface {
+	InstallGroup(id uint64, members []wire.StationID, cb func(error))
+}
+
+// IncConfig enables the home-side INC paths. The zero value disables
+// everything (bit-identical to a build without INC).
+type IncConfig struct {
+	// Mcast sends one group invalidate instead of per-sharer requests
+	// (needs Installer; sharer sets of ≤1 use the classic path).
+	Mcast bool
+	// Purge emits a cache-purge frame on local home mutations so the
+	// first-hop switch cache evicts (set when the in-switch cache is
+	// on).
+	Purge bool
+	// AckTimeout bounds how long the home waits for (aggregated) acks
+	// before falling back per sharer (0 = DefaultIncAckTimeout).
+	AckTimeout backend.Duration
+	// MaxGroup caps multicast group size (0 = 64, the ack bitmap
+	// width); larger sharer sets use the classic path.
+	MaxGroup int
+	// Installer performs group installation; nil disables Mcast.
+	Installer GroupInstaller
+}
+
+// DefaultIncAckTimeout is the home's ack-collection window — past the
+// switch aggregation timeout plus a fabric round trip.
+const DefaultIncAckTimeout = 2 * backend.Millisecond
+
+// IncCounters aggregates the home-side INC statistics (kept apart
+// from Counters so INC-off telemetry snapshots are unchanged).
+type IncCounters struct {
+	McastInvSent        uint64 // multicast invalidate frames emitted
+	McastFramesSaved    uint64 // per-sharer frames a multicast replaced
+	McastAcksRecv       uint64 // acks (aggregated or direct) absorbed
+	McastTimeouts       uint64 // rounds that hit the ack timeout
+	FallbackInvalidates uint64 // per-sharer retries after a timeout
+	PurgesSent          uint64 // cache purge frames emitted
+	GroupsInstalled     uint64 // multicast groups installed
+}
+
+// incPending is one in-flight multicast invalidation round.
+type incPending struct {
+	obj     oid.ID
+	members []wire.StationID // sorted; bitmap order
+	epochs  []uint64
+	acked   []bool
+	left    int
+	timer   backend.Timer
+}
+
+// incGroup is one installed (or installing) multicast group.
+type incGroup struct {
+	id         uint64
+	ready      bool
+	installing bool
+	waiters    []func(uint64, bool)
+}
+
+// SetIncConfig enables the home-side INC paths. Call before traffic;
+// a zero config turns them back off.
+func (n *Node) SetIncConfig(cfg IncConfig) {
+	if cfg.AckTimeout == 0 {
+		cfg.AckTimeout = DefaultIncAckTimeout
+	}
+	if cfg.MaxGroup == 0 || cfg.MaxGroup > 64 {
+		cfg.MaxGroup = 64
+	}
+	n.incCfg = cfg
+	if n.incGroups == nil {
+		n.incGroups = make(map[string]*incGroup)
+		n.incOps = make(map[uint64]*incPending)
+	}
+}
+
+// IncCounters returns a copy of the home-side INC statistics.
+func (n *Node) IncCounters() IncCounters { return n.incCounters }
+
+// HandleIncFrame consumes MsgIncInv (sharer side) and MsgIncAck
+// (home side) frames; register it on the endpoint mux for both types.
+func (n *Node) HandleIncFrame(h *wire.Header, payload []byte) bool {
+	switch h.Type {
+	case wire.MsgIncInv:
+		n.serveIncInv(h, payload)
+		return true
+	case wire.MsgIncAck:
+		n.absorbIncAck(h, payload)
+		return true
+	}
+	return false
+}
+
+// serveIncInv applies a replicated multicast invalidate at a sharer:
+// identical semantics to OpInvalidate, answered with an unreliable
+// MsgIncAck the fabric may coalesce.
+func (n *Node) serveIncInv(h *wire.Header, payload []byte) {
+	opID, group, _, ok := memproto.DecodeIncInv(payload)
+	if !ok || group == 0 {
+		return // purge frames are for switches; hosts ignore them
+	}
+	n.counters.InvalidatesRecv++
+	n.store.Invalidate(h.Object)
+	delete(n.granted, h.Object)
+	if f, live := n.fetches[h.Object]; live && f.re.Started() {
+		// Same rule as OpInvalidate: a partial grant the invalidate
+		// outran is stale; drop it and re-acquire.
+		f.re = memproto.Reassembler{}
+		f.perm = memproto.PermNone
+		if f.watchdog != nil {
+			f.watchdog.Stop()
+			f.watchdog = nil
+		}
+		n.acquireAttempt(h.Object, f.want, 1, trace.Ctx{})
+	}
+	n.ep.Send(wire.Header{Type: wire.MsgIncAck, Dst: h.Src, Object: h.Object},
+		memproto.EncodeIncAck(opID, group, 0))
+}
+
+// absorbIncAck marks members of a pending round acked — one member
+// (the frame's Src) for a direct ack, several for a switch-aggregated
+// bitmap — and removes them from the directory.
+func (n *Node) absorbIncAck(h *wire.Header, payload []byte) {
+	opID, _, bitmap, ok := memproto.DecodeIncAck(payload)
+	if !ok {
+		return
+	}
+	p, live := n.incOps[opID]
+	if !live {
+		return // late ack past the timeout; the fallback path owns it
+	}
+	n.incCounters.McastAcksRecv++
+	mark := func(i int) {
+		if p.acked[i] {
+			return
+		}
+		p.acked[i] = true
+		p.left--
+		n.directory.Remove(p.obj, p.members[i], p.epochs[i])
+	}
+	if bitmap == 0 {
+		for i, m := range p.members {
+			if m == h.Src {
+				mark(i)
+				break
+			}
+		}
+	} else {
+		for i := range p.members {
+			if bitmap&(uint64(1)<<uint(i)) != 0 {
+				mark(i)
+			}
+		}
+	}
+	if p.left == 0 {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		delete(n.incOps, opID)
+	}
+}
+
+// mcastInvalidate runs one multicast invalidation round: ensure the
+// sharer group is installed, emit one MsgIncInv, and arm the ack
+// timeout. Installation failure degrades to the classic path.
+func (n *Node) mcastInvalidate(obj oid.ID, members []wire.StationID, epochs []uint64) {
+	n.ensureGroup(members, func(gid uint64, ok bool) {
+		if !ok {
+			if n.incCfg.Purge {
+				n.sendPurge(obj)
+			}
+			for i, st := range members {
+				n.classicInvalidate(obj, st, epochs[i])
+			}
+			return
+		}
+		n.incNextOp++
+		op := n.incNextOp
+		n.counters.InvalidatesSent++
+		n.incCounters.McastInvSent++
+		n.incCounters.McastFramesSaved += uint64(len(members) - 1)
+		p := &incPending{
+			obj: obj, members: members, epochs: epochs,
+			acked: make([]bool, len(members)), left: len(members),
+		}
+		n.incOps[op] = p
+		p.timer = n.clock.AfterFunc(n.incCfg.AckTimeout, func() { n.incTimeout(op) })
+		n.ep.Send(wire.Header{Type: wire.MsgIncInv, Dst: wire.StationAny, Object: obj},
+			memproto.EncodeIncInv(op, gid, false))
+	})
+}
+
+// incTimeout is the loss-detection path: any member whose ack (direct
+// or aggregated) never arrived gets the classic reliable per-sharer
+// invalidate. An aggregation switch never fabricates a missing ack,
+// so a crashed sharer always lands here.
+func (n *Node) incTimeout(op uint64) {
+	p, live := n.incOps[op]
+	if !live {
+		return
+	}
+	delete(n.incOps, op)
+	n.incCounters.McastTimeouts++
+	for i, st := range p.members {
+		if p.acked[i] {
+			continue
+		}
+		n.incCounters.FallbackInvalidates++
+		n.classicInvalidate(p.obj, st, p.epochs[i])
+	}
+}
+
+// ensureGroup resolves the sorted member set to an installed group
+// id, installing through the control plane on first use. Concurrent
+// callers for the same set coalesce onto one installation.
+func (n *Node) ensureGroup(members []wire.StationID, cb func(uint64, bool)) {
+	key := groupKey(members)
+	g, ok := n.incGroups[key]
+	if ok && g.ready {
+		cb(g.id, true)
+		return
+	}
+	if ok && g.installing {
+		g.waiters = append(g.waiters, cb)
+		return
+	}
+	if !ok {
+		n.incNextGroup++
+		// Station-scoped id space: homes allocate independently.
+		g = &incGroup{id: uint64(n.ep.Station())<<20 | n.incNextGroup}
+		n.incGroups[key] = g
+	}
+	g.installing = true
+	g.waiters = append(g.waiters, cb)
+	n.incCfg.Installer.InstallGroup(g.id, members, func(err error) {
+		g.installing = false
+		ws := g.waiters
+		g.waiters = nil
+		if err != nil {
+			delete(n.incGroups, key) // retry on the next round
+			for _, w := range ws {
+				w(0, false)
+			}
+			return
+		}
+		g.ready = true
+		n.incCounters.GroupsInstalled++
+		for _, w := range ws {
+			w(g.id, true)
+		}
+	})
+}
+
+// groupKey canonicalizes a sorted member set.
+func groupKey(members []wire.StationID) string {
+	b := make([]byte, 0, len(members)*8)
+	for _, m := range members {
+		v := uint64(m)
+		b = append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// sendPurge tells the home's first-hop switch cache to drop obj — the
+// path a local home mutation takes, since it puts no invalidate on
+// the wire the cache would see.
+func (n *Node) sendPurge(obj oid.ID) {
+	n.incCounters.PurgesSent++
+	n.ep.Send(wire.Header{Type: wire.MsgIncInv, Dst: wire.StationAny, Object: obj},
+		memproto.EncodeIncInv(0, 0, true))
+}
+
+// sortMembers orders (station, epoch) pairs by station — the
+// canonical group order both the home's bitmap and the switches'
+// installed membership use.
+func sortMembers(members []wire.StationID, epochs []uint64) {
+	idx := make([]int, len(members))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return members[idx[a]] < members[idx[b]] })
+	ms := make([]wire.StationID, len(members))
+	es := make([]uint64, len(epochs))
+	for i, j := range idx {
+		ms[i] = members[j]
+		es[i] = epochs[j]
+	}
+	copy(members, ms)
+	copy(epochs, es)
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/discovery"
+	"repro/internal/inc"
 	"repro/internal/netsim"
 	"repro/internal/object"
 	"repro/internal/oid"
@@ -175,7 +176,36 @@ type Config struct {
 	// off means internal/check installs nothing, so runs are
 	// bit-identical to a build without checking).
 	Check CheckConfig
+
+	// In-network computation (internal/inc; sim-only). Each gate is
+	// independent and OFF by default: with all three false no engine
+	// is built, no switch gets a station identity, and runs are
+	// bit-identical to a build without INC.
+	//
+	// IncCache parks hot objects' bytes in switch register state and
+	// serves reads at the first hop.
+	IncCache bool
+	// IncCacheMemory overrides the cache table's SRAM budget
+	// (0 = inc.DefaultCacheMemory, negative = unlimited).
+	IncCacheMemory int
+	// IncMcast replicates one group invalidate along the spanning
+	// tree instead of per-sharer unicasts (controller schemes only —
+	// the control plane installs the group tables).
+	IncMcast bool
+	// IncAckAgg coalesces invalidate-acks into one bitmap ack at the
+	// switch nearest the home.
+	IncAckAgg bool
+	// IncAggTimeout is the switch-side aggregation flush timeout
+	// (0 = inc.DefaultAggTimeout).
+	IncAggTimeout netsim.Duration
+	// IncAckTimeout is the home-side ack-collection window before
+	// falling back to per-sharer invalidation
+	// (0 = coherence.DefaultIncAckTimeout).
+	IncAckTimeout netsim.Duration
 }
+
+// IncEnabled reports whether any in-network computation is on.
+func (c *Config) IncEnabled() bool { return c.IncCache || c.IncMcast || c.IncAckAgg }
 
 // CheckConfig enables and tunes the internal/check invariant checker.
 // It lives here (not in internal/check) so core carries no dependency
@@ -250,6 +280,10 @@ type Cluster struct {
 	Net      *netsim.Network
 	Switches []*p4sim.Switch
 	Nodes    []*Node
+
+	// IncEngines holds each switch's in-network computation program,
+	// index-aligned with Switches (empty unless Config enables INC).
+	IncEngines []*inc.Engine
 
 	// rn is the realnet backend — nil under BackendSim.
 	rn *realnet.Cluster
@@ -332,6 +366,14 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 		RegCacheCapacity: cfg.RegCacheCapacity,
 	}
 
+	// In-network computation gives each switch a station identity so
+	// its engine can originate frames (cache-served replies,
+	// aggregated acks). 2000+ is clear of host (1+) and controller
+	// (1000+) stations.
+	if cfg.IncEnabled() {
+		swCfg.Station = 2000
+	}
+
 	// Core switch: NumLeaves downlinks + one port per control-plane
 	// replica (a single port for everything but SchemeControllerHA).
 	ctrlPorts := 1
@@ -351,6 +393,9 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 	leafCfg.PuntUplink = cfg.Scheme == SchemeSharded
 	hostsPerLeaf := (cfg.NumNodes + cfg.NumLeaves - 1) / cfg.NumLeaves
 	for i := 0; i < cfg.NumLeaves; i++ {
+		if cfg.IncEnabled() {
+			leafCfg.Station = wire.StationID(2001 + i)
+		}
 		leaf, err := p4sim.NewSwitch(c.Net, fmt.Sprintf("leaf%d", i), hostsPerLeaf+1, leafCfg)
 		if err != nil {
 			return nil, err
@@ -359,6 +404,29 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.Switches = append(c.Switches, leaf)
+	}
+
+	// Attach the in-network computation engines: one per switch — the
+	// pubsub-compiled classifier plus cache/group/aggregation state —
+	// with the cache coupled to the object table so a rule eviction
+	// takes the cached line with it.
+	if cfg.IncEnabled() {
+		incCfg := inc.Config{
+			Cache:       cfg.IncCache,
+			CacheMemory: cfg.IncCacheMemory,
+			Mcast:       cfg.IncMcast,
+			AckAgg:      cfg.IncAckAgg,
+			AggTimeout:  cfg.IncAggTimeout,
+		}
+		for _, sw := range c.Switches {
+			eng, err := inc.New(sw.DevName(), sw, incCfg)
+			if err != nil {
+				return nil, err
+			}
+			sw.SetIncProgram(eng)
+			eng.CoupleObjectTable(sw.ObjectTable())
+			c.IncEngines = append(c.IncEngines, eng)
+		}
 	}
 
 	// Nodes.
@@ -432,6 +500,10 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 			}
 			ep.Mux().Handle(wire.MsgAnnounce, ctrl.HandleFrame)
 			ep.Mux().Handle(wire.MsgLocate, ctrl.HandleFrame)
+			if cfg.IncEnabled() {
+				// Multicast group installs arrive as MsgCtrl requests.
+				ep.Mux().Handle(wire.MsgCtrl, ctrl.HandleFrame)
+			}
 			if rn := ctrl.Raft(); rn != nil {
 				ep.Mux().Handle(wire.MsgRaft, rn.HandleFrame)
 			}
@@ -862,6 +934,21 @@ func (c *Cluster) AddTelemetry(r *telemetry.Registry) {
 	r.Add("net", c.netStats())
 	for _, sw := range c.Switches {
 		r.Add("switch", sw.Counters())
+	}
+	// INC counters only exist when engines do, so the disabled
+	// telemetry name-set is unchanged.
+	if len(c.IncEngines) > 0 {
+		for _, eng := range c.IncEngines {
+			r.Add("inc", eng.Counters())
+		}
+		var saved, fallbacks uint64
+		for _, n := range c.Nodes {
+			ic := n.Coherence.IncCounters()
+			saved += ic.McastFramesSaved
+			fallbacks += ic.FallbackInvalidates
+		}
+		r.Set("inc.mcast_frames_saved", saved)
+		r.Set("inc.fallback_invalidates", fallbacks)
 	}
 	for _, n := range c.Nodes {
 		r.Add("transport", n.EP.Counters())

@@ -814,3 +814,20 @@ func TestLossResilientDeref(t *testing.T) {
 		t.Fatalf("deref failed under 15%% loss: %v", failed)
 	}
 }
+
+// TestIncDisabledByDefault pins the OFF-by-default contract: a cluster
+// built without any Inc* flag attaches no engines and installs no INC
+// program on the switches, so the legacy schemes run the exact seed
+// pipeline (TestSimBitIdentity holds the stronger bit-identity pin).
+func TestIncDisabledByDefault(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeE2E, SchemeController, SchemeHybrid} {
+		c := newTestCluster(t, Config{Scheme: scheme})
+		if len(c.IncEngines) != 0 {
+			t.Fatalf("%v: %d INC engines attached with INC disabled", scheme, len(c.IncEngines))
+		}
+	}
+	c := newTestCluster(t, Config{Scheme: SchemeE2E, IncCache: true})
+	if len(c.IncEngines) != len(c.Switches) {
+		t.Fatalf("IncCache on: engines = %d, switches = %d", len(c.IncEngines), len(c.Switches))
+	}
+}

@@ -156,3 +156,78 @@ func TestControllerHATelemetryKeys(t *testing.T) {
 		t.Fatal("unreplicated controller exports raft telemetry")
 	}
 }
+
+// TestIncGroupsReplicatedAcrossFailover pins multicast-group
+// replication through the control plane: a group installed before a
+// leader kill must survive on the survivors, a fresh sharer set must
+// install through the NEW leader, and a revived replica must replay
+// the groups from its log.
+func TestIncGroupsReplicatedAcrossFailover(t *testing.T) {
+	c := newTestCluster(t, Config{Scheme: SchemeControllerHA, NumNodes: 6, IncMcast: true})
+	leadIdx := awaitLeaderIdx(t, c)
+
+	home := c.Node(0)
+	o, err := home.CreateObject(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := o.ID()
+	c.Run()
+	heapOff := uint64(object.HeaderSize + object.FOTEntrySize*object.DefaultFOTCap)
+
+	round := func(sharers int) {
+		t.Helper()
+		for s := 1; s <= sharers; s++ {
+			c.Node(s).Coherence.AcquireSharedCB(obj, func(_ *object.Object, err error) {
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+				}
+			})
+		}
+		c.Run()
+		home.Coherence.WriteAtCB(obj, heapOff, []byte{1, 2, 3}, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+		c.Run()
+		c.RunFor(5 * netsim.Millisecond) // drain ack timers
+	}
+
+	round(4) // sharer set {2,3,4,5}: first group, installed via the leader
+	inc := home.Coherence.IncCounters()
+	if inc.McastInvSent != 1 || inc.FallbackInvalidates != 0 {
+		t.Fatalf("round 1 not multicast: %+v", inc)
+	}
+	for i, ctrl := range c.Controllers {
+		if got := ctrl.Groups(); got != 1 {
+			t.Fatalf("controller %d holds %d groups, want the install replicated", i, got)
+		}
+	}
+
+	// Kill the leader mid-life; the group record must not die with it.
+	c.CrashController(leadIdx)
+	newIdx := awaitLeaderIdx(t, c)
+	if newIdx == leadIdx {
+		t.Fatalf("crashed replica %d still leads", newIdx)
+	}
+	if got := c.LeaderController().Groups(); got != 1 {
+		t.Fatalf("new leader holds %d groups after failover", got)
+	}
+
+	round(3) // sharer set {2,3,4}: a NEW group through the new leader
+	inc = home.Coherence.IncCounters()
+	if inc.McastInvSent != 2 || inc.FallbackInvalidates != 0 {
+		t.Fatalf("round 2 not multicast through the new leader: %+v", inc)
+	}
+	if got := c.LeaderController().Groups(); got != 2 {
+		t.Fatalf("new leader holds %d groups, want 2", got)
+	}
+
+	// The revived replica replays both installs from its log.
+	c.RestartController(leadIdx)
+	c.RunFor(10 * netsim.Millisecond)
+	if got := c.Controllers[leadIdx].Groups(); got != 2 {
+		t.Fatalf("revived replica replayed %d groups, want 2", got)
+	}
+}

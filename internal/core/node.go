@@ -134,6 +134,23 @@ func (n *Node) initResolver(cfg Config) {
 	}
 	mux.Handle(wire.MsgMem, n.Coherence.HandleFrame)
 	mux.Handle(wire.MsgRPC, n.RPCServer.HandleFrame, n.RPCClient.HandleFrame)
+	if cfg.IncEnabled() && cfg.Backend != BackendRealnet {
+		icfg := coherence.IncConfig{
+			Purge:      cfg.IncCache,
+			AckTimeout: cfg.IncAckTimeout,
+		}
+		// Multicast needs a control plane to install groups; without a
+		// controller client the flag quietly degrades to the classic
+		// per-sharer path. Installer is set only through a non-nil
+		// concrete client (a typed-nil interface would pass != nil).
+		if cfg.IncMcast && n.cc != nil {
+			icfg.Mcast = true
+			icfg.Installer = n.cc
+		}
+		n.Coherence.SetIncConfig(icfg)
+		mux.Handle(wire.MsgIncInv, n.Coherence.HandleIncFrame)
+		mux.Handle(wire.MsgIncAck, n.Coherence.HandleIncFrame)
+	}
 	n.cluster.Placement.SetNode(n.placementInfo())
 }
 

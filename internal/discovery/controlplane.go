@@ -25,6 +25,10 @@ const (
 	OpAnnounce Op = 1
 	// OpForget drops every object owned by Owner (its host crashed).
 	OpForget Op = 2
+	// OpInstallGroup records a multicast sharer group (Group → Members)
+	// for in-network invalidation fan-out; replicating it keeps groups
+	// reinstallable after a leader change.
+	OpInstallGroup Op = 3
 )
 
 // Command is one control-plane state-machine transition. Commands are
@@ -34,12 +38,27 @@ type Command struct {
 	Op     Op
 	Object oid.ID
 	Owner  wire.StationID
+	// Group/Members carry an OpInstallGroup's multicast group.
+	Group   uint64
+	Members []wire.StationID
 }
 
-// cmdLen is the encoded size: op byte, object ID, owner station.
+// cmdLen is the fixed encoded size of OpAnnounce/OpForget: op byte,
+// object ID, owner station. OpInstallGroup is variable-length:
+// op(1) | group(8) | n(2) | members(8n).
 const cmdLen = 1 + oid.Size + wire.StationIDSize
 
 func (cmd Command) encode() []byte {
+	if cmd.Op == OpInstallGroup {
+		b := make([]byte, 1+8+2+wire.StationIDSize*len(cmd.Members))
+		b[0] = byte(cmd.Op)
+		binary.BigEndian.PutUint64(b[1:], cmd.Group)
+		binary.BigEndian.PutUint16(b[9:], uint16(len(cmd.Members)))
+		for i, m := range cmd.Members {
+			binary.BigEndian.PutUint64(b[11+wire.StationIDSize*i:], uint64(m))
+		}
+		return b
+	}
 	b := make([]byte, cmdLen)
 	b[0] = byte(cmd.Op)
 	cmd.Object.PutBytes(b[1:])
@@ -48,6 +67,24 @@ func (cmd Command) encode() []byte {
 }
 
 func decodeCommand(p []byte) (Command, error) {
+	if len(p) >= 1 && Op(p[0]) == OpInstallGroup {
+		if len(p) < 11 {
+			return Command{}, fmt.Errorf("discovery: bad group command length %d", len(p))
+		}
+		n := int(binary.BigEndian.Uint16(p[9:11]))
+		if len(p) != 11+wire.StationIDSize*n {
+			return Command{}, fmt.Errorf("discovery: bad group command length %d", len(p))
+		}
+		cmd := Command{
+			Op:      OpInstallGroup,
+			Group:   binary.BigEndian.Uint64(p[1:9]),
+			Members: make([]wire.StationID, n),
+		}
+		for i := range cmd.Members {
+			cmd.Members[i] = wire.StationID(binary.BigEndian.Uint64(p[11+wire.StationIDSize*i:]))
+		}
+		return cmd, nil
+	}
 	if len(p) != cmdLen {
 		return Command{}, fmt.Errorf("discovery: bad command length %d", len(p))
 	}
@@ -193,8 +230,64 @@ func (c *Controller) applyCommand(_ uint64, p []byte) {
 				delete(c.objects, obj)
 			}
 		}
+	case OpInstallGroup:
+		c.groups[cmd.Group] = append([]wire.StationID(nil), cmd.Members...)
 	}
 }
+
+// GroupProgrammableSwitch is the optional extension a fabric switch
+// implements when it can hold multicast group tables (p4sim's Switch
+// with an attached INC program).
+type GroupProgrammableSwitch interface {
+	// InstallIncGroup maps a multicast group ID to its member stations.
+	InstallIncGroup(id uint64, members []wire.StationID) error
+}
+
+// installGroup programs one multicast group into every switch that
+// supports group tables, returning 0 on full success.
+func (c *Controller) installGroup(id uint64, members []wire.StationID) byte {
+	status := byte(0)
+	for _, sw := range c.switches {
+		gp, ok := sw.(GroupProgrammableSwitch)
+		if !ok {
+			continue
+		}
+		if err := gp.InstallIncGroup(id, members); err != nil {
+			c.counters.InstallFailures++
+			status = 1
+			continue
+		}
+		c.counters.RulesInstalled++
+	}
+	return status
+}
+
+// handleInstallGroup serves a host's MsgCtrl group-install request:
+// commit the group through the control plane (consensus when
+// replicated), then program the switches and acknowledge.
+func (c *Controller) handleInstallGroup(h *wire.Header, cmd Command) bool {
+	req := *h
+	if !c.IsLeader() {
+		c.respondNotLeader(&req, wire.MsgCtrl)
+		return true
+	}
+	c.Propose(cmd, func(err error) {
+		if err != nil {
+			// Deposed mid-proposal; the client retries at the new leader
+			// (the command is idempotent if it committed anyway).
+			c.respondNotLeader(&req, wire.MsgCtrl)
+			return
+		}
+		c.clock.Schedule(c.installDelay, func() {
+			status := c.installGroup(cmd.Group, cmd.Members)
+			c.ep.Respond(&req, wire.Header{Type: wire.MsgCtrl, Object: req.Object}, []byte{status})
+		})
+	})
+	return true
+}
+
+// Groups returns how many multicast groups the control plane tracks.
+func (c *Controller) Groups() int { return len(c.groups) }
 
 // onLeaderChange reinstalls every applied object's switch rules when
 // this replica wins an election: rules driven by the previous leader
@@ -214,6 +307,7 @@ func (c *Controller) Crash() {
 		c.raft.Stop()
 	}
 	c.objects = make(map[oid.ID]wire.StationID)
+	c.groups = make(map[uint64][]wire.StationID)
 }
 
 // Restart revives a crashed replica as a follower; catching up on the

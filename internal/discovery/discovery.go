@@ -293,9 +293,13 @@ type Controller struct {
 	seed            uint64
 	raft            *raft.Node
 
-	// objects is the applied state machine: in replicated mode it is
-	// only ever mutated by applyCommand, so replicas converge.
-	objects  map[oid.ID]wire.StationID
+	// objects and groups are the applied state machine: in replicated
+	// mode they are only ever mutated by applyCommand, so replicas
+	// converge.
+	objects map[oid.ID]wire.StationID
+	// groups holds the multicast sharer groups installed for
+	// in-network invalidation (OpInstallGroup).
+	groups   map[uint64][]wire.StationID
 	counters struct {
 		Announces       uint64
 		RulesInstalled  uint64
@@ -312,6 +316,7 @@ func NewController(ep *transport.Endpoint, opts ...ControllerOption) *Controller
 		routes:  make(map[ProgrammableSwitch]map[wire.StationID]int),
 		clock:   ep.Clock(),
 		objects: make(map[oid.ID]wire.StationID),
+		groups:  make(map[uint64][]wire.StationID),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -418,6 +423,21 @@ func (c *Controller) ReinstallAll() int {
 			ok++
 		}
 	}
+	// Multicast groups are repaired the same way: a new leader (or a
+	// bulk table repair) replays them so in-network invalidation keeps
+	// working across control-plane failover.
+	ids := make([]uint64, 0, len(c.groups))
+	for id := range c.groups {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		c.installGroup(id, c.groups[id])
+	}
 	return ok
 }
 
@@ -494,6 +514,14 @@ func (c *Controller) HandleFrame(h *wire.Header, payload []byte) bool {
 			c.ep.Respond(&req, wire.Header{Type: wire.MsgLocateReply, Object: obj}, reply)
 		})
 		return true
+	case wire.MsgCtrl:
+		// Group-install request from a coherence home (the only MsgCtrl
+		// traffic addressed to the controller station).
+		cmd, err := decodeCommand(payload)
+		if err != nil || cmd.Op != OpInstallGroup {
+			return false
+		}
+		return c.handleInstallGroup(h, cmd)
 	}
 	return false
 }
@@ -542,8 +570,13 @@ type ControllerClient struct {
 	announceRetries int
 	// retryDelay spaces retries after a not-leader reply with no
 	// usable hint, so a client does not spin while an election runs.
-	retryDelay backend.Duration
-	tracer     *trace.Recorder
+	// Transport-level failures back off exponentially from retryDelay
+	// up to maxRetryDelay: with every replica unreachable the client
+	// must probe politely, not hammer the membership in a tight
+	// rotate loop.
+	retryDelay    backend.Duration
+	maxRetryDelay backend.Duration
+	tracer        *trace.Recorder
 }
 
 // NewControllerClient creates a client for the control plane named by
@@ -557,6 +590,7 @@ func NewControllerClient(ep *transport.Endpoint, opts ...ClientOption) *Controll
 		locateTimeout: 2 * backend.Millisecond,
 		locateRetries: 2,
 		retryDelay:    100 * backend.Microsecond,
+		maxRetryDelay: 2 * backend.Millisecond,
 	}
 	for _, opt := range opts {
 		opt(cc)
@@ -603,6 +637,7 @@ func (cc *ControllerClient) announce(obj oid.ID, attempt int, cb func(error)) {
 				delay = cc.retryDelay
 			} else if err != nil {
 				cc.rotate()
+				delay = cc.backoff(attempt)
 			}
 			if err != nil {
 				if attempt < cc.announceRetries {
@@ -675,7 +710,9 @@ func (cc *ControllerClient) locate(obj oid.ID, attempt int, sp *trace.Span, cb f
 			if err != nil {
 				cc.rotate()
 				if attempt < cc.locateRetries {
-					cc.locate(obj, attempt+1, sp, cb)
+					cc.ep.Clock().Schedule(cc.backoff(attempt), func() {
+						cc.locate(obj, attempt+1, sp, cb)
+					})
 					return
 				}
 				cc.counters.Failures++
@@ -714,6 +751,64 @@ func (cc *ControllerClient) locate(obj oid.ID, attempt int, sp *trace.Span, cb f
 		cc.counters.Failures++
 		cb(Result{}, err)
 	}
+}
+
+// backoff spaces the attempt'th retry after a transport-level failure:
+// exponential from retryDelay, capped at maxRetryDelay.
+func (cc *ControllerClient) backoff(attempt int) backend.Duration {
+	d := cc.retryDelay
+	for i := 0; i < attempt && d < cc.maxRetryDelay; i++ {
+		d *= 2
+	}
+	if d > cc.maxRetryDelay {
+		d = cc.maxRetryDelay
+	}
+	return d
+}
+
+// InstallGroup implements coherence.GroupInstaller: ask the control
+// plane to program a multicast sharer group into the fabric. Same
+// redirect/rotate/backoff policy as announcements; cb fires once with
+// the final outcome.
+func (cc *ControllerClient) InstallGroup(id uint64, members []wire.StationID, cb func(error)) {
+	cc.installGroup(id, members, 0, cb)
+}
+
+func (cc *ControllerClient) installGroup(id uint64, members []wire.StationID, attempt int, cb func(error)) {
+	cmd := Command{Op: OpInstallGroup, Group: id, Members: members}
+	cc.ep.Request(
+		wire.Header{Type: wire.MsgCtrl, Dst: cc.controllers[cc.cur]},
+		cmd.encode(), 0,
+		func(resp *wire.Header, payload []byte, err error) {
+			delay := backend.Duration(0)
+			if err == nil && len(payload) > 0 && payload[0] == notLeaderStatus {
+				cc.redirect(payload)
+				err = fmt.Errorf("discovery: install group %d: %w", id, gasperr.ErrNotLeader)
+				delay = cc.retryDelay
+			} else if err != nil {
+				cc.rotate()
+				delay = cc.backoff(attempt)
+			}
+			if err != nil {
+				if attempt < cc.announceRetries {
+					cc.ep.Clock().Schedule(delay, func() { cc.installGroup(id, members, attempt+1, cb) })
+					return
+				}
+				if cb != nil {
+					cb(err)
+				}
+				return
+			}
+			if len(payload) > 0 && payload[0] != 0 {
+				if cb != nil {
+					cb(fmt.Errorf("discovery: install group %d: %w", id, gasperr.ErrTableFull))
+				}
+				return
+			}
+			if cb != nil {
+				cb(nil)
+			}
+		})
 }
 
 // Invalidate implements Resolver: a failed route-on-object delivery

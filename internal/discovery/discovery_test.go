@@ -498,3 +498,86 @@ func TestClientRotatesWhenLeaderUnknown(t *testing.T) {
 		t.Fatalf("leader recorded %d objects", ctrl.Objects())
 	}
 }
+
+// TestClientBacksOffWhenAllReplicasUnreachable pins the retry policy
+// when the whole control-plane membership is dark (partition, rolling
+// crash): the client must terminate after its retry budget, and its
+// rotate loop must space attempts with exponential backoff instead of
+// hammering the fabric the instant each timeout fires.
+func TestClientBacksOffWhenAllReplicasUnreachable(t *testing.T) {
+	sim := netsim.NewSim(11)
+	net := netsim.NewNetwork(sim)
+	sw, err := p4sim.NewSwitch(net, "sw0", 1, p4sim.SwitchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := netsim.NewHost(net, "h0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(h, 0, sw, 0, netsim.LinkConfig{Latency: 5 * netsim.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	// Short request deadlines so the sweep is quick; retransmission is
+	// pushed past the deadline so each attempt is one wire frame.
+	ep := transport.NewEndpoint(h, 1, transport.Config{
+		RequestTimeout:    200 * netsim.Microsecond,
+		RetransmitTimeout: netsim.Millisecond,
+	})
+	// Three controller stations, none attached to the fabric.
+	cc := NewControllerClient(ep, WithControllers(50, 51, 52))
+
+	var announceErr error
+	done := false
+	start := sim.Now()
+	cc.AnnounceCB(gen.New(), func(err error) { announceErr = err; done = true })
+	sim.Run()
+	elapsed := sim.Now().Sub(start)
+
+	if !done {
+		t.Fatal("announce never terminated")
+	}
+	if announceErr == nil {
+		t.Fatal("announce succeeded against an unreachable membership")
+	}
+	// Budget: announceRetries+1 attempts (each at most a few transport
+	// retransmissions) — no spin.
+	attempts := uint64(cc.announceRetries + 1)
+	if in := sw.Counters().FramesIn; in < attempts || in > 4*attempts {
+		t.Fatalf("switch saw %d frames for %d attempts", in, attempts)
+	}
+	// Spacing: the backoff schedule alone (100, 200, 400, ... capped at
+	// 2ms) spans well over 10ms across the budget; the pre-backoff
+	// client finished in ~attempts*RequestTimeout = 2ms.
+	var minSpan netsim.Duration
+	for a := 0; a < cc.announceRetries; a++ {
+		minSpan += cc.backoff(a)
+	}
+	if elapsed < minSpan {
+		t.Fatalf("announce retries spun: %v elapsed, backoff alone spans %v", elapsed, minSpan)
+	}
+
+	// The locate path shares the policy: a stale object against the
+	// same dark membership must also back off and terminate.
+	obj := gen.New()
+	cc.Invalidate(obj)
+	var locateErr error
+	done = false
+	start = sim.Now()
+	cc.Resolve(obj, func(_ Result, err error) { locateErr = err; done = true })
+	sim.Run()
+	elapsed = sim.Now().Sub(start)
+	if !done {
+		t.Fatal("locate never terminated")
+	}
+	if !errors.Is(locateErr, ErrNotFound) {
+		t.Fatalf("locate error = %v, want ErrNotFound", locateErr)
+	}
+	minSpan = 0
+	for a := 0; a < cc.locateRetries; a++ {
+		minSpan += cc.backoff(a)
+	}
+	if elapsed < minSpan {
+		t.Fatalf("locate retries spun: %v elapsed, backoff alone spans %v", elapsed, minSpan)
+	}
+}

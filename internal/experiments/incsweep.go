@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// E14: in-network computation wins, measured per feature as an on/off
+// pair over the same seeded workload. Each pair isolates one gate:
+//
+//   - cache: a Zipf read stream (the E9 key model) against small home
+//     objects, with and without the in-switch object cache — the win
+//     is a nonzero switch hit rate and a lower read RTT;
+//   - mcast: repeated invalidation rounds over a multi-member sharer
+//     set, with and without multicast — the win is the home emitting
+//     one invalidate frame per round instead of one per sharer;
+//   - agg: the same rounds with ack aggregation added — the win is
+//     the home receiving one coalesced ack per round instead of one
+//     per sharer.
+
+// IncSweepConfig tunes E14.
+type IncSweepConfig struct {
+	Seed int64
+	// Smoke shrinks the workload to CI scale.
+	Smoke bool
+}
+
+// IncCacheRow is one half of the cache on/off pair.
+type IncCacheRow struct {
+	Enabled bool    `json:"enabled"`
+	Reads   int     `json:"reads"`
+	MeanUS  float64 `json:"mean_us"`
+	P50US   float64 `json:"p50_us"`
+	P99US   float64 `json:"p99_us"`
+	// CacheHits counts reads served by switches; HitRate is per
+	// measured read.
+	CacheHits uint64  `json:"cache_hits"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// IncMcastRow is one half of the multicast on/off pair.
+type IncMcastRow struct {
+	Enabled bool `json:"enabled"`
+	Sharers int  `json:"sharers"`
+	Rounds  int  `json:"rounds"`
+	// HomeInvFrames counts invalidate frames the home emitted
+	// (coherence InvalidatesSent: per-sharer unicasts, or one
+	// multicast per round).
+	HomeInvFrames uint64 `json:"home_inv_frames"`
+	// FramesSaved is the home's accounting of unicasts a multicast
+	// replaced; Replicated counts switch-emitted copies.
+	FramesSaved uint64 `json:"frames_saved"`
+	Replicated  uint64 `json:"replicated"`
+	// Fallbacks counts per-sharer retries after ack timeouts (should
+	// stay 0 in a fault-free sweep).
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// IncAggRow is one half of the ack-aggregation on/off pair (both
+// halves run with multicast on; only aggregation toggles).
+type IncAggRow struct {
+	Enabled bool `json:"enabled"`
+	Sharers int  `json:"sharers"`
+	Rounds  int  `json:"rounds"`
+	// AcksAtHome counts ack frames the home absorbed.
+	AcksAtHome uint64 `json:"acks_at_home"`
+	// AcksCoalesced/AggAcksSent/AggTimeouts are switch-side.
+	AcksCoalesced uint64 `json:"acks_coalesced"`
+	AggAcksSent   uint64 `json:"agg_acks_sent"`
+	AggTimeouts   uint64 `json:"agg_timeouts"`
+}
+
+// IncReport is E14's output (BENCH_inc.json).
+type IncReport struct {
+	SchemaVersion int            `json:"schema_version"`
+	GeneratedAt   string         `json:"generated_at,omitempty"`
+	Seed          int64          `json:"seed"`
+	Smoke         bool           `json:"smoke"`
+	Cache         [2]IncCacheRow `json:"cache"` // [off, on]
+	Mcast         [2]IncMcastRow `json:"mcast"` // [off, on]
+	Agg           [2]IncAggRow   `json:"agg"`   // [off, on]
+}
+
+// JSON renders the report with stable key order.
+func (r *IncReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// IncSweep runs experiment E14.
+func IncSweep(cfg IncSweepConfig) (*IncReport, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 52
+	}
+	rep := &IncReport{SchemaVersion: 1, Seed: cfg.Seed, Smoke: cfg.Smoke}
+	for i, on := range []bool{false, true} {
+		row, err := incCachePoint(cfg, on)
+		if err != nil {
+			return nil, fmt.Errorf("inc cache on=%v: %w", on, err)
+		}
+		rep.Cache[i] = row
+	}
+	for i, on := range []bool{false, true} {
+		row, err := incMcastPoint(cfg, on)
+		if err != nil {
+			return nil, fmt.Errorf("inc mcast on=%v: %w", on, err)
+		}
+		rep.Mcast[i] = row
+	}
+	for i, on := range []bool{false, true} {
+		row, err := incAggPoint(cfg, on)
+		if err != nil {
+			return nil, fmt.Errorf("inc agg on=%v: %w", on, err)
+		}
+		rep.Agg[i] = row
+	}
+	return rep, nil
+}
+
+// incCachePoint drives a Zipf read stream (plus a thin write stream
+// that exercises invalidation) from two readers against one home's
+// small objects under SchemeE2E, where read requests carry the home's
+// station and the first-hop cache can answer them.
+func incCachePoint(cfg IncSweepConfig, on bool) (IncCacheRow, error) {
+	pool, reads := 48, 4000
+	if cfg.Smoke {
+		pool, reads = 16, 600
+	}
+	// The cache holds read responses, not whole objects: reads cover a
+	// cache-line-sized slice of each object's heap area (writes there
+	// must not clobber the header/FOT).
+	const objSize = 2048
+	const readBytes = 256
+	const heapOff = object.HeaderSize + object.FOTEntrySize*object.DefaultFOTCap
+
+	cc := core.Config{Seed: cfg.Seed, Scheme: core.SchemeE2E, IncCache: on}
+	c, err := core.NewCluster(cc)
+	if err != nil {
+		return IncCacheRow{}, err
+	}
+	home := c.Node(0)
+	readers := []*core.Node{c.Node(1), c.Node(2)}
+
+	ids := make([]oid.ID, pool)
+	for i := range ids {
+		o, err := home.CreateObject(objSize)
+		if err != nil {
+			return IncCacheRow{}, err
+		}
+		ids[i] = o.ID()
+	}
+	c.Run()
+
+	keys := workload.NewKeys(workload.KeyConfig{
+		Dist: workload.KeyZipf, Population: pool,
+	}, cfg.Seed+7)
+	rng := c.Sim.Rand()
+	hist := telemetry.NewHistogram()
+	payload := make([]byte, 32)
+
+	err = runToCompletion(c, reads, func(i int, next func()) {
+		obj := ids[keys.Pick(c.Sim.Now())]
+		if rng.Intn(100) < 4 {
+			// A remote write: its OpWriteReq traverses the caching
+			// switch and must evict the line before the next read.
+			readers[0].WriteRef(object.Global{Obj: obj, Off: heapOff}, payload, func(error) { next() })
+			return
+		}
+		reader := readers[i%len(readers)]
+		start := c.Sim.Now()
+		reader.ReadRef(object.Global{Obj: obj, Off: heapOff}, readBytes, func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			hist.Observe(us(c.Sim.Now().Sub(start)))
+			next()
+		})
+	})
+	if err != nil {
+		return IncCacheRow{}, err
+	}
+
+	var hits uint64
+	for _, eng := range c.IncEngines {
+		hits += eng.Counters().CacheHits
+	}
+	s := hist.Summarize()
+	return IncCacheRow{
+		Enabled: on, Reads: reads,
+		MeanUS: s.Mean, P50US: s.P50, P99US: s.P99,
+		CacheHits: hits, HitRate: float64(hits) / float64(hist.Count()),
+	}, nil
+}
+
+// incRoundSettle spaces invalidation rounds so each round's acks (and
+// any switch aggregation) finish before the next acquire wave.
+const incRoundSettle = 200 * netsim.Microsecond
+
+// incShareRounds drives the invalidation-round workload both message
+// pairs share: every round each sharer acquires a shared copy, then
+// the home writes, invalidating the whole set.
+func incShareRounds(cfg IncSweepConfig, cc core.Config) (*core.Cluster, int, int, error) {
+	sharers, rounds := 5, 60
+	if cfg.Smoke {
+		sharers, rounds = 4, 15
+	}
+	cc.Seed = cfg.Seed
+	cc.Scheme = core.SchemeController
+	cc.NumNodes = sharers + 1
+	c, err := core.NewCluster(cc)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	home := c.Node(0)
+	o, err := home.CreateObject(2048)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	obj := o.ID()
+	c.Run()
+
+	payload := make([]byte, 32)
+	err = runToCompletion(c, rounds, func(i int, next func()) {
+		left := sharers
+		for s := 1; s <= sharers; s++ {
+			c.Node(s).Coherence.AcquireSharedCB(obj, func(_ *object.Object, err error) {
+				if err != nil {
+					return
+				}
+				left--
+				if left == 0 {
+					home.Coherence.WriteAtCB(obj, object.HeaderSize+object.FOTEntrySize*object.DefaultFOTCap,
+						payload, func(err error) {
+							if err != nil {
+								return
+							}
+							// Give the invalidation round (acks, timers) a
+							// settling window before the next acquire wave.
+							c.Sim.Schedule(incRoundSettle, next)
+						})
+				}
+			})
+		}
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return c, sharers, rounds, nil
+}
+
+func incMcastPoint(cfg IncSweepConfig, on bool) (IncMcastRow, error) {
+	c, sharers, rounds, err := incShareRounds(cfg, core.Config{IncMcast: on})
+	if err != nil {
+		return IncMcastRow{}, err
+	}
+	home := c.Node(0)
+	row := IncMcastRow{
+		Enabled: on, Sharers: sharers, Rounds: rounds,
+		HomeInvFrames: home.Coherence.Counters().InvalidatesSent,
+		FramesSaved:   home.Coherence.IncCounters().McastFramesSaved,
+		Fallbacks:     home.Coherence.IncCounters().FallbackInvalidates,
+	}
+	for _, eng := range c.IncEngines {
+		row.Replicated += eng.Counters().McastReplicated
+	}
+	return row, nil
+}
+
+func incAggPoint(cfg IncSweepConfig, on bool) (IncAggRow, error) {
+	c, sharers, rounds, err := incShareRounds(cfg, core.Config{IncMcast: true, IncAckAgg: on})
+	if err != nil {
+		return IncAggRow{}, err
+	}
+	home := c.Node(0)
+	row := IncAggRow{
+		Enabled: on, Sharers: sharers, Rounds: rounds,
+		AcksAtHome: home.Coherence.IncCounters().McastAcksRecv,
+	}
+	for _, eng := range c.IncEngines {
+		ec := eng.Counters()
+		row.AcksCoalesced += ec.AcksCoalesced
+		row.AggAcksSent += ec.AggAcksSent
+		row.AggTimeouts += ec.AggTimeouts
+	}
+	return row, nil
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -29,6 +28,12 @@ type ScaleSweepConfig struct {
 	Seed int64
 	// Smoke shrinks the grid to CI scale (10^4 objects, small fabrics).
 	Smoke bool
+	// WallNanos reads a monotonic wall clock in nanoseconds. The
+	// sharder lookup cost (SharderLookupNS) is E12's one real-CPU
+	// measurement; the reader is injected so this package stays off
+	// the runtime wall clock (checkseam gate 2). Nil skips the
+	// measurement and reports 0.
+	WallNanos func() int64
 }
 
 // ScaleSweepRow is one (mode, nodes, objects) point.
@@ -57,7 +62,7 @@ type ScaleSweepRow struct {
 
 	// SharderLookupNS is wall-clock ns per HomeOf over the whole
 	// population (the one non-deterministic field; everything else is
-	// virtual-time exact).
+	// virtual-time exact). 0 when no WallNanos reader was injected.
 	SharderLookupNS float64 `json:"sharder_lookup_ns_per_op"`
 
 	Accesses int `json:"accesses"`
@@ -158,7 +163,7 @@ func ScaleSweep(cfg ScaleSweepConfig) (*ScaleReport, error) {
 
 	for _, nodes := range g.nodeCounts {
 		for _, objs := range g.objectCounts {
-			row, err := scaleSweepPoint(cfg.Seed, g, "resident", nodes, objs)
+			row, err := scaleSweepPoint(cfg.Seed, g, "resident", nodes, objs, cfg.WallNanos)
 			if err != nil {
 				return nil, fmt.Errorf("resident/%dn/%dobj: %w", nodes, objs, err)
 			}
@@ -167,7 +172,7 @@ func ScaleSweep(cfg ScaleSweepConfig) (*ScaleReport, error) {
 	}
 	for _, mode := range []string{"evict-punt", "evict-flood"} {
 		for _, objs := range g.objectCounts {
-			row, err := scaleSweepPoint(cfg.Seed, g, mode, g.nodeCounts[0], objs)
+			row, err := scaleSweepPoint(cfg.Seed, g, mode, g.nodeCounts[0], objs, cfg.WallNanos)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%dn/%dobj: %w", mode, g.nodeCounts[0], objs, err)
 			}
@@ -178,7 +183,7 @@ func ScaleSweep(cfg ScaleSweepConfig) (*ScaleReport, error) {
 	return rep, nil
 }
 
-func scaleSweepPoint(seed int64, g scaleGrid, mode string, nodes, objects int) (ScaleSweepRow, error) {
+func scaleSweepPoint(seed int64, g scaleGrid, mode string, nodes, objects int, wall func() int64) (ScaleSweepRow, error) {
 	cfg := core.Config{
 		Seed:          seed + int64(nodes)*1_000 + int64(objects),
 		Scheme:        core.SchemeSharded,
@@ -229,14 +234,18 @@ func scaleSweepPoint(seed int64, g scaleGrid, mode string, nodes, objects int) (
 		ids[i] = id
 	}
 
-	// Sharder lookup cost over the full population, wall clock.
-	start := time.Now()
-	var sink uint64
-	for _, id := range ids {
-		sink ^= uint64(c.Sharder.HomeOf(id))
+	// Sharder lookup cost over the full population, wall clock via the
+	// injected reader (nil under pure-sim callers: reported as 0).
+	var lookupNS float64
+	if wall != nil {
+		start := wall()
+		var sink uint64
+		for _, id := range ids {
+			sink ^= uint64(c.Sharder.HomeOf(id))
+		}
+		lookupNS = float64(wall()-start) / float64(len(ids))
+		_ = sink
 	}
-	lookupNS := float64(time.Since(start).Nanoseconds()) / float64(len(ids))
-	_ = sink
 
 	// Access phase: the driver works Zipf-popular keys in a closed
 	// loop — three bus-style reads (no caching, no directory state)

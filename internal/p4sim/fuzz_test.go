@@ -102,3 +102,96 @@ func TestRegisterServiceSurvivesShortPayloads(t *testing.T) {
 		t.Fatalf("replies = %d", got)
 	}
 }
+
+// recordingInc is a stub IncProgram: it counts the frames the hook
+// shows it and consumes per the verdict function.
+type recordingInc struct {
+	seen    int
+	consume func(h *wire.Header) bool
+}
+
+func (r *recordingInc) HandleFrame(_ int, h *wire.Header, _ netsim.Frame) bool {
+	r.seen++
+	return r.consume(h)
+}
+
+// incFuzzFrames replays one seeded random frame mix — including the
+// INC message types — into a fabric.
+func incFuzzFrames(f *fabric, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	types := []wire.MsgType{
+		wire.MsgMem, wire.MsgIncInv, wire.MsgIncAck, wire.MsgHello, wire.MsgCtrl,
+	}
+	for i := 0; i < n; i++ {
+		var fr netsim.Frame
+		if rng.Intn(4) == 0 {
+			fr = make(netsim.Frame, rng.Intn(120))
+			rng.Read(fr)
+		} else {
+			h := wire.Header{
+				Type:   types[rng.Intn(len(types))],
+				Flags:  wire.Flags(rng.Uint32()),
+				Src:    wire.StationID(rng.Intn(6)),
+				Dst:    wire.StationID(rng.Intn(6)),
+				Object: gen.New(),
+				Seq:    rng.Uint64(),
+			}
+			payload := make([]byte, rng.Intn(40))
+			rng.Read(payload)
+			fr, _ = wire.Encode(&h, payload)
+		}
+		f.hosts[rng.Intn(len(f.hosts))].Send(fr)
+		if i%100 == 0 {
+			f.sim.Run()
+		}
+	}
+	f.sim.Run()
+}
+
+// TestIncHookPipelineInvariants pins the IncProgram attachment
+// contract under random INC-typed traffic: the hook sees exactly the
+// frames that parse, a declining program leaves the pipeline's
+// behavior bit-identical to no program at all, and a consuming
+// program suppresses all forwarding without wedging the switch.
+func TestIncHookPipelineInvariants(t *testing.T) {
+	const n = 2000
+	run := func(consume func(h *wire.Header) bool) (*fabric, *recordingInc, Counters) {
+		f := newFabric(t, SwitchConfig{LearnStations: true, Station: 700}, 3)
+		f.sw.InstallStationRoute(2, 1)
+		var r *recordingInc
+		if consume != nil {
+			r = &recordingInc{consume: consume}
+			f.sw.SetIncProgram(r)
+		}
+		incFuzzFrames(f, 42, n)
+		return f, r, f.sw.Counters()
+	}
+
+	_, _, base := run(nil)
+	_, decline, transparent := run(func(*wire.Header) bool { return false })
+	if transparent != base {
+		t.Fatalf("declining program changed the pipeline:\n  with    %+v\n  without %+v",
+			transparent, base)
+	}
+	if want := int(base.FramesIn - base.ParseDrops); decline.seen != want {
+		t.Fatalf("hook saw %d frames, want every parsed frame (%d)", decline.seen, want)
+	}
+
+	f, all, consumed := run(func(*wire.Header) bool { return true })
+	if all.seen != decline.seen {
+		t.Fatalf("consume-all saw %d frames, decline saw %d", all.seen, decline.seen)
+	}
+	if consumed.FramesOut != 0 || consumed.Flooded != 0 {
+		t.Fatalf("consumed frames still forwarded: %+v", consumed)
+	}
+	// The switch still forwards once the program declines again.
+	all.consume = func(*wire.Header) bool { return false }
+	f.sw.ResetCounters()
+	f.hosts[0].Send(frame(t, wire.Header{
+		Type: wire.MsgHello, Src: 1, Dst: wire.StationBroadcast, Seq: 1 << 59,
+	}))
+	f.sim.Run()
+	if f.sw.Counters().Flooded != 1 {
+		t.Fatal("switch wedged after consume-all fuzz")
+	}
+}

@@ -155,6 +155,10 @@ type Switch struct {
 	// flagged route-on-object (used by hybrid discovery).
 	OnMiss func(h *wire.Header)
 
+	// inc is the attached in-network computation program (see inc.go);
+	// nil means the ingress hook costs one pointer test.
+	inc IncProgram
+
 	tracer *trace.Recorder
 }
 
@@ -306,6 +310,14 @@ func (sw *Switch) ingress(port int, fr netsim.Frame, buf netsim.FrameBuffer) {
 				sw.counters.LearnedHosts++
 			}
 		}
+	}
+
+	// In-network computation: the attached program sees the frame
+	// before the forwarding decision and may consume it (serve a read
+	// from the cache, replicate a multicast invalidation, absorb an
+	// ack into an aggregate).
+	if sw.inc != nil && sw.inc.HandleFrame(port, &h, fr) {
+		return
 	}
 
 	var sp *trace.Span

@@ -173,6 +173,10 @@ type TableConfig struct {
 	// entry, modeling a switch whose control plane recycles SRAM
 	// under object-table pressure (§3.2).
 	Eviction EvictionPolicy
+	// OnEvict, if set, observes each policy eviction with the victim
+	// entry (called after removal). Side state keyed on table entries —
+	// e.g. the INC register cache — uses it to stay in sync.
+	OnEvict func(*Entry)
 }
 
 // Table is a single match-action table.
@@ -378,11 +382,19 @@ func (t *Table) evictOne() bool {
 		}
 	}
 	t.evictions++
+	if t.cfg.OnEvict != nil {
+		t.cfg.OnEvict(v)
+	}
 	return true
 }
 
 // Evictions returns the count of entries evicted by the policy.
 func (t *Table) Evictions() uint64 { return t.evictions }
+
+// SetOnEvict installs (or replaces) the eviction observer after
+// construction — for side state that attaches to a table built
+// elsewhere, like the INC cache coupling to the switch object table.
+func (t *Table) SetOnEvict(fn func(*Entry)) { t.cfg.OnEvict = fn }
 
 // Insert installs an entry, replacing an identical-match exact entry.
 // At capacity, EvictNone fails with ErrTableFull; LRU/CLOCK evict a

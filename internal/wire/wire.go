@@ -115,6 +115,13 @@ const (
 	// MsgRaft carries control-plane consensus traffic (RequestVote,
 	// AppendEntries and their replies) between controller replicas.
 	MsgRaft
+	// MsgIncInv is a multicast invalidation: one frame from the
+	// coherence home carrying the sharer set, replicated along the
+	// spanning tree by INC-enabled switches (§5 in-network computation).
+	MsgIncInv
+	// MsgIncAck acknowledges a MsgIncInv with a sharer bitmap;
+	// INC-enabled switches coalesce several into one.
+	MsgIncAck
 
 	msgTypeCount
 )
@@ -126,7 +133,7 @@ const NumMsgTypes = int(msgTypeCount)
 var msgNames = [...]string{
 	"invalid", "hello", "announce", "announce-ack", "discover",
 	"discover-reply", "mem", "ack", "rpc", "ctrl", "locate",
-	"locate-reply", "raft",
+	"locate-reply", "raft", "inc-inv", "inc-ack",
 }
 
 // String names the message type.

@@ -22,13 +22,12 @@
 #       internal/experiments/serialization.go  measures real CPU cost
 #                                              of deserialization (the
 #                                              point of that table)
-#       internal/experiments/scalesweep.go     measures real CPU cost
-#                                              of sharder lookups
-#                                              (sharder_lookup_ns is
-#                                              documented wall clock)
-#       cmd/gaspbench/output.go                report timestamp,
-#                                              stamped outside the
-#                                              deterministic run
+#       cmd/gaspbench/output.go                report timestamps plus
+#                                              the monotonic reader
+#                                              injected into E12's
+#                                              sharder-lookup field —
+#                                              both stamped outside
+#                                              the deterministic run
 #
 # Run from the repo root: ./scripts/checkseam.sh
 
@@ -40,7 +39,8 @@ fail=0
 HOT_PKGS="internal/transport internal/coherence internal/discovery
 internal/rpc internal/dataplane internal/memproto internal/wire
 internal/object internal/store internal/placement internal/trace
-internal/telemetry internal/future internal/backend internal/raft"
+internal/telemetry internal/future internal/backend internal/raft
+internal/inc"
 
 for pkg in $HOT_PKGS; do
     # shellcheck disable=SC2046
@@ -56,7 +56,7 @@ done
 
 # Gate 2: wall-clock calls outside the seam implementations.
 WALL_RE='time\.(Now|Since|Sleep|After|AfterFunc|NewTimer|NewTicker|Tick)\('
-ALLOW='^internal/realnet/|^internal/realtest/|^internal/experiments/serialization\.go|^internal/experiments/scalesweep\.go|^cmd/gaspbench/output\.go'
+ALLOW='^internal/realnet/|^internal/realtest/|^internal/experiments/serialization\.go|^cmd/gaspbench/output\.go'
 
 hits=$(grep -rEn "$WALL_RE" cmd internal examples --include='*.go' \
     | grep -Ev "^($ALLOW)" || true)
