@@ -31,8 +31,13 @@
 //	                        switch-resident object cache, multicast
 //	                        invalidation, ack aggregation; writes
 //	                        BENCH_inc.json
+//	gaspbench hotpath       E15: hot-path allocation pins (allocs/op
+//	                        per layer, end-to-end coherence ops gated
+//	                        at ≤2) and the batched-vs-unbatched
+//	                        saturation-knee sweep; writes
+//	                        BENCH_hotpath.json
 //	gaspbench all           everything above (except trace, load,
-//	                        check, realbench, raft, inc)
+//	                        check, realbench, raft, inc, hotpath)
 //
 // The check subcommand takes its own flags after the command word:
 //
@@ -70,6 +75,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/memproto"
+	"repro/internal/workload"
 )
 
 var (
@@ -107,7 +113,7 @@ func simOnly(cmd, why string) error {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|realbench|raft|inc|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: gaspbench [flags] {fig2|fig3|capacity|rendezvous|serialization|ablations|scale|faults|trace|load|check|realbench|raft|inc|hotpath|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -115,7 +121,7 @@ func main() {
 	// (for check, the replay command a violation report prints is in
 	// that form).
 	if flag.NArg() < 1 ||
-		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.Arg(0) != "scale" && flag.Arg(0) != "raft" && flag.Arg(0) != "inc" && flag.NArg() != 1) {
+		(flag.Arg(0) != "check" && flag.Arg(0) != "realbench" && flag.Arg(0) != "scale" && flag.Arg(0) != "raft" && flag.Arg(0) != "inc" && flag.Arg(0) != "hotpath" && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,6 +143,7 @@ func main() {
 		"check":         "E10 explores deterministic delivery schedules",
 		"raft":          "E13 crashes and revives control-plane replicas on the simulated fabric",
 		"inc":           "E14 programs INC engines into simulated switch pipelines",
+		"hotpath":       "E15 pins allocations and sweeps the saturation knee on the simulator's virtual clock",
 		"all":           "the suite includes sim-only experiments",
 	}
 	var err error
@@ -173,6 +180,8 @@ func main() {
 			err = runRaft(flag.Args()[1:])
 		case "inc":
 			err = runInc(flag.Args()[1:])
+		case "hotpath":
+			err = runHotpath(flag.Args()[1:])
 		case "all":
 			for _, f := range []func() error{
 				runFig2, runFig3, runCapacity, runRendezvous, runSerialization,
@@ -663,6 +672,87 @@ func runInc(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *iout)
+	return nil
+}
+
+// runHotpath dispatches E15 from its own flag set: per-layer
+// allocation pins (the end-to-end coherence read and write are hard-
+// gated at ≤2 allocs/op) and the batched-vs-unbatched knee sweep,
+// writing BENCH_hotpath.json. A failed gate or a knee that did not
+// move right exits nonzero — this is the CI allocation-regression
+// tripwire.
+func runHotpath(args []string) error {
+	fs := flag.NewFlagSet("hotpath", flag.ExitOnError)
+	var (
+		hseed  = fs.Int64("seed", *seed, "seed (cluster layout, sweep schedule)")
+		hsmoke = fs.Bool("smoke", *smoke || *quick, "CI scale: shorter ladder and windows")
+		hout   = fs.String("out", "BENCH_hotpath.json", "E15 report path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := experiments.Hotpath(experiments.HotpathConfig{
+		Seed:      *hseed,
+		Smoke:     *hsmoke,
+		WallNanos: wallNanos,
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("E15: hot-path allocations per layer (budgets are hard gates)",
+		"layer", "allocs_per_op", "wall_ns_per_op", "budget", "pass")
+	failed := 0
+	for _, r := range rep.Allocs {
+		budget := "-"
+		if r.Budget >= 0 {
+			budget = fmt.Sprintf("%.0f", r.Budget)
+		}
+		if !r.Pass {
+			failed++
+		}
+		t.row(r.Layer, fmt.Sprintf("%.2f", r.AllocsPerOp),
+			fmt.Sprintf("%.0f", r.NsPerOp), budget, r.Pass)
+	}
+	t.print(*csvOut)
+	fmt.Println()
+	t2 := newTable("E15: saturation knee, per-frame vs batched delivery (same link speed)",
+		"delivery", "offered_ops", "completed", "failed", "p99_us")
+	for _, side := range []struct {
+		name string
+		ss   workload.SchemeSweep
+	}{{"per-frame", rep.Unbatched}, {"batched", rep.Batched}} {
+		for _, p := range side.ss.Points {
+			t2.row(side.name, fmt.Sprintf("%.0f", p.OfferedPerSec), p.Completed,
+				p.Failed, fmt.Sprintf("%.1f", p.P99US))
+		}
+	}
+	t2.print(*csvOut)
+	if !*csvOut {
+		fmt.Printf("   knee (per-frame): idx=%d %.0f ops/s — %s\n",
+			rep.Unbatched.Knee.Index, rep.Unbatched.Knee.OfferedPerSec, rep.Unbatched.Knee.Reason)
+		fmt.Printf("   knee (batched):   idx=%d %.0f ops/s — %s\n",
+			rep.Batched.Knee.Index, rep.Batched.Knee.OfferedPerSec, rep.Batched.Knee.Reason)
+		fmt.Printf("   knee moved right: %v\n", rep.KneeMovedRight)
+	}
+	// Stamped outside the run so same-seed report bodies stay
+	// comparable (alloc/ns columns are host measurements, the sweeps
+	// are virtual-time deterministic).
+	rep.GeneratedAt = nowRFC3339()
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*hout, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *hout)
+	if failed > 0 {
+		return fmt.Errorf("hotpath: %d allocation gate(s) exceeded their budget", failed)
+	}
+	if !rep.KneeMovedRight {
+		return fmt.Errorf("hotpath: batched knee (idx %d) did not move right of per-frame knee (idx %d)",
+			rep.Batched.Knee.Index, rep.Unbatched.Knee.Index)
+	}
 	return nil
 }
 

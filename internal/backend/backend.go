@@ -79,6 +79,34 @@ type Timer interface {
 	Stop() bool
 }
 
+// ResettableTimer is optionally implemented by timers that can be
+// re-armed in place. Reset reschedules the callback to fire after d,
+// whether or not the timer already fired or was stopped, and reports
+// whether the call rescheduled a timer that was still pending. A
+// reused timer must have a single owner: handing the Timer to other
+// holders and then Resetting it would revive their stale Stop
+// semantics.
+type ResettableTimer interface {
+	Timer
+	Reset(d Duration) bool
+}
+
+// ResetTimer re-arms t to fire fn after d when t supports in-place
+// reset, and otherwise stops it and arms a fresh timer on c. Hot paths
+// that re-arm one timer per operation (retransmit, request timeout)
+// go through this helper so the steady state allocates no timers on
+// backends with resettable ones.
+func ResetTimer(c Clock, t Timer, d Duration, fn func()) Timer {
+	if rt, ok := t.(ResettableTimer); ok {
+		rt.Reset(d)
+		return rt
+	}
+	if t != nil {
+		t.Stop()
+	}
+	return c.AfterFunc(d, fn)
+}
+
 // Clock is the time source and timer wheel a node runs on.
 //
 // Callbacks scheduled on a node's clock run serialized with that
@@ -150,6 +178,23 @@ type Link interface {
 	// carry in one piece, or 0 for no limit. Senders of large
 	// transfers size their fragments to it.
 	MTU() int
+}
+
+// BatchLink is optionally implemented by links that can deliver every
+// frame arriving in the same scheduling instant as one batch — the
+// doorbell-coalescing seam. When a batch upcall is installed, the
+// backend calls it with all frames that became ready together (in
+// arrival order, preserving per-link FIFO) instead of making one
+// OnFrame upcall per frame. The slice and the frames it holds are
+// borrowed for the duration of the call. Backends that cannot batch
+// simply do not implement the interface; installing a batch upcall
+// must also keep the per-frame path working for single arrivals.
+type BatchLink interface {
+	Link
+	// SetOnFrameBatch installs the batched receive upcall (nil to
+	// remove). Links fall back to the per-frame OnFrame upcall when no
+	// batch handler is installed.
+	SetOnFrameBatch(fn func(frs []Frame))
 }
 
 // Device is anything attachable to a backend network fabric: a host

@@ -36,7 +36,7 @@ type Scenario struct {
 // Scenarios returns the built-in scenario set, in the order the
 // checker experiment (E10) sweeps them.
 func Scenarios() []Scenario {
-	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario(), EvictScenario(), RaftScenario(), IncAggDeadSharerScenario()}
+	return []Scenario{Fig2Scenario(), FaultsScenario(), LoadScenario(), EvictScenario(), RaftScenario(), IncAggDeadSharerScenario(), BatchScenario()}
 }
 
 // ScenarioByName finds a built-in scenario.
@@ -560,6 +560,115 @@ func LoadScenario() Scenario {
 				}
 				c.Run()
 				k.CheckNow()
+				return nil
+			}
+			return &Run{Cluster: c, Checker: k, Drive: drive}, nil
+		},
+	}
+}
+
+// BatchScenario runs the load workload with batched frame delivery and
+// a modeled host receive cost, so concurrent requests land inside
+// multi-frame doorbell batches. The explorer's perturbations then hit
+// frames that travel *inside* a batch: a dropped frame must leave its
+// batchmates intact, a duplicate must not double-deliver its
+// neighbours, and a delayed frame must migrate to a later doorbell
+// without reordering its own link (arrival order within a batch is
+// send order). The coherence invariants — content digests, directory
+// coverage, single-exclusive — are the judge; the nominal run also
+// asserts coalescing actually engaged (some batch carried >1 frame).
+func BatchScenario() Scenario {
+	const (
+		objects  = 4
+		objSize  = 2048
+		accesses = 30
+		rxCost   = 5 * netsim.Microsecond
+	)
+	return Scenario{
+		Name:        "batch",
+		Description: "mixed working set under batched delivery: perturbations inside doorbell batches",
+		Build: func(seed int64, traced bool) (*Run, error) {
+			c, err := newCluster(seed, traced, func(cfg *core.Config) {
+				cfg.BatchDelivery = true
+				cfg.HostRxCost = rxCost
+			})
+			if err != nil {
+				return nil, err
+			}
+			home := c.Node(2)
+			objs := make([]oid.ID, objects)
+			for i := range objs {
+				o, err := home.CreateObject(objSize)
+				if err != nil {
+					return nil, err
+				}
+				fill(o, byte(0x2B*i))
+				objs[i] = o.ID()
+			}
+			c.Run()
+			k := New(c)
+			drive := func() error {
+				const (
+					interAccess = 40 * netsim.Microsecond
+					maxAttempts = 6
+					retryDelay  = 200 * netsim.Microsecond
+				)
+				// Two clients hammer the same home with a tight access
+				// gap (below rxCost) so arrivals queue behind the
+				// home's receive context and doorbell batches grow.
+				for w := 0; w < 2; w++ {
+					node := c.Node(w)
+					var issue func(i int)
+					issue = func(i int) {
+						if i >= accesses {
+							return
+						}
+						obj := objs[(i+w)%objects]
+						finish := func() { c.Sim.Schedule(interAccess, func() { issue(i + 1) }) }
+						var attempt func(kk int)
+						attempt = func(kk int) {
+							retry := func(err error) bool {
+								if err != nil && kk+1 < maxAttempts {
+									c.Sim.Schedule(retryDelay<<kk, func() { attempt(kk + 1) })
+									return true
+								}
+								return false
+							}
+							switch i % 3 {
+							case 0:
+								node.ReadRef(object.Global{Obj: obj, Off: 4}, 16, func(_ []byte, err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							case 1:
+								node.Coherence.WriteAtCB(obj, uint64(1600+16*w), []byte("batch-scenario-w"), func(err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							default:
+								node.Coherence.AcquireSharedCB(obj, func(_ *object.Object, err error) {
+									if !retry(err) {
+										finish()
+									}
+								})
+							}
+						}
+						attempt(0)
+					}
+					issue(0)
+				}
+				c.Run()
+				k.CheckNow()
+				// Nominal runs must actually form multi-frame batches —
+				// otherwise the explorer is perturbing the per-frame
+				// path under a different name. Under adversarial
+				// schedules this error is tolerated (only safety
+				// violations count).
+				if fired, frames := c.Net.BatchStats(); frames <= fired {
+					return fmt.Errorf("check: no coalescing under batched delivery (%d doorbells, %d frames)", fired, frames)
+				}
 				return nil
 			}
 			return &Run{Cluster: c, Checker: k, Drive: drive}, nil

@@ -60,13 +60,64 @@ type Counters struct {
 	Releases        uint64
 }
 
+// fetchState is the pooled per-fetch state of an acquire: reassembly,
+// coalesced waiter callbacks, and the resolve→request→stale-retry
+// machinery with its callbacks pre-bound at allocation so a recycled
+// fetch re-arms without allocating closures. Instances cycle through
+// Node.fetchFree; at most one bound callback (resolver or request) is
+// outstanding at a time, and a fetch is only recycled from inside that
+// callback or when none is outstanding, so a pooled struct is never
+// mutated under an in-flight continuation.
 type fetchState struct {
+	n        *Node
+	obj      oid.ID
 	re       memproto.Reassembler
 	cbs      []func(*object.Object, error)
 	want     memproto.Perm // permission the caller asked for
 	perm     memproto.Perm // highest permission the grant carried
 	started  backend.Time  // when the fetch was initiated
 	watchdog backend.Timer
+	attempt  int
+	tc       trace.Ctx
+	rm       memproto.Msg // response decode scratch
+
+	resolveFn func(discovery.Result, error)
+	respFn    func(*wire.Header, []byte, error)
+	stallFn   func()
+}
+
+// getFetch pops a recycled fetchState (or allocates one, binding its
+// method-value callbacks exactly once — binding on every op would
+// itself allocate).
+func (n *Node) getFetch() *fetchState {
+	if k := len(n.fetchFree) - 1; k >= 0 {
+		f := n.fetchFree[k]
+		n.fetchFree[k] = nil
+		n.fetchFree = n.fetchFree[:k]
+		return f
+	}
+	f := &fetchState{n: n}
+	f.resolveFn = f.resolve
+	f.respFn = f.rawResp
+	f.stallFn = f.stall
+	return f
+}
+
+// putFetch clears per-fetch state and returns f to the free list. The
+// bound callbacks and the (stopped) watchdog timer are kept — they are
+// the expensive parts reuse exists for.
+func (n *Node) putFetch(f *fetchState) {
+	for i := range f.cbs {
+		f.cbs[i] = nil
+	}
+	f.cbs = f.cbs[:0]
+	f.obj = oid.ID{}
+	f.re = memproto.Reassembler{}
+	f.want, f.perm = memproto.PermNone, memproto.PermNone
+	f.attempt = 0
+	f.tc = trace.Ctx{}
+	f.rm = memproto.Msg{}
+	n.fetchFree = append(n.fetchFree, f)
 }
 
 // fetchStallTimeout bounds the gap between fragments of a partially
@@ -82,25 +133,98 @@ const fetchStallTimeout = 10 * backend.Millisecond
 // newFetch registers an in-flight fetch. The stall watchdog is armed
 // lazily, on the first partial reassembly progress (armStall), so
 // single-fragment fetches never schedule one.
-func (n *Node) newFetch(obj oid.ID, want memproto.Perm, cb func(*object.Object, error)) {
-	n.fetches[obj] = &fetchState{
-		cbs:     []func(*object.Object, error){cb},
-		want:    want,
-		started: n.clock.Now(),
-	}
+func (n *Node) newFetch(obj oid.ID, want memproto.Perm, cb func(*object.Object, error)) *fetchState {
+	f := n.getFetch()
+	f.obj = obj
+	f.want = want
+	f.started = n.clock.Now()
+	f.cbs = append(f.cbs, cb)
+	n.fetches[obj] = f
+	return f
 }
 
 // armStall (re)arms the reassembly stall watchdog after progress.
-func (n *Node) armStall(obj oid.ID, fs *fetchState) {
-	if fs.watchdog != nil {
-		fs.watchdog.Stop()
+// Reset consumes one event sequence number, exactly like the fresh
+// AfterFunc it replaces, so timer reuse is bit-identical to the old
+// arm-per-progress schedule.
+func (n *Node) armStall(fs *fetchState) {
+	fs.watchdog = backend.ResetTimer(n.clock, fs.watchdog, fetchStallTimeout, fs.stallFn)
+}
+
+// stall is the pre-bound watchdog callback.
+func (f *fetchState) stall() {
+	n := f.n
+	if n.fetches[f.obj] != f { // completed, or a successor fetch
+		return
 	}
-	fs.watchdog = n.clock.AfterFunc(fetchStallTimeout, func() {
-		if n.fetches[obj] != fs { // completed, or a successor fetch
-			return
+	n.finishFetch(f.obj, nil, fmt.Errorf("%w: object transfer stalled", ErrMaxRetries))
+}
+
+// begin starts (or restarts, on stale-location retry) the fetch's
+// resolve→acquire chain for the current attempt.
+func (f *fetchState) begin() {
+	f.n.resolver.ResolveCtx(f.obj, f.tc, f.resolveFn)
+}
+
+// resolve is the pre-bound resolver continuation: address the holder
+// and issue the acquire request.
+func (f *fetchState) resolve(r discovery.Result, err error) {
+	n := f.n
+	if n.fetches[f.obj] != f {
+		return // fetch completed or superseded while resolving
+	}
+	if err != nil {
+		n.finishFetch(f.obj, nil, fmt.Errorf("%w: %v", ErrNotFound, err))
+		return
+	}
+	h := wire.Header{Type: wire.MsgMem, Object: f.obj}
+	f.tc.Inject(&h)
+	if r.RouteOnObject {
+		h.Flags |= wire.FlagRouteOnObject
+		h.Dst = wire.StationID(0)
+	} else {
+		h.Dst = r.Station
+	}
+	m := memproto.Msg{Op: memproto.OpAcquire, Perm: f.want}
+	n.ep.Request(h, n.marshal(&m), 0, f.respFn)
+}
+
+// rawResp is the pre-bound acquire-response continuation: grant,
+// authoritative denial, or stale-location retry.
+func (f *fetchState) rawResp(_ *wire.Header, payload []byte, err error) {
+	n := f.n
+	if n.fetches[f.obj] != f {
+		return
+	}
+	rm := &f.rm
+	if err == nil {
+		if uerr := rm.Unmarshal(payload); uerr != nil {
+			err = uerr
 		}
-		n.finishFetch(obj, nil, fmt.Errorf("%w: object transfer stalled", ErrMaxRetries))
-	})
+	}
+	if err == nil && rm.Status == memproto.StatusOK {
+		n.grantFragment(f.obj, rm)
+		return
+	}
+	// Access denial is authoritative — rediscovery will not change the
+	// answer.
+	if err == nil && rm.Status == memproto.StatusDenied {
+		n.finishFetch(f.obj, nil, rm.Status.Err())
+		return
+	}
+	// Stale location or transient failure: invalidate and retry
+	// through rediscovery.
+	if f.attempt >= maxAccessAttempts {
+		if err == nil {
+			err = rm.Status.Err()
+		}
+		n.finishFetch(f.obj, nil, fmt.Errorf("%w: %v", ErrMaxRetries, err))
+		return
+	}
+	n.counters.StaleRetries++
+	n.resolver.Invalidate(f.obj)
+	f.attempt++
+	f.begin()
 }
 
 // Node is one host's coherence engine.
@@ -118,6 +242,14 @@ type Node struct {
 	tracer   *trace.Recorder
 	observer OpObserver
 	counters Counters
+
+	// Hot-path recycling: tx is the marshal scratch every send encodes
+	// into (safe because every transmit path copies the payload into a
+	// pooled frame buffer before returning), and the free lists hold
+	// recycled per-operation state with pre-bound callbacks.
+	tx         []byte
+	accessFree []*accessOp
+	fetchFree  []*fetchState
 
 	// In-network computation (inc.go): home-side multicast
 	// invalidation rounds and the installed-group cache. All nil/zero
@@ -283,22 +415,34 @@ func (n *Node) Reset() {
 	}
 }
 
+// marshal encodes m into the node's transmit scratch buffer. Every
+// transmit path copies the payload into a pooled frame buffer before
+// returning (dataplane.EncodeFrame), so the scratch is free again as
+// soon as the send call returns — one growable buffer serves every
+// message this node ever sends.
+func (n *Node) marshal(m *memproto.Msg) []byte {
+	b := m.Marshal(n.tx[:0])
+	n.tx = b
+	return b
+}
+
 // send transmits a memory-protocol message unreliably.
 func (n *Node) send(dst wire.StationID, obj oid.ID, m *memproto.Msg) {
-	n.ep.Send(wire.Header{Type: wire.MsgMem, Dst: dst, Object: obj}, m.Marshal(nil))
+	n.ep.Send(wire.Header{Type: wire.MsgMem, Dst: dst, Object: obj}, n.marshal(m))
 }
 
 // sendReliable transmits a memory-protocol message with ack/retry.
 func (n *Node) sendReliable(dst wire.StationID, obj oid.ID, tc trace.Ctx, m *memproto.Msg) {
 	h := wire.Header{Type: wire.MsgMem, Dst: dst, Object: obj}
 	tc.Inject(&h)
-	n.ep.SendReliable(h, m.Marshal(nil), nil)
+	n.ep.SendReliable(h, n.marshal(m), nil)
 }
 
 // request performs a reliable memory-protocol request and decodes the
-// response.
+// response. The decode closure allocates; pooled operations (accessOp,
+// fetchState) use their pre-bound raw continuations instead.
 func (n *Node) request(h wire.Header, m *memproto.Msg, cb func(*wire.Header, *memproto.Msg, error)) {
-	n.ep.Request(h, m.Marshal(nil), 0, func(resp *wire.Header, payload []byte, err error) {
+	n.ep.Request(h, n.marshal(m), 0, func(resp *wire.Header, payload []byte, err error) {
 		if err != nil {
 			cb(nil, nil, err)
 			return
@@ -314,7 +458,7 @@ func (n *Node) request(h wire.Header, m *memproto.Msg, cb func(*wire.Header, *me
 
 // respond answers a memory-protocol request.
 func (n *Node) respond(req *wire.Header, m *memproto.Msg) {
-	n.ep.Respond(req, wire.Header{Type: wire.MsgMem, Object: req.Object}, m.Marshal(nil))
+	n.ep.Respond(req, wire.Header{Type: wire.MsgMem, Object: req.Object}, n.marshal(m))
 }
 
 // --- access paths (requester side) ---
@@ -339,6 +483,21 @@ func opDone[T any](n *Node, name string, sp *trace.Span, cb func(T, error)) func
 			n.observer(name, err)
 		}
 		cb(v, err)
+	}
+}
+
+// opFinish ends a local-hit operation: span close plus observer fire,
+// with no wrapper closure, so the cached fast path stays
+// allocation-free even with an observer installed.
+func (n *Node) opFinish(name string, sp *trace.Span, err error) {
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	if n.observer != nil {
+		n.observer(name, err)
 	}
 }
 
@@ -375,7 +534,7 @@ func (n *Node) AcquireShared(obj oid.ID) *future.Future[*object.Object] {
 func (n *Node) AcquireSharedCB(obj oid.ID, cb func(*object.Object, error)) {
 	sp := n.tracer.StartRoot("op:acquire-shared")
 	cb = opDone(n, "acquire_shared", sp, cb)
-	if o, err := n.store.Get(obj); err == nil {
+	if o, ok := n.store.Lookup(obj); ok {
 		n.counters.LocalHits++
 		sp.SetAttr("local", "hit")
 		cb(o, nil)
@@ -386,51 +545,11 @@ func (n *Node) AcquireSharedCB(obj oid.ID, cb func(*object.Object, error)) {
 		f.cbs = append(f.cbs, cb)
 		return
 	}
-	n.newFetch(obj, memproto.PermShared, cb)
+	f := n.newFetch(obj, memproto.PermShared, cb)
 	n.counters.RemoteAcquires++
-	n.acquireAttempt(obj, memproto.PermShared, 1, sp.Ctx())
-}
-
-func (n *Node) acquireAttempt(obj oid.ID, perm memproto.Perm, attempt int, tc trace.Ctx) {
-	n.resolver.ResolveCtx(obj, tc, func(r discovery.Result, err error) {
-		if err != nil {
-			n.finishFetch(obj, nil, fmt.Errorf("%w: %v", ErrNotFound, err))
-			return
-		}
-		h := wire.Header{Type: wire.MsgMem, Object: obj}
-		tc.Inject(&h)
-		if r.RouteOnObject {
-			h.Flags |= wire.FlagRouteOnObject
-			h.Dst = wire.StationID(0)
-		} else {
-			h.Dst = r.Station
-		}
-		m := &memproto.Msg{Op: memproto.OpAcquire, Perm: perm}
-		n.request(h, m, func(resp *wire.Header, rm *memproto.Msg, err error) {
-			if err == nil && rm.Status == memproto.StatusOK {
-				n.grantFragment(obj, rm)
-				return
-			}
-			// Access denial is authoritative — rediscovery will not
-			// change the answer.
-			if err == nil && rm.Status == memproto.StatusDenied {
-				n.finishFetch(obj, nil, rm.Status.Err())
-				return
-			}
-			// Stale location or transient failure: invalidate and
-			// retry through rediscovery.
-			if attempt >= maxAccessAttempts {
-				if err == nil {
-					err = rm.Status.Err()
-				}
-				n.finishFetch(obj, nil, fmt.Errorf("%w: %v", ErrMaxRetries, err))
-				return
-			}
-			n.counters.StaleRetries++
-			n.resolver.Invalidate(obj)
-			n.acquireAttempt(obj, perm, attempt+1, tc)
-		})
-	})
+	f.tc = sp.Ctx()
+	f.attempt = 1
+	f.begin()
 }
 
 // grantFragment ingests a grant (first fragment arrives as the request
@@ -451,7 +570,7 @@ func (n *Node) grantFragment(obj oid.ID, m *memproto.Msg) {
 		return
 	}
 	if !done {
-		n.armStall(obj, f)
+		n.armStall(f)
 		return
 	}
 	o, err := object.FromBytes(obj, f.re.Bytes())
@@ -479,9 +598,13 @@ func (n *Node) finishFetch(obj oid.ID, o *object.Object, err error) {
 	if f.watchdog != nil {
 		f.watchdog.Stop()
 	}
-	for _, cb := range f.cbs {
-		cb(o, err)
+	// f is out of the map, so no callback can reach it; it is recycled
+	// after the waiters run (a waiter that starts a new fetch gets a
+	// different pooled struct).
+	for i := range f.cbs {
+		f.cbs[i](o, err)
 	}
+	n.putFetch(f)
 }
 
 // AcquireExclusive obtains a copy with exclusive permission: the home
@@ -499,7 +622,7 @@ func (n *Node) AcquireExclusive(obj oid.ID) *future.Future[*object.Object] {
 func (n *Node) AcquireExclusiveCB(obj oid.ID, cb func(*object.Object, error)) {
 	sp := n.tracer.StartRoot("op:acquire-excl")
 	cb = opDone(n, "acquire_exclusive", sp, cb)
-	if e, err := n.store.GetEntry(obj); err == nil && e.Home {
+	if e, ok := n.store.LookupEntry(obj); ok && e.Home {
 		n.counters.LocalHits++
 		sp.SetAttr("local", "home")
 		n.invalidateSharers(obj, 0)
@@ -518,9 +641,11 @@ func (n *Node) AcquireExclusiveCB(obj oid.ID, cb func(*object.Object, error)) {
 		f.cbs = append(f.cbs, cb)
 		return
 	}
-	n.newFetch(obj, memproto.PermExclusive, cb)
+	f := n.newFetch(obj, memproto.PermExclusive, cb)
 	n.counters.RemoteAcquires++
-	n.acquireAttempt(obj, memproto.PermExclusive, 1, sp.Ctx())
+	f.tc = sp.Ctx()
+	f.attempt = 1
+	f.begin()
 }
 
 // ReadAt reads [off, off+length) of obj from wherever it lives,
@@ -534,24 +659,24 @@ func (n *Node) ReadAt(obj oid.ID, off uint64, length int) *future.Future[[]byte]
 // ReadAtCB is the callback form of ReadAt.
 func (n *Node) ReadAtCB(obj oid.ID, off uint64, length int, cb func([]byte, error)) {
 	sp := n.tracer.StartRoot("op:read")
-	cb = opDone(n, "read", sp, cb)
-	if o, err := n.store.Get(obj); err == nil {
+	if o, ok := n.store.Lookup(obj); ok {
 		n.counters.LocalHits++
 		sp.SetAttr("local", "hit")
 		b, err := o.ReadAt(off, length)
+		n.opFinish("read", sp, err)
 		cb(b, err)
 		return
 	}
 	n.counters.RemoteReads++
-	n.accessAttempt(obj, 1, sp.Ctx(), cb,
-		&memproto.Msg{Op: memproto.OpReadReq, Offset: off, Length: uint32(length)},
-		func(rm *memproto.Msg) {
-			// rm.Data is a view into the frame buffer, which is recycled
-			// after dispatch; the caller keeps the bytes, so copy.
-			data := make([]byte, len(rm.Data))
-			copy(data, rm.Data)
-			cb(data, nil)
-		})
+	op := n.getAccessOp()
+	op.obj = obj
+	op.name = "read"
+	op.sp = sp
+	op.tc = sp.Ctx()
+	op.attempt = 1
+	op.m = memproto.Msg{Op: memproto.OpReadReq, Offset: off, Length: uint32(length)}
+	op.readCB = cb
+	op.begin()
 }
 
 // WriteAt writes data at off in obj at its home; the home invalidates
@@ -565,69 +690,162 @@ func (n *Node) WriteAt(obj oid.ID, off uint64, data []byte) *future.Future[struc
 // WriteAtCB is the callback form of WriteAt.
 func (n *Node) WriteAtCB(obj oid.ID, off uint64, data []byte, cb func(error)) {
 	sp := n.tracer.StartRoot("op:write")
-	cb = opDoneErr(n, "write", sp, cb)
-	if e, err := n.store.GetEntry(obj); err == nil && e.Home {
+	if e, ok := n.store.LookupEntry(obj); ok && e.Home {
 		n.counters.LocalHits++
 		sp.SetAttr("local", "home")
 		if err := e.Obj.WriteAt(off, data); err != nil {
+			n.opFinish("write", sp, err)
 			cb(err)
 			return
 		}
 		n.store.BumpVersion(obj)
 		n.invalidateSharers(obj, 0)
+		n.opFinish("write", sp, nil)
 		cb(nil)
 		return
 	}
 	n.counters.RemoteWrites++
-	n.accessAttempt(obj, 1, sp.Ctx(), func(_ []byte, err error) { cb(err) },
-		&memproto.Msg{Op: memproto.OpWriteReq, Offset: off, Data: data},
-		func(rm *memproto.Msg) {
-			// Our own cached copy (if any) is now stale.
-			n.store.Invalidate(obj)
-			delete(n.granted, obj)
-			cb(nil)
-		})
+	op := n.getAccessOp()
+	op.obj = obj
+	op.name = "write"
+	op.sp = sp
+	op.tc = sp.Ctx()
+	op.attempt = 1
+	op.m = memproto.Msg{Op: memproto.OpWriteReq, Offset: off, Data: data}
+	op.writeCB = cb
+	op.begin()
 }
 
-// accessAttempt is the shared resolve→request→stale-retry loop for
-// bus-style reads and writes. fail receives terminal errors; ok
-// receives the successful response.
-func (n *Node) accessAttempt(obj oid.ID, attempt int, tc trace.Ctx, fail func([]byte, error),
-	m *memproto.Msg, ok func(*memproto.Msg)) {
+// accessOp is the pooled requester-side state of one bus-style read or
+// write: the resolve→request→stale-retry loop with every callback
+// pre-bound at allocation, so a warm remote access allocates nothing
+// beyond the response copy the caller keeps. Exactly one of readCB and
+// writeCB is set; like fetchState, at most one bound continuation is
+// outstanding at a time and the op is only recycled from inside it.
+type accessOp struct {
+	n       *Node
+	obj     oid.ID
+	name    string // "read" or "write" (span + observer label)
+	attempt int
+	tc      trace.Ctx
+	sp      *trace.Span
+	m       memproto.Msg // request (Data borrows the caller's bytes)
+	rm      memproto.Msg // response decode scratch
+	readCB  func([]byte, error)
+	writeCB func(error)
 
-	n.resolver.ResolveCtx(obj, tc, func(r discovery.Result, err error) {
-		if err != nil {
-			fail(nil, fmt.Errorf("%w: %v", ErrNotFound, err))
+	resolveFn func(discovery.Result, error)
+	respFn    func(*wire.Header, []byte, error)
+}
+
+// getAccessOp pops a recycled accessOp (or allocates one, binding its
+// method-value callbacks exactly once).
+func (n *Node) getAccessOp() *accessOp {
+	if k := len(n.accessFree) - 1; k >= 0 {
+		op := n.accessFree[k]
+		n.accessFree[k] = nil
+		n.accessFree = n.accessFree[:k]
+		return op
+	}
+	op := &accessOp{n: n}
+	op.resolveFn = op.resolve
+	op.respFn = op.rawResp
+	return op
+}
+
+// putAccessOp clears per-op state and returns op to the free list.
+func (n *Node) putAccessOp(op *accessOp) {
+	op.obj = oid.ID{}
+	op.name = ""
+	op.attempt = 0
+	op.tc = trace.Ctx{}
+	op.sp = nil
+	op.m = memproto.Msg{}
+	op.rm = memproto.Msg{}
+	op.readCB = nil
+	op.writeCB = nil
+	n.accessFree = append(n.accessFree, op)
+}
+
+// begin starts (or restarts, on stale-location retry) the op's
+// resolve→request chain for the current attempt.
+func (op *accessOp) begin() {
+	op.n.resolver.ResolveCtx(op.obj, op.tc, op.resolveFn)
+}
+
+// resolve is the pre-bound resolver continuation: address the holder
+// and issue the access request.
+func (op *accessOp) resolve(r discovery.Result, err error) {
+	n := op.n
+	if err != nil {
+		op.finish(nil, fmt.Errorf("%w: %v", ErrNotFound, err))
+		return
+	}
+	h := wire.Header{Type: wire.MsgMem, Object: op.obj}
+	op.tc.Inject(&h)
+	if r.RouteOnObject {
+		h.Flags |= wire.FlagRouteOnObject
+	} else {
+		h.Dst = r.Station
+	}
+	n.ep.Request(h, n.marshal(&op.m), 0, op.respFn)
+}
+
+// rawResp is the pre-bound response continuation: success,
+// authoritative denial, or stale-location retry.
+func (op *accessOp) rawResp(_ *wire.Header, payload []byte, err error) {
+	n := op.n
+	rm := &op.rm
+	if err == nil {
+		if uerr := rm.Unmarshal(payload); uerr != nil {
+			err = uerr
+		}
+	}
+	switch {
+	case err == nil && rm.Status == memproto.StatusOK:
+		if op.readCB != nil {
+			// rm.Data is a view into the frame buffer, which is
+			// recycled after dispatch; the caller keeps the bytes, so
+			// copy — the one allocation a warm remote read pays.
+			data := make([]byte, len(rm.Data))
+			copy(data, rm.Data)
+			op.finish(data, nil)
 			return
 		}
-		h := wire.Header{Type: wire.MsgMem, Object: obj}
-		tc.Inject(&h)
-		if r.RouteOnObject {
-			h.Flags |= wire.FlagRouteOnObject
-		} else {
-			h.Dst = r.Station
+		// Write applied at the home: our own cached copy (if any) is
+		// now stale.
+		n.store.Invalidate(op.obj)
+		delete(n.granted, op.obj)
+		op.finish(nil, nil)
+	case err == nil && rm.Status == memproto.StatusDenied:
+		op.finish(nil, rm.Status.Err())
+	case op.attempt >= maxAccessAttempts:
+		if err == nil {
+			err = rm.Status.Err()
 		}
-		n.request(h, m, func(resp *wire.Header, rm *memproto.Msg, err error) {
-			if err == nil && rm.Status == memproto.StatusOK {
-				ok(rm)
-				return
-			}
-			if err == nil && rm.Status == memproto.StatusDenied {
-				fail(nil, rm.Status.Err())
-				return
-			}
-			if attempt >= maxAccessAttempts {
-				if err == nil {
-					err = rm.Status.Err()
-				}
-				fail(nil, fmt.Errorf("%w: %v", ErrMaxRetries, err))
-				return
-			}
-			n.counters.StaleRetries++
-			n.resolver.Invalidate(obj)
-			n.accessAttempt(obj, attempt+1, tc, fail, m, ok)
-		})
-	})
+		op.finish(nil, fmt.Errorf("%w: %v", ErrMaxRetries, err))
+	default:
+		n.counters.StaleRetries++
+		n.resolver.Invalidate(op.obj)
+		op.attempt++
+		op.begin()
+	}
+}
+
+// finish ends the op's span, fires the observer, recycles the op, and
+// then invokes the caller's callback — recycle-before-callback so a
+// continuation that immediately issues another operation reuses this
+// op's storage.
+func (op *accessOp) finish(b []byte, err error) {
+	n, sp, name := op.n, op.sp, op.name
+	readCB, writeCB := op.readCB, op.writeCB
+	n.putAccessOp(op)
+	n.opFinish(name, sp, err)
+	if readCB != nil {
+		readCB(b, err)
+	} else {
+		writeCB(err)
+	}
 }
 
 // Release pushes a locally modified cached copy back to the object's
@@ -674,9 +892,9 @@ func (n *Node) ReleaseCB(obj oid.ID, cb func(error)) {
 			fm := frags[i]
 			fm.Op = memproto.OpRelease
 			if r.RouteOnObject {
-				n.ep.Send(h, fm.Marshal(nil))
+				n.ep.Send(h, n.marshal(&fm))
 			} else {
-				n.ep.SendReliable(h, fm.Marshal(nil), nil)
+				n.ep.SendReliable(h, n.marshal(&fm), nil)
 			}
 		}
 		last := frags[len(frags)-1]
@@ -793,9 +1011,10 @@ func (n *Node) HandleFrame(h *wire.Header, payload []byte) bool {
 			f.perm = memproto.PermNone
 			if f.watchdog != nil {
 				f.watchdog.Stop()
-				f.watchdog = nil
 			}
-			n.acquireAttempt(h.Object, f.want, 1, trace.Ctx{})
+			f.tc = trace.Ctx{}
+			f.attempt = 1
+			f.begin()
 		}
 		n.respond(h, &memproto.Msg{Op: memproto.OpInvalidateAck, Status: memproto.StatusOK})
 	}
@@ -812,8 +1031,8 @@ func (n *Node) silentMiss(h *wire.Header) bool {
 }
 
 func (n *Node) serveRead(h *wire.Header, m *memproto.Msg) {
-	e, err := n.store.GetEntry(h.Object)
-	if err != nil {
+	e, ok := n.store.LookupEntry(h.Object)
+	if !ok {
 		if n.silentMiss(h) {
 			return
 		}
@@ -839,8 +1058,8 @@ func (n *Node) serveRead(h *wire.Header, m *memproto.Msg) {
 }
 
 func (n *Node) serveWrite(h *wire.Header, m *memproto.Msg) {
-	e, err := n.store.GetEntry(h.Object)
-	if err != nil || !e.Home {
+	e, ok := n.store.LookupEntry(h.Object)
+	if !ok || !e.Home {
 		if n.silentMiss(h) {
 			return
 		}
@@ -859,8 +1078,8 @@ func (n *Node) serveWrite(h *wire.Header, m *memproto.Msg) {
 }
 
 func (n *Node) serveAcquire(h *wire.Header, m *memproto.Msg) {
-	e, err := n.store.GetEntry(h.Object)
-	if err != nil {
+	e, ok := n.store.LookupEntry(h.Object)
+	if !ok {
 		if n.silentMiss(h) {
 			return
 		}
@@ -928,8 +1147,8 @@ func (n *Node) serveRelease(h *wire.Header, m *memproto.Msg) {
 		return
 	}
 	delete(n.releases, key)
-	e, gerr := n.store.GetEntry(h.Object)
-	if gerr != nil || !e.Home {
+	e, ok := n.store.LookupEntry(h.Object)
+	if !ok || !e.Home {
 		n.counters.NotFoundServed++
 		n.respond(h, &memproto.Msg{Op: memproto.OpReleaseAck, Status: memproto.StatusNotFound})
 		return

@@ -131,9 +131,10 @@ func (n *Node) serveIncInv(h *wire.Header, payload []byte) {
 		f.perm = memproto.PermNone
 		if f.watchdog != nil {
 			f.watchdog.Stop()
-			f.watchdog = nil
 		}
-		n.acquireAttempt(h.Object, f.want, 1, trace.Ctx{})
+		f.tc = trace.Ctx{}
+		f.attempt = 1
+		f.begin()
 	}
 	n.ep.Send(wire.Header{Type: wire.MsgIncAck, Dst: h.Src, Object: h.Object},
 		memproto.EncodeIncAck(opID, group, 0))

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/backend"
+	"repro/internal/dataplane"
 	"repro/internal/discovery"
 	"repro/internal/inc"
 	"repro/internal/netsim"
@@ -202,6 +203,33 @@ type Config struct {
 	// falling back to per-sharer invalidation
 	// (0 = coherence.DefaultIncAckTimeout).
 	IncAckTimeout netsim.Duration
+
+	// Hot-path delivery (ROADMAP item 5). Every knob is off by default;
+	// with all of them zero, event scheduling is bit-identical to a
+	// build without the feature.
+	//
+	// BatchDelivery coalesces every frame arriving at a host in the
+	// same virtual tick into one doorbell-style delivery batch
+	// (sim-only; ignored under BackendRealnet, where the kernel's
+	// socket buffering already plays this role).
+	BatchDelivery bool
+	// HostRxCost models fixed per-delivery receive overhead at each
+	// host NIC (sim-only). Unbatched, every frame pays it; with
+	// BatchDelivery a whole batch pays it once — the mechanism that
+	// moves the saturation knee (E15).
+	HostRxCost netsim.Duration
+	// RingGroups lists sets of co-resident nodes by node index;
+	// same-group unicast traffic bypasses the fabric through same-host
+	// SPSC ring queues (dataplane.Ring) on both backends. Empty = no
+	// rings. A node may belong to at most one group.
+	RingGroups [][]int
+	// RingDelay is the modeled same-host handoff latency under the
+	// simulator (default 1µs; the realnet backend always uses 0 — its
+	// handoff is real).
+	RingDelay netsim.Duration
+	// RingSlots is each directed ring's capacity
+	// (0 = dataplane.RingDefaultSlots).
+	RingSlots int
 }
 
 // IncEnabled reports whether any in-network computation is on.
@@ -256,6 +284,31 @@ func (c *Config) fill() {
 	if c.Check.FetchBound == 0 {
 		c.Check.FetchBound = 20 * netsim.Millisecond
 	}
+	if c.RingDelay == 0 {
+		c.RingDelay = netsim.Microsecond
+	}
+}
+
+// buildRingGroups validates Config.RingGroups and returns each node
+// index's co-residence group (nil when rings are disabled).
+func buildRingGroups(cfg *Config, delay backend.Duration) (map[int]*dataplane.RingGroup, error) {
+	if len(cfg.RingGroups) == 0 {
+		return nil, nil
+	}
+	byIdx := make(map[int]*dataplane.RingGroup)
+	for _, members := range cfg.RingGroups {
+		g := dataplane.NewRingGroup(dataplane.RingConfig{Slots: cfg.RingSlots, Delay: delay})
+		for _, idx := range members {
+			if idx < 0 || idx >= cfg.NumNodes {
+				return nil, fmt.Errorf("core: RingGroups index %d out of range [0,%d)", idx, cfg.NumNodes)
+			}
+			if _, dup := byIdx[idx]; dup {
+				return nil, fmt.Errorf("core: node %d appears in more than one ring group", idx)
+			}
+			byIdx[idx] = g
+		}
+	}
+	return byIdx, nil
 }
 
 // objMeta is the cluster metadata service's view of one object: the
@@ -349,6 +402,12 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 		Placement: placement.NewEngine(),
 	}
 	c.Net = netsim.NewNetwork(c.Sim)
+	c.Net.SetBatchDelivery(cfg.BatchDelivery)
+	c.Net.SetHostRxCost(cfg.HostRxCost)
+	rings, err := buildRingGroups(&cfg, cfg.RingDelay)
+	if err != nil {
+		return nil, err
+	}
 	link := netsim.LinkConfig{
 		Latency:    cfg.LinkLatency,
 		BitsPerSec: cfg.LinkBitsPerSec,
@@ -443,11 +502,21 @@ func newSimCluster(cfg Config) (*Cluster, error) {
 		}
 		st := wire.StationID(i + 1)
 		stations[st] = host
-		n, err := newNode(c, host, st)
+		// Co-resident nodes attach through a ring-accelerated link:
+		// same-group unicasts bypass the fabric via SPSC rings; all
+		// other traffic uses the host NIC unchanged.
+		var nodeLink backend.Link = host
+		var rl *dataplane.RingLink
+		if g := rings[i]; g != nil {
+			rl = g.Join(st, host)
+			nodeLink = rl
+		}
+		n, err := newNode(c, nodeLink, st)
 		if err != nil {
 			return nil, err
 		}
 		n.Host = host
+		n.Ring = rl
 		c.Nodes = append(c.Nodes, n)
 	}
 
@@ -991,6 +1060,25 @@ func (c *Cluster) AddTelemetry(r *telemetry.Registry) {
 		r.Set("raft.commit_index", commit)
 		r.Set("raft.elections_total", elections)
 		r.Set("raft.leader_changes_total", leaderChanges)
+	}
+	// Ring counters only exist when ring groups do, so the disabled
+	// telemetry name-set is unchanged.
+	var ringSent, ringDelivered, ringDropped uint64
+	haveRings := false
+	for _, n := range c.Nodes {
+		if n.Ring == nil {
+			continue
+		}
+		haveRings = true
+		rs := n.Ring.Stats()
+		ringSent += rs.RingSent
+		ringDelivered += rs.RingDelivered
+		ringDropped += rs.RingDroppedFull
+	}
+	if haveRings {
+		r.Set("ring.sent", ringSent)
+		r.Set("ring.delivered", ringDelivered)
+		r.Set("ring.dropped_full", ringDropped)
 	}
 	// Directory footprint: how much coherence-directory state the
 	// cluster carries per object is the headline scale metric (E12).

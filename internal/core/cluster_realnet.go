@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/backend"
+	"repro/internal/dataplane"
 	"repro/internal/oid"
 	"repro/internal/placement"
 	"repro/internal/realnet"
@@ -55,6 +56,17 @@ func newRealnetCluster(cfg Config) (*Cluster, error) {
 		meta:      make(map[oid.ID]*objMeta),
 		Placement: placement.NewEngine(),
 	}
+	// Ring groups work here too: co-located nodes are really one
+	// process, so same-group frames skip the kernel's UDP path through
+	// the same SPSC rings the simulator models — with zero modeled
+	// delay, because the handoff is real. Drains run under the cluster
+	// upcall lock (Clock().Schedule), preserving the rings' single-
+	// threaded contract.
+	rings, err := buildRingGroups(&cfg, 0)
+	if err != nil {
+		rn.Close()
+		return nil, err
+	}
 	for i := 0; i < cfg.NumNodes; i++ {
 		st := wire.StationID(i + 1)
 		link, err := rn.NewLink(fmt.Sprintf("node%d", i), st)
@@ -62,11 +74,18 @@ func newRealnetCluster(cfg Config) (*Cluster, error) {
 			rn.Close()
 			return nil, err
 		}
-		n, err := newNode(c, link, st)
+		var nodeLink backend.Link = link
+		var rl *dataplane.RingLink
+		if g := rings[i]; g != nil {
+			rl = g.Join(st, link)
+			nodeLink = rl
+		}
+		n, err := newNode(c, nodeLink, st)
 		if err != nil {
 			rn.Close()
 			return nil, err
 		}
+		n.Ring = rl
 		c.Nodes = append(c.Nodes, n)
 	}
 	c.Tracer = trace.NewRecorder(c.Clock, cfg.Trace)

@@ -97,6 +97,26 @@ func (m *Mux) Dispatch(h *wire.Header, payload []byte) bool {
 	return m.entry(h, payload)
 }
 
+// BatchItem is one decoded frame of a delivery batch: the parsed
+// header by value (so batch slices are reusable scratch with no
+// aliasing into per-frame state) and the borrowed payload view.
+type BatchItem struct {
+	H       wire.Header
+	Payload []byte
+}
+
+// DispatchBatch routes every frame of a delivery batch in order
+// through the same middleware chain as Dispatch — the receive-side
+// half of doorbell coalescing: one upcall, N frames, identical
+// routing and accounting. Headers and payloads are borrowed for the
+// duration of the call.
+func (m *Mux) DispatchBatch(items []BatchItem) {
+	for i := range items {
+		m.stats.Dispatched++
+		m.entry(&items[i].H, items[i].Payload)
+	}
+}
+
 // route is the core dispatcher: typed handlers, then the default,
 // then drop accounting.
 func (m *Mux) route(h *wire.Header, payload []byte) bool {
@@ -148,6 +168,24 @@ func WithTrace(fn func(Trace)) Middleware {
 	}
 }
 
+// dispatchNames pre-concatenates the per-type span names so the
+// traced dispatch path does not build a string per frame.
+var dispatchNames = func() [wire.NumMsgTypes]string {
+	var names [wire.NumMsgTypes]string
+	for t := range names {
+		names[t] = "dispatch:" + wire.MsgType(t).String()
+	}
+	return names
+}()
+
+// dispatchName returns the span name for a dispatch of type t.
+func dispatchName(t wire.MsgType) string {
+	if int(t) < len(dispatchNames) {
+		return dispatchNames[t]
+	}
+	return "dispatch:?"
+}
+
 // WithSpans records a handler-dispatch span around every traced frame
 // (headers carrying wire.FlagTraced), parented to the span the sender
 // stamped into the header — the receiver-side leaf of a cross-hop
@@ -159,7 +197,7 @@ func WithSpans(rec *trace.Recorder) Middleware {
 				return next(h, payload)
 			}
 			sp := rec.StartSpan(trace.Ctx{Trace: h.TraceID, Span: h.SpanID},
-				trace.KindDispatch, "dispatch:"+h.Type.String())
+				trace.KindDispatch, dispatchName(h.Type))
 			ok := next(h, payload)
 			if !ok {
 				sp.SetAttr("consumed", "false")

@@ -20,8 +20,8 @@ type CheckConfig struct {
 	// the explorer's own 200; Smoke lowers it).
 	MaxRuns int
 	// Smoke is the CI configuration: fig2 + faults + evict + raft +
-	// inc-agg-dead-sharer, reduced run budget. The build fails if
-	// this sweep is not clean.
+	// inc-agg-dead-sharer + batch, reduced run budget. The build
+	// fails if this sweep is not clean.
 	Smoke bool
 	// Buggy restores the legacy fragment-reassembly accounting
 	// (duplicate-byte completion, silent version mixing) for the
@@ -33,7 +33,7 @@ type CheckConfig struct {
 func (c *CheckConfig) fill() {
 	if c.Smoke {
 		if c.Scenarios == nil {
-			c.Scenarios = []string{"fig2", "faults", "evict", "raft", "inc-agg-dead-sharer"}
+			c.Scenarios = []string{"fig2", "faults", "evict", "raft", "inc-agg-dead-sharer", "batch"}
 		}
 		if c.MaxRuns == 0 {
 			c.MaxRuns = 60

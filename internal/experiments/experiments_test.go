@@ -465,8 +465,8 @@ func TestInvariantCheckSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("smoke sweep covers fig2+faults+evict+raft+inc-agg-dead-sharer, got %d rows", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("smoke sweep covers fig2+faults+evict+raft+inc-agg-dead-sharer+batch, got %d rows", len(rows))
 	}
 	for _, r := range rows {
 		if !r.Clean {

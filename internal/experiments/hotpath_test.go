@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestHotpathSmoke runs the E15 smoke configuration and asserts the
+// two properties the experiment exists to pin:
+//
+//   - every budgeted layer stays within its allocs/op gate (dataplane
+//     at 0, end-to-end coherence ops at <=2);
+//   - batching the per-host delivery wakeups moves the saturation
+//     knee strictly right at the same simulated link speed.
+func TestHotpathSmoke(t *testing.T) {
+	rep, err := Hotpath(HotpathConfig{Seed: 42, Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, row := range rep.Allocs {
+		// The race detector's instrumentation allocates on paths that
+		// are alloc-free in a normal build, so the budgets only bind
+		// without -race; the knee assertions below always hold.
+		if !row.Pass && !raceEnabled {
+			t.Errorf("%s: %.2f allocs/op over budget %.0f",
+				row.Layer, row.AllocsPerOp, row.Budget)
+		}
+		t.Logf("%-38s %6.2f allocs/op", row.Layer, row.AllocsPerOp)
+	}
+
+	if !rep.KneeMovedRight {
+		t.Errorf("batched knee idx=%d did not move right of per-frame idx=%d",
+			rep.Batched.Knee.Index, rep.Unbatched.Knee.Index)
+	}
+	t.Logf("knee: per-frame idx=%d (%.0f ops/s, %s) -> batched idx=%d (%.0f ops/s, %s)",
+		rep.Unbatched.Knee.Index, rep.Unbatched.Knee.OfferedPerSec, rep.Unbatched.Knee.Reason,
+		rep.Batched.Knee.Index, rep.Batched.Knee.OfferedPerSec, rep.Batched.Knee.Reason)
+
+	// The batched run must not trade latency for throughput below the
+	// knee: at the lowest offered rate both configurations are
+	// unsaturated, and batching may only help.
+	if len(rep.Unbatched.Points) > 0 && len(rep.Batched.Points) > 0 {
+		u0, b0 := rep.Unbatched.Points[0], rep.Batched.Points[0]
+		if b0.P99US > u0.P99US {
+			t.Errorf("batched p99 %.1fus worse than per-frame %.1fus at the lowest rate",
+				b0.P99US, u0.P99US)
+		}
+	}
+}

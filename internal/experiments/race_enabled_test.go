@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets tests skip testing.AllocsPerRun budget assertions
+// under the race detector, whose instrumentation allocates on paths
+// that are alloc-free in a normal build.
+const raceEnabled = true

@@ -8,31 +8,53 @@ import (
 	"repro/internal/netsim"
 )
 
+// simFixture builds the standard two-host direct-link fixture;
+// batched turns on doorbell-coalesced delivery with a host receive
+// cost wide enough that back-to-back sends land in one batch.
+func simFixture(t *testing.T, batched bool) *conformance.Fixture {
+	sim := netsim.NewSim(1)
+	net := netsim.NewNetwork(sim)
+	if batched {
+		net.SetBatchDelivery(true)
+		net.SetHostRxCost(10 * netsim.Microsecond)
+	}
+	a, err := netsim.NewHost(net, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netsim.NewHost(net, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect(a, 0, b, 0, netsim.LinkConfig{
+		Latency:    2 * netsim.Microsecond,
+		BitsPerSec: 10_000_000_000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &conformance.Fixture{
+		A: a, B: b,
+		StA: 1, StB: 2,
+		Settle: func(d backend.Duration) { sim.RunFor(d) },
+	}
+}
+
 // TestBackendConformance runs the shared backend contract suite
 // against the simulator: two hosts on a direct link with the default
 // sim-scale latency.
 func TestBackendConformance(t *testing.T) {
 	conformance.Run(t, func(t *testing.T) *conformance.Fixture {
-		sim := netsim.NewSim(1)
-		net := netsim.NewNetwork(sim)
-		a, err := netsim.NewHost(net, "a")
-		if err != nil {
-			t.Fatal(err)
-		}
-		b, err := netsim.NewHost(net, "b")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := net.Connect(a, 0, b, 0, netsim.LinkConfig{
-			Latency:    2 * netsim.Microsecond,
-			BitsPerSec: 10_000_000_000,
-		}); err != nil {
-			t.Fatal(err)
-		}
-		return &conformance.Fixture{
-			A: a, B: b,
-			StA: 1, StB: 2,
-			Settle: func(d backend.Duration) { sim.RunFor(d) },
-		}
+		return simFixture(t, false)
 	})
+}
+
+// TestBackendConformanceBatched reruns the full contract suite with
+// doorbell-coalesced delivery enabled — the per-frame upcall must
+// keep working when no batch handler is installed — and then the
+// batch contracts (FIFO within and across batches, refcount balance
+// through the batch upcall, coalescing actually engaging).
+func TestBackendConformanceBatched(t *testing.T) {
+	mk := func(t *testing.T) *conformance.Fixture { return simFixture(t, true) }
+	conformance.Run(t, mk)
+	conformance.RunBatched(t, mk)
 }

@@ -125,11 +125,54 @@ type Network struct {
 	trace    TraceFunc
 	spanHook FrameSpanHook
 	ctlHook  FrameControlHook
+
+	// batching coalesces all frames arriving at one host in the same
+	// virtual tick into a single doorbell event (off by default; when
+	// off, same-seed runs are bit-identical to the per-frame schedule).
+	batching bool
+	// hostRxCost models the per-wakeup receive-processing cost at a
+	// host NIC (interrupt + driver + socket wakeup). 0 (the default)
+	// adds nothing. With batching on, a whole batch pays it once —
+	// that difference is what doorbell coalescing buys.
+	hostRxCost Duration
+	// batchFree recycles delivery-batch accumulators.
+	batchFree []*deliveryBatch
+	// batchesFired / batchedFrames count doorbell firings and the
+	// frames they carried — batchedFrames > batchesFired means
+	// coalescing actually happened (multi-frame batches formed).
+	batchesFired  uint64
+	batchedFrames uint64
 }
 
 type devState struct {
 	name  string
 	ports []*link // nil where unconnected
+	host  *Host   // non-nil when the device is a Host (batch/rx-cost target)
+	// rxFree is when the host's receive context is next available
+	// (hostRxCost reservation model).
+	rxFree Time
+	// pending is the host's most recently armed delivery batch, nil
+	// once its doorbell fires. Frames arriving no later than its fire
+	// time ride along instead of arming a new doorbell.
+	pending *deliveryBatch
+}
+
+// deliveryBatch accumulates the frames arriving at one host up to its
+// doorbell's fire time; a single evDeliverBatch event delivers them
+// all. This is the NIC ring model: the first frame raises the
+// doorbell, later frames just land in the ring until the driver runs.
+type deliveryBatch struct {
+	ds     *devState
+	fireAt Time // when the doorbell event runs
+	items  []batchItem
+	frs    []Frame // scratch views handed to the batched upcall
+}
+
+type batchItem struct {
+	fromName string
+	port     int
+	fr       Frame
+	buf      FrameBuffer
 }
 
 // Errors returned by topology construction.
@@ -158,8 +201,33 @@ func (n *Network) SetFrameSpanHook(fn FrameSpanHook) { n.spanHook = fn }
 // disable). It composes with SetTrace and SetFrameSpanHook.
 func (n *Network) SetFrameControlHook(fn FrameControlHook) { n.ctlHook = fn }
 
+// SetBatchDelivery enables (or disables) per-tick batched delivery to
+// hosts: every frame arriving at one host in the same virtual tick is
+// delivered by a single doorbell event, in arrival order, through the
+// host's batched upcall when one is installed. Off by default; when
+// off, the event schedule is bit-identical to the per-frame path.
+func (n *Network) SetBatchDelivery(on bool) { n.batching = on }
+
+// SetHostRxCost sets the modeled per-wakeup receive cost at hosts
+// (default 0 = free). Each host-bound delivery occupies the host's
+// receive context for d, queueing behind earlier wakeups; with batch
+// delivery on, a whole same-tick batch pays d once.
+func (n *Network) SetHostRxCost(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n.hostRxCost = d
+}
+
 // Stats returns a copy of the frame counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// BatchStats reports how many delivery doorbells fired and how many
+// frames they carried in total. Equal counts mean every batch was a
+// singleton; frames > fired proves coalescing engaged.
+func (n *Network) BatchStats() (fired, frames uint64) {
+	return n.batchesFired, n.batchedFrames
+}
 
 // ResetStats zeroes the frame counters.
 func (n *Network) ResetStats() { n.stats = Stats{} }
@@ -172,7 +240,11 @@ func (n *Network) AddDevice(dev Device, numPorts int) error {
 	if numPorts <= 0 {
 		return fmt.Errorf("netsim: device %q needs at least one port", dev.DevName())
 	}
-	n.devices[dev] = &devState{name: dev.DevName(), ports: make([]*link, numPorts)}
+	st := &devState{name: dev.DevName(), ports: make([]*link, numPorts)}
+	if h, ok := dev.(*Host); ok {
+		st.host = h
+	}
+	n.devices[dev] = st
 	return nil
 }
 
@@ -305,6 +377,7 @@ func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 	} else {
 		dir, dst = 1, l.a
 	}
+	dstS := n.devices[dst.dev]
 
 	// Serialization (transmission) delay with per-direction queueing.
 	now := n.sim.Now()
@@ -325,7 +398,7 @@ func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 	lost := l.cfg.DropRate > 0 && n.sim.Rand().Float64() < l.cfg.DropRate
 	var ctl FrameControl
 	if n.ctlHook != nil {
-		ctl = n.ctlHook(s.name, n.devices[dst.dev].name, fr)
+		ctl = n.ctlHook(s.name, dstS.name, fr)
 	}
 	if ctl.Drop {
 		lost = true
@@ -336,11 +409,11 @@ func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 	if lost {
 		n.stats.FramesDropped++
 		if n.trace != nil {
-			n.trace(TraceEvent{At: now, From: s.name, To: n.devices[dst.dev].name,
+			n.trace(TraceEvent{At: now, From: s.name, To: dstS.name,
 				Port: dst.port, Bytes: len(fr), Dropped: true})
 		}
 		if n.spanHook != nil {
-			n.spanHook(s.name, n.devices[dst.dev].name, fr, now, arrival,
+			n.spanHook(s.name, dstS.name, fr, now, arrival,
 				start.Sub(now), txDelay, true)
 		}
 		if buf != nil {
@@ -349,14 +422,11 @@ func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 		return
 	}
 	if n.spanHook != nil {
-		n.spanHook(s.name, n.devices[dst.dev].name, fr, now, arrival,
+		n.spanHook(s.name, dstS.name, fr, now, arrival,
 			start.Sub(now), txDelay, false)
 	}
 
-	n.sim.scheduleFrame(arrival, event{
-		kind: evDeliver, net: n, dev: dst.dev, port: dst.port,
-		fromName: s.name, fr: fr, buf: buf,
-	})
+	n.scheduleDelivery(arrival, s.name, dstS, dst, fr, buf)
 	if ctl.Dup {
 		n.stats.FramesSent++
 		if buf != nil {
@@ -366,11 +436,129 @@ func (n *Network) SendBuf(dev Device, port int, fr Frame, buf FrameBuffer) {
 		if ctl.DupDelay > 0 {
 			dupAt = dupAt.Add(ctl.DupDelay)
 		}
-		n.sim.scheduleFrame(dupAt, event{
-			kind: evDeliver, net: n, dev: dst.dev, port: dst.port,
-			fromName: s.name, fr: fr, buf: buf,
-		})
+		n.scheduleDelivery(dupAt, s.name, dstS, dst, fr, buf)
 	}
+}
+
+// scheduleDelivery queues the arrival of one frame at (dstS, dst),
+// applying the host receive-cost model and, when enabled, per-tick
+// batch coalescing. With batching off and hostRxCost 0 this is
+// exactly one evDeliver event at the raw arrival time — the
+// bit-identical legacy schedule.
+func (n *Network) scheduleDelivery(at Time, fromName string, dstS *devState,
+	dst endpoint, fr Frame, buf FrameBuffer) {
+	if dstS.host == nil || (!n.batching && n.hostRxCost == 0) {
+		// Switches (and hosts with everything off) take the per-frame
+		// path at the raw arrival time.
+		n.sim.scheduleFrame(at, event{
+			kind: evDeliver, net: n, dev: dst.dev, port: dst.port,
+			fromName: fromName, fr: fr, buf: buf,
+		})
+		return
+	}
+	if !n.batching {
+		// Per-frame wakeups: every frame occupies the host's receive
+		// context for hostRxCost, queueing behind earlier wakeups.
+		n.sim.scheduleFrame(n.reserveRx(dstS, at), event{
+			kind: evDeliver, net: n, dev: dst.dev, port: dst.port,
+			fromName: fromName, fr: fr, buf: buf,
+		})
+		return
+	}
+	// Batched: the first frame arms a doorbell at its (receive-cost
+	// adjusted) delivery time; every frame arriving no later than that
+	// fire time joins the same batch and pays nothing extra. Under
+	// load the receive context falls behind arrivals, batches grow,
+	// and the per-wakeup cost amortizes — exactly the doorbell-
+	// coalescing effect E15 measures. Append order is send order (the
+	// simulator's seq order) and per-link arrivals are monotone, so
+	// per-link FIFO is preserved within and across batches (new
+	// doorbells never fire before ones already armed: rxFree reserves
+	// make fire times monotone per host).
+	if b := dstS.pending; b != nil && at <= b.fireAt {
+		b.items = append(b.items, batchItem{fromName, dst.port, fr, buf})
+		return
+	}
+	b := n.getBatch()
+	b.ds = dstS
+	b.fireAt = n.reserveRx(dstS, at)
+	b.items = append(b.items, batchItem{fromName, dst.port, fr, buf})
+	dstS.pending = b
+	n.sim.scheduleFrame(b.fireAt, event{
+		kind: evDeliverBatch, net: n, batch: b,
+	})
+}
+
+// reserveRx charges one wakeup against the host's receive context and
+// returns when the delivery runs (identity when hostRxCost is 0).
+func (n *Network) reserveRx(dstS *devState, at Time) Time {
+	if n.hostRxCost == 0 {
+		return at
+	}
+	start := at
+	if dstS.rxFree > start {
+		start = dstS.rxFree
+	}
+	at = start.Add(n.hostRxCost)
+	dstS.rxFree = at
+	return at
+}
+
+// getBatch draws a recycled batch accumulator (or a fresh one).
+func (n *Network) getBatch() *deliveryBatch {
+	if k := len(n.batchFree); k > 0 {
+		b := n.batchFree[k-1]
+		n.batchFree = n.batchFree[:k-1]
+		return b
+	}
+	return &deliveryBatch{}
+}
+
+// deliverBatch fires one doorbell: the batch detaches from the host
+// first (so sends processed after the doorbell arm a fresh one), then
+// every accumulated frame is delivered in arrival order — through the
+// host's batched upcall when installed, per-frame otherwise. Buffers
+// release after the upcall returns, mirroring the per-frame path's
+// borrow rules.
+func (n *Network) deliverBatch(b *deliveryBatch) {
+	ds := b.ds
+	if ds.pending == b {
+		ds.pending = nil
+	}
+	n.batchesFired++
+	n.batchedFrames += uint64(len(b.items))
+	h := ds.host
+	if h != nil && h.OnFrameBatch != nil {
+		for _, it := range b.items {
+			n.stats.FramesDelivered++
+			n.stats.BytesDelivered += uint64(len(it.fr))
+			if n.trace != nil {
+				n.trace(TraceEvent{At: n.sim.Now(), From: it.fromName,
+					To: ds.name, Port: it.port, Bytes: len(it.fr)})
+			}
+			b.frs = append(b.frs, it.fr)
+		}
+		h.OnFrameBatch(b.frs)
+		for _, it := range b.items {
+			if it.buf != nil {
+				it.buf.Release()
+			}
+		}
+	} else {
+		for _, it := range b.items {
+			n.deliver(it.fromName, ds.host, it.port, it.fr, it.buf)
+		}
+	}
+	b.ds = nil
+	for i := range b.items {
+		b.items[i] = batchItem{}
+	}
+	b.items = b.items[:0]
+	for i := range b.frs {
+		b.frs[i] = nil
+	}
+	b.frs = b.frs[:0]
+	n.batchFree = append(n.batchFree, b)
 }
 
 // SendBufAfter is SendBuf delayed by d — the closure-free path for
@@ -404,11 +592,15 @@ func (n *Network) deliver(from string, dev Device, port int, fr Frame, buf Frame
 }
 
 // Host is a single-port end station. Incoming frames are handed to
-// OnFrame; outgoing frames go through Send.
+// OnFrame; outgoing frames go through Send. When batched delivery is
+// enabled on the network and OnFrameBatch is installed, all frames
+// arriving in one virtual tick are handed to OnFrameBatch in one call
+// instead (in arrival order).
 type Host struct {
-	name    string
-	net     *Network
-	OnFrame func(fr Frame)
+	name         string
+	net          *Network
+	OnFrame      func(fr Frame)
+	OnFrameBatch func(frs []Frame)
 }
 
 // NewHost creates a host and registers it with one port.
@@ -442,6 +634,12 @@ func (h *Host) Network() *Network { return h.net }
 
 // SetOnFrame implements backend.Link by installing the receive upcall.
 func (h *Host) SetOnFrame(fn func(fr Frame)) { h.OnFrame = fn }
+
+// SetOnFrameBatch implements backend.BatchLink by installing the
+// batched receive upcall. It only takes effect when the network's
+// batched delivery is enabled; otherwise frames keep arriving one
+// OnFrame upcall at a time.
+func (h *Host) SetOnFrameBatch(fn func(frs []Frame)) { h.OnFrameBatch = fn }
 
 // Clock implements backend.Link: a sim host's timers run on the
 // simulator's virtual clock.

@@ -49,7 +49,8 @@ type event struct {
 	daemon bool
 
 	// Inline frame event (when net is non-nil): evDeliver hands fr to
-	// dev, evSend transmits fr out of dev's port.
+	// dev, evSend transmits fr out of dev's port, evDeliverBatch fires
+	// a coalesced per-(device, tick) delivery batch.
 	kind     uint8
 	net      *Network
 	dev      Device
@@ -57,6 +58,15 @@ type event struct {
 	fromName string // tracing (evDeliver)
 	fr       Frame
 	buf      FrameBuffer
+
+	// Inline timer event (evTimer): fires tmr if it is still armed and
+	// this event carries its current generation (Reset bumps gen, so
+	// superseded firings become no-ops).
+	tmr *Timer
+	gen uint32
+
+	// Inline batch event (evDeliverBatch).
+	batch *deliveryBatch
 }
 
 // Inline frame-event kinds.
@@ -64,6 +74,8 @@ const (
 	evFn uint8 = iota
 	evDeliver
 	evSend
+	evTimer
+	evDeliverBatch
 )
 
 // eventHeap is a binary min-heap of events ordered by (at, seq). The
@@ -178,9 +190,16 @@ func (s *Sim) scheduleFrame(t Time, e event) {
 	s.push(e)
 }
 
-// Timer is a cancellable scheduled callback.
+// Timer is a cancellable scheduled callback. The callback and its
+// pending firing are carried inline in the event queue (no closures),
+// so arming a timer costs one allocation — the Timer itself — and
+// re-arming via Reset costs none.
 type Timer struct {
 	stopped bool
+	daemon  bool
+	gen     uint32 // current arming generation; stale firings no-op
+	fn      func()
+	s       *Sim
 }
 
 // Stop cancels the timer; the callback will not run. It reports whether
@@ -191,18 +210,43 @@ func (t *Timer) Stop() bool {
 	return !was
 }
 
+// Reset re-arms the timer to fire its callback after d, whether or
+// not it already fired or was stopped, and reports whether a pending
+// firing was superseded. It implements backend.ResettableTimer: the
+// queued firing for the previous arming stays in the event heap but
+// carries a stale generation, so it becomes a no-op. Reset consumes
+// one sequence number, exactly like arming a fresh timer at the same
+// instant — a Reset-based re-arm is bit-identical to Stop+AfterFunc.
+func (t *Timer) Reset(d Duration) bool {
+	pending := !t.stopped
+	t.stopped = false
+	t.gen++
+	if d < 0 {
+		d = 0
+	}
+	t.s.seq++
+	t.s.push(event{at: t.s.now.Add(d), seq: t.s.seq, daemon: t.daemon,
+		kind: evTimer, tmr: t, gen: t.gen})
+	return pending
+}
+
+// arm allocates a timer and queues its inline firing event.
+func (s *Sim) arm(d Duration, fn func(), daemon bool) *Timer {
+	t := &Timer{daemon: daemon, fn: fn, s: s}
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	s.push(event{at: s.now.Add(d), seq: s.seq, daemon: daemon,
+		kind: evTimer, tmr: t})
+	return t
+}
+
 // AfterFunc schedules fn after d and returns a Timer that can cancel
 // it. The concrete type is *netsim.Timer; the backend.Timer return
 // type is what lets *Sim satisfy backend.Clock.
 func (s *Sim) AfterFunc(d Duration, fn func()) backend.Timer {
-	t := &Timer{}
-	s.Schedule(d, func() {
-		if !t.stopped {
-			t.stopped = true
-			fn()
-		}
-	})
-	return t
+	return s.arm(d, fn, false)
 }
 
 // AfterFuncDaemon is AfterFunc for background housekeeping that
@@ -212,18 +256,7 @@ func (s *Sim) AfterFunc(d Duration, fn func()) backend.Timer {
 // holding only daemon events counts as drained. This implements
 // backend.DaemonClock.
 func (s *Sim) AfterFuncDaemon(d Duration, fn func()) backend.Timer {
-	t := &Timer{}
-	if d < 0 {
-		d = 0
-	}
-	s.seq++
-	s.push(event{at: s.now.Add(d), seq: s.seq, daemon: true, fn: func() {
-		if !t.stopped {
-			t.stopped = true
-			fn()
-		}
-	}})
-	return t
+	return s.arm(d, fn, true)
 }
 
 // Run processes events until no foreground event remains (daemon
@@ -279,6 +312,13 @@ func (s *Sim) step() {
 		e.net.deliver(e.fromName, e.dev, e.port, e.fr, e.buf)
 	case evSend:
 		e.net.SendBuf(e.dev, e.port, e.fr, e.buf)
+	case evTimer:
+		if t := e.tmr; !t.stopped && t.gen == e.gen {
+			t.stopped = true
+			t.fn()
+		}
+	case evDeliverBatch:
+		e.net.deliverBatch(e.batch)
 	default:
 		e.fn()
 	}

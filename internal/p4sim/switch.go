@@ -159,6 +159,13 @@ type Switch struct {
 	// nil means the ingress hook costs one pointer test.
 	inc IncProgram
 
+	// rxHdr is the ingress parse scratch, reused across frames: the
+	// header would otherwise escape to the heap on every ingress (the
+	// IncProgram interface call defeats escape analysis). Safe because
+	// the simulator is single-threaded and onward sends are scheduled,
+	// never synchronous re-entries into this switch.
+	rxHdr wire.Header
+
 	tracer *trace.Recorder
 }
 
@@ -291,7 +298,7 @@ func (sw *Switch) RecvBuf(port int, fr netsim.Frame, buf netsim.FrameBuffer) {
 
 func (sw *Switch) ingress(port int, fr netsim.Frame, buf netsim.FrameBuffer) {
 	sw.counters.FramesIn++
-	var h wire.Header
+	h := &sw.rxHdr
 	if err := h.DecodeFrom(fr); err != nil {
 		sw.counters.ParseDrops++
 		return
@@ -316,7 +323,7 @@ func (sw *Switch) ingress(port int, fr netsim.Frame, buf netsim.FrameBuffer) {
 	// before the forwarding decision and may consume it (serve a read
 	// from the cache, replicate a multicast invalidation, absorb an
 	// ack into an aggregate).
-	if sw.inc != nil && sw.inc.HandleFrame(port, &h, fr) {
+	if sw.inc != nil && sw.inc.HandleFrame(port, h, fr) {
 		return
 	}
 
@@ -325,11 +332,11 @@ func (sw *Switch) ingress(port int, fr netsim.Frame, buf netsim.FrameBuffer) {
 		sp = sw.tracer.StartSpan(trace.Ctx{Trace: h.TraceID, Span: h.SpanID},
 			trace.KindSwitch, "sw:"+sw.name)
 	}
-	act := sw.decide(&h, sp)
+	act := sw.decide(h, sp)
 	if act.Type == ActRegisters {
 		sp.SetAttr("action", "registers")
 		sp.End()
-		sw.handleRegisters(port, &h, fr)
+		sw.handleRegisters(port, h, fr)
 		return
 	}
 	if act.Type == ActDrop {

@@ -198,6 +198,12 @@ type Table struct {
 	ring      Entry
 	hand      *Entry // CLOCK sweep cursor
 	evictions uint64
+
+	// vals is lookupSlow's extracted-key scratch, reused across
+	// lookups so the ternary/LPM path (every sharded filter-table
+	// probe) stays allocation-free. Lookups are serialized — the
+	// simulator is single-threaded — and nothing retains the slice.
+	vals []wire.Value
 }
 
 // NewTable creates a table with the given key schema.
@@ -514,7 +520,10 @@ func (t *Table) Lookup(h *wire.Header) (Action, bool) {
 // lookupSlow handles ternary/LPM tables and exact tables with wide
 // key schemas.
 func (t *Table) lookupSlow(h *wire.Header) (Action, bool) {
-	vals := make([]wire.Value, len(t.keys))
+	if cap(t.vals) < len(t.keys) {
+		t.vals = make([]wire.Value, len(t.keys))
+	}
+	vals := t.vals[:len(t.keys)]
 	for i, k := range t.keys {
 		v, err := h.Extract(k.Field)
 		if err != nil {
@@ -523,7 +532,10 @@ func (t *Table) lookupSlow(h *wire.Header) (Action, bool) {
 		vals[i] = v
 	}
 	if t.exactOnly {
-		b := make([]byte, 0, len(vals)*16)
+		// Wide exact schemas (> maxStackKeys components) land here;
+		// 8 components cover every schema the stack declares.
+		var kb [8 * 16]byte
+		b := kb[:0]
 		for _, v := range vals {
 			var tmp [16]byte
 			v.AsID().PutBytes(tmp[:])

@@ -140,31 +140,44 @@ func (w *wallClock) Schedule(d backend.Duration, fn func()) {
 }
 
 func (w *wallClock) AfterFunc(d backend.Duration, fn func()) backend.Timer {
-	if d < 0 {
-		d = 0
-	}
-	c := (*Cluster)(w)
-	t := &wallTimer{}
-	t.t = time.AfterFunc(time.Duration(d), func() {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		// Re-check under the lock: a Stop that completed inside an
-		// upcall must win against a concurrently fired timer, exactly
-		// as it does on the simulator.
-		if t.stopped.Swap(true) || c.closed.Load() {
-			return
-		}
-		fn()
-	})
+	t := &wallTimer{c: (*Cluster)(w), fn: fn}
+	t.arm(d)
 	return t
 }
 
 // wallTimer wraps time.Timer with a stop flag checked under the
 // upcall lock. Stop itself takes no locks, so it is safe to call from
-// inside upcalls without deadlocking against a firing timer.
+// inside upcalls without deadlocking against a firing timer. It
+// implements backend.ResettableTimer: Reset re-arms the same callback,
+// and a generation counter makes any in-flight firing of the previous
+// arming a no-op (the check runs under the upcall lock, so a Reset
+// completed inside an upcall wins against a concurrently fired timer,
+// exactly as on the simulator).
 type wallTimer struct {
 	stopped atomic.Bool
+	gen     atomic.Uint32
+	c       *Cluster
+	fn      func()
 	t       *time.Timer
+}
+
+// arm schedules a firing for the timer's current generation.
+func (t *wallTimer) arm(d backend.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	myGen := t.gen.Load()
+	t.t = time.AfterFunc(time.Duration(d), func() {
+		c := t.c
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		// Re-check under the lock: a Stop or Reset that completed
+		// inside an upcall must win against a concurrently fired timer.
+		if t.gen.Load() != myGen || c.closed.Load() || t.stopped.Swap(true) {
+			return
+		}
+		t.fn()
+	})
 }
 
 func (t *wallTimer) Stop() bool {
@@ -173,6 +186,22 @@ func (t *wallTimer) Stop() bool {
 	}
 	t.t.Stop() // best-effort; the flag is what guarantees fn won't run
 	return true
+}
+
+// Reset implements backend.ResettableTimer: it re-arms the callback
+// after d whether or not the timer already fired or was stopped, and
+// reports whether a pending firing was superseded. Call only from
+// upcall context (under the cluster lock), the same single-owner
+// contract as the simulator's Timer.
+func (t *wallTimer) Reset(d backend.Duration) bool {
+	pending := !t.stopped.Load()
+	t.gen.Add(1) // invalidate any in-flight firing of the old arming
+	if t.t != nil {
+		t.t.Stop()
+	}
+	t.stopped.Store(false)
+	t.arm(d)
+	return pending
 }
 
 // --- link ---

@@ -153,6 +153,37 @@ func (s *Store) GetEntry(id oid.ID) (*Entry, error) {
 	return e, nil
 }
 
+// Lookup is Get without the error: a miss returns (nil, false) and
+// allocates nothing, so callers probing for a cached copy on every
+// operation (the coherence hot path) pay no error-construction cost.
+func (s *Store) Lookup(id oid.ID) (*object.Object, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, false
+	}
+	if e.lruElem != nil {
+		s.lru.MoveToFront(e.lruElem)
+	}
+	return e.Obj, true
+}
+
+// LookupEntry is GetEntry without the error — the allocation-free miss
+// probe for entry metadata (home flag, version).
+func (s *Store) LookupEntry(id oid.ID) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, false
+	}
+	if e.lruElem != nil {
+		s.lru.MoveToFront(e.lruElem)
+	}
+	return e, true
+}
+
 // PeekEntry returns the full entry without touching LRU order — for
 // observers (the invariant checker) that must not perturb eviction
 // behavior.

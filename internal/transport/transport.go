@@ -108,20 +108,31 @@ type Counters struct {
 // or a matched response).
 type Handler func(h *wire.Header, payload []byte)
 
+// pendingFrame is pooled per endpoint: the struct, its pre-bound
+// retransmit callback, and its timer all survive from one reliable
+// send to the next, so the steady-state reliable path allocates
+// nothing here.
 type pendingFrame struct {
+	e        *Endpoint
+	seq      uint64
 	frame    backend.Frame
 	buf      *dataplane.Buf // reference held until acked or retried out
 	retries  int
 	interval backend.Duration // current backed-off retransmit interval
 	deadline backend.Time     // first-send time + RetryBudget
 	timer    backend.Timer
+	fireFn   func() // pre-bound retransmit callback (== p.fire)
 	done     func(error)
 	span     *trace.Span // send span, open until acked or retried out
 }
 
+// pendingReq is pooled like pendingFrame.
 type pendingReq struct {
-	timer backend.Timer
-	cb    func(*wire.Header, []byte, error)
+	e      *Endpoint
+	seq    uint64
+	timer  backend.Timer
+	fireFn func() // pre-bound timeout callback (== r.fire)
+	cb     func(*wire.Header, []byte, error)
 }
 
 type dedupKey struct {
@@ -150,6 +161,18 @@ type Endpoint struct {
 	seenRing []dedupKey
 	seenNext int
 
+	// Free lists for pooled per-operation state. Entries keep their
+	// timer and pre-bound callbacks across reuses.
+	frameFree []*pendingFrame
+	reqFree   []*pendingReq
+
+	// rxHdr is the receive path's scratch header: one decode target
+	// for every arriving frame, so parsing never heap-allocates.
+	// Handlers borrow it for the duration of the dispatch.
+	rxHdr wire.Header
+	// batchItems is the batched receive path's scratch.
+	batchItems []dataplane.BatchItem
+
 	tracer   *trace.Recorder
 	counters Counters
 }
@@ -170,7 +193,54 @@ func NewEndpoint(link backend.Link, station wire.StationID, cfg Config) *Endpoin
 		seenRing: make([]dedupKey, dedupCapacity),
 	}
 	link.SetOnFrame(e.onFrame)
+	if bl, ok := link.(backend.BatchLink); ok {
+		// Batch-capable links (netsim hosts with batched delivery on,
+		// same-host rings) deliver coalesced arrivals in one upcall.
+		bl.SetOnFrameBatch(e.onFrameBatch)
+	}
 	return e
+}
+
+// getPendingFrame draws a pooled pendingFrame (fresh on first use;
+// the pre-bound fire callback and timer persist across reuses).
+func (e *Endpoint) getPendingFrame() *pendingFrame {
+	if k := len(e.frameFree); k > 0 {
+		p := e.frameFree[k-1]
+		e.frameFree = e.frameFree[:k-1]
+		return p
+	}
+	p := &pendingFrame{e: e}
+	p.fireFn = p.fire
+	return p
+}
+
+// putPendingFrame clears per-send state and returns p to the pool.
+// The timer stays with p: a later reuse re-arms it in place.
+func (e *Endpoint) putPendingFrame(p *pendingFrame) {
+	p.frame = nil
+	p.buf = nil
+	p.retries = 0
+	p.interval = 0
+	p.deadline = 0
+	p.done = nil
+	p.span = nil
+	e.frameFree = append(e.frameFree, p)
+}
+
+func (e *Endpoint) getPendingReq() *pendingReq {
+	if k := len(e.reqFree); k > 0 {
+		r := e.reqFree[k-1]
+		e.reqFree = e.reqFree[:k-1]
+		return r
+	}
+	r := &pendingReq{e: e}
+	r.fireFn = r.fire
+	return r
+}
+
+func (e *Endpoint) putPendingReq(r *pendingReq) {
+	r.cb = nil
+	e.reqFree = append(e.reqFree, r)
 }
 
 // Station returns the endpoint's station ID.
@@ -231,12 +301,29 @@ func (e *Endpoint) traceSend(h *wire.Header) *trace.Span {
 		return nil
 	}
 	sp := e.tracer.StartSpan(trace.Ctx{Trace: h.TraceID, Span: h.SpanID},
-		trace.KindSend, "send:"+h.Type.String())
+		trace.KindSend, sendName(h.Type))
 	if sp != nil {
 		h.ParentID = h.SpanID
 		h.SpanID = sp.ID
 	}
 	return sp
+}
+
+// sendNames pre-concatenates per-type send-span names so traced sends
+// do not build a string per frame.
+var sendNames = func() [wire.NumMsgTypes]string {
+	var names [wire.NumMsgTypes]string
+	for t := range names {
+		names[t] = "send:" + wire.MsgType(t).String()
+	}
+	return names
+}()
+
+func sendName(t wire.MsgType) string {
+	if int(t) < len(sendNames) {
+		return sendNames[t]
+	}
+	return "send:?"
 }
 
 // allocSeq returns a fresh sequence number.
@@ -284,14 +371,14 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 		sp.End()
 		return 0, err
 	}
-	p := &pendingFrame{
-		frame:    buf.Bytes(),
-		buf:      buf,
-		interval: e.cfg.RetransmitTimeout,
-		deadline: e.clock.Now().Add(e.cfg.RetryBudget),
-		done:     done,
-		span:     sp,
-	}
+	p := e.getPendingFrame()
+	p.seq = h.Seq
+	p.frame = buf.Bytes()
+	p.buf = buf
+	p.interval = e.cfg.RetransmitTimeout
+	p.deadline = e.clock.Now().Add(e.cfg.RetryBudget)
+	p.done = done
+	p.span = sp
 	e.pending[h.Seq] = p
 	e.inflightBytes += len(p.frame)
 	e.counters.FramesSent++
@@ -299,48 +386,54 @@ func (e *Endpoint) SendReliable(h wire.Header, payload []byte, done func(error))
 	// each SendBuf consumes one of its own.
 	buf.Retain()
 	e.link.SendBuf(p.frame, buf)
-	e.armRetransmit(h.Seq, p)
+	e.armRetransmit(p)
 	return h.Seq, nil
 }
 
-func (e *Endpoint) armRetransmit(seq uint64, p *pendingFrame) {
+func (e *Endpoint) armRetransmit(p *pendingFrame) {
 	// The wait covers this frame's own serialization plus the unacked
 	// bytes already queued ahead of it.
 	wait := p.interval +
 		backend.Duration(len(p.frame)+e.inflightBytes)*e.cfg.PerByteTimeout
-	p.timer = e.clock.AfterFunc(wait, func() {
-		if _, live := e.pending[seq]; !live {
-			return
+	p.timer = backend.ResetTimer(e.clock, p.timer, wait, p.fireFn)
+}
+
+// fire is the pooled retransmit callback: retries out, or retransmits
+// and re-arms with backoff.
+func (p *pendingFrame) fire() {
+	e := p.e
+	if e.pending[p.seq] != p {
+		return // completed (and possibly reused) since arming
+	}
+	if e.clock.Now() >= p.deadline {
+		delete(e.pending, p.seq)
+		e.inflightBytes -= len(p.frame)
+		done, retries := p.done, p.retries
+		p.span.SetAttr("error", "retries-out")
+		p.span.End()
+		p.buf.Release()
+		e.putPendingFrame(p)
+		if done != nil {
+			done(fmt.Errorf("%w after %d retransmits over %v",
+				ErrRetriesOut, retries, e.cfg.RetryBudget))
 		}
-		if e.clock.Now() >= p.deadline {
-			delete(e.pending, seq)
-			e.inflightBytes -= len(p.frame)
-			done := p.done
-			p.span.SetAttr("error", "retries-out")
-			p.span.End()
-			p.buf.Release()
-			if done != nil {
-				done(fmt.Errorf("%w after %d retransmits over %v",
-					ErrRetriesOut, p.retries, e.cfg.RetryBudget))
-			}
-			return
-		}
-		p.retries++
-		e.counters.Retransmits++
-		e.counters.FramesSent++
-		if e.tracer != nil && p.span != nil {
-			e.tracer.Mark(p.span.Ctx(), trace.KindRetrans,
-				fmt.Sprintf("rtx#%d", p.retries))
-		}
-		p.buf.Retain()
-		e.link.SendBuf(p.frame, p.buf)
-		// Exponential backoff: widen the probe interval up to the cap.
-		p.interval = backend.Duration(float64(p.interval) * e.cfg.Backoff)
-		if p.interval > e.cfg.MaxRetransmitTimeout {
-			p.interval = e.cfg.MaxRetransmitTimeout
-		}
-		e.armRetransmit(seq, p)
-	})
+		return
+	}
+	p.retries++
+	e.counters.Retransmits++
+	e.counters.FramesSent++
+	if e.tracer != nil && p.span != nil {
+		e.tracer.Mark(p.span.Ctx(), trace.KindRetrans,
+			fmt.Sprintf("rtx#%d", p.retries))
+	}
+	p.buf.Retain()
+	e.link.SendBuf(p.frame, p.buf)
+	// Exponential backoff: widen the probe interval up to the cap.
+	p.interval = backend.Duration(float64(p.interval) * e.cfg.Backoff)
+	if p.interval > e.cfg.MaxRetransmitTimeout {
+		p.interval = e.cfg.MaxRetransmitTimeout
+	}
+	e.armRetransmit(p)
 }
 
 // Request sends a (reliable) request and routes the matching response
@@ -363,17 +456,25 @@ func (e *Endpoint) Request(h wire.Header, payload []byte, timeout backend.Durati
 		return 0, err
 	}
 	e.counters.RequestsSent++
-	req := &pendingReq{cb: cb}
-	req.timer = e.clock.AfterFunc(timeout, func() {
-		if _, live := e.requests[seq]; !live {
-			return
-		}
-		delete(e.requests, seq)
-		e.counters.RequestTimeout++
-		cb(nil, nil, fmt.Errorf("%w: request seq %d", ErrTimeout, seq))
-	})
+	req := e.getPendingReq()
+	req.seq = seq
+	req.cb = cb
+	req.timer = backend.ResetTimer(e.clock, req.timer, timeout, req.fireFn)
 	e.requests[seq] = req
 	return seq, nil
+}
+
+// fire is the pooled request-timeout callback.
+func (r *pendingReq) fire() {
+	e := r.e
+	if e.requests[r.seq] != r {
+		return // answered (and possibly reused) since arming
+	}
+	delete(e.requests, r.seq)
+	e.counters.RequestTimeout++
+	cb, seq := r.cb, r.seq
+	e.putPendingReq(r)
+	cb(nil, nil, fmt.Errorf("%w: request seq %d", ErrTimeout, seq))
 }
 
 // Respond answers a request: Dst is the requester, Ack echoes the
@@ -396,18 +497,51 @@ func (e *Endpoint) Respond(req *wire.Header, h wire.Header, payload []byte) erro
 	return err
 }
 
-// onFrame is the receive path.
+// onFrame is the per-frame receive path.
 func (e *Endpoint) onFrame(fr backend.Frame) {
-	var h wire.Header
+	if payload, ok := e.recvFiltered(fr); ok {
+		e.counters.Delivered++
+		e.mux.Dispatch(&e.rxHdr, payload)
+	}
+}
+
+// onFrameBatch is the coalesced receive path: the whole batch runs
+// the per-frame transport machinery (acks, dedup, response matching)
+// in arrival order, then every surviving application frame is routed
+// in one DispatchBatch — one upcall, N frames.
+func (e *Endpoint) onFrameBatch(frs []backend.Frame) {
+	items := e.batchItems[:0]
+	for _, fr := range frs {
+		if payload, ok := e.recvFiltered(fr); ok {
+			e.counters.Delivered++
+			items = append(items, dataplane.BatchItem{H: e.rxHdr, Payload: payload})
+		}
+	}
+	e.batchItems = items
+	e.mux.DispatchBatch(items)
+	for i := range items {
+		items[i] = dataplane.BatchItem{} // drop payload views for the GC
+	}
+	e.batchItems = items[:0]
+}
+
+// recvFiltered parses fr into the endpoint's scratch header (e.rxHdr)
+// and runs the transport-level receive machinery: address filtering,
+// ack completion, ack generation, duplicate suppression, and
+// request/response matching. It reports whether the frame remains to
+// be dispatched to the application mux; when true, the decoded header
+// is in e.rxHdr (borrowed until the next frame is processed).
+func (e *Endpoint) recvFiltered(fr backend.Frame) ([]byte, bool) {
+	h := &e.rxHdr
 	if err := h.DecodeFrom(fr); err != nil {
 		e.counters.ParseDrops++
-		return
+		return nil, false
 	}
 	// Frames flooded through the fabric may reach stations they are
 	// not addressed to. Frames addressed to StationAny were routed on
 	// their object ID — the fabric chose us, so accept.
 	if h.Dst != e.station && h.Dst != wire.StationBroadcast && h.Dst != wire.StationAny {
-		return
+		return nil, false
 	}
 
 	if h.Type == wire.MsgAck {
@@ -425,11 +559,12 @@ func (e *Endpoint) onFrame(fr backend.Frame) {
 			p.span.End()
 			done := p.done
 			p.buf.Release()
+			e.putPendingFrame(p)
 			if done != nil {
 				done(nil)
 			}
 		}
-		return
+		return nil, false
 	}
 
 	// Ack reliable frames (even duplicates — the ack may have been
@@ -446,7 +581,7 @@ func (e *Endpoint) onFrame(fr backend.Frame) {
 	k := dedupKey{src: h.Src, seq: h.Seq}
 	if _, dup := e.seen[k]; dup {
 		e.counters.Duplicates++
-		return
+		return nil, false
 	}
 	old := e.seenRing[e.seenNext]
 	if old != (dedupKey{}) {
@@ -466,15 +601,16 @@ func (e *Endpoint) onFrame(fr backend.Frame) {
 				req.timer.Stop()
 			}
 			e.counters.Delivered++
-			req.cb(&h, payload, nil)
-			return
+			cb := req.cb
+			e.putPendingReq(req)
+			cb(h, payload, nil)
+			return nil, false
 		}
 		// Late or duplicate response: drop.
-		return
+		return nil, false
 	}
 
-	e.counters.Delivered++
-	e.mux.Dispatch(&h, payload)
+	return payload, true
 }
 
 // Reset abandons all in-flight transport state, modeling a process
@@ -492,12 +628,14 @@ func (e *Endpoint) Reset() {
 		p.span.End()
 		p.buf.Release()
 		delete(e.pending, seq)
+		e.putPendingFrame(p)
 	}
 	for seq, r := range e.requests {
 		if r.timer != nil {
 			r.timer.Stop()
 		}
 		delete(e.requests, seq)
+		e.putPendingReq(r)
 	}
 	e.inflightBytes = 0
 	e.seen = make(map[dedupKey]struct{}, dedupCapacity)

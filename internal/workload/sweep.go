@@ -33,6 +33,11 @@ type SweepConfig struct {
 	NumNodes       int
 	LinkBitsPerSec int64
 	DropRate       float64
+	// BatchDelivery and HostRxCost pass through to core.Config — the
+	// hot-path delivery knobs E15 sweeps batched-vs-unbatched at the
+	// same link speed.
+	BatchDelivery bool
+	HostRxCost    netsim.Duration
 	// Target shapes the object population.
 	Target ClusterConfig
 	// KneeGoodputFrac: a point saturates when completed ops fall below
@@ -169,6 +174,8 @@ func runPoint(cfg SweepConfig, scheme core.Scheme, i int, rate float64) (Point, 
 		Scheme:         scheme,
 		LinkBitsPerSec: cfg.LinkBitsPerSec,
 		DropRate:       cfg.DropRate,
+		BatchDelivery:  cfg.BatchDelivery,
+		HostRxCost:     cfg.HostRxCost,
 	})
 	if err != nil {
 		return Point{}, err

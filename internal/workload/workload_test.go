@@ -3,7 +3,10 @@ package workload
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/object"
+	"repro/internal/oid"
 	"repro/internal/telemetry"
 )
 
@@ -302,5 +305,74 @@ func BenchmarkWorkload_Observe(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rec.observe(op, netsim.Time(100+i%1000))
+	}
+}
+
+// BenchmarkWorkload_E2ECoherenceOp is the end-to-end hot-path alloc
+// gate: one remote coherence read plus one remote write over the
+// sharded scheme — generator to wire to switch pipeline to home and
+// back — must stay within 2 allocs/op each (the read's surviving
+// allocation is the response data copy). The gate runs even under
+// -benchtime=1x, so the CI bench pass fails on any regression.
+func BenchmarkWorkload_E2ECoherenceOp(b *testing.B) {
+	cl, err := core.NewCluster(core.Config{Seed: 42, NumNodes: 3, Scheme: core.SchemeSharded})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reader := cl.Node(0)
+	var obj oid.ID
+	for _, n := range cl.Nodes[1:] {
+		if id, ok := cl.NewIDHomedAt(n.Station); ok {
+			o, err := object.New(id, 1024, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := n.AdoptObjectLite(o); err != nil {
+				b.Fatal(err)
+			}
+			obj = id
+			break
+		}
+	}
+	if obj == (oid.ID{}) {
+		b.Fatal("no non-reader station owns a shard")
+	}
+	cl.Run()
+	off := uint64(object.HeaderSize + object.FOTEntrySize*4)
+	wdata := make([]byte, 64)
+	var done bool
+	var opErr error
+	onRead := func(_ []byte, err error) { opErr, done = err, true }
+	onWrite := func(err error) { opErr, done = err, true }
+	step := func(what string) {
+		cl.Run()
+		if !done || opErr != nil {
+			b.Fatalf("%s: done=%v err=%v", what, done, opErr)
+		}
+		done = false
+	}
+	readOnce := func() {
+		reader.Coherence.ReadAtCB(obj, off, 64, onRead)
+		step("read")
+	}
+	writeOnce := func() {
+		reader.Coherence.WriteAtCB(obj, off, wdata, onWrite)
+		step("write")
+	}
+	for i := 0; i < 32; i++ {
+		readOnce()
+		writeOnce()
+	}
+	if allocs := testing.AllocsPerRun(100, readOnce); allocs > 2 {
+		b.Fatalf("remote read allocates %v/op, want <=2", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, writeOnce); allocs > 2 {
+		b.Fatalf("remote write allocates %v/op, want <=2", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readOnce()
+		writeOnce()
 	}
 }

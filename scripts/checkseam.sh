@@ -39,8 +39,8 @@ fail=0
 HOT_PKGS="internal/transport internal/coherence internal/discovery
 internal/rpc internal/dataplane internal/memproto internal/wire
 internal/object internal/store internal/placement internal/trace
-internal/telemetry internal/future internal/backend internal/raft
-internal/inc"
+internal/telemetry internal/future internal/backend
+internal/backend/conformance internal/raft internal/inc"
 
 for pkg in $HOT_PKGS; do
     # shellcheck disable=SC2046
